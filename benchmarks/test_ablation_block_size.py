@@ -1,0 +1,50 @@
+"""Ablation (§5.2): block width ω in {8, 16, 32}.
+
+The paper examined 8, 16 and 32 and chose 8 because it "provides a
+balance between the opportunity for parallelism and the number of
+non-zero values" — bigger blocks stream more padding per non-zero,
+smaller tables trade against longer sequential chains per diagonal
+block.  This benchmark regenerates the trade-off.
+"""
+
+from repro.analysis import block_size_sweep, render_table
+from repro.datasets import load_dataset
+
+from conftest import run_once, save_and_print
+
+
+def test_ablation_block_size(benchmark, scale, results_dir):
+    matrix = load_dataset("stencil27", scale=max(scale, 0.1)).matrix
+    sweep = run_once(benchmark,
+                     lambda: block_size_sweep(matrix, [8, 16, 32]))
+    rows = []
+    for omega, data in sweep.items():
+        rows.append([
+            omega, int(data["blocks"]), int(data["streamed_slots"]),
+            data["block_density"], int(data["table_entries"]),
+            data["sweep_cycles"],
+        ])
+    save_and_print(
+        results_dir, "ablation_block_size",
+        render_table(
+            ["omega", "blocks", "streamed slots", "block density",
+             "table entries", "SymGS sweep cycles"],
+            rows, title="Ablation: block width (paper picks 8)",
+        ),
+    )
+    # Bigger blocks always stream at least as much padding.
+    assert sweep[8]["streamed_slots"] <= sweep[16]["streamed_slots"]
+    assert sweep[16]["streamed_slots"] <= sweep[32]["streamed_slots"]
+    # ... while needing fewer configuration-table entries.
+    assert sweep[8]["table_entries"] >= sweep[16]["table_entries"]
+    # The paper's choice: 8 yields the fastest sweep on stencil data.
+    assert sweep[8]["sweep_cycles"] <= sweep[16]["sweep_cycles"]
+    assert sweep[8]["sweep_cycles"] <= sweep[32]["sweep_cycles"]
+
+
+def test_ablation_block_size_density_declines(benchmark, scale):
+    matrix = load_dataset("scircuit", scale=max(scale, 0.1)).matrix
+    sweep = run_once(benchmark,
+                     lambda: block_size_sweep(matrix, [8, 16, 32]))
+    assert sweep[8]["block_density"] >= sweep[16]["block_density"] \
+        >= sweep[32]["block_density"]

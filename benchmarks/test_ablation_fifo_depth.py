@@ -1,0 +1,77 @@
+"""Ablation (§4.3): the FIFO buffers in front of the FCU.
+
+"The buffers handle vector operands, which require deterministic
+accesses.  For instance, we employ first-in-first-out (FIFO) for A_ij
+and b" — the run-ahead window that lets memory stream uninterrupted
+while the engine works.  The detailed bounded-buffer simulation shows
+what happens as that window shrinks to nothing, and cross-validates the
+analytic timing model at generous depths.
+"""
+
+import numpy as np
+
+from repro.analysis import render_table
+from repro.core import (
+    Alrescha,
+    KernelType,
+    crosscheck_with_analytic,
+    fifo_depth_sweep,
+)
+from repro.datasets import load_dataset
+
+from conftest import run_once, save_and_print
+
+
+def test_ablation_fifo_depth(benchmark, scale, results_dir):
+    matrix = load_dataset("stencil27", scale=max(scale, 0.1)).matrix
+    acc = Alrescha.from_matrix(KernelType.SYMGS, matrix)
+    sweep = run_once(benchmark,
+                     lambda: fifo_depth_sweep(acc, [1, 2, 4, 8, 32]))
+    rows = [
+        [depth, data["cycles"], data["memory_utilization"],
+         data["engine_utilization"], data["mem_stall_cycles"]]
+        for depth, data in sweep.items()
+    ]
+    save_and_print(
+        results_dir, "ablation_fifo_depth",
+        render_table(
+            ["FIFO depth (blocks)", "cycles", "mem util", "engine util",
+             "mem stall cycles"],
+            rows, title="Ablation: A-FIFO depth (detailed simulation)",
+        ),
+    )
+    assert sweep[1]["cycles"] > sweep[8]["cycles"]
+    assert sweep[8]["cycles"] == sweep[32]["cycles"]
+
+
+def test_detailed_crosschecks_analytic_model(benchmark, scale,
+                                             results_dir):
+    """The two timing models agree within tolerance on both kernel
+    classes — independent implementations of the same design."""
+    matrix = load_dataset("stencil27", scale=max(scale, 0.1)).matrix
+
+    def measure():
+        out = {}
+        acc = Alrescha.from_matrix(KernelType.SPMV, matrix)
+        _y, rep = acc.run_spmv(np.ones(acc.n))
+        out["spmv"] = crosscheck_with_analytic(acc, rep.cycles)
+        acc = Alrescha.from_matrix(KernelType.SYMGS, matrix)
+        _x, rep = acc.run_symgs_sweep(np.ones(acc.n), np.zeros(acc.n))
+        out["symgs"] = crosscheck_with_analytic(acc, rep.cycles)
+        return out
+
+    checks = run_once(benchmark, measure)
+    rows = [
+        [kernel, c["analytic_cycles"], c["detailed_cycles"], c["ratio"]]
+        for kernel, c in checks.items()
+    ]
+    save_and_print(
+        results_dir, "detailed_crosscheck",
+        render_table(
+            ["kernel", "analytic cycles", "detailed cycles",
+             "detailed/analytic"],
+            rows, title="Timing-model cross-validation",
+        ),
+    )
+    for kernel, c in checks.items():
+        assert 0.7 < c["ratio"] < 1.3, kernel

@@ -1,0 +1,58 @@
+"""Ablation (§4.3/§4.4): hiding reconfiguration under the tree drain.
+
+"The latency of configuration is hidden by the latency of draining the
+adder tree."  With the overlap disabled, every data-path switch exposes
+the full switch-rewrite latency; this benchmark quantifies what the
+lightweight-reconfiguration design buys.
+"""
+
+from repro.analysis import reconfiguration_ablation, render_table
+from repro.datasets import load_dataset
+
+from conftest import run_once, save_and_print
+
+
+def test_ablation_reconfiguration_hiding(benchmark, scale, results_dir):
+    matrix = load_dataset("stencil27", scale=max(scale, 0.1)).matrix
+    result = run_once(benchmark,
+                      lambda: reconfiguration_ablation(matrix))
+    rows = [
+        [label, data["sweep_cycles"], data["exposed_reconfig_cycles"]]
+        for label, data in result.items()
+    ]
+    save_and_print(
+        results_dir, "ablation_reconfig",
+        render_table(
+            ["mode", "SymGS sweep cycles", "exposed reconfig cycles"],
+            rows, title="Ablation: reconfiguration hiding",
+        ),
+    )
+    assert result["hidden"]["exposed_reconfig_cycles"] == 0.0
+    assert result["exposed"]["exposed_reconfig_cycles"] > 0.0
+    assert result["exposed"]["sweep_cycles"] > \
+        result["hidden"]["sweep_cycles"]
+
+
+def test_ablation_reconfig_cost_scales_with_switches(benchmark, scale):
+    """More data-path switches -> more exposed cycles when not hidden."""
+    from repro.core import Alrescha, AlreschaConfig, KernelType
+    import numpy as np
+
+    matrix = load_dataset("offshore", scale=max(scale, 0.1)).matrix
+    n = matrix.shape[0]
+    rng = np.random.default_rng(3)
+    b, x0 = rng.normal(size=n), rng.normal(size=n)
+
+    def measure():
+        out = {}
+        for cycles in (4, 16):
+            cfg = AlreschaConfig(reconfig_cycles=cycles,
+                                 hide_reconfig_under_drain=False)
+            acc = Alrescha.from_matrix(KernelType.SYMGS, matrix,
+                                       config=cfg)
+            _x, report = acc.run_symgs_sweep(b, x0)
+            out[cycles] = report.exposed_reconfig_cycles
+        return out
+
+    exposed = run_once(benchmark, measure)
+    assert exposed[16] > exposed[4] > 0.0

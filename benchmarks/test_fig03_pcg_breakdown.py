@@ -1,0 +1,34 @@
+"""Figure 3: PCG execution time is dominated by SymGS and SpMV.
+
+The paper motivates the whole design with the observation that on an
+NVIDIA K20-class GPU the PCG loop spends almost all of its time inside
+the SymGS smoother and the SpMV, with the remaining vector kernels a
+tiny fraction.  This benchmark regenerates the breakdown on the GPU
+baseline model and on the simulated accelerator.
+"""
+
+from repro.analysis import fig3_pcg_breakdown, render_table
+
+from conftest import run_once, save_and_print
+
+
+def test_fig3_pcg_breakdown(benchmark, scale, results_dir):
+    result = run_once(
+        benchmark, lambda: fig3_pcg_breakdown(scale=max(scale, 0.1))
+    )
+    rows = []
+    for platform, parts in result.items():
+        for kernel, share in sorted(parts.items()):
+            rows.append([platform, kernel, share * 100.0])
+    save_and_print(
+        results_dir, "fig03_pcg_breakdown",
+        render_table(["platform", "kernel", "% of PCG time"], rows,
+                     title="Figure 3: PCG kernel breakdown"),
+    )
+    for platform in ("gpu", "alrescha"):
+        parts = result[platform]
+        dominant = parts.get("symgs", 0.0) + parts.get("spmv", 0.0)
+        # Paper: SymGS + SpMV dominate; the rest is a tiny fraction.
+        assert dominant > 0.85, platform
+        assert parts["symgs"] > parts["spmv"], platform
+        assert parts["vector"] < 0.15, platform

@@ -1,0 +1,36 @@
+"""Figure 6: HPCG-class workloads reach a tiny fraction of peak FLOPs.
+
+The paper's Figure 6 ranks CPUs and GPUs by the HPCG metric and shows
+they "utilize only a tiny fraction of the peak performance".  This
+benchmark computes achieved/peak FLOPs for one PCG iteration on the CPU
+and GPU baseline models across the scientific suite.
+"""
+
+from repro.analysis import SCIENTIFIC_SUITE, fig6_hpcg_fraction, \
+    render_series
+
+from conftest import run_once, save_and_print
+
+
+def test_fig6_hpcg_fraction_of_peak(benchmark, scale, results_dir):
+    result = run_once(benchmark,
+                      lambda: fig6_hpcg_fraction(scale=max(scale, 0.1)))
+    save_and_print(
+        results_dir, "fig06_hpcg_fraction",
+        render_series(
+            {"cpu_frac_of_peak": result["cpu"],
+             "gpu_frac_of_peak": result["gpu"]},
+            title="Figure 6: HPCG fraction of peak FLOPs",
+        ),
+    )
+    for name in SCIENTIFIC_SUITE:
+        # Paper: a few percent of peak at best, often below 1%.
+        assert result["cpu"][name] < 0.05
+        assert result["gpu"][name] < 0.05
+        assert result["cpu"][name] > 0.0
+        assert result["gpu"][name] > 0.0
+    # The GPU's *fraction* of its (much larger) peak is no better than
+    # the CPU's — the effectiveness argument of the introduction.
+    cpu_mean = sum(result["cpu"].values()) / len(result["cpu"])
+    gpu_mean = sum(result["gpu"].values()) / len(result["gpu"])
+    assert gpu_mean < cpu_mean * 2.0

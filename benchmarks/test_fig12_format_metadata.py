@@ -1,0 +1,73 @@
+"""Figure 12: the storage-format spectrum by meta-data per non-zero.
+
+The paper ranks formats by meta-data per non-zero across sparsity
+structures: DIA cheapest for purely diagonal matrices, CSR the right
+choice for fully scattered ones, BCSR (and the Alrescha format, which
+keeps BCSR's budget but moves it into the one-time-programmed
+configuration table) for locally-dense matrices.
+"""
+
+import numpy as np
+
+from repro.datasets import random_spd, stencil27, structural_like, \
+    tridiagonal
+from repro.formats import format_survey
+from repro.analysis import render_table
+
+from conftest import run_once, save_and_print
+
+
+def _survey_all():
+    return {
+        "diagonal (tridiag)": format_survey(tridiagonal(256)),
+        "stencil27": format_survey(stencil27(6, 6, 6)),
+        "blocked (FEM)": format_survey(structural_like(240)),
+        "scattered": format_survey(random_spd(256, density=0.01)),
+    }
+
+
+def test_fig12_format_spectrum(benchmark, results_dir):
+    surveys = run_once(benchmark, _survey_all)
+    rows = []
+    for matrix_kind, survey in surveys.items():
+        for fmt, bits in survey.items():
+            rows.append([matrix_kind, fmt, bits])
+    save_and_print(
+        results_dir, "fig12_format_metadata",
+        render_table(["matrix", "format", "meta bits / nnz"], rows,
+                     title="Figure 12: meta-data per non-zero"),
+    )
+
+    diag = surveys["diagonal (tridiag)"]
+    scattered = surveys["scattered"]
+    blocked = surveys["blocked (FEM)"]
+
+    # DIA wins on diagonal matrices, loses badly on scattered ones.
+    assert diag["DIA"] < diag["CSR"]
+    assert diag["DIA"] < diag["ELL"]
+    # CSR beats ELL and COO on scattered matrices.
+    assert scattered["CSR"] <= scattered["COO"]
+    # BCSR (and Alrescha) beat CSR when non-zeros cluster into blocks.
+    assert blocked["BCSR"] < blocked["CSR"]
+    assert blocked["Alrescha"] == blocked["BCSR"]
+    # Alrescha streams zero meta-data at runtime, on every structure.
+    for survey in surveys.values():
+        assert survey["Alrescha (runtime)"] == 0.0
+
+
+def test_fig12_alrescha_bits_live_in_config_table(benchmark):
+    """The bits BCSR streams per non-zero equal the bits Alrescha writes
+    once into the configuration table (2*ceil(log2(n/w)) + 3 per entry
+    covers the same block indices)."""
+    from repro.core import KernelType, convert
+
+    a = stencil27(6, 6, 6)
+    conv = run_once(benchmark,
+                    lambda: convert(KernelType.SPMV, a, omega=8))
+    assert conv.table.total_bits() > 0
+    # One table entry per stored block.
+    assert len(conv.table) == conv.matrix.n_blocks
+    # Entry cost follows the paper's formula.
+    m = conv.table.n_block_rows
+    expected_bits = 2 * int(np.ceil(np.log2(m))) + 3
+    assert conv.table.entry_bits() == expected_bits

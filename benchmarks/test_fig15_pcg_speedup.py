@@ -1,0 +1,59 @@
+"""Figure 15: PCG speedup over the GPU + bandwidth utilization.
+
+Paper's result: Alrescha averages a 15.6x speedup over the row-reordered
+GPU implementation across the scientific suite, roughly twice the
+Memristive accelerator's speedup, and utilizes bandwidth better than the
+Memristive design; diagonal-heavy matrices see the largest gains.
+"""
+
+from repro.analysis import fig15_pcg_speedup, render_series
+
+from conftest import run_once, save_and_print
+
+#: Generous bands around the paper's reported factors.
+PAPER_MEAN = 15.6
+MEAN_BAND = (7.0, 32.0)
+OVER_MEMRISTIVE_BAND = (1.3, 3.5)   # paper: "approximately twice"
+
+
+def test_fig15_pcg_speedup(benchmark, scale, results_dir):
+    result = run_once(benchmark, lambda: fig15_pcg_speedup(scale=scale))
+    save_and_print(
+        results_dir, "fig15_pcg_speedup",
+        render_series(
+            {
+                "alrescha_x": result["alrescha_speedup"],
+                "memristive_x": result["memristive_speedup"],
+                "alrescha_bw": result["alrescha_bw_utilization"],
+                "memristive_bw": result["memristive_bw_utilization"],
+            },
+            title=(f"Figure 15: PCG speedup over GPU "
+                   f"(paper mean {PAPER_MEAN}x)"),
+        ),
+    )
+    summary = result["summary"]
+    assert MEAN_BAND[0] < summary["alrescha_mean"] < MEAN_BAND[1]
+    assert OVER_MEMRISTIVE_BAND[0] < summary["alrescha_over_memristive"] \
+        < OVER_MEMRISTIVE_BAND[1]
+    # Alrescha beats the Memristive accelerator on every dataset.
+    for name in result["alrescha_speedup"]:
+        assert result["alrescha_speedup"][name] > \
+            result["memristive_speedup"][name], name
+        # And utilizes bandwidth better (the Figure 15 lines).
+        assert result["alrescha_bw_utilization"][name] > \
+            result["memristive_bw_utilization"][name], name
+
+
+def test_fig15_diagonal_heavy_matrices_gain_most(benchmark, scale):
+    """'when the non-zeros are mostly distributed in the diagonal' the
+    speedup over the GPU is larger than for matrices with in-row
+    parallelism (§5.3)."""
+    result = run_once(
+        benchmark,
+        lambda: fig15_pcg_speedup(
+            datasets=["stencil27", "af_shell", "economics"], scale=scale),
+    )
+    speed = result["alrescha_speedup"]
+    # Banded/stencil (diagonal-heavy) beat the scattered economics matrix.
+    assert speed["stencil27"] > speed["economics"]
+    assert speed["af_shell"] > speed["economics"]

@@ -1,0 +1,63 @@
+"""Figure 16: reduction of the sequential part of PCG.
+
+Paper's result: row-reordering/coloring on the GPU still leaves 60.9% of
+operations sequential on average (more for highly diagonal matrices,
+less for matrices with in-row parallelism); Alrescha's GEMV/D-SymGS
+decomposition cuts the sequential share to 23.1% on average.
+"""
+
+from repro.analysis import fig16_sequential_fraction, render_series
+
+from conftest import run_once, save_and_print
+
+#: Bands: the sequential fraction is scale-sensitive (dependency levels
+#: are narrower relative to a warp at reproduction scale), so the GPU
+#: side sits above the paper's 60.9% here; the ordering and the roughly
+#: 2-3x reduction are the reproduced shape.
+GPU_MEAN_BAND = (0.50, 0.95)
+ALRESCHA_MEAN_BAND = (0.10, 0.50)
+
+
+def test_fig16_sequential_reduction(benchmark, scale, results_dir):
+    result = run_once(benchmark,
+                      lambda: fig16_sequential_fraction(scale=scale))
+    save_and_print(
+        results_dir, "fig16_sequential_fraction",
+        render_series(
+            {"gpu_seq_frac": result["gpu"],
+             "alrescha_seq_frac": result["alrescha"]},
+            title=("Figure 16: sequential-operation fraction "
+                   "(paper: GPU 60.9%, Alrescha 23.1%)"),
+        ),
+    )
+    summary = result["summary"]
+    assert GPU_MEAN_BAND[0] < summary["gpu_mean"] < GPU_MEAN_BAND[1]
+    assert ALRESCHA_MEAN_BAND[0] < summary["alrescha_mean"] \
+        < ALRESCHA_MEAN_BAND[1]
+    # The headline claim: a large reduction on average.
+    assert summary["alrescha_mean"] < 0.6 * summary["gpu_mean"]
+
+
+def test_fig16_per_dataset_reduction(benchmark, scale):
+    result = run_once(benchmark,
+                      lambda: fig16_sequential_fraction(scale=scale))
+    reduced = sum(
+        1 for name in result["gpu"]
+        if result["alrescha"][name] < result["gpu"][name]
+    )
+    # Alrescha reduces the sequential share on (almost) every dataset.
+    assert reduced >= len(result["gpu"]) - 1
+
+
+def test_fig16_diagonal_heavy_stays_high_on_gpu(benchmark, scale):
+    """'more than 60% for highly-diagonal matrices and less than 60%
+    for matrices with a greater opportunity for in-row parallelism'."""
+    result = run_once(
+        benchmark,
+        lambda: fig16_sequential_fraction(
+            datasets=["af_shell", "offshore", "economics"],
+            scale=scale),
+    )
+    assert result["gpu"]["af_shell"] > 0.6
+    assert result["gpu"]["offshore"] > 0.6
+    assert result["gpu"]["economics"] < result["gpu"]["af_shell"]

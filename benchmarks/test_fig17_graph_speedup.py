@@ -1,0 +1,57 @@
+"""Figure 17: graph-algorithm speedups over the CPU.
+
+Paper's result: Alrescha averages 15.7x (BFS), 7.7x (SSSP) and 27.6x
+(PR) over the CPU frameworks, beating the GraphR-class accelerator by
+about 1.87x on average, with the GPU a small-single-digit factor over
+the CPU.
+"""
+
+from repro.analysis import fig17_graph_speedup, render_series
+
+from conftest import run_once, save_and_print
+
+#: Paper means and our acceptance bands.
+PAPER = {"bfs": 15.7, "sssp": 7.7, "pagerank": 27.6}
+BANDS = {
+    "bfs": (7.0, 32.0),
+    "sssp": (3.5, 16.0),
+    "pagerank": (13.0, 56.0),
+}
+GRAPHR_RATIO_BAND = (1.2, 3.0)   # paper: 1.87x on average
+
+
+def test_fig17_graph_speedups(benchmark, scale, results_dir):
+    result = run_once(
+        benchmark, lambda: fig17_graph_speedup(scale=min(scale, 0.1))
+    )
+    blocks = []
+    ratios = []
+    for alg, rows in result.items():
+        blocks.append(render_series(
+            {"gpu_x": rows["gpu"], "graphr_x": rows["graphr"],
+             "alrescha_x": rows["alrescha"]},
+            title=(f"Figure 17 [{alg}]: speedup over CPU "
+                   f"(paper mean {PAPER[alg]}x)"),
+        ))
+        summary = rows["summary"]
+        lo, hi = BANDS[alg]
+        assert lo < summary["alrescha_mean"] < hi, alg
+        # Alrescha outruns the GPU and GraphR on average.
+        assert summary["alrescha_mean"] > summary["gpu_mean"], alg
+        assert summary["alrescha_mean"] > summary["graphr_mean"], alg
+        ratios.append(summary["alrescha_mean"] / summary["graphr_mean"])
+    save_and_print(results_dir, "fig17_graph_speedup",
+                   "\n\n".join(blocks))
+    mean_ratio = sum(ratios) / len(ratios)
+    assert GRAPHR_RATIO_BAND[0] < mean_ratio < GRAPHR_RATIO_BAND[1]
+
+
+def test_fig17_ordering_pr_gt_bfs_gt_sssp(benchmark, scale):
+    """The paper's per-algorithm ordering: PR gains most, SSSP least."""
+    result = run_once(
+        benchmark, lambda: fig17_graph_speedup(scale=min(scale, 0.1))
+    )
+    pr = result["pagerank"]["summary"]["alrescha_mean"]
+    bfs = result["bfs"]["summary"]["alrescha_mean"]
+    sssp = result["sssp"]["summary"]["alrescha_mean"]
+    assert pr > bfs > sssp

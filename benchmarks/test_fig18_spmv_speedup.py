@@ -1,0 +1,54 @@
+"""Figure 18: SpMV speedup over the GPU + cache-access time share.
+
+Paper's result: Alrescha averages 6.9x (scientific) and 13.6x (graph)
+over the GPU for SpMV and about 1.7x over OuterSPACE; OuterSPACE's
+execution time is dominated by partial-product cache accesses while
+Alrescha's cache share stays low.
+"""
+
+from repro.analysis import fig18_spmv_speedup, render_series
+
+from conftest import run_once, save_and_print
+
+SCI_BAND = (3.5, 18.0)      # paper 6.9x
+GRAPH_BAND = (5.0, 28.0)    # paper 13.6x
+OVER_OUTERSPACE_BAND = (1.2, 3.0)  # paper 1.7x
+
+
+def test_fig18_spmv_speedup(benchmark, scale, results_dir):
+    result = run_once(benchmark, lambda: fig18_spmv_speedup(scale=scale))
+    save_and_print(
+        results_dir, "fig18_spmv_speedup",
+        render_series(
+            {
+                "alrescha_x": result["alrescha_speedup"],
+                "outerspace_x": result["outerspace_speedup"],
+                "alr_cache_frac": result["alrescha_cache_fraction"],
+                "os_cache_frac": result["outerspace_cache_fraction"],
+            },
+            title=("Figure 18: SpMV speedup over GPU "
+                   "(paper: sci 6.9x, graph 13.6x)"),
+        ),
+    )
+    summary = result["summary"]
+    assert SCI_BAND[0] < summary["alrescha_scientific_mean"] < SCI_BAND[1]
+    assert GRAPH_BAND[0] < summary["alrescha_graph_mean"] < GRAPH_BAND[1]
+    assert OVER_OUTERSPACE_BAND[0] < summary["alrescha_over_outerspace"] \
+        < OVER_OUTERSPACE_BAND[1]
+
+
+def test_fig18_graph_gains_exceed_scientific(benchmark, scale):
+    """The paper's ordering: SpMV gains are larger on graph datasets."""
+    result = run_once(benchmark, lambda: fig18_spmv_speedup(scale=scale))
+    summary = result["summary"]
+    assert summary["alrescha_graph_mean"] > \
+        summary["alrescha_scientific_mean"]
+
+
+def test_fig18_cache_share_contrast(benchmark, scale):
+    """OuterSPACE spends most of its time in cache accesses; Alrescha's
+    chunked, locality-guaranteed accesses keep its share low."""
+    result = run_once(benchmark, lambda: fig18_spmv_speedup(scale=scale))
+    for name in result["alrescha_cache_fraction"]:
+        assert result["alrescha_cache_fraction"][name] < 0.5, name
+        assert result["outerspace_cache_fraction"][name] > 0.5, name

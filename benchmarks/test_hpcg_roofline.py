@@ -1,0 +1,62 @@
+"""HPCG rating and roofline position of the accelerator.
+
+Complements Figure 6: the HPCG driver rates the simulated accelerator in
+GFLOP/s, and the roofline analysis shows *why* the comparison platforms
+lose — every SpMV-class kernel is pinned against the memory roof, so
+effective-bandwidth efficiency is the whole game.
+"""
+
+from repro.analysis import render_table, roofline_summary
+from repro.datasets import load_dataset
+from repro.solvers import run_hpcg
+
+from conftest import run_once, save_and_print
+
+
+def test_hpcg_rating(benchmark, scale, results_dir):
+    dim = max(5, int(round(16 * max(scale, 0.08) ** (1 / 3))))
+    result = run_once(benchmark,
+                      lambda: run_hpcg(dim, dim, dim, iterations=10))
+    save_and_print(
+        results_dir, "hpcg_rating",
+        render_table(
+            ["grid", "n", "nnz", "iterations", "GFLOP/s", "BW util"],
+            [[f"{dim}^3", result.n, result.nnz, result.iterations,
+              result.gflops, result.bandwidth_utilization]],
+            title="HPCG-style rating on the simulated accelerator",
+        ),
+    )
+    assert result.gflops > 0.5
+    # Even Alrescha stays memory-bound: far below the ALU-row peak
+    # (16 lanes x 2.5 GHz x 2 flops = 80 GFLOP/s).
+    assert result.gflops < 80.0
+
+
+def test_roofline_positions(benchmark, scale, results_dir):
+    matrix = load_dataset("stencil27", scale=max(scale, 0.1)).matrix
+    summary = run_once(benchmark, lambda: roofline_summary(matrix))
+    rows = []
+    for platform, vals in summary.items():
+        rows.append([
+            platform,
+            vals["arithmetic_intensity"],
+            vals["attainable_gflops"],
+            vals["achieved_gflops"],
+            vals["efficiency"],
+        ])
+    save_and_print(
+        results_dir, "roofline_spmv",
+        render_table(
+            ["platform", "flops/byte", "attainable GF/s",
+             "achieved GF/s", "efficiency"],
+            rows, title="SpMV roofline positions",
+        ),
+    )
+    # SpMV's arithmetic intensity is below 1 flop/byte everywhere.
+    for vals in summary.values():
+        assert vals["arithmetic_intensity"] < 1.0
+    # Alrescha runs closest to its roof and achieves the most GFLOP/s.
+    assert summary["alrescha"]["efficiency"] > summary["gpu"]["efficiency"]
+    assert summary["alrescha"]["achieved_gflops"] > \
+        summary["gpu"]["achieved_gflops"] > \
+        summary["cpu"]["achieved_gflops"]

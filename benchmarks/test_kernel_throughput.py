@@ -1,0 +1,62 @@
+"""Micro-benchmarks: simulator throughput of the core kernels.
+
+These time the *simulator itself* (wall-clock per simulated kernel),
+using pytest-benchmark's statistics properly (multiple rounds) — useful
+for tracking performance regressions of the reproduction code base.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import Alrescha, KernelType
+from repro.datasets import load_dataset
+
+
+@pytest.fixture(scope="module")
+def spmv_setup(request):
+    matrix = load_dataset("stencil27", scale=0.1).matrix
+    acc = Alrescha.from_matrix(KernelType.SPMV, matrix)
+    x = np.random.default_rng(0).normal(size=matrix.shape[0])
+    return acc, x
+
+
+@pytest.fixture(scope="module")
+def symgs_setup():
+    matrix = load_dataset("stencil27", scale=0.1).matrix
+    acc = Alrescha.from_matrix(KernelType.SYMGS, matrix)
+    rng = np.random.default_rng(1)
+    n = matrix.shape[0]
+    return acc, rng.normal(size=n), rng.normal(size=n)
+
+
+def test_bench_spmv_simulation(benchmark, spmv_setup):
+    acc, x = spmv_setup
+    y, report = benchmark(acc.run_spmv, x)
+    assert report.cycles > 0
+    assert y.shape == x.shape
+
+
+def test_bench_symgs_sweep_simulation(benchmark, symgs_setup):
+    acc, b, x0 = symgs_setup
+    x1, report = benchmark(acc.run_symgs_sweep, b, x0)
+    assert report.sequential_cycles > 0
+    assert x1.shape == b.shape
+
+
+def test_bench_conversion(benchmark):
+    from repro.core import convert
+    matrix = load_dataset("stencil27", scale=0.1).matrix
+    conv = benchmark(convert, KernelType.SYMGS, matrix, 8)
+    assert len(conv.table) > 0
+
+
+def test_bench_bfs_pass(benchmark):
+    adj = load_dataset("com-orkut", scale=0.08).matrix
+    at = adj.T.tocsr().copy()
+    at.data = np.ones_like(at.data)
+    acc = Alrescha.from_matrix(KernelType.BFS, at)
+    dist = np.full(at.shape[0], np.inf)
+    dist[0] = 0.0
+    new, report = benchmark(acc.run_bfs_pass, dist)
+    assert report.cycles > 0
+    assert np.isfinite(new).any()

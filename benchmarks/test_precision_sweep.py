@@ -1,0 +1,35 @@
+"""Extension study: storage-precision traffic sweep.
+
+The paper evaluates at double precision (Table 5).  Because Alrescha's
+SpMV is memory-bound, halving the stored element width cuts the payload
+stream in half — until the fixed ALU row becomes the new bottleneck.
+This sweep quantifies both effects.
+"""
+
+from repro.analysis import precision_sweep, render_table
+from repro.datasets import load_dataset
+
+from conftest import run_once, save_and_print
+
+
+def test_precision_sweep(benchmark, scale, results_dir):
+    matrix = load_dataset("stencil27", scale=max(scale, 0.1)).matrix
+    sweep = run_once(benchmark, lambda: precision_sweep(matrix))
+    rows = [
+        [f"fp{width * 8}", data["cycles"],
+         data["streamed_bytes"] / 1024.0, data["energy_j"] * 1e6]
+        for width, data in sweep.items()
+    ]
+    save_and_print(
+        results_dir, "precision_sweep",
+        render_table(
+            ["precision", "cycles", "streamed KiB", "energy uJ"],
+            rows, title="Storage-precision sweep (SpMV)",
+        ),
+    )
+    # Halving the element width halves the payload and saves energy...
+    assert sweep[4]["streamed_bytes"] < 0.75 * sweep[8]["streamed_bytes"]
+    assert sweep[4]["energy_j"] < sweep[8]["energy_j"]
+    # ...but the cycle gain is sub-2x: the ALU row becomes the limit.
+    gain = sweep[8]["cycles"] / sweep[4]["cycles"]
+    assert 1.0 < gain < 2.0

@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""The Figure 7 host flow, end to end: compile -> ship -> program -> run.
+
+The host converts a sparse kernel with Algorithm 1, serialises the
+configuration table into the bit-packed *program binary* and the
+reformatted matrix into the *device memory image*, writes both to disk
+(the 'binary file' of §4), and a fresh accelerator loaded purely from
+those bytes produces bit-identical results.
+
+Run:  python examples/compile_and_run.py [dataset] [scale]
+"""
+
+import sys
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro.core import Alrescha, KernelType
+from repro.datasets import load_dataset
+from repro.host import compile_kernel, load_kernel, program_accelerator
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "af_shell"
+    scale = float(sys.argv[2]) if len(sys.argv) > 2 else 0.12
+    ds = load_dataset(name, scale=scale)
+    if ds.kind != "scientific":
+        raise SystemExit(f"{name} is not a scientific dataset")
+    matrix = ds.matrix
+    n = matrix.shape[0]
+    rng = np.random.default_rng(3)
+
+    # 1. Host: compile (Algorithm 1 + serialisation).
+    compiled = compile_kernel(KernelType.SYMGS, matrix)
+    print(f"compiled SymGS on {ds.name} (n={n}, nnz={ds.nnz}):")
+    print(f"  program binary : {len(compiled.program):8d} B "
+          f"(one-time write through the program interface)")
+    print(f"  device image   : {len(compiled.image):8d} B "
+          f"(stream-ordered payload through the data interface)")
+    ratio = len(compiled.program) / len(compiled.image)
+    print(f"  program/image  : {ratio:.4f} — the meta-data that would "
+          f"otherwise stream every iteration")
+
+    # 2. Ship through the filesystem.
+    with tempfile.TemporaryDirectory() as tmp:
+        prefix = str(Path(tmp) / ds.name)
+        compiled.save(prefix)
+        loaded = load_kernel(prefix)
+        print(f"\nround-tripped through {Path(tmp).name}/: "
+              f"{loaded.total_bytes} bytes")
+
+        # 3. Program a fresh device purely from bytes and run.
+        acc_bytes = program_accelerator(loaded)
+        acc_direct = Alrescha.from_matrix(KernelType.SYMGS, matrix)
+        b = rng.normal(size=n)
+        x0 = rng.normal(size=n)
+        x_bytes, rep = acc_bytes.run_symgs_sweep(b, x0)
+        x_direct, _ = acc_direct.run_symgs_sweep(b, x0)
+        assert np.array_equal(x_bytes, x_direct)
+        print(f"\nSymGS sweep from the shipped artefacts: "
+              f"{rep.cycles:,.0f} cycles, bit-identical to the directly "
+              f"programmed device")
+
+
+if __name__ == "__main__":
+    main()

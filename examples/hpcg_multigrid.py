@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Full HPCG-style run: multigrid-preconditioned PCG on the accelerator.
+
+The paper's driving benchmark, HPCG [27], preconditions CG with a
+geometric multigrid V-cycle whose smoother at *every* level is SymGS —
+so the data-dependent kernel Alrescha accelerates is entered once per
+level per cycle.  This example runs:
+
+  1. a plain HPCG-style rating (single-level SymGS preconditioner),
+  2. the same system with a 3-level multigrid preconditioner,
+
+both entirely on simulated accelerator backends, and compares iteration
+counts, simulated time and the kernel mix.
+
+Run:  python examples/hpcg_multigrid.py [grid_dim]
+"""
+
+import sys
+
+import numpy as np
+
+from repro.solvers import (
+    AcceleratorBackend,
+    MultigridBackend,
+    pcg,
+    run_hpcg,
+)
+
+
+def main() -> None:
+    dim = int(sys.argv[1]) if len(sys.argv) > 1 else 8
+    if dim % 4:
+        raise SystemExit("grid dim must be a multiple of 4 for 3 levels")
+
+    # 1. HPCG rating with the single-level SymGS preconditioner.
+    rating = run_hpcg(dim, dim, dim, iterations=20)
+    print(f"HPCG rating ({dim}^3 grid, n={rating.n}, "
+          f"nnz={rating.nnz}):")
+    print(f"  {rating.gflops:.2f} GFLOP/s simulated, "
+          f"BW utilization {rating.bandwidth_utilization:.1%}, "
+          f"energy {rating.energy_j * 1e6:.1f} uJ")
+
+    # 2. Multigrid vs single-level preconditioning, accelerated.
+    mg = MultigridBackend(dim, dim, dim, n_levels=3, backend="alrescha")
+    b = np.random.default_rng(42).normal(size=mg.n)
+    mg_result = pcg(mg, b, tol=1e-8, max_iter=80)
+
+    gs = AcceleratorBackend(mg.matrix)
+    gs_result = pcg(gs, b, tol=1e-8, max_iter=80)
+
+    print("\npreconditioner comparison (same system, tol 1e-8):")
+    print(f"  {'':22s}{'iterations':>11s}{'simulated us':>14s}"
+          f"{'seq fraction':>14s}")
+    for label, result in (("multigrid (3 levels)", mg_result),
+                          ("single-level SymGS", gs_result)):
+        rep = result.report
+        print(f"  {label:22s}{result.iterations:11d}"
+              f"{rep.seconds * 1e6:14.1f}"
+              f"{rep.sequential_fraction:14.2%}")
+    assert np.allclose(mg_result.x, gs_result.x, atol=1e-5)
+    print("\nsolutions agree; every V-cycle level ran its SymGS "
+          "smoother through the accelerator's D-SymGS data path.")
+
+    cycles = mg.report().datapath_cycles
+    total = sum(cycles.values())
+    print("\nmultigrid data-path mix:")
+    for dp, cy in sorted(cycles.items(), key=lambda kv: -kv[1]):
+        print(f"  {dp:8s} {cy / total:6.1%}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+"""ALRESCHA: A Lightweight Reconfigurable Sparse-Computation Accelerator.
+
+A complete Python reproduction of the HPCA 2020 paper: the accelerator
+model (conversion algorithm, FCU/RCU microarchitecture, locally-dense
+storage format), golden sparse kernels, PCG and graph-algorithm drivers,
+baseline platform models (CPU, GPU, OuterSPACE, GraphR, Memristive) and
+the datasets/benchmarks that regenerate every figure and table of the
+paper's evaluation.
+
+Quickstart
+----------
+>>> import numpy as np
+>>> from repro import Alrescha, KernelType
+>>> from repro.datasets import load_dataset
+>>> ds = load_dataset("stencil27", scale=0.1)
+>>> acc = Alrescha.from_matrix(KernelType.SPMV, ds.matrix)
+>>> x = np.ones(ds.matrix.shape[0])
+>>> y, report = acc.run_spmv(x)
+"""
+
+from repro.core import (
+    Alrescha,
+    AlreschaConfig,
+    ConfigTable,
+    DataPathType,
+    KernelType,
+    SimReport,
+    convert,
+)
+from repro.errors import (
+    BaselineError,
+    ConfigError,
+    ConvergenceError,
+    DatasetError,
+    FormatError,
+    ReproError,
+    ShapeError,
+    SimulationError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Alrescha",
+    "AlreschaConfig",
+    "BaselineError",
+    "ConfigError",
+    "ConfigTable",
+    "ConvergenceError",
+    "DataPathType",
+    "DatasetError",
+    "FormatError",
+    "KernelType",
+    "ReproError",
+    "ShapeError",
+    "SimReport",
+    "SimulationError",
+    "convert",
+    "__version__",
+]

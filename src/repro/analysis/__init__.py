@@ -1,0 +1,105 @@
+"""Experiment harness, tables and ablations for the paper's evaluation."""
+
+from repro.analysis.amortization import (
+    AmortizationResult,
+    pcg_amortization,
+)
+from repro.analysis.energy_breakdown import (
+    energy_breakdown,
+    spmv_energy_breakdown,
+    symgs_energy_breakdown,
+)
+from repro.analysis.ablations import (
+    block_size_sweep,
+    reconfiguration_ablation,
+    reordering_ablation,
+    smoother_ablation,
+)
+from repro.analysis.roofline import (
+    RooflinePoint,
+    roofline_summary,
+    spmv_roofline,
+)
+from repro.analysis.sensitivity import (
+    bandwidth_sweep,
+    cache_sweep,
+    dsymgs_latency_sweep,
+    omega_bandwidth_matrix,
+    precision_sweep,
+)
+from repro.analysis.dataset_panel import dataset_profiles, panel_diversity
+from repro.analysis.comparison import (
+    KERNEL_DATAPATH_MAPPING,
+    TABLE1,
+    TABLE2,
+)
+from repro.analysis.experiments import (
+    GRAPH_SUITE,
+    SCIENTIFIC_SUITE,
+    alrescha_pcg_iteration,
+    alrescha_spmv,
+    fig3_pcg_breakdown,
+    fig6_hpcg_fraction,
+    fig15_pcg_speedup,
+    fig16_sequential_fraction,
+    fig17_graph_speedup,
+    fig18_spmv_speedup,
+    fig19_energy,
+)
+from repro.analysis.parity import full_spmv_comparison, parity_orderings
+from repro.analysis.validation import (
+    ValidationCase,
+    ValidationReport,
+    validate,
+)
+from repro.analysis.tables import (
+    arithmetic_mean,
+    geometric_mean,
+    render_series,
+    render_table,
+)
+
+__all__ = [
+    "GRAPH_SUITE",
+    "KERNEL_DATAPATH_MAPPING",
+    "SCIENTIFIC_SUITE",
+    "TABLE1",
+    "TABLE2",
+    "alrescha_pcg_iteration",
+    "alrescha_spmv",
+    "arithmetic_mean",
+    "AmortizationResult",
+    "energy_breakdown",
+    "pcg_amortization",
+    "spmv_energy_breakdown",
+    "symgs_energy_breakdown",
+    "RooflinePoint",
+    "bandwidth_sweep",
+    "block_size_sweep",
+    "cache_sweep",
+    "dsymgs_latency_sweep",
+    "omega_bandwidth_matrix",
+    "precision_sweep",
+    "roofline_summary",
+    "spmv_roofline",
+    "fig15_pcg_speedup",
+    "fig16_sequential_fraction",
+    "fig17_graph_speedup",
+    "fig18_spmv_speedup",
+    "fig19_energy",
+    "fig3_pcg_breakdown",
+    "fig6_hpcg_fraction",
+    "geometric_mean",
+    "reconfiguration_ablation",
+    "render_series",
+    "render_table",
+    "ValidationCase",
+    "ValidationReport",
+    "validate",
+    "full_spmv_comparison",
+    "parity_orderings",
+    "dataset_profiles",
+    "panel_diversity",
+    "reordering_ablation",
+    "smoother_ablation",
+]

@@ -1,0 +1,127 @@
+"""Ablation studies for the design choices DESIGN.md calls out.
+
+* **Block size** (§5.2): the paper examined ω in {8, 16, 32} and chose 8
+  as "a balance between the opportunity for parallelism and the number
+  of non-zero values" — i.e. between per-block parallel work and the
+  zero-padding streamed per block.
+* **Data-path reordering** (§4.1): running all GEMVs of a block row
+  before its D-SymGS minimises data-path switches.
+* **Reconfiguration hiding** (§4.4): the RCU switch reconfigures during
+  the reduction-tree drain; exposing it instead shows what "lightweight"
+  buys.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.accelerator import Alrescha, AlreschaConfig
+from repro.core.config import KernelType
+from repro.core.convert import convert
+
+
+def block_size_sweep(matrix, omegas: Optional[List[int]] = None,
+                     kernel: KernelType = KernelType.SYMGS
+                     ) -> Dict[int, Dict[str, float]]:
+    """Streamed payload, block density and simulated sweep time per ω."""
+    out: Dict[int, Dict[str, float]] = {}
+    n = matrix.shape[0]
+    rng = np.random.default_rng(7)
+    b = rng.normal(size=n)
+    x = rng.normal(size=n)
+    for omega in omegas or [8, 16, 32]:
+        config = AlreschaConfig(omega=omega, n_alus=max(16, omega))
+        conv = convert(kernel, matrix, omega=omega)
+        acc = Alrescha(config)
+        acc.program(conv)
+        row: Dict[str, float] = {
+            "blocks": float(conv.matrix.n_blocks),
+            "streamed_slots": float(conv.matrix.stored_values),
+            "block_density": conv.matrix.block_density,
+            "table_entries": float(len(conv.table)),
+            "table_bits": float(conv.table.total_bits()),
+        }
+        if kernel is KernelType.SYMGS:
+            _x, report = acc.run_symgs_sweep(b, x)
+            row["sweep_cycles"] = report.cycles
+            row["sequential_fraction"] = report.sequential_fraction
+        else:
+            _y, report = acc.run_spmv(x)
+            row["spmv_cycles"] = report.cycles
+        out[omega] = row
+    return out
+
+
+def reordering_ablation(matrix, omega: int = 8) -> Dict[str, Dict[str, float]]:
+    """Switch counts and sweep cycles with and without Algorithm 1's
+    data-path reordering."""
+    n = matrix.shape[0]
+    rng = np.random.default_rng(11)
+    b = rng.normal(size=n)
+    x = rng.normal(size=n)
+    out: Dict[str, Dict[str, float]] = {}
+    for label, reorder in (("reordered", True), ("natural", False)):
+        conv = convert(KernelType.SYMGS, matrix, omega=omega,
+                       reorder=reorder)
+        # Expose reconfiguration fully so ordering differences show up
+        # in time, not only in switch counts.
+        config = AlreschaConfig(omega=omega,
+                                hide_reconfig_under_drain=False)
+        acc = Alrescha(config)
+        acc.program(conv)
+        x_new, report = acc.run_symgs_sweep(b, x)
+        out[label] = {
+            "switches": float(conv.switch_count),
+            "sweep_cycles": report.cycles,
+            "exposed_reconfig_cycles": report.exposed_reconfig_cycles,
+            "checksum": float(np.sum(x_new)),
+        }
+    return out
+
+
+def reconfiguration_ablation(matrix,
+                             omega: int = 8) -> Dict[str, Dict[str, float]]:
+    """SymGS sweep with reconfiguration hidden under the tree drain
+    (the paper's design) vs fully exposed."""
+    n = matrix.shape[0]
+    rng = np.random.default_rng(13)
+    b = rng.normal(size=n)
+    x = rng.normal(size=n)
+    out: Dict[str, Dict[str, float]] = {}
+    for label, hide in (("hidden", True), ("exposed", False)):
+        config = AlreschaConfig(omega=omega,
+                                hide_reconfig_under_drain=hide)
+        acc = Alrescha.from_matrix(KernelType.SYMGS, matrix, config=config)
+        _x, report = acc.run_symgs_sweep(b, x)
+        out[label] = {
+            "sweep_cycles": report.cycles,
+            "exposed_reconfig_cycles": report.exposed_reconfig_cycles,
+        }
+    return out
+
+
+def smoother_ablation(matrix, tol: float = 1e-8,
+                      max_iter: int = 300) -> Dict[str, Dict[str, float]]:
+    """PCG iteration counts with the SymGS smoother vs Jacobi vs none.
+
+    Shows why the paper accelerates SymGS rather than replacing it with
+    an embarrassingly parallel smoother: SymGS converges in the fewest
+    iterations, so resolving its dependencies is worth hardware support.
+    """
+    from repro.solvers import JacobiBackend, ReferenceBackend, cg, pcg
+
+    n = matrix.shape[0]
+    b = np.random.default_rng(17).normal(size=n)
+    out: Dict[str, Dict[str, float]] = {}
+    res_gs = pcg(ReferenceBackend(matrix), b, tol=tol, max_iter=max_iter)
+    out["symgs"] = {"iterations": float(res_gs.iterations),
+                    "converged": float(res_gs.converged)}
+    res_j = pcg(JacobiBackend(matrix), b, tol=tol, max_iter=max_iter)
+    out["jacobi"] = {"iterations": float(res_j.iterations),
+                     "converged": float(res_j.converged)}
+    res_cg = cg(ReferenceBackend(matrix), b, tol=tol, max_iter=max_iter)
+    out["none"] = {"iterations": float(res_cg.iterations),
+                   "converged": float(res_cg.converged)}
+    return out

@@ -1,0 +1,83 @@
+"""Grand parity table: Alrescha vs every platform on every dataset.
+
+A capstone view over the whole evaluation: for each dataset, one row
+with the SpMV time of every modelled platform (normalised to the GPU)
+plus the accelerator's measured utilization figures.  Benchmarks print
+it; the CLI exposes it; tests assert its global orderings.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.analysis.experiments import (
+    GRAPH_SUITE,
+    SCIENTIFIC_SUITE,
+    alrescha_spmv,
+)
+from repro.baselines import (
+    CPUModel,
+    GPUModel,
+    GraphRModel,
+    MatrixProfile,
+    MemristiveModel,
+    OuterSPACEModel,
+)
+from repro.core.accelerator import AlreschaConfig
+from repro.datasets import load_dataset
+
+
+def full_spmv_comparison(datasets: Optional[List[str]] = None,
+                         scale: float = 0.1,
+                         config: Optional[AlreschaConfig] = None
+                         ) -> Dict[str, Dict[str, float]]:
+    """Per dataset: SpMV speedup over the GPU for every platform.
+
+    Keys per row: cpu, gpu (=1.0), outerspace, graphr, memristive,
+    alrescha, plus alrescha_bw_utilization and block_density.
+    """
+    cpu, gpu = CPUModel(), GPUModel()
+    outer, graphr, mem = OuterSPACEModel(), GraphRModel(), \
+        MemristiveModel()
+    out: Dict[str, Dict[str, float]] = {}
+    names = datasets if datasets is not None \
+        else SCIENTIFIC_SUITE + GRAPH_SUITE
+    for name in names:
+        ds = load_dataset(name, scale=scale)
+        matrix = ds.matrix if ds.kind == "scientific" \
+            else ds.matrix.T.tocsr()
+        profile = MatrixProfile(matrix)
+        t_gpu = gpu.spmv_seconds(profile)
+        t_alr, report = alrescha_spmv(matrix, config)
+        out[name] = {
+            "kind": 0.0 if ds.kind == "scientific" else 1.0,
+            "cpu": t_gpu / cpu.spmv_seconds(profile),
+            "gpu": 1.0,
+            "outerspace": t_gpu / outer.spmv_seconds(profile),
+            "graphr": t_gpu / graphr.spmv_seconds(profile),
+            "memristive": t_gpu / mem.spmv_seconds(profile),
+            "alrescha": t_gpu / t_alr,
+            "alrescha_bw_utilization": report.bandwidth_utilization,
+            "block_density": profile.block_density,
+        }
+    return out
+
+
+def parity_orderings(table: Dict[str, Dict[str, float]]
+                     ) -> Dict[str, float]:
+    """Fraction of datasets on which each expected ordering holds."""
+    def frac(pred) -> float:
+        rows = list(table.values())
+        if not rows:
+            return 0.0
+        return sum(1 for r in rows if pred(r)) / len(rows)
+
+    return {
+        "alrescha_beats_gpu": frac(lambda r: r["alrescha"] > r["gpu"]),
+        "alrescha_beats_cpu": frac(lambda r: r["alrescha"] > r["cpu"]),
+        "alrescha_beats_outerspace": frac(
+            lambda r: r["alrescha"] > r["outerspace"]),
+        "alrescha_beats_memristive": frac(
+            lambda r: r["alrescha"] > r["memristive"]),
+        "gpu_beats_cpu": frac(lambda r: r["gpu"] > r["cpu"]),
+    }

@@ -1,0 +1,159 @@
+"""Sensitivity studies: how the design responds to resource scaling.
+
+The conclusion of the paper claims Alrescha "enables using
+high-bandwidth memory at low-cost": because the streaming data paths
+are memory-bound and the dependent D-SymGS chain is the only
+latency-bound component, SpMV-class kernels scale almost linearly with
+bandwidth while SymGS saturates at the dependency chain.  These sweeps
+quantify that, plus the cache-size and D-SymGS-latency sensitivities.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.accelerator import Alrescha, AlreschaConfig
+from repro.core.config import KernelType
+
+#: Default bandwidth sweep: half, Table 5's 288 GB/s, HBM-class points.
+DEFAULT_BANDWIDTHS = (144e9, 288e9, 576e9, 1152e9)
+
+
+def bandwidth_sweep(matrix,
+                    bandwidths: Optional[List[float]] = None
+                    ) -> Dict[float, Dict[str, float]]:
+    """SpMV and SymGS-sweep time across memory bandwidths.
+
+    Returns per-bandwidth cycles for both kernels plus the speedup each
+    kernel gains relative to the slowest point — SpMV's should track
+    the bandwidth ratio, SymGS's should saturate.
+    """
+    n = matrix.shape[0]
+    rng = np.random.default_rng(21)
+    x = rng.normal(size=n)
+    b = rng.normal(size=n)
+    out: Dict[float, Dict[str, float]] = {}
+    for bw in bandwidths or DEFAULT_BANDWIDTHS:
+        # Scale the ALU row with the channel so the sweep isolates the
+        # memory system (at 2x+ bandwidth the default 16-lane row would
+        # itself become the bottleneck).
+        lanes = max(16, int(np.ceil(bw / 2.5e9 / 8.0)))
+        config = AlreschaConfig(bandwidth_bytes_per_s=bw, n_alus=lanes)
+        spmv_acc = Alrescha.from_matrix(KernelType.SPMV, matrix,
+                                        config=config)
+        _y, spmv_rep = spmv_acc.run_spmv(x)
+        gs_acc = Alrescha.from_matrix(KernelType.SYMGS, matrix,
+                                      config=config)
+        _x1, gs_rep = gs_acc.run_symgs_sweep(b, x)
+        out[bw] = {
+            "spmv_cycles": spmv_rep.cycles,
+            "symgs_cycles": gs_rep.cycles,
+            "spmv_bw_utilization": spmv_rep.bandwidth_utilization,
+            "symgs_sequential_fraction": gs_rep.sequential_fraction,
+        }
+    base = min(out)
+    for bw, row in out.items():
+        row["spmv_speedup_vs_base"] = \
+            out[base]["spmv_cycles"] / row["spmv_cycles"]
+        row["symgs_speedup_vs_base"] = \
+            out[base]["symgs_cycles"] / row["symgs_cycles"]
+    return out
+
+
+def cache_sweep(matrix,
+                sizes: Optional[List[int]] = None
+                ) -> Dict[int, Dict[str, float]]:
+    """SpMV behaviour across RCU cache sizes (Table 5 default: 1 KB)."""
+    n = matrix.shape[0]
+    x = np.random.default_rng(23).normal(size=n)
+    out: Dict[int, Dict[str, float]] = {}
+    for size in sizes or [256, 1024, 4096, 16384]:
+        config = AlreschaConfig(cache_bytes=size)
+        acc = Alrescha.from_matrix(KernelType.SPMV, matrix, config=config)
+        _y, report = acc.run_spmv(x)
+        hits = report.counters.get("cache_hits")
+        misses = report.counters.get("cache_misses")
+        total = hits + misses
+        out[size] = {
+            "cycles": report.cycles,
+            "hit_rate": hits / total if total else 0.0,
+            "streamed_bytes": report.streamed_bytes,
+            "energy_j": report.energy_j,
+        }
+    return out
+
+
+def dsymgs_latency_sweep(matrix,
+                         latencies: Optional[List[int]] = None
+                         ) -> Dict[int, Dict[str, float]]:
+    """SymGS-sweep cost across the D-SymGS forwarding-step latency.
+
+    The step latency is the one microarchitectural parameter the paper
+    leaves implicit (§4.2's shift-register forwarding); this sweep shows
+    how strongly the dependent chain gates the whole kernel.
+    """
+    n = matrix.shape[0]
+    rng = np.random.default_rng(29)
+    b = rng.normal(size=n)
+    x = rng.normal(size=n)
+    out: Dict[int, Dict[str, float]] = {}
+    for lat in latencies or [1, 2, 4, 8, 16]:
+        config = AlreschaConfig(dsymgs_step_latency=lat)
+        acc = Alrescha.from_matrix(KernelType.SYMGS, matrix, config=config)
+        _x1, report = acc.run_symgs_sweep(b, x)
+        out[lat] = {
+            "sweep_cycles": report.cycles,
+            "sequential_fraction": report.sequential_fraction,
+        }
+    return out
+
+
+def omega_bandwidth_matrix(matrix,
+                           omegas: Optional[List[int]] = None,
+                           bandwidths: Optional[List[float]] = None
+                           ) -> Dict[int, Dict[float, float]]:
+    """SymGS sweep cycles over the (ω, bandwidth) grid — shows how the
+    best block width shifts as bandwidth grows (bigger blocks stream
+    more padding, which cheap bandwidth forgives)."""
+    n = matrix.shape[0]
+    rng = np.random.default_rng(31)
+    b = rng.normal(size=n)
+    x = rng.normal(size=n)
+    out: Dict[int, Dict[float, float]] = {}
+    for omega in omegas or [8, 16]:
+        row: Dict[float, float] = {}
+        for bw in bandwidths or [144e9, 288e9, 576e9]:
+            config = AlreschaConfig(omega=omega, n_alus=max(16, omega),
+                                    bandwidth_bytes_per_s=bw)
+            acc = Alrescha.from_matrix(KernelType.SYMGS, matrix,
+                                       config=config)
+            _x1, report = acc.run_symgs_sweep(b, x)
+            row[bw] = report.cycles
+        out[omega] = row
+    return out
+
+
+def precision_sweep(matrix) -> Dict[int, Dict[str, float]]:
+    """SpMV traffic/energy at 8-byte vs 4-byte stored elements.
+
+    An extension study (the paper is double-precision throughout,
+    Table 5): numerics stay fp64, only the streamed element width
+    changes — isolating the memory-system benefit of a lower-precision
+    deployment.
+    """
+    n = matrix.shape[0]
+    x = np.random.default_rng(37).normal(size=n)
+    out: Dict[int, Dict[str, float]] = {}
+    for width in (8, 4):
+        config = AlreschaConfig(element_bytes=width)
+        acc = Alrescha.from_matrix(KernelType.SPMV, matrix, config=config)
+        _y, report = acc.run_spmv(x)
+        out[width] = {
+            "cycles": report.cycles,
+            "streamed_bytes": report.streamed_bytes,
+            "energy_j": report.energy_j,
+            "bandwidth_utilization": report.bandwidth_utilization,
+        }
+    return out

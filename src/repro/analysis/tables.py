@@ -1,0 +1,83 @@
+"""Plain-text rendering of result tables and figure series.
+
+The benchmark harness prints the same rows/series the paper's figures
+report; these helpers keep the formatting consistent.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Sequence
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean, ignoring non-positive entries."""
+    vals = [v for v in values if v > 0]
+    if not vals:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))
+
+
+def arithmetic_mean(values: Iterable[float]) -> float:
+    vals = list(values)
+    if not vals:
+        return 0.0
+    return sum(vals) / len(vals)
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence],
+                 title: str = "") -> str:
+    """Render an aligned plain-text table."""
+    str_rows: List[List[str]] = [
+        [_fmt(cell) for cell in row] for row in rows
+    ]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    header = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in str_rows:
+        lines.append("  ".join(
+            cell.rjust(widths[i]) if _is_numeric(cell) else
+            cell.ljust(widths[i])
+            for i, cell in enumerate(row)
+        ))
+    return "\n".join(lines)
+
+
+def render_series(series: Dict[str, Dict[str, float]],
+                  title: str = "") -> str:
+    """Render named series (e.g. speedup per dataset per platform)."""
+    datasets = sorted({k for s in series.values() for k in s})
+    headers = ["dataset"] + list(series)
+    rows = []
+    for ds in datasets:
+        rows.append([ds] + [series[name].get(ds, float("nan"))
+                            for name in series])
+    return render_table(headers, rows, title)
+
+
+def _fmt(cell) -> str:
+    if isinstance(cell, float):
+        if cell != cell:  # NaN
+            return "-"
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 1000 or abs(cell) < 0.01:
+            return f"{cell:.3g}"
+        return f"{cell:.2f}"
+    return str(cell)
+
+
+def _is_numeric(cell: str) -> bool:
+    try:
+        float(cell)
+        return True
+    except ValueError:
+        return False

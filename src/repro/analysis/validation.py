@@ -1,0 +1,137 @@
+"""Cross-validation harness: accelerator vs golden, everywhere.
+
+Runs every kernel on every (or a chosen subset of) registered dataset
+and compares the accelerated result to its golden implementation,
+producing a machine-checkable validation report.  Used by the test
+suite and by ``python -m repro validate``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.accelerator import Alrescha, AlreschaConfig
+from repro.core.config import KernelType
+from repro.datasets import list_datasets, load_dataset
+from repro.graph import (
+    bfs_reference,
+    pagerank_reference,
+    run_bfs,
+    run_pagerank,
+    run_sssp,
+    sssp_reference,
+)
+from repro.kernels import forward_sweep_vectorized
+
+
+@dataclass
+class ValidationCase:
+    """One (kernel, dataset) comparison."""
+
+    kernel: str
+    dataset: str
+    passed: bool
+    max_error: float
+    detail: str = ""
+
+
+@dataclass
+class ValidationReport:
+    """All comparisons of one validation run."""
+
+    cases: List[ValidationCase] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return all(c.passed for c in self.cases)
+
+    @property
+    def n_passed(self) -> int:
+        return sum(1 for c in self.cases if c.passed)
+
+    def summary(self) -> str:
+        lines = [f"{self.n_passed}/{len(self.cases)} validations passed"]
+        for c in self.cases:
+            mark = "ok " if c.passed else "FAIL"
+            lines.append(
+                f"  [{mark}] {c.kernel:9s} {c.dataset:20s} "
+                f"max_err={c.max_error:.2e} {c.detail}"
+            )
+        return "\n".join(lines)
+
+
+def _finite_equal(a: np.ndarray, b: np.ndarray, atol: float) -> float:
+    """Max abs difference treating inf==inf as equal."""
+    a2 = np.nan_to_num(a, posinf=1e300)
+    b2 = np.nan_to_num(b, posinf=1e300)
+    return float(np.abs(a2 - b2).max()) if a2.size else 0.0
+
+
+def validate(scale: float = 0.05,
+             datasets: Optional[List[str]] = None,
+             config: Optional[AlreschaConfig] = None,
+             atol: float = 1e-8) -> ValidationReport:
+    """Run the full accelerator-vs-golden comparison matrix."""
+    report = ValidationReport()
+    rng = np.random.default_rng(123)
+    sci = datasets or list_datasets("scientific")
+    gra = datasets or list_datasets("graph")
+
+    for name in sci:
+        ds = load_dataset(name, scale=scale)
+        if ds.kind != "scientific":
+            continue
+        a = ds.matrix
+        n = a.shape[0]
+        x = rng.normal(size=n)
+        b = rng.normal(size=n)
+        # SpMV.
+        acc = Alrescha.from_matrix(KernelType.SPMV, a, config=config)
+        y, _ = acc.run_spmv(x)
+        err = _finite_equal(y, a @ x, atol)
+        report.cases.append(ValidationCase(
+            "spmv", name, err <= atol, err))
+        # SymGS sweep.
+        acc = Alrescha.from_matrix(KernelType.SYMGS, a, config=config)
+        x1, _ = acc.run_symgs_sweep(b, x)
+        expected = forward_sweep_vectorized(a, b, x)
+        err = _finite_equal(x1, expected, atol)
+        report.cases.append(ValidationCase(
+            "symgs", name, err <= atol, err))
+
+    for name in gra:
+        ds = load_dataset(name, scale=scale)
+        if ds.kind != "graph":
+            continue
+        adj = ds.matrix
+        # BFS.
+        result = run_bfs(adj, 0, config=config)
+        expected = bfs_reference((adj != 0).astype(float), 0)
+        err = _finite_equal(result.values, expected, atol)
+        report.cases.append(ValidationCase(
+            "bfs", name, err <= atol, err,
+            detail=f"{result.iterations} passes"))
+        # SSSP (synthesise weights for unweighted graphs).
+        if ds.weighted:
+            weighted = adj
+        else:
+            weighted = adj.copy()
+            weighted.data = 1.0 + (np.arange(weighted.nnz) % 7
+                                   ).astype(np.float64)
+        result = run_sssp(weighted, 0, config=config)
+        expected = sssp_reference(weighted, 0)
+        err = _finite_equal(result.values, expected, atol)
+        report.cases.append(ValidationCase(
+            "sssp", name, err <= atol, err,
+            detail=f"{result.iterations} passes"))
+        # PageRank.
+        result = run_pagerank(adj, tol=1e-10, config=config)
+        expected = pagerank_reference(adj, tol=1e-10)
+        err = _finite_equal(result.values, expected, max(atol, 1e-7))
+        report.cases.append(ValidationCase(
+            "pagerank", name, err <= max(atol, 1e-7), err,
+            detail=f"{result.iterations} iters"))
+    return report

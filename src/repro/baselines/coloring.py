@@ -1,0 +1,128 @@
+"""Row reordering / matrix coloring analysis (the GPU-side optimization).
+
+The paper's GPU baseline extracts SymGS parallelism with row reordering
+and graph coloring [8]: rows that do not depend on each other execute in
+parallel, dependent groups execute sequentially.  This module computes
+that structure exactly:
+
+* :func:`gauss_seidel_levels` — wavefront (level-scheduling) depth of the
+  forward Gauss-Seidel dependency DAG: ``level[j] = 1 + max(level[i])``
+  over lower-triangle neighbours ``i < j``.
+* :func:`greedy_coloring` — distance-1 greedy colouring of the symmetric
+  adjacency, the classic multi-colour GS decomposition.
+* :func:`gpu_sequential_fraction` — Figure 16's baseline series: the
+  share of operations that cannot execute with wide parallelism because
+  their level is narrower than a warp.
+* :func:`alrescha_sequential_fraction` — Figure 16's Alrescha series:
+  after the GEMV/D-SymGS decomposition, only the diagonal-block
+  operations remain sequential.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.formats import BCSRMatrix, COOMatrix
+from repro.kernels.spmv import to_csr
+
+#: Rows per level below which a level cannot even fill a warp — its
+#: operations execute effectively sequentially on the GPU.
+WARP_WIDTH = 32
+
+
+def gauss_seidel_levels(matrix) -> np.ndarray:
+    """Wavefront level of every row under forward Gauss-Seidel.
+
+    Rows in the same level are mutually independent and can run in
+    parallel; levels must run in order.
+    """
+    csr = to_csr(matrix)
+    n = csr.shape[0]
+    levels = np.zeros(n, dtype=np.int64)
+    for j in range(n):
+        cols, _vals = csr.row(j)
+        lower = cols[cols < j]
+        if lower.size:
+            levels[j] = int(levels[lower].max()) + 1
+    return levels
+
+
+def greedy_coloring(matrix) -> np.ndarray:
+    """Greedy distance-1 colouring of the symmetrised sparsity pattern."""
+    csr = to_csr(matrix)
+    n = csr.shape[0]
+    # Symmetrise adjacency for colouring purposes.
+    coo = csr.to_coo()
+    sym = COOMatrix(
+        (n, n),
+        np.concatenate([coo.rows, coo.cols]),
+        np.concatenate([coo.cols, coo.rows]),
+        np.concatenate([np.ones(coo.nnz), np.ones(coo.nnz)]),
+    )
+    sym_csr = to_csr(sym)
+    colors = np.full(n, -1, dtype=np.int64)
+    for v in range(n):
+        cols, _ = sym_csr.row(v)
+        neighbour_colors = set(int(colors[c]) for c in cols
+                               if c != v and colors[c] >= 0)
+        color = 0
+        while color in neighbour_colors:
+            color += 1
+        colors[v] = color
+    return colors
+
+
+def level_histogram(levels: np.ndarray) -> Dict[int, int]:
+    """Rows per level."""
+    uniq, counts = np.unique(levels, return_counts=True)
+    return {int(u): int(c) for u, c in zip(uniq, counts)}
+
+
+def gpu_sequential_fraction(matrix,
+                            warp_width: int = WARP_WIDTH
+                            ) -> Tuple[float, int]:
+    """(sequential-operation fraction, number of levels) on the GPU.
+
+    Operations of a row are its non-zeros.  A level of width ``w`` keeps
+    ``min(1, w / warp_width)`` of the GPU's minimum parallel granularity
+    busy; the rest of its operations serialise.  Highly diagonal matrices
+    (chains of dependencies) approach 1.0; matrices with many mutually
+    independent rows stay low — exactly the spread Figure 16 reports.
+    """
+    csr = to_csr(matrix)
+    levels = gauss_seidel_levels(csr)
+    row_ops = csr.row_nnz().astype(np.float64)
+    total = row_ops.sum()
+    if total == 0:
+        return 0.0, 0
+    n_levels = int(levels.max()) + 1 if levels.size else 0
+    widths = np.bincount(levels, minlength=n_levels).astype(np.float64)
+    level_ops = np.bincount(levels, weights=row_ops, minlength=n_levels)
+    par_share = np.minimum(1.0, widths / float(warp_width))
+    sequential = float((level_ops * (1.0 - par_share)).sum())
+    return sequential / total, n_levels
+
+
+def alrescha_sequential_fraction(matrix, omega: int = 8) -> float:
+    """Share of operations left sequential after Algorithm 1.
+
+    The GEMV entries (all non-diagonal blocks) are fully parallel; only
+    the diagonal blocks' D-SymGS operations carry the dependency chain.
+    The main diagonal itself is excluded: the Alrescha format stores it
+    separately (§4.5) and it feeds the PE divide off the dot-product
+    stream, so it contributes no sequential dot-product work.
+    """
+    coo = COOMatrix.from_scipy(matrix) if hasattr(matrix, "tocoo") \
+        else COOMatrix.from_dense(matrix)
+    bcsr = BCSRMatrix.from_coo(coo, omega)
+    if bcsr.nnz == 0:
+        return 0.0
+    n = min(bcsr.shape)
+    main_diag = int(np.count_nonzero(
+        coo.vals[coo.rows == coo.cols]
+    ))
+    seq = max(0, bcsr.diagonal_block_nnz() - main_diag)
+    total = max(1, bcsr.nnz - main_diag)
+    return seq / total

@@ -1,0 +1,72 @@
+"""GraphR [24] behavioural model — the graph comparison accelerator.
+
+GraphR processes graphs in ReRAM crossbars using a 4x4-block COO layout
+(Table 2).  The behaviours our model reproduces, per the descriptions in
+this paper:
+
+* blocks of non-zeros are processed instead of individual edges, so the
+  engine streams every slot of each non-empty 4x4 block (block density
+  at width 4 controls the wasted slots);
+* per-block meta-data (the COO block coordinates) *is* transferred at
+  runtime, unlike Alrescha's configuration table (Table 2's
+  "NOT Transferring Meta-data: x");
+* every block pays the ReRAM crossbar read/settle latency, which limits
+  throughput relative to a streaming dataflow ("BW Utilization: Low").
+
+Graph algorithms execute as synchronous full passes (like Alrescha),
+so per-algorithm totals are driven by the same pass counts.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import MatrixProfile, PlatformModel
+
+#: Same memory budget as Alrescha (§5.1).
+GR_BANDWIDTH = 288e9
+GR_BLOCK = 4
+
+#: Crossbar read+settle time per 4x4 block (seconds): ReRAM analog read,
+#: ADC conversion and row drive.
+GR_BLOCK_LATENCY = 6.0e-9
+
+#: How many crossbar reads proceed concurrently (parallel crossbars).
+GR_PARALLEL_CROSSBARS = 10
+
+#: Streaming efficiency for the block payload + coordinates.
+GR_STREAM_EFF = 0.35
+
+#: Per-edge energy: ReRAM reads are cheap but ADCs and block padding
+#: are not.
+GR_ENERGY_PER_EDGE = 2.6e-9
+
+
+class GraphRModel(PlatformModel):
+    """ReRAM graph accelerator model."""
+
+    name = "graphr"
+
+    def blocks(self, profile: MatrixProfile) -> int:
+        return profile.blocks_at(GR_BLOCK)
+
+    def stream_seconds(self, profile: MatrixProfile) -> float:
+        """Block payload (dense 4x4 slots) + per-block coordinates."""
+        n_blocks = self.blocks(profile)
+        payload = n_blocks * GR_BLOCK * GR_BLOCK * 8.0
+        metadata = n_blocks * 8.0  # two 4-byte block coordinates
+        return (payload + metadata) / (GR_BANDWIDTH * GR_STREAM_EFF)
+
+    def crossbar_seconds(self, profile: MatrixProfile) -> float:
+        n_blocks = self.blocks(profile)
+        return n_blocks * GR_BLOCK_LATENCY / GR_PARALLEL_CROSSBARS
+
+    def graph_pass_seconds(self, profile: MatrixProfile,
+                           algorithm: str) -> float:
+        """One synchronous pass over all blocks."""
+        return max(self.stream_seconds(profile),
+                   self.crossbar_seconds(profile))
+
+    def spmv_seconds(self, profile: MatrixProfile) -> float:
+        return self.graph_pass_seconds(profile, "pagerank")
+
+    def spmv_energy(self, profile: MatrixProfile) -> float:
+        return profile.nnz * GR_ENERGY_PER_EDGE

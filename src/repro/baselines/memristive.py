@@ -1,0 +1,80 @@
+"""Memristive scientific-computing accelerator [25] behavioural model.
+
+Feinberg et al.'s accelerator solves PDE systems in heterogeneous
+memristive crossbars, processing the matrix in *large* dense blocks
+(Table 2: 64x64 up to 512x512).  The behaviours this paper attributes to
+it, which our model reproduces:
+
+* blocked storage: every slot of each non-empty block streams/programs,
+  so the (low) block density at 64+-wide blocking wastes most of the
+  bandwidth — the reason its bandwidth-utilization line in Figure 15
+  sits below Alrescha's;
+* no dependency resolution ("Resolving Limited Parallelism: x"): its
+  SymGS serialises across block rows, paying a full crossbar evaluation
+  latency per dependent step;
+* per-block meta-data transfer.
+
+The model picks, per matrix, the block width from {64, 128, 256, 512}
+that minimises streamed volume — mirroring the original design's
+multi-size blocks.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import MatrixProfile, PlatformModel
+
+#: Same memory budget as Alrescha (§5.1).
+MEM_BANDWIDTH = 288e9
+MEM_BLOCK_WIDTHS = (64, 128, 256, 512)
+MEM_STREAM_EFF = 0.75
+
+#: Crossbar evaluate latency per dependent (diagonal-block) step; the
+#: analog solve of one block row cannot start before the previous one
+#: finishes.
+MEM_SERIAL_STEP = 80e-9
+
+#: Per-edge energy: crossbar programming of mostly-empty large blocks.
+MEM_ENERGY_PER_EDGE = 3.4e-9
+
+
+class MemristiveModel(PlatformModel):
+    """Memristive PDE-solver accelerator model."""
+
+    name = "memristive"
+
+    def best_block_width(self, profile: MatrixProfile) -> int:
+        """The block width minimising streamed slots for this matrix."""
+        best_w, best_slots = MEM_BLOCK_WIDTHS[0], float("inf")
+        for w in MEM_BLOCK_WIDTHS:
+            slots = profile.blocks_at(w) * w * w
+            if slots < best_slots:
+                best_w, best_slots = w, float(slots)
+        return best_w
+
+    def streamed_bytes(self, profile: MatrixProfile) -> float:
+        w = self.best_block_width(profile)
+        n_blocks = profile.blocks_at(w)
+        return n_blocks * w * w * 8.0 + n_blocks * 8.0
+
+    def spmv_seconds(self, profile: MatrixProfile) -> float:
+        return self.streamed_bytes(profile) / (MEM_BANDWIDTH
+                                               * MEM_STREAM_EFF)
+
+    def symgs_sweep_seconds(self, profile: MatrixProfile) -> float:
+        """Streaming plus a serial crossbar step per dependent block row."""
+        w = self.best_block_width(profile)
+        n_block_rows = -(-profile.n // w)
+        serial = n_block_rows * MEM_SERIAL_STEP
+        return self.spmv_seconds(profile) + serial
+
+    def vector_kernel_seconds(self, profile: MatrixProfile) -> float:
+        return profile.n * 16.0 / MEM_BANDWIDTH
+
+    def bandwidth_utilization(self, profile: MatrixProfile) -> float:
+        """Useful non-zero bytes over peak deliverable (Figure 15 line)."""
+        t = self.pcg_iteration_seconds(profile)
+        useful = profile.nnz * 8.0 * 3.0  # spmv + 2 sweeps
+        return min(1.0, useful / (t * MEM_BANDWIDTH))
+
+    def spmv_energy(self, profile: MatrixProfile) -> float:
+        return profile.nnz * MEM_ENERGY_PER_EDGE

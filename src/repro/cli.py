@@ -1,0 +1,270 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+* ``list-datasets [--kind scientific|graph]`` — the registered suites.
+* ``info NAME [--scale S]`` — structural profile of one dataset.
+* ``run KERNEL --dataset NAME [--scale S]`` — execute one kernel on the
+  simulated accelerator and print its report (kernels: spmv, symgs,
+  pcg, bfs, sssp, pagerank, cc, hpcg).
+* ``survey NAME [--scale S]`` — Figure 12 meta-data survey.
+* ``experiment FIG [--scale S]`` — regenerate one paper figure
+  (fig3, fig6, fig15, fig16, fig17, fig18, fig19).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+import numpy as np
+
+
+def _dataset(name: str, scale: float):
+    from repro.datasets import load_dataset
+    return load_dataset(name, scale=scale)
+
+
+def cmd_list_datasets(args) -> int:
+    from repro.datasets import list_datasets, load_dataset
+    for name in list_datasets(args.kind):
+        ds = load_dataset(name, scale=0.05)
+        print(f"{name:20s} {ds.kind:10s} {ds.description}")
+    return 0
+
+
+def cmd_info(args) -> int:
+    from repro.baselines import MatrixProfile
+    ds = _dataset(args.name, args.scale)
+    profile = MatrixProfile(ds.matrix if ds.kind == "scientific"
+                            else ds.matrix.T.tocsr())
+    print(f"{ds.name}: {ds.description}")
+    print(f"  kind             : {ds.kind}")
+    print(f"  n                : {ds.n}")
+    print(f"  nnz              : {ds.nnz} ({ds.nnz / ds.n:.1f}/row)")
+    print(f"  8x8 block density: {profile.block_density:.3f}")
+    print(f"  column locality  : {profile.column_locality:.3f}")
+    print(f"  row imbalance    : {profile.row_imbalance:.2f}")
+    if ds.kind == "scientific":
+        seq, levels = profile.gpu_seq
+        print(f"  GS levels        : {levels}")
+        print(f"  GPU seq fraction : {seq:.3f}")
+        print(f"  Alrescha seq frac: {profile.alrescha_seq_fraction:.3f}")
+    return 0
+
+
+def _print_report(report) -> None:
+    print(f"  cycles          : {report.cycles:,.0f}")
+    print(f"  time @ 2.5 GHz  : {report.seconds * 1e6:.3f} us")
+    print(f"  BW utilization  : {report.bandwidth_utilization:.2%}")
+    print(f"  seq fraction    : {report.sequential_fraction:.2%}")
+    print(f"  energy          : {report.energy_j * 1e6:.3f} uJ")
+
+
+def cmd_run(args) -> int:
+    from repro.core import Alrescha, KernelType
+    from repro.graph import (connected_components, run_bfs, run_pagerank,
+                             run_sssp)
+    from repro.solvers import AcceleratorBackend, pcg, run_hpcg
+
+    if args.kernel == "hpcg":
+        dim = max(4, int(round(16 * args.scale ** (1 / 3))))
+        result = run_hpcg(dim, dim, dim, iterations=args.iterations)
+        print(f"HPCG {dim}^3: {result.gflops:.3f} GFLOP/s simulated "
+              f"({result.iterations} iterations, "
+              f"BW util {result.bandwidth_utilization:.2%})")
+        return 0
+
+    ds = _dataset(args.dataset, args.scale)
+    rng = np.random.default_rng(args.seed)
+    if args.kernel in ("spmv", "symgs", "pcg") and ds.kind != "scientific":
+        print(f"warning: {args.kernel} on a graph dataset treats the "
+              f"adjacency as the matrix operand", file=sys.stderr)
+
+    if args.kernel == "spmv":
+        acc = Alrescha.from_matrix(KernelType.SPMV, ds.matrix)
+        _y, report = acc.run_spmv(rng.normal(size=ds.n))
+        print(f"SpMV on {ds.name} (n={ds.n}, nnz={ds.nnz}):")
+        _print_report(report)
+    elif args.kernel == "symgs":
+        acc = Alrescha.from_matrix(KernelType.SYMGS, ds.matrix)
+        _x, report = acc.run_symgs_sweep(rng.normal(size=ds.n),
+                                         np.zeros(ds.n))
+        print(f"SymGS sweep on {ds.name}:")
+        _print_report(report)
+    elif args.kernel == "pcg":
+        backend = AcceleratorBackend(ds.matrix)
+        result = pcg(backend, rng.normal(size=ds.n), tol=1e-8,
+                     max_iter=args.iterations)
+        print(f"PCG on {ds.name}: converged={result.converged} in "
+              f"{result.iterations} iterations "
+              f"(residual {result.final_residual:.2e}, "
+              f"{backend.kernel_switches} kernel switches)")
+        _print_report(result.report)
+    elif args.kernel in ("bfs", "sssp"):
+        runner = run_bfs if args.kernel == "bfs" else run_sssp
+        adj = ds.matrix
+        if args.kernel == "sssp" and not ds.weighted:
+            adj = adj.copy()
+            adj.data = 1.0 + (np.arange(adj.nnz) % 7).astype(float)
+        result = runner(adj, args.source)
+        reached = int(np.isfinite(result.values).sum())
+        print(f"{args.kernel.upper()} on {ds.name} from {args.source}: "
+              f"reached {reached}/{ds.n} in {result.iterations} passes")
+        _print_report(result.report)
+    elif args.kernel == "pagerank":
+        result = run_pagerank(ds.matrix, tol=1e-9)
+        top = np.argsort(result.values)[::-1][:5]
+        print(f"PageRank on {ds.name}: {result.iterations} iterations, "
+              f"top-5 = {list(map(int, top))}")
+        _print_report(result.report)
+    elif args.kernel == "cc":
+        result = connected_components(ds.matrix)
+        print(f"Connected components on {ds.name}: "
+              f"{result.n_components} components "
+              f"in {result.iterations} BFS passes")
+        _print_report(result.report)
+    else:  # pragma: no cover - argparse restricts choices
+        raise SystemExit(f"unknown kernel {args.kernel}")
+    return 0
+
+
+def cmd_survey(args) -> int:
+    from repro.formats import format_survey
+    ds = _dataset(args.name, args.scale)
+    survey = format_survey(ds.matrix)
+    print(f"meta-data bits per non-zero — {ds.name} "
+          f"(n={ds.n}, nnz={ds.nnz}):")
+    for fmt, bits in survey.items():
+        print(f"  {fmt:20s} {bits:8.2f}")
+    return 0
+
+
+def cmd_validate(args) -> int:
+    from repro.analysis import validate
+    report = validate(scale=args.scale)
+    print(report.summary())
+    return 0 if report.passed else 1
+
+
+def cmd_compile(args) -> int:
+    """Host-side compilation (Figure 7): Algorithm 1 + serialisation."""
+    from repro.core import KernelType
+    from repro.host import compile_kernel
+
+    ds = _dataset(args.dataset, args.scale)
+    kernel = KernelType(args.kernel)
+    matrix = ds.matrix if ds.kind == "scientific" else ds.matrix.T.tocsr()
+    compiled = compile_kernel(kernel, matrix, omega=8)
+    prog_path, img_path = compiled.save(args.output)
+    print(f"compiled {args.kernel} on {ds.name} (n={ds.n}, "
+          f"nnz={ds.nnz}):")
+    print(f"  {prog_path}  {len(compiled.program):8d} B (program)")
+    print(f"  {img_path}  {len(compiled.image):8d} B (device image)")
+    return 0
+
+
+def cmd_experiment(args) -> int:
+    from repro import analysis
+
+    runners = {
+        "fig3": lambda: analysis.fig3_pcg_breakdown(scale=args.scale),
+        "fig6": lambda: analysis.fig6_hpcg_fraction(scale=args.scale),
+        "fig15": lambda: analysis.fig15_pcg_speedup(scale=args.scale),
+        "fig16": lambda: analysis.fig16_sequential_fraction(
+            scale=args.scale),
+        "fig17": lambda: analysis.fig17_graph_speedup(scale=args.scale),
+        "fig18": lambda: analysis.fig18_spmv_speedup(scale=args.scale),
+        "fig19": lambda: analysis.fig19_energy(scale=args.scale),
+    }
+    result = runners[args.figure]()
+
+    def show(prefix, obj):
+        if isinstance(obj, dict):
+            scalar = {k: v for k, v in obj.items()
+                      if isinstance(v, (int, float))}
+            nested = {k: v for k, v in obj.items() if isinstance(v, dict)}
+            for k, v in scalar.items():
+                print(f"{prefix}{k:30s} {float(v):10.3f}")
+            for k, v in nested.items():
+                print(f"{prefix}{k}:")
+                show(prefix + "  ", v)
+
+    show("", result)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="ALRESCHA reproduction command-line interface",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("list-datasets", help="list registered datasets")
+    p.add_argument("--kind", choices=["scientific", "graph"], default=None)
+    p.set_defaults(func=cmd_list_datasets)
+
+    p = sub.add_parser("info", help="structural profile of a dataset")
+    p.add_argument("name")
+    p.add_argument("--scale", type=float, default=0.1)
+    p.set_defaults(func=cmd_info)
+
+    p = sub.add_parser("run", help="run a kernel on the accelerator")
+    p.add_argument("kernel", choices=["spmv", "symgs", "pcg", "bfs",
+                                      "sssp", "pagerank", "cc", "hpcg"])
+    p.add_argument("--dataset", default="stencil27")
+    p.add_argument("--scale", type=float, default=0.1)
+    p.add_argument("--source", type=int, default=0)
+    p.add_argument("--iterations", type=int, default=50)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser("survey", help="Figure 12 format survey")
+    p.add_argument("name")
+    p.add_argument("--scale", type=float, default=0.1)
+    p.set_defaults(func=cmd_survey)
+
+    p = sub.add_parser(
+        "validate",
+        help="cross-check the accelerator against the golden kernels",
+    )
+    p.add_argument("--scale", type=float, default=0.05)
+    p.set_defaults(func=cmd_validate)
+
+    p = sub.add_parser(
+        "compile",
+        help="compile a kernel to program binary + device image files",
+    )
+    p.add_argument("kernel", choices=["spmv", "symgs", "bfs", "sssp",
+                                      "pagerank"])
+    p.add_argument("--dataset", default="stencil27")
+    p.add_argument("--scale", type=float, default=0.1)
+    p.add_argument("--output", "-o", default="kernel")
+    p.set_defaults(func=cmd_compile)
+
+    p = sub.add_parser("experiment", help="regenerate one paper figure")
+    p.add_argument("figure", choices=["fig3", "fig6", "fig15", "fig16",
+                                      "fig17", "fig18", "fig19"])
+    p.add_argument("--scale", type=float, default=0.1)
+    p.set_defaults(func=cmd_experiment)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early: not an error.
+        try:
+            sys.stdout.close()
+        except OSError:
+            pass
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,747 @@
+"""The ALRESCHA accelerator: programming model and execution engine.
+
+This module ties the pieces together the way Figure 7 describes: the
+*host* converts a sparse kernel into a configuration table plus an
+Alrescha-formatted matrix (:func:`repro.core.convert.convert`) and writes
+both through the program/data interfaces (:meth:`Alrescha.program`); the
+accelerator then executes the table — streaming locally-dense blocks
+from memory through the FCU while the RCU supplies vector operands,
+handles data dependencies, and reconfigures between data paths.
+
+Execution is *functional + timed*: every run produces the exact kernel
+result (validated against the golden kernels in :mod:`repro.kernels`)
+together with a :class:`~repro.core.report.SimReport` of cycles, event
+counts, energy and bandwidth utilization.
+
+Timing model
+------------
+Per pass, two resources are tracked:
+
+* **stream cycles** — payload blocks plus cache-refill and write-back
+  traffic through the 288 GB/s channel;
+* **compute cycles** — the engine side: streaming data paths consume
+  ω² operands through the ALU row per block, while D-SymGS serialises ω
+  forwarding steps per diagonal block.
+
+The FIFOs in front of the FCU let memory run ahead of compute, so for
+kernels made of independent data paths the pass costs
+``max(stream, compute)``.  SymGS is different: the D-SymGS of block-row
+*i* must wait for the row's GEMV partials, and later rows' GEMVs read the
+chunk it produces, so the pass costs the *sum over block rows* of
+``max(row stream, row GEMV compute) + row D-SymGS compute``.  Data-path
+switches add their pipeline fill, and reconfiguration adds only what the
+tree drain cannot hide (§4.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigError, SimulationError
+from repro.core.config import (
+    ConfigTable,
+    DataPathType,
+    KernelType,
+    OperandPort,
+)
+from repro.core.convert import ConversionResult, convert
+from repro.core.datapaths import (
+    DEFAULT_DSYMGS_STEP_LATENCY,
+    DataPathTiming,
+    dbfs_block,
+    dpr_block,
+    dsssp_block,
+    dsymgs_block,
+    gemv_block,
+)
+from repro.core.fcu import DEFAULT_N_ALUS, FixedComputeUnit
+from repro.core.report import SimReport
+from repro.core.rcu import RCUConfig, ReconfigurableComputeUnit
+from repro.sim.cache import LocalCache
+from repro.sim.energy import EnergyModel
+from repro.sim.memory import StreamingMemory
+
+
+@dataclass
+class AlreschaConfig:
+    """Hardware configuration (defaults from Table 5 of the paper)."""
+
+    omega: int = 8
+    n_alus: int = DEFAULT_N_ALUS
+    frequency_hz: float = 2.5e9
+    bandwidth_bytes_per_s: float = 288e9
+    cache_bytes: int = 1024
+    cache_line_bytes: int = 64
+    cache_ways: int = 4
+    cache_hit_latency: int = 4
+    cache_miss_latency: int = 24
+    alu_latency: int = 3
+    re_sum_latency: int = 3
+    re_min_latency: int = 1
+    dsymgs_step_latency: int = DEFAULT_DSYMGS_STEP_LATENCY
+    reconfig_cycles: int = 8
+    hide_reconfig_under_drain: bool = True
+    #: Stored element width in bytes: 8 (Table 5's double precision) or
+    #: 4 for an fp32-traffic study.  Functional results stay fp64.
+    element_bytes: int = 8
+    energy_model: EnergyModel = field(default_factory=EnergyModel)
+
+    @property
+    def bytes_per_cycle(self) -> float:
+        return self.bandwidth_bytes_per_s / self.frequency_hz
+
+    def timing(self) -> DataPathTiming:
+        return DataPathTiming(
+            omega=self.omega,
+            n_alus=self.n_alus,
+            mem_bytes_per_cycle=self.bytes_per_cycle,
+            alu_latency=self.alu_latency,
+            re_sum_latency=self.re_sum_latency,
+            re_min_latency=self.re_min_latency,
+            dsymgs_step_latency=self.dsymgs_step_latency,
+            element_bytes=self.element_bytes,
+        )
+
+    def make_fcu(self) -> FixedComputeUnit:
+        return FixedComputeUnit(
+            omega=self.omega,
+            n_alus=self.n_alus,
+            alu_latency=self.alu_latency,
+            re_sum_latency=self.re_sum_latency,
+            re_min_latency=self.re_min_latency,
+        )
+
+    def make_rcu(self) -> ReconfigurableComputeUnit:
+        cache = LocalCache(
+            size_bytes=self.cache_bytes,
+            line_bytes=self.cache_line_bytes,
+            ways=self.cache_ways,
+            hit_latency=self.cache_hit_latency,
+            miss_latency=self.cache_miss_latency,
+        )
+        rcu_cfg = RCUConfig(
+            reconfig_cycles=self.reconfig_cycles,
+            hide_under_drain=self.hide_reconfig_under_drain,
+        )
+        return ReconfigurableComputeUnit(config=rcu_cfg, cache=cache)
+
+    def make_memory(self) -> StreamingMemory:
+        return StreamingMemory(
+            bandwidth_bytes_per_s=self.bandwidth_bytes_per_s,
+            frequency_hz=self.frequency_hz,
+            burst_bytes=self.cache_line_bytes,
+        )
+
+
+@dataclass
+class _Op:
+    """A prepared table entry: the config row plus its resolved block."""
+
+    dp: DataPathType
+    block_row: int
+    block_col: int
+    inx_in: int
+    inx_out: int
+    port: OperandPort
+    values: np.ndarray
+    reversed_cols: bool
+    is_diagonal: bool
+
+
+@dataclass
+class _RowGroup:
+    """All ops of one block row, GEMV-class first then the diagonal."""
+
+    block_row: int
+    streaming: List[_Op] = field(default_factory=list)
+    diagonal: Optional[_Op] = None
+
+
+class Alrescha:
+    """The accelerator.  Program once, run kernels repeatedly."""
+
+    def __init__(self, config: Optional[AlreschaConfig] = None) -> None:
+        self.config = config or AlreschaConfig()
+        self._conversion: Optional[ConversionResult] = None
+        self._rows: List[_RowGroup] = []
+        self._table_order_switches: int = 0
+
+    # ------------------------------------------------------------------
+    # Programming (host side, one-time per matrix+kernel)
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_matrix(cls, kernel: KernelType, matrix,
+                    config: Optional[AlreschaConfig] = None,
+                    reorder: bool = True) -> "Alrescha":
+        """Convert, program and return a ready accelerator."""
+        acc = cls(config)
+        conv = convert(kernel, matrix, omega=acc.config.omega,
+                       reorder=reorder)
+        acc.program(conv)
+        return acc
+
+    def program(self, conversion: ConversionResult) -> None:
+        """Write the configuration table and formatted matrix."""
+        if conversion.omega != self.config.omega:
+            raise ConfigError(
+                f"conversion blocked at omega={conversion.omega}, "
+                f"hardware configured for {self.config.omega}"
+            )
+        self._conversion = conversion
+        block_map = {
+            (b.block_row, b.block_col): b for b in conversion.matrix.stream()
+        }
+        rows: Dict[int, _RowGroup] = {}
+        order: List[int] = []
+        for entry in conversion.table:
+            key = (entry.block_row, entry.block_col)
+            sb = block_map.get(key)
+            if sb is None:
+                raise ConfigError(
+                    f"table references block {key} absent from the stream"
+                )
+            op = _Op(
+                dp=entry.dp,
+                block_row=entry.block_row,
+                block_col=entry.block_col,
+                inx_in=entry.inx_in,
+                inx_out=entry.inx_out,
+                port=entry.op,
+                values=sb.values,
+                reversed_cols=sb.reversed_cols,
+                is_diagonal=sb.is_diagonal,
+            )
+            group = rows.get(entry.block_row)
+            if group is None:
+                group = _RowGroup(entry.block_row)
+                rows[entry.block_row] = group
+                order.append(entry.block_row)
+            if op.dp is DataPathType.D_SYMGS:
+                group.diagonal = op
+            else:
+                group.streaming.append(op)
+        self._rows = [rows[i] for i in order]
+        self._table_order_switches = conversion.table.switch_count()
+
+    @property
+    def conversion(self) -> ConversionResult:
+        if self._conversion is None:
+            raise SimulationError("accelerator has not been programmed")
+        return self._conversion
+
+    @property
+    def table(self) -> ConfigTable:
+        return self.conversion.table
+
+    @property
+    def n(self) -> int:
+        return self.conversion.matrix.shape[0]
+
+    # ------------------------------------------------------------------
+    # Kernel runners
+    # ------------------------------------------------------------------
+    def run_spmm(self, x: np.ndarray) -> Tuple[np.ndarray, SimReport]:
+        """Multi-vector SpMV (``Y = A @ X`` for an n x k operand).
+
+        The matrix payload streams from memory *once* and each block is
+        applied to all ``k`` operand columns while resident — the data
+        reuse the paper's storage format exists to enable, extended from
+        one vector to a panel.  Timing: the stream cost is unchanged
+        from one SpMV; compute and cache costs scale with ``k``, so
+        throughput per column improves until the ALU row saturates.
+        """
+        self._require_kernel(KernelType.SPMV)
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim == 1:
+            x = x[:, None]
+        n, w = self.n, self.config.omega
+        if x.shape[0] != n or x.ndim != 2 or x.shape[1] < 1:
+            raise SimulationError(
+                f"operand must be ({n}, k>=1), got {x.shape}"
+            )
+        k = x.shape[1]
+        fcu = self.config.make_fcu()
+        rcu = self.config.make_rcu()
+        mem = self.config.make_memory()
+        timing = self.config.timing()
+        for col in range(k):
+            rcu.load_operand(f"x{col}", x[:, col])
+
+        y = np.zeros((n, k))
+        stream_cycles = 0.0
+        compute_cycles = 0.0
+        fills = 0.0
+        exposed = 0.0
+        prev_dp: Optional[DataPathType] = None
+        spb = timing.stream_cycles_per_block()
+        for group in self._rows:
+            if not group.streaming:
+                continue
+            start = group.block_row * w
+            valid = max(0, min(w, n - start))
+            acc = np.zeros((w, k))
+            for op in group.streaming:
+                if prev_dp is not op.dp:
+                    exposed += rcu.reconfigure(
+                        op.dp,
+                        timing.drain(prev_dp) if prev_dp
+                        else rcu.config.reconfig_cycles)
+                    fills += timing.pipeline_fill(op.dp)
+                    prev_dp = op.dp
+                mem.stream_cycles(w * w * self.config.element_bytes)
+                stream_cycles += spb
+                compute_cycles += k \
+                    * timing.compute_cycles_per_block(op.dp)
+                for col in range(k):
+                    chunk = rcu.read_chunk(f"x{col}", op.inx_in, w)
+                    acc[:, col] += gemv_block(fcu, op.values, chunk,
+                                              op.reversed_cols)
+            y[start:start + valid] = acc[:valid]
+            if valid:
+                rcu.cache.write("out", start, valid)
+                rcu.counters.add("cache_busy_cycles", 1.0)
+
+        writeback_bytes = float(n * self.config.element_bytes * k)
+        miss_bytes = rcu.cache.counters.get("cache_misses") \
+            * self.config.cache_line_bytes
+        stream_total = stream_cycles \
+            + (writeback_bytes + miss_bytes) / self.config.bytes_per_cycle
+        total = max(stream_total, compute_cycles) + fills + exposed
+        report = self._make_report(
+            "spmm", total, 0.0, fills, exposed, fcu, rcu, mem,
+            {"gemv": compute_cycles},
+            extra_stream_bytes=writeback_bytes + miss_bytes,
+        )
+        report.useful_bytes *= 1.0  # matrix streamed once regardless of k
+        return y, report
+
+    def run_sptrsv(self, b: np.ndarray) -> Tuple[np.ndarray, SimReport]:
+        """Sparse lower-triangular solve ``(L + D) x = b``.
+
+        A forward Gauss-Seidel sweep from a zero initial iterate *is*
+        SpTRSV on the matrix's lower triangle — the accelerator gets the
+        standard kernel for free from its D-SymGS path.  (Upper-triangle
+        entries of the programmed matrix are multiplied by the zero
+        iterate and vanish.)
+        """
+        self._require_kernel(KernelType.SYMGS)
+        b = np.asarray(b, dtype=np.float64)
+        x, report = self.run_symgs_sweep(b, np.zeros(self.n))
+        report.kernel = "sptrsv"
+        return x, report
+
+    def run_spmv(self, x: np.ndarray) -> Tuple[np.ndarray, SimReport]:
+        """SpMV over the programmed matrix: ``y = A @ x``."""
+        self._require_kernel(KernelType.SPMV)
+        return self._run_streaming_pass(
+            kernel_name="spmv",
+            operand_vectors={"x": np.asarray(x, dtype=np.float64)},
+            block_fn=lambda fcu, rcu, op, chunks: gemv_block(
+                fcu, op.values, chunks["x"], op.reversed_cols
+            ),
+            row_init=lambda w: np.zeros(w),
+            row_accumulate=lambda acc, part: acc + part,
+            assign=lambda rcu, prev_chunk, acc, valid: acc[:valid],
+            reduce_op="sum",
+            output_init=np.zeros(self.n),
+        )
+
+    def run_bfs_pass(self, dist: np.ndarray) -> Tuple[np.ndarray, SimReport]:
+        """One synchronous D-BFS relaxation pass over all blocks.
+
+        ``dist`` holds current level distances (inf = unreached); the
+        returned vector applies ``min(dist, min-plus candidates)``.
+        """
+        self._require_kernel(KernelType.BFS)
+        dist = np.asarray(dist, dtype=np.float64)
+        return self._run_streaming_pass(
+            kernel_name="bfs",
+            operand_vectors={"dist": dist},
+            block_fn=lambda fcu, rcu, op, chunks: dbfs_block(
+                fcu, op.values, chunks["dist"]
+            ),
+            row_init=lambda w: np.full(w, np.inf),
+            row_accumulate=np.minimum,
+            assign=self._assign_min,
+            reduce_op="min",
+            output_init=dist.copy(),
+        )
+
+    def run_bfs_pass_parents(
+        self, dist: np.ndarray, parent: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, SimReport]:
+        """One D-BFS pass that also tracks predecessors (Graph500 style).
+
+        The min tree carries a lane tag beside each value, so the
+        winning predecessor of every improved vertex comes out of the
+        same reduction at no extra stream cost.  Returns
+        ``(new_dist, new_parent, report)``.
+        """
+        self._require_kernel(KernelType.BFS)
+        dist = np.asarray(dist, dtype=np.float64)
+        parent = np.asarray(parent, dtype=np.int64)
+        n, w = self.n, self.config.omega
+        if dist.shape != (n,) or parent.shape != (n,):
+            raise SimulationError(f"operands must have shape ({n},)")
+        fcu = self.config.make_fcu()
+        rcu = self.config.make_rcu()
+        mem = self.config.make_memory()
+        timing = self.config.timing()
+        rcu.load_operand("dist", dist)
+
+        new_dist = dist.copy()
+        new_parent = parent.copy()
+        stream_cycles = 0.0
+        compute_cycles = 0.0
+        fills = 0.0
+        exposed = 0.0
+        prev_dp: Optional[DataPathType] = None
+        spb = timing.stream_cycles_per_block()
+
+        for group in self._rows:
+            if not group.streaming:
+                continue
+            start = group.block_row * w
+            valid = max(0, min(w, n - start))
+            best = np.full(w, np.inf)
+            best_parent = np.full(w, -1, dtype=np.int64)
+            for op in group.streaming:
+                if prev_dp is not op.dp:
+                    exposed += rcu.reconfigure(
+                        op.dp,
+                        timing.drain(prev_dp) if prev_dp
+                        else rcu.config.reconfig_cycles)
+                    fills += timing.pipeline_fill(op.dp)
+                    prev_dp = op.dp
+                mem.stream_cycles(w * w * self.config.element_bytes)
+                stream_cycles += spb
+                compute_cycles += timing.compute_cycles_per_block(op.dp)
+                chunk = rcu.read_chunk("dist", op.inx_in, w)
+                cand, lanes = dbfs_block(fcu, op.values, chunk,
+                                         with_argmin=True)
+                improved = cand < best
+                best = np.where(improved, cand, best)
+                global_src = op.inx_in + lanes
+                best_parent = np.where(improved & (lanes >= 0),
+                                       global_src, best_parent)
+            take = best[:valid] < new_dist[start:start + valid]
+            rcu.counters.add("pe_op", float(valid))  # compare & update
+            new_dist[start:start + valid] = np.where(
+                take, best[:valid], new_dist[start:start + valid])
+            new_parent[start:start + valid] = np.where(
+                take, best_parent[:valid],
+                new_parent[start:start + valid])
+            if valid:
+                rcu.cache.write("out", start, valid)
+                rcu.counters.add("cache_busy_cycles", 1.0)
+
+        writeback_bytes = float(n * 12)  # distance + parent tag
+        miss_bytes = rcu.cache.counters.get("cache_misses") \
+            * self.config.cache_line_bytes
+        stream_total = stream_cycles \
+            + (writeback_bytes + miss_bytes) / self.config.bytes_per_cycle
+        total = max(stream_total, compute_cycles) + fills + exposed
+        report = self._make_report(
+            "bfs-parents", total, 0.0, fills, exposed, fcu, rcu, mem,
+            {"d-bfs": compute_cycles},
+            extra_stream_bytes=writeback_bytes + miss_bytes,
+        )
+        return new_dist, new_parent, report
+
+    def run_sssp_pass(self, dist: np.ndarray) -> Tuple[np.ndarray, SimReport]:
+        """One synchronous D-SSSP relaxation pass (weighted min-plus)."""
+        self._require_kernel(KernelType.SSSP)
+        dist = np.asarray(dist, dtype=np.float64)
+        return self._run_streaming_pass(
+            kernel_name="sssp",
+            operand_vectors={"dist": dist},
+            block_fn=lambda fcu, rcu, op, chunks: dsssp_block(
+                fcu, op.values, chunks["dist"]
+            ),
+            row_init=lambda w: np.full(w, np.inf),
+            row_accumulate=np.minimum,
+            assign=self._assign_min,
+            reduce_op="min",
+            output_init=dist.copy(),
+        )
+
+    def run_pr_pass(self, rank: np.ndarray,
+                    outdeg: np.ndarray) -> Tuple[np.ndarray, SimReport]:
+        """One D-PR pass: per-vertex sum of ``rank/outdeg`` over in-edges.
+
+        Returns the raw contribution vector; the driver applies the
+        damping update (phase 3 of Table 1) and its PE cost is charged
+        here (two PE ops per updated element).
+        """
+        self._require_kernel(KernelType.PAGERANK)
+        rank = np.asarray(rank, dtype=np.float64)
+        outdeg = np.asarray(outdeg, dtype=np.float64)
+
+        def block_fn(fcu, rcu, op, chunks):
+            return dpr_block(fcu, rcu, op.values, chunks["rank"],
+                             chunks["outdeg"])
+
+        def assign(rcu, prev_chunk, acc, valid):
+            rcu.counters.add("pe_op", 2.0 * valid)  # damping mul + add
+            return acc[:valid]
+
+        return self._run_streaming_pass(
+            kernel_name="pagerank",
+            operand_vectors={"rank": rank, "outdeg": outdeg},
+            block_fn=block_fn,
+            row_init=lambda w: np.zeros(w),
+            row_accumulate=lambda acc, part: acc + part,
+            assign=assign,
+            reduce_op="sum",
+            output_init=np.zeros(self.n),
+        )
+
+    def run_symgs_sweep(self, b: np.ndarray,
+                        x_prev: np.ndarray) -> Tuple[np.ndarray, SimReport]:
+        """One forward SymGS sweep via the GEMV + D-SymGS decomposition."""
+        self._require_kernel(KernelType.SYMGS)
+        b = np.asarray(b, dtype=np.float64)
+        x_prev = np.asarray(x_prev, dtype=np.float64)
+        n, w = self.n, self.config.omega
+        if b.shape != (n,) or x_prev.shape != (n,):
+            raise SimulationError(
+                f"operand vectors must have shape ({n},)"
+            )
+        diag = self.conversion.matrix.diagonal
+        if diag is None:
+            raise SimulationError("programmed matrix lacks SymGS layout")
+
+        fcu = self.config.make_fcu()
+        rcu = self.config.make_rcu()
+        mem = self.config.make_memory()
+        timing = self.config.timing()
+
+        rcu.load_operand("x_prev", x_prev)
+        rcu.load_operand("x_curr", x_prev.copy())
+        rcu.load_operand("b", b)
+        rcu.load_operand("diag", diag)
+
+        stream_cycles = 0.0
+        chain_cycles = 0.0
+        seq_cycles = 0.0
+        fills = 0.0
+        exposed = 0.0
+        dp_cycles: Dict[str, float] = {}
+        prev_dp: Optional[DataPathType] = None
+        spb = timing.stream_cycles_per_block()
+
+        for group in self._rows:
+            row_stream = 0.0
+            row_gemv_compute = 0.0
+            for op in group.streaming:
+                if prev_dp is not op.dp:
+                    exposed += rcu.reconfigure(
+                        op.dp,
+                        timing.drain(prev_dp) if prev_dp
+                        else rcu.config.reconfig_cycles)
+                    fills += timing.pipeline_fill(op.dp)
+                    prev_dp = op.dp
+                mem.stream_cycles(w * w * self.config.element_bytes)
+                row_stream += spb
+                row_gemv_compute += timing.compute_cycles_per_block(op.dp)
+                space = ("x_curr" if op.port is OperandPort.PORT1
+                         else "x_prev")
+                chunk = rcu.read_chunk(space, op.inx_in, w)
+                partial = gemv_block(fcu, op.values, chunk, op.reversed_cols)
+                rcu.link.push(partial)
+                dp_cycles["gemv"] = dp_cycles.get("gemv", 0.0) \
+                    + timing.compute_cycles_per_block(op.dp)
+            dsymgs_compute = 0.0
+            if group.diagonal is not None:
+                op = group.diagonal
+                if prev_dp is not op.dp:
+                    exposed += rcu.reconfigure(
+                        op.dp,
+                        timing.drain(prev_dp) if prev_dp
+                        else rcu.config.reconfig_cycles)
+                    fills += timing.pipeline_fill(op.dp)
+                    prev_dp = op.dp
+                mem.stream_cycles(w * w * self.config.element_bytes)
+                row_stream += spb
+                if not self.conversion.reordered and group.streaming:
+                    # Ablation: without §4.1's reordering the diagonal
+                    # block streamed past mid-row, before this row's
+                    # trailing GEMV partials existed; it is re-fetched
+                    # now, and the mid-row D-SymGS visit cost two extra
+                    # data-path toggles.
+                    mem.stream_cycles(w * w * self.config.element_bytes)
+                    row_stream += spb
+                    extra = (0.0 if rcu.config.hide_under_drain
+                             else 2.0 * rcu.config.reconfig_cycles)
+                    rcu.counters.add("switch_toggle", 2.0)
+                    rcu.counters.add("config_write", 2.0)
+                    rcu.counters.add("reconfig_exposed_cycles", extra)
+                    exposed += extra
+                    fills += timing.pipeline_fill(op.dp) \
+                        + timing.pipeline_fill(DataPathType.GEMV)
+                start = op.block_row * w
+                valid = max(0, min(w, n - start))
+                acc = np.zeros(w, dtype=np.float64)
+                while not rcu.link.empty:
+                    acc += rcu.link.pop()
+                b_chunk = rcu.read_chunk("b", start, w)
+                d_chunk = rcu.read_chunk("diag", start, w)
+                x_old = rcu.read_chunk("x_prev", start, w)
+                x_new = dsymgs_block(fcu, rcu, op.values, d_chunk, b_chunk,
+                                     x_old, acc, valid)
+                rcu.write_chunk("x_curr", start, x_new[:valid])
+                dsymgs_compute = timing.compute_cycles_per_block(op.dp)
+                dp_cycles["d-symgs"] = dp_cycles.get("d-symgs", 0.0) \
+                    + dsymgs_compute
+            row_cycles = max(row_stream, row_gemv_compute) + dsymgs_compute
+            chain_cycles += row_cycles
+            stream_cycles += row_stream
+            seq_cycles += dsymgs_compute
+
+        # Cache refills contend for the memory channel.
+        miss_bytes = rcu.cache.counters.get("cache_misses") \
+            * self.config.cache_line_bytes
+        total = chain_cycles + fills + exposed \
+            + miss_bytes / self.config.bytes_per_cycle
+        result = rcu.operand("x_curr").copy()
+        report = self._make_report(
+            "symgs", total, seq_cycles, fills, exposed, fcu, rcu, mem,
+            dp_cycles, extra_stream_bytes=miss_bytes,
+        )
+        return result, report
+
+    # ------------------------------------------------------------------
+    # Shared streaming-pass machinery (SpMV, D-BFS, D-SSSP, D-PR)
+    # ------------------------------------------------------------------
+    def _run_streaming_pass(
+        self,
+        kernel_name: str,
+        operand_vectors: Dict[str, np.ndarray],
+        block_fn: Callable,
+        row_init: Callable[[int], np.ndarray],
+        row_accumulate: Callable,
+        assign: Callable,
+        reduce_op: str,
+        output_init: np.ndarray,
+    ) -> Tuple[np.ndarray, SimReport]:
+        n, w = self.n, self.config.omega
+        for name, vec in operand_vectors.items():
+            if vec.shape != (n,):
+                raise SimulationError(
+                    f"operand {name!r} must have shape ({n},), "
+                    f"got {vec.shape}"
+                )
+        fcu = self.config.make_fcu()
+        rcu = self.config.make_rcu()
+        mem = self.config.make_memory()
+        timing = self.config.timing()
+        for name, vec in operand_vectors.items():
+            rcu.load_operand(name, vec)
+
+        output = np.asarray(output_init, dtype=np.float64).copy()
+        stream_cycles = 0.0
+        compute_cycles = 0.0
+        fills = 0.0
+        exposed = 0.0
+        dp_cycles: Dict[str, float] = {}
+        prev_dp: Optional[DataPathType] = None
+        spb = timing.stream_cycles_per_block()
+
+        for group in self._rows:
+            if not group.streaming:
+                continue
+            acc = row_init(w)
+            start = group.block_row * w
+            valid = max(0, min(w, n - start))
+            for op in group.streaming:
+                if prev_dp is not op.dp:
+                    exposed += rcu.reconfigure(
+                        op.dp,
+                        timing.drain(prev_dp) if prev_dp
+                        else rcu.config.reconfig_cycles)
+                    fills += timing.pipeline_fill(op.dp)
+                    prev_dp = op.dp
+                mem.stream_cycles(w * w * self.config.element_bytes)
+                stream_cycles += spb
+                cpb = timing.compute_cycles_per_block(op.dp)
+                compute_cycles += cpb
+                dp_cycles[op.dp.value] = dp_cycles.get(op.dp.value, 0.0) + cpb
+                chunks = {
+                    name: rcu.read_chunk(name, op.inx_in, w)
+                    for name in operand_vectors
+                }
+                partial = block_fn(fcu, rcu, op, chunks)
+                acc = row_accumulate(acc, partial)
+            prev_chunk = output[start:start + valid]
+            output[start:start + valid] = assign(rcu, prev_chunk, acc, valid)
+            if valid:
+                rcu.cache.write("out", start, valid)
+                rcu.counters.add("cache_busy_cycles", 1.0)
+
+        # Output write-back and cache refills share the memory channel.
+        writeback_bytes = float(n * 8)
+        miss_bytes = rcu.cache.counters.get("cache_misses") \
+            * self.config.cache_line_bytes
+        stream_total = stream_cycles \
+            + (writeback_bytes + miss_bytes) / self.config.bytes_per_cycle
+        total = max(stream_total, compute_cycles) + fills + exposed
+        report = self._make_report(
+            kernel_name, total, 0.0, fills, exposed, fcu, rcu, mem,
+            dp_cycles, extra_stream_bytes=writeback_bytes + miss_bytes,
+        )
+        return output, report
+
+    @staticmethod
+    def _assign_min(rcu: ReconfigurableComputeUnit, prev_chunk: np.ndarray,
+                    acc: np.ndarray, valid: int) -> np.ndarray:
+        """Phase-3 'compare and update' of BFS/SSSP (one PE cmp each)."""
+        rcu.counters.add("pe_op", float(valid))
+        return np.minimum(prev_chunk, acc[:valid])
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def _require_kernel(self, kernel: KernelType) -> None:
+        if self.conversion.kernel is not kernel:
+            raise SimulationError(
+                f"accelerator programmed for {self.conversion.kernel}, "
+                f"asked to run {kernel}"
+            )
+
+    def _make_report(self, kernel_name: str, total_cycles: float,
+                     seq_cycles: float, fills: float, exposed: float,
+                     fcu: FixedComputeUnit,
+                     rcu: ReconfigurableComputeUnit,
+                     mem: StreamingMemory,
+                     dp_cycles: Dict[str, float],
+                     extra_stream_bytes: float = 0.0) -> SimReport:
+        counters = fcu.counters + rcu.counters
+        counters.merge(rcu.cache.counters)
+        counters.merge(rcu.link.counters)
+        counters.merge(rcu.fifo_a.counters)
+        counters.merge(rcu.fifo_b.counters)
+        counters.merge(mem.counters)
+        counters.add("dram_bytes", extra_stream_bytes)
+        seconds = total_cycles / self.config.frequency_hz
+        energy = self.config.energy_model.energy_j(counters, seconds)
+        report = SimReport(
+            kernel=kernel_name,
+            cycles=total_cycles,
+            frequency_hz=self.config.frequency_hz,
+            useful_bytes=float(self.conversion.bcsr.nnz
+                               * self.config.element_bytes),
+            streamed_bytes=mem.total_bytes + extra_stream_bytes,
+            sequential_cycles=seq_cycles,
+            cache_busy_cycles=rcu.cache_busy_cycles,
+            exposed_reconfig_cycles=exposed,
+            n_entries=len(self.table),
+            n_switches=self._table_order_switches,
+            counters=counters,
+            energy_j=energy,
+            datapath_cycles=dp_cycles,
+            bytes_per_cycle=self.config.bytes_per_cycle,
+        )
+        return report

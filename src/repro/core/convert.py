@@ -1,0 +1,208 @@
+"""Algorithm 1: converting sparse kernels to dense data paths.
+
+The host-side, one-time conversion.  Given a kernel type, the sparse
+matrix operand and the block width ω, it produces
+
+* the :class:`~repro.core.config.ConfigTable` programmed into the
+  accelerator, and
+* the matrix reformatted into the Alrescha locally-dense storage format,
+  whose stream order matches the table's entry order.
+
+Kernels without (or with straightforward) data dependencies — SpMV, BFS,
+SSSP, PR — lower every non-empty block to one instance of their dense
+data path.  SymGS lowers to a *majority of parallelisable GEMV* entries
+(the non-diagonal blocks) *plus a minority of sequential D-SymGS* entries
+(the diagonal blocks); the entries of each block-row are reordered so all
+GEMVs run back-to-back before the single switch into D-SymGS.  The
+distributive property of the inner products in Equation 2 guarantees the
+reordering is exact.
+
+Note on index conventions: the paper's listing is written over columns of
+``A^T`` (its line 19 reads "i > j -> port2 = x^{t-1}").  We index by rows
+of ``A`` — computing block-row *i* of the output — so blocks *left* of
+the diagonal (j < i) read the vector being produced this sweep (``x^t``,
+port 1) and blocks right of it read the previous iterate (``x^{t-1}``,
+port 2).  The two conventions describe the same dataflow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ConfigError
+from repro.formats import AlreschaMatrix, BCSRMatrix, COOMatrix
+from repro.formats.base import SparseFormat
+from repro.core.config import (
+    NO_CACHE_WRITE,
+    AccessOrder,
+    ConfigEntry,
+    ConfigTable,
+    DataPathType,
+    KernelType,
+    OperandPort,
+)
+
+#: Host-side preprocessing cost per source non-zero, in host cycles.
+#: §4: "the conversion complexity from frequently-used storage formats
+#: (e.g., CSR and BCSR) is linear in time and requires constant space."
+PREPROCESS_CYCLES_PER_NNZ = 4.0
+
+
+@dataclass
+class ConversionResult:
+    """Output of Algorithm 1: the table plus the reformatted operand."""
+
+    kernel: KernelType
+    omega: int
+    table: ConfigTable
+    matrix: AlreschaMatrix
+    bcsr: BCSRMatrix
+    #: Whether the data-path reordering of §4.1 was applied (False only
+    #: for the ablation).  Without it, a SymGS row's diagonal block
+    #: streams past before the row's trailing GEMV partials exist and
+    #: must be re-fetched, with two extra data-path toggles.
+    reordered: bool = True
+
+    @property
+    def n_entries(self) -> int:
+        return len(self.table)
+
+    @property
+    def n_dependent(self) -> int:
+        return sum(1 for e in self.table if e.dp.is_dependent)
+
+    @property
+    def n_parallel(self) -> int:
+        return self.n_entries - self.n_dependent
+
+    @property
+    def switch_count(self) -> int:
+        return self.table.switch_count()
+
+    def preprocess_cycles(self) -> float:
+        """One-time host-side conversion cost (linear in nnz)."""
+        return PREPROCESS_CYCLES_PER_NNZ * self.bcsr.nnz
+
+
+def _to_bcsr(matrix, omega: int) -> BCSRMatrix:
+    if isinstance(matrix, BCSRMatrix):
+        if matrix.omega != omega:
+            raise ConfigError(
+                f"matrix blocked at omega={matrix.omega}, requested {omega}"
+            )
+        return matrix
+    if isinstance(matrix, SparseFormat):
+        return BCSRMatrix.from_coo(COOMatrix.from_dense(matrix.to_dense()),
+                                   omega)
+    if hasattr(matrix, "tocoo"):
+        return BCSRMatrix.from_coo(COOMatrix.from_scipy(matrix), omega)
+    return BCSRMatrix.from_dense(matrix, omega)
+
+
+def convert(kernel: KernelType, matrix, omega: int = 8,
+            reorder: bool = True) -> ConversionResult:
+    """Run Algorithm 1.
+
+    Parameters
+    ----------
+    kernel:
+        Which sparse kernel the table implements.
+    matrix:
+        The sparse matrix operand (dense array, scipy.sparse, or any
+        :class:`~repro.formats.SparseFormat`).
+    omega:
+        Block width; the paper evaluates {8, 16, 32} and selects 8.
+    reorder:
+        For SymGS only: when True (the paper's design), all GEMV entries
+        of a block-row precede its D-SymGS entry.  When False (ablation),
+        entries follow the natural column order, interleaving the
+        dependent data path mid-row and multiplying the switch count.
+    """
+    if not isinstance(kernel, KernelType):
+        raise ConfigError(f"unknown kernel type {kernel!r}")
+    bcsr = _to_bcsr(matrix, omega)
+    if kernel is KernelType.SYMGS:
+        return _convert_symgs(kernel, bcsr, omega, reorder)
+    return _convert_straightforward(kernel, bcsr, omega)
+
+
+def _convert_straightforward(kernel: KernelType, bcsr: BCSRMatrix,
+                             omega: int) -> ConversionResult:
+    """Lines 8-12: SpMV/BFS/SSSP/PR lower 1:1 to their dense data path."""
+    table = ConfigTable(bcsr.shape[0], omega)
+    dp = kernel.datapath
+    for i in range(bcsr.n_block_rows):
+        for j, _blk in bcsr.block_row(i):
+            table.add(ConfigEntry(
+                dp=dp,
+                inx_in=j * omega,
+                inx_out=i * omega,
+                order=AccessOrder.L2R,
+                op=OperandPort.PORT1,
+                block_row=i,
+                block_col=j,
+            ))
+    alr = AlreschaMatrix.from_bcsr(bcsr, symgs_layout=False)
+    return ConversionResult(kernel, omega, table, alr, bcsr)
+
+
+def _convert_symgs(kernel: KernelType, bcsr: BCSRMatrix, omega: int,
+                   reorder: bool) -> ConversionResult:
+    """Lines 13-27: split SymGS into GEMV + D-SymGS entries."""
+    if bcsr.shape[0] != bcsr.shape[1]:
+        raise ConfigError(f"SymGS requires a square matrix, got {bcsr.shape}")
+    table = ConfigTable(bcsr.shape[0], omega)
+    for i in range(bcsr.n_block_rows):
+        gemvs = []
+        diag_entry: Optional[ConfigEntry] = None
+        natural = []
+        for j, _blk in bcsr.block_row(i):
+            if i != j:
+                entry = ConfigEntry(
+                    dp=DataPathType.GEMV,
+                    inx_in=j * omega,
+                    inx_out=NO_CACHE_WRITE,  # partials go to the link stack
+                    order=AccessOrder.L2R,
+                    op=(OperandPort.PORT1 if j < i else OperandPort.PORT2),
+                    block_row=i,
+                    block_col=j,
+                )
+                gemvs.append(entry)
+                natural.append(entry)
+            else:
+                diag_entry = ConfigEntry(
+                    dp=DataPathType.D_SYMGS,
+                    inx_in=i * omega,
+                    inx_out=i * omega,
+                    order=AccessOrder.R2L,
+                    op=OperandPort.PORT2,
+                    block_row=i,
+                    block_col=i,
+                )
+                natural.append(diag_entry)
+        if diag_entry is None and (gemvs or natural):
+            # A block row with off-diagonal content but an all-zero
+            # diagonal block would make the solve singular; Algorithm 1
+            # still emits the D-SymGS so the error surfaces at execution.
+            diag_entry = ConfigEntry(
+                dp=DataPathType.D_SYMGS,
+                inx_in=i * omega,
+                inx_out=i * omega,
+                order=AccessOrder.R2L,
+                op=OperandPort.PORT2,
+                block_row=i,
+                block_col=i,
+            )
+            natural.append(diag_entry)
+        if reorder:
+            for entry in gemvs:
+                table.add(entry)
+            if diag_entry is not None:
+                table.add(diag_entry)
+        else:
+            for entry in natural:
+                table.add(entry)
+    alr = AlreschaMatrix.from_bcsr(bcsr, symgs_layout=True)
+    return ConversionResult(kernel, omega, table, alr, bcsr,
+                            reordered=reorder)

@@ -1,0 +1,117 @@
+"""Device memory image: the *data interface* of Figure 7.
+
+Alongside the program binary (:mod:`repro.core.binary`), the host writes
+"the formatted data into the physical memory space of the accelerator
+through the data interface".  This module defines that image: a header,
+the separately stored diagonal (SymGS layouts), and the raw payload —
+the blocks' values laid out in exactly the stream order, so the
+accelerator's memory controller can replay it as a pure sequential
+stream.
+
+Together with the program binary, a device image makes a converted
+kernel fully self-contained: (binary, image) round-trips through bytes
+and reprograms an accelerator that produces bit-identical results.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.errors import FormatError
+from repro.formats.alrescha import AlreschaMatrix, StreamBlock
+
+#: Image magic: "ALRD".
+MAGIC = 0x414C5244
+
+_HEADER = ">IIIHBxH"  # magic, n_rows, n_cols, omega, flags, pad, reserved
+_FLAG_SYMGS = 0x1
+
+
+def encode_image(matrix: AlreschaMatrix) -> bytes:
+    """Serialise an Alrescha-formatted matrix to the device image."""
+    n_rows, n_cols = matrix.shape
+    flags = _FLAG_SYMGS if matrix.symgs_layout else 0
+    header = struct.pack(_HEADER, MAGIC, n_rows, n_cols, matrix.omega,
+                         flags, 0)
+    parts = [header]
+    # Block directory: count, then (row, col, diag-flag, reversed-flag)
+    # per block.  The directory is *programming-time* data (it shadows
+    # the configuration table) and is not streamed at runtime.
+    parts.append(struct.pack(">I", matrix.n_blocks))
+    for b in matrix.stream():
+        parts.append(struct.pack(">IIBB", b.block_row, b.block_col,
+                                 1 if b.is_diagonal else 0,
+                                 1 if b.reversed_cols else 0))
+    if matrix.symgs_layout:
+        diag = np.ascontiguousarray(matrix.diagonal, dtype=">f8")
+        parts.append(diag.tobytes())
+    payload = np.ascontiguousarray(matrix.payload(), dtype=">f8")
+    parts.append(payload.tobytes())
+    return b"".join(parts)
+
+
+def decode_image(data: bytes) -> AlreschaMatrix:
+    """Reconstruct the Alrescha matrix from a device image."""
+    header_size = struct.calcsize(_HEADER)
+    if len(data) < header_size:
+        raise FormatError("device image too short for header")
+    magic, n_rows, n_cols, omega, flags, _rsvd = struct.unpack(
+        _HEADER, data[:header_size])
+    if magic != MAGIC:
+        raise FormatError(f"bad device-image magic 0x{magic:08x}")
+    symgs = bool(flags & _FLAG_SYMGS)
+    pos = header_size
+    (n_blocks,) = struct.unpack(">I", data[pos:pos + 4])
+    pos += 4
+    directory = []
+    entry_size = struct.calcsize(">IIBB")
+    for _ in range(n_blocks):
+        if pos + entry_size > len(data):
+            raise FormatError("device image truncated in block directory")
+        row, col, is_diag, reversed_cols = struct.unpack(
+            ">IIBB", data[pos:pos + entry_size])
+        directory.append((row, col, bool(is_diag), bool(reversed_cols)))
+        pos += entry_size
+    diagonal: Optional[np.ndarray] = None
+    if symgs:
+        need = n_rows * 8
+        if pos + need > len(data):
+            raise FormatError("device image truncated in diagonal")
+        diagonal = np.frombuffer(
+            data[pos:pos + need], dtype=">f8").astype(np.float64)
+        pos += need
+    slots = n_blocks * omega * omega
+    need = slots * 8
+    if pos + need > len(data):
+        raise FormatError("device image truncated in payload")
+    payload = np.frombuffer(
+        data[pos:pos + need], dtype=">f8").astype(np.float64)
+    blocks = []
+    for i, (row, col, is_diag, reversed_cols) in enumerate(directory):
+        values = payload[i * omega * omega:(i + 1) * omega * omega] \
+            .reshape(omega, omega).copy()
+        blocks.append(StreamBlock(row, col, is_diag, reversed_cols,
+                                  values))
+    return AlreschaMatrix((n_rows, n_cols), omega, blocks, diagonal,
+                          symgs)
+
+
+def image_size_bytes(matrix: AlreschaMatrix) -> int:
+    """Size of the encoded device image."""
+    size = struct.calcsize(_HEADER) + 4 \
+        + matrix.n_blocks * struct.calcsize(">IIBB") \
+        + matrix.stored_values * 8
+    if matrix.symgs_layout:
+        size += matrix.shape[0] * 8
+    return size
+
+
+def roundtrip_check(matrix: AlreschaMatrix) -> Tuple[bool, float]:
+    """Encode+decode and report (exact?, max abs difference)."""
+    decoded = decode_image(encode_image(matrix))
+    diff = float(np.abs(decoded.to_dense() - matrix.to_dense()).max()) \
+        if matrix.shape[0] else 0.0
+    return diff == 0.0, diff

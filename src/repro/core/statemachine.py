@@ -1,0 +1,135 @@
+"""Kernel-level state machine (Figure 8's PCG example).
+
+Figure 8 shows the outcome of Algorithm 1 at the *algorithm* level: PCG
+becomes a state machine over its sparse kernels — SymGS and SpMV run on
+the accelerator, the dot-product/vector state stays on the host-side
+vector unit — and execution walks the transitions every iteration.
+
+:class:`KernelStateMachine` encodes that: named states, each bound to a
+kernel class (accelerated or host), with transitions; it validates the
+walk an algorithm actually performs and accounts the kernel-to-kernel
+switches (which Alrescha's reconfigurability makes cheap, §5.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.errors import ConfigError
+
+#: Kernel classes a state can bind to.
+ACCELERATED = "accelerated"
+HOST = "host"
+
+
+@dataclass(frozen=True)
+class KernelState:
+    """One state: a kernel launch target."""
+
+    name: str
+    kind: str          # ACCELERATED | HOST
+    kernel: str        # e.g. "symgs", "spmv", "dot", "waxpby"
+
+    def __post_init__(self) -> None:
+        if self.kind not in (ACCELERATED, HOST):
+            raise ConfigError(f"invalid state kind {self.kind!r}")
+
+
+@dataclass
+class KernelStateMachine:
+    """States + transitions, with a walk recorder."""
+
+    states: Dict[str, KernelState] = field(default_factory=dict)
+    transitions: Set[Tuple[str, str]] = field(default_factory=set)
+    _walk: List[str] = field(default_factory=list)
+
+    def add_state(self, name: str, kind: str, kernel: str) -> None:
+        if name in self.states:
+            raise ConfigError(f"duplicate state {name!r}")
+        self.states[name] = KernelState(name, kind, kernel)
+
+    def add_transition(self, src: str, dst: str) -> None:
+        for s in (src, dst):
+            if s not in self.states:
+                raise ConfigError(f"unknown state {s!r}")
+        self.transitions.add((src, dst))
+
+    # ------------------------------------------------------------------
+    # Walking
+    # ------------------------------------------------------------------
+    def visit(self, name: str) -> None:
+        """Record entering a state; validates the transition."""
+        if name not in self.states:
+            raise ConfigError(f"unknown state {name!r}")
+        if self._walk and (self._walk[-1], name) not in self.transitions:
+            raise ConfigError(
+                f"illegal transition {self._walk[-1]!r} -> {name!r}"
+            )
+        self._walk.append(name)
+
+    @property
+    def walk(self) -> List[str]:
+        return list(self._walk)
+
+    def accelerator_switches(self) -> int:
+        """Kernel switches *on the accelerator*: consecutive accelerated
+        states with different kernels (host states in between do not
+        reset the accelerator's configuration)."""
+        switches = 0
+        last_acc: Optional[str] = None
+        for name in self._walk:
+            state = self.states[name]
+            if state.kind != ACCELERATED:
+                continue
+            if last_acc is not None and state.kernel != last_acc:
+                switches += 1
+            last_acc = state.kernel
+        return switches
+
+    def reset_walk(self) -> None:
+        self._walk.clear()
+
+
+def pcg_state_machine() -> KernelStateMachine:
+    """The Figure 8 state machine for PCG (Figure 2's loop).
+
+    Accelerated states: SymGS (the preconditioner) and SpMV; host
+    states: the dot products and vector updates.  Transitions follow
+    the Figure 2 loop body.
+    """
+    sm = KernelStateMachine()
+    sm.add_state("init_residual", ACCELERATED, "spmv")
+    sm.add_state("precondition", ACCELERATED, "symgs")
+    sm.add_state("direction_update", HOST, "waxpby")
+    sm.add_state("apply_a", ACCELERATED, "spmv")
+    sm.add_state("alpha", HOST, "dot")
+    sm.add_state("solution_update", HOST, "waxpby")
+    sm.add_state("residual_update", HOST, "waxpby")
+    sm.add_state("convergence_check", HOST, "dot")
+    sm.add_transition("init_residual", "precondition")
+    sm.add_transition("precondition", "direction_update")
+    sm.add_transition("direction_update", "apply_a")
+    sm.add_transition("apply_a", "alpha")
+    sm.add_transition("alpha", "solution_update")
+    sm.add_transition("solution_update", "residual_update")
+    sm.add_transition("residual_update", "convergence_check")
+    sm.add_transition("convergence_check", "precondition")  # next iter
+    return sm
+
+
+def walk_pcg(sm: KernelStateMachine, iterations: int) -> None:
+    """Record the Figure 2 walk for ``iterations`` loop bodies."""
+    if iterations < 1:
+        raise ConfigError("need at least one iteration")
+    sm.visit("init_residual")
+    sm.visit("precondition")
+    sm.visit("direction_update")
+    for _ in range(iterations):
+        sm.visit("apply_a")
+        sm.visit("alpha")
+        sm.visit("solution_update")
+        sm.visit("residual_update")
+        sm.visit("convergence_check")
+        sm.visit("precondition")
+        sm.visit("direction_update")

@@ -1,0 +1,169 @@
+"""The RCU's configurable switch, as explicit interconnect state.
+
+Figure 9 of the paper draws one concrete RCU configuration per dense
+data path: which cache ports, FIFOs, PEs and tree taps are wired to
+which ALU-row inputs and outputs.  This module makes those
+configurations first-class:
+
+* a fixed set of RCU *units* (endpoints the switch can wire),
+* one :class:`SwitchConfiguration` (a set of directed connections) per
+  data path, transcribed from Figure 9b/c/d,
+* a :class:`ConfigurableSwitch` that installs configurations and counts
+  the *toggled* connections per switch — the Hamming distance between
+  consecutive configurations — which is the physically meaningful
+  reconfiguration activity (and what the energy model should charge,
+  rather than a flat per-switch constant).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Optional, Tuple
+
+from repro.errors import ReconfigurationError
+from repro.core.config import DataPathType
+
+#: Endpoints the configurable switch can wire together.
+UNITS = frozenset({
+    "cache_port1",     # x^t (the vector being produced)
+    "cache_port2",     # x^{t-1} (the previous iterate)
+    "cache_b",         # right-hand side / property vector
+    "cache_diag",      # extracted diagonal (SymGS)
+    "fifo_a",          # matrix-payload FIFO
+    "fifo_b",          # b-operand FIFO
+    "link_stack",      # LIFO coupling GEMV partials into D-SymGS
+    "alu_in",          # matrix-side ALU-row operand bus
+    "alu_vec_in",      # vector-side ALU-row operand bus
+    "tree_out",        # reduction-tree output
+    "pe_div",
+    "pe_sub",
+    "pe_add",
+    "pe_min",
+    "forward_path",    # x_j^t feedback into the operand shift register
+    "out_port",        # result write-back port
+})
+
+Connection = Tuple[str, str]
+
+
+def _conn(*pairs: Connection) -> FrozenSet[Connection]:
+    for src, dst in pairs:
+        if src not in UNITS or dst not in UNITS:
+            raise ReconfigurationError(
+                f"unknown switch endpoint in ({src!r}, {dst!r})"
+            )
+    return frozenset(pairs)
+
+
+@dataclass(frozen=True)
+class SwitchConfiguration:
+    """One data path's interconnect (a set of directed connections)."""
+
+    datapath: DataPathType
+    connections: FrozenSet[Connection]
+
+    def toggles_from(self, other: Optional["SwitchConfiguration"]) -> int:
+        """Connections that must change state to get here from
+        ``other`` (symmetric difference; from scratch if None)."""
+        if other is None:
+            return len(self.connections)
+        return len(self.connections ^ other.connections)
+
+
+#: Figure 9b: D-SymGS — the dot-product operands come from the FIFO and
+#: the rotating x register (fed by the forward path); the tree output
+#: runs through the subtract/divide PEs against b and the diagonal, and
+#: the fresh x_j^t re-enters the operand register.
+_DSYMGS = SwitchConfiguration(DataPathType.D_SYMGS, _conn(
+    ("fifo_a", "alu_in"),
+    ("cache_port2", "alu_vec_in"),      # initialisation with x^{t-1}
+    ("forward_path", "alu_vec_in"),     # then the shift-in of x^t
+    ("link_stack", "pe_add"),           # GEMV partials join the sum
+    ("tree_out", "pe_add"),
+    ("cache_b", "pe_sub"),
+    ("pe_add", "pe_sub"),
+    ("pe_sub", "pe_div"),
+    ("cache_diag", "pe_div"),
+    ("pe_div", "forward_path"),
+    ("pe_div", "out_port"),
+))
+
+#: Figure 9c: GEMV — pure streaming dot products; partials go to the
+#: link stack (SymGS context) or accumulate to the output port.
+_GEMV = SwitchConfiguration(DataPathType.GEMV, _conn(
+    ("fifo_a", "alu_in"),
+    ("cache_port1", "alu_vec_in"),
+    ("cache_port2", "alu_vec_in"),
+    ("tree_out", "link_stack"),
+    ("tree_out", "out_port"),
+))
+
+#: Figure 9d: D-PR — the operand is rank/out-degree through the divide
+#: PE, reduced by sum, then damped (multiply-add) on write-back.
+_DPR = SwitchConfiguration(DataPathType.D_PR, _conn(
+    ("fifo_a", "alu_in"),
+    ("cache_port1", "pe_div"),          # rank
+    ("cache_port2", "pe_div"),          # out-degree
+    ("pe_div", "alu_vec_in"),
+    ("tree_out", "pe_add"),             # damping update
+    ("pe_add", "out_port"),
+))
+
+#: D-BFS / D-SSSP: min-plus — the adder row combines dist + weight and
+#: the min tree reduces; compare-and-update through the min PE.
+_DBFS = SwitchConfiguration(DataPathType.D_BFS, _conn(
+    ("fifo_a", "alu_in"),
+    ("cache_port1", "alu_vec_in"),
+    ("tree_out", "pe_min"),
+    ("cache_b", "pe_min"),              # current distance for compare
+    ("pe_min", "out_port"),
+))
+
+_DSSSP = SwitchConfiguration(DataPathType.D_SSSP, _conn(
+    ("fifo_a", "alu_in"),
+    ("cache_port1", "alu_vec_in"),
+    ("tree_out", "pe_min"),
+    ("cache_b", "pe_min"),
+    ("pe_min", "out_port"),
+))
+
+CONFIGURATIONS: Dict[DataPathType, SwitchConfiguration] = {
+    DataPathType.D_SYMGS: _DSYMGS,
+    DataPathType.GEMV: _GEMV,
+    DataPathType.D_PR: _DPR,
+    DataPathType.D_BFS: _DBFS,
+    DataPathType.D_SSSP: _DSSSP,
+}
+
+
+@dataclass
+class ConfigurableSwitch:
+    """Holds the installed configuration and counts toggle activity."""
+
+    current: Optional[SwitchConfiguration] = None
+    total_toggles: int = 0
+    installs: int = 0
+    _history: list = field(default_factory=list, repr=False)
+
+    def install(self, dp: DataPathType) -> int:
+        """Install ``dp``'s configuration; returns connections toggled."""
+        if dp not in CONFIGURATIONS:
+            raise ReconfigurationError(f"no switch configuration for {dp}")
+        target = CONFIGURATIONS[dp]
+        if self.current is target:
+            return 0
+        toggles = target.toggles_from(self.current)
+        self.current = target
+        self.total_toggles += toggles
+        self.installs += 1
+        self._history.append((dp, toggles))
+        return toggles
+
+    @property
+    def history(self) -> list:
+        return list(self._history)
+
+
+def switch_distance(a: DataPathType, b: DataPathType) -> int:
+    """Connections differing between two data paths' configurations."""
+    return CONFIGURATIONS[a].toggles_from(CONFIGURATIONS[b])

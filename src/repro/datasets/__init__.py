@@ -1,0 +1,45 @@
+"""Synthetic datasets standing in for SuiteSparse / SNAP collections.
+
+Scientific matrices (Figure 14 analogues) and graph datasets (Table 3
+analogues), all generated deterministically at a configurable scale.
+"""
+
+from repro.datasets.graphs import (
+    clustered_power_law,
+    out_degrees,
+    preferential_attachment,
+    rmat,
+    road_grid,
+)
+from repro.datasets.registry import Dataset, list_datasets, load_dataset
+from repro.datasets.scientific import (
+    banded,
+    circuit_like,
+    random_spd,
+    stencil5,
+    stencil7,
+    stencil27,
+    structural_like,
+    thermal_like,
+    tridiagonal,
+)
+
+__all__ = [
+    "Dataset",
+    "banded",
+    "circuit_like",
+    "clustered_power_law",
+    "list_datasets",
+    "load_dataset",
+    "out_degrees",
+    "preferential_attachment",
+    "random_spd",
+    "rmat",
+    "road_grid",
+    "stencil27",
+    "stencil5",
+    "stencil7",
+    "structural_like",
+    "thermal_like",
+    "tridiagonal",
+]

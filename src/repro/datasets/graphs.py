@@ -1,0 +1,167 @@
+"""Synthetic graph datasets (Table 3 substitutes).
+
+The paper's graph suite (com-orkut, hollywood-2009, kron-g500,
+roadNet-CA, LiveJournal, Youtube, Pokec, sx-stackoverflow) spans three
+structural families that determine accelerator behaviour: heavy-tailed
+social/web graphs (RMAT / preferential attachment), near-planar road
+networks (grid-like, huge diameter), and clustered collaboration graphs.
+Each generator reproduces one family at laptop scale, returning a
+*directed, weighted* adjacency matrix in scipy CSR form
+(``A[u, v] = w`` for edge u -> v; weights are 1.0 for unweighted use).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.errors import DatasetError
+
+
+def _dedup_edges(src: np.ndarray, dst: np.ndarray,
+                 n: int) -> tuple[np.ndarray, np.ndarray]:
+    """Drop self-loops and duplicate edges."""
+    keep = src != dst
+    src, dst = src[keep], dst[keep]
+    keys = src.astype(np.int64) * n + dst
+    _, first = np.unique(keys, return_index=True)
+    return src[first], dst[first]
+
+
+def _weights(n_edges: int, weighted: bool, rng) -> np.ndarray:
+    if weighted:
+        return rng.uniform(1.0, 10.0, size=n_edges)
+    return np.ones(n_edges, dtype=np.float64)
+
+
+def rmat(scale: int, edge_factor: int = 8,
+         probs: tuple = (0.57, 0.19, 0.19, 0.05),
+         weighted: bool = False, seed: int = 1) -> sp.csr_matrix:
+    """Recursive-MATrix (Kronecker) generator — kron-g500 analogue.
+
+    Produces the heavy-tailed degree distribution of Graph500 matrices;
+    ``scale`` is log2 of the vertex count.
+    """
+    if scale <= 0 or scale > 22:
+        raise DatasetError(f"rmat scale {scale} out of supported range")
+    if abs(sum(probs) - 1.0) > 1e-9:
+        raise DatasetError("rmat quadrant probabilities must sum to 1")
+    rng = np.random.default_rng(seed)
+    n = 1 << scale
+    n_edges = n * edge_factor
+    a, b, c, _d = probs
+    src = np.zeros(n_edges, dtype=np.int64)
+    dst = np.zeros(n_edges, dtype=np.int64)
+    for bit in range(scale):
+        r = rng.random(n_edges)
+        go_right = (r >= a) & (r < a + b)
+        go_down = (r >= a + b) & (r < a + b + c)
+        go_diag = r >= a + b + c
+        src += ((go_down | go_diag).astype(np.int64)) << bit
+        dst += ((go_right | go_diag).astype(np.int64)) << bit
+    src, dst = _dedup_edges(src, dst, n)
+    w = _weights(src.size, weighted, rng)
+    return sp.coo_matrix((w, (src, dst)), shape=(n, n)).tocsr()
+
+
+def preferential_attachment(n: int, m: int = 4, weighted: bool = False,
+                            seed: int = 2) -> sp.csr_matrix:
+    """Barabasi-Albert-style power-law graph — social-network analogue
+    (com-orkut / LiveJournal / Pokec / Youtube)."""
+    if n <= m or m <= 0:
+        raise DatasetError(f"need n > m > 0, got n={n}, m={m}")
+    rng = np.random.default_rng(seed)
+    targets = list(range(m))
+    repeated: list = list(range(m))
+    src_list, dst_list = [], []
+    for v in range(m, n):
+        chosen = set()
+        while len(chosen) < m:
+            chosen.add(int(repeated[rng.integers(0, len(repeated))]))
+        for t in chosen:
+            src_list.append(v)
+            dst_list.append(t)
+            repeated.append(t)
+        repeated.extend([v] * m)
+    src = np.asarray(src_list, dtype=np.int64)
+    dst = np.asarray(dst_list, dtype=np.int64)
+    # Make it directed both ways with probability 1/2 each direction,
+    # mimicking follower-style social graphs.
+    flip = rng.random(src.size) < 0.5
+    src2 = np.concatenate([src, dst[flip]])
+    dst2 = np.concatenate([dst, src[flip]])
+    src2, dst2 = _dedup_edges(src2, dst2, n)
+    w = _weights(src2.size, weighted, rng)
+    return sp.coo_matrix((w, (src2, dst2)), shape=(n, n)).tocsr()
+
+
+def road_grid(nx: int, ny: int, extra_prob: float = 0.05,
+              weighted: bool = True, seed: int = 3) -> sp.csr_matrix:
+    """Near-planar road-network analogue (roadNet-CA).
+
+    A 2-D lattice with bidirectional edges plus a sprinkling of diagonal
+    shortcuts; max degree ~4, enormous diameter — the opposite regime
+    from the social graphs.
+    """
+    if nx <= 1 or ny <= 1:
+        raise DatasetError("road grid needs nx, ny > 1")
+    rng = np.random.default_rng(seed)
+    n = nx * ny
+    idx = np.arange(n)
+    iy, ix = idx // nx, idx % nx
+    src_list, dst_list = [], []
+    for dy, dx in ((0, 1), (1, 0)):
+        jx, jy = ix + dx, iy + dy
+        ok = (jx < nx) & (jy < ny)
+        u, v = idx[ok], jy[ok] * nx + jx[ok]
+        src_list.extend([u, v])
+        dst_list.extend([v, u])
+    # Diagonal shortcuts.
+    jx, jy = ix + 1, iy + 1
+    ok = (jx < nx) & (jy < ny) & (rng.random(n) < extra_prob)
+    u, v = idx[ok], jy[ok] * nx + jx[ok]
+    src_list.extend([u, v])
+    dst_list.extend([v, u])
+    src = np.concatenate(src_list)
+    dst = np.concatenate(dst_list)
+    src, dst = _dedup_edges(src, dst, n)
+    w = _weights(src.size, weighted, rng)
+    return sp.coo_matrix((w, (src, dst)), shape=(n, n)).tocsr()
+
+
+def clustered_power_law(n: int, cluster_size: int = 32, m: int = 3,
+                        weighted: bool = False,
+                        seed: int = 4) -> sp.csr_matrix:
+    """Dense-cluster power-law graph — hollywood-2009 / stackoverflow
+    analogue: collaboration cliques joined by a heavy-tailed backbone."""
+    if cluster_size <= 1 or n <= cluster_size:
+        raise DatasetError("need n > cluster_size > 1")
+    rng = np.random.default_rng(seed)
+    src_list, dst_list = [], []
+    # Dense intra-cluster connections (actors in the same movie).
+    for start in range(0, n, cluster_size):
+        members = np.arange(start, min(start + cluster_size, n))
+        if members.size < 2:
+            continue
+        k = min(members.size - 1, 10)
+        for u in members:
+            nb = rng.choice(members, size=k, replace=False)
+            src_list.append(np.full(nb.size, u))
+            dst_list.append(nb)
+    # Power-law backbone between clusters.
+    backbone = preferential_attachment(
+        max(2 * m + 1, n // cluster_size), m=m, seed=seed + 1
+    ).tocoo()
+    scale_up = cluster_size
+    src_list.append(backbone.row * scale_up % n)
+    dst_list.append(backbone.col * scale_up % n)
+    src = np.concatenate(src_list)
+    dst = np.concatenate(dst_list)
+    src, dst = _dedup_edges(src, dst, n)
+    w = _weights(src.size, weighted, rng)
+    return sp.coo_matrix((w, (src, dst)), shape=(n, n)).tocsr()
+
+
+def out_degrees(adj: sp.csr_matrix) -> np.ndarray:
+    """Out-degree vector of a directed adjacency matrix."""
+    return np.asarray((adj != 0).sum(axis=1)).ravel().astype(np.float64)

@@ -1,0 +1,44 @@
+"""Exception hierarchy for the ALRESCHA reproduction.
+
+Every error raised by :mod:`repro` derives from :class:`ReproError`, so
+callers can catch a single base class at API boundaries while tests can
+assert on precise subclasses.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` package."""
+
+
+class FormatError(ReproError):
+    """A sparse-matrix storage format was malformed or misused."""
+
+
+class ShapeError(FormatError):
+    """Operands have incompatible or unsupported shapes."""
+
+
+class ConfigError(ReproError):
+    """An accelerator configuration table or entry is invalid."""
+
+
+class SimulationError(ReproError):
+    """The cycle-level simulation reached an inconsistent state."""
+
+
+class ReconfigurationError(SimulationError):
+    """The RCU was asked to perform an illegal reconfiguration."""
+
+
+class ConvergenceError(ReproError):
+    """An iterative solver failed to converge within its budget."""
+
+
+class DatasetError(ReproError):
+    """A dataset could not be generated or looked up."""
+
+
+class BaselineError(ReproError):
+    """A baseline performance/energy model was misconfigured."""

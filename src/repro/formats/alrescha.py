@@ -1,0 +1,249 @@
+"""The Alrescha locally-dense storage format (§4.5, Figure 13).
+
+The format adapts BCSR with three changes, each dictated by the compute
+order of the dense data paths:
+
+* **Order of blocks** — all non-diagonal non-zero blocks of a block-row
+  are stored together, followed by that row's diagonal block.  This is
+  the reordering that lets the accelerator run every GEMV of a block-row
+  back-to-back and only then switch (once) to the dependent D-SymGS.
+* **Order of values** — the values of non-diagonal blocks in the *upper*
+  triangle are stored with their columns reversed ("the opposite order of
+  their original locations"), because the D-SymGS pipeline inserts newly
+  produced ``x_j^t`` values by shifting the multiplier operands right, so
+  the live ``x^t`` chunk sits in reversed order.
+* **Diagonal elements** — for SymGS, the main diagonal of ``A`` is
+  excluded from the diagonal blocks and stored separately (it is consumed
+  by the PE divide, not the dot-product stream).
+
+Meta-data (block indices = ``Inx_in``/``Inx_out``) is *not* streamed at
+runtime; it lives in the configuration table written once at programming
+time, so the full memory bandwidth carries payload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Tuple
+
+import numpy as np
+
+from repro.errors import FormatError
+from repro.formats.base import SparseFormat, index_bits
+from repro.formats.bcsr import BCSRMatrix
+from repro.formats.coo import COOMatrix
+
+
+@dataclass(frozen=True)
+class StreamBlock:
+    """One locally-dense block, in stream order.
+
+    ``values`` holds the block exactly as laid out in memory: for
+    reversed blocks this is the column-flipped image of the original
+    block, and for SymGS diagonal blocks the main diagonal has been
+    zeroed out (it lives in :attr:`AlreschaMatrix.diagonal` instead).
+    """
+
+    block_row: int
+    block_col: int
+    is_diagonal: bool
+    reversed_cols: bool
+    values: np.ndarray
+
+    @property
+    def original_values(self) -> np.ndarray:
+        """The block as it appears in the source matrix (diag still
+        excluded for SymGS diagonal blocks)."""
+        if self.reversed_cols:
+            return self.values[:, ::-1]
+        return self.values
+
+
+class AlreschaMatrix(SparseFormat):
+    """Locally-dense Alrescha storage of a square sparse matrix."""
+
+    name = "Alrescha"
+
+    def __init__(self, shape: Tuple[int, int], omega: int,
+                 stream: List[StreamBlock], diagonal: np.ndarray | None,
+                 symgs_layout: bool) -> None:
+        self._shape = (int(shape[0]), int(shape[1]))
+        self.omega = int(omega)
+        self._stream = list(stream)
+        self.diagonal = diagonal
+        self.symgs_layout = bool(symgs_layout)
+        if symgs_layout and diagonal is None:
+            raise FormatError("SymGS layout requires the extracted diagonal")
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_bcsr(cls, bcsr: BCSRMatrix,
+                  symgs_layout: bool = False) -> "AlreschaMatrix":
+        """Reformat a BCSR matrix into Alrescha stream order.
+
+        ``symgs_layout=True`` applies all three format changes (block
+        reordering with diagonal-last, upper-block column reversal, and
+        diagonal extraction).  With ``False`` — the layout used by SpMV
+        and the graph kernels — blocks keep BCSR's in-row order and only
+        the meta-data-free streaming property applies.
+        """
+        n_rows, n_cols = bcsr.shape
+        if symgs_layout and n_rows != n_cols:
+            raise FormatError("SymGS layout requires a square matrix")
+        stream: List[StreamBlock] = []
+        diagonal = None
+        if symgs_layout:
+            diagonal = np.zeros(n_rows, dtype=np.float64)
+        w = bcsr.omega
+        for i in range(bcsr.n_block_rows):
+            non_diag: List[StreamBlock] = []
+            diag_block: StreamBlock | None = None
+            for j, blk in bcsr.block_row(i):
+                if symgs_layout and j == i:
+                    body = blk.copy()
+                    d = np.diag(body).copy()
+                    lo = i * w
+                    diagonal[lo: lo + min(w, n_rows - lo)] = \
+                        d[: min(w, n_rows - lo)]
+                    np.fill_diagonal(body, 0.0)
+                    diag_block = StreamBlock(i, j, True, False, body)
+                elif symgs_layout and j > i:
+                    # Upper-triangle block: store columns reversed.
+                    non_diag.append(
+                        StreamBlock(i, j, False, True, blk[:, ::-1].copy())
+                    )
+                else:
+                    non_diag.append(
+                        StreamBlock(i, j, False, False, blk.copy())
+                    )
+            stream.extend(non_diag)
+            if diag_block is not None:
+                stream.append(diag_block)
+            elif symgs_layout:
+                # SymGS needs a diagonal data path per block row even if
+                # the source block was empty (diag values may still be
+                # implicit zeros -> the solve would be singular; callers
+                # validate).  Only create it when the block row is not
+                # entirely absent from the matrix.
+                if non_diag:
+                    stream.append(StreamBlock(
+                        i, i, True, False, np.zeros((w, w))
+                    ))
+        return cls(bcsr.shape, bcsr.omega, stream, diagonal, symgs_layout)
+
+    @classmethod
+    def from_coo(cls, coo: COOMatrix, omega: int,
+                 symgs_layout: bool = False) -> "AlreschaMatrix":
+        return cls.from_bcsr(BCSRMatrix.from_coo(coo, omega), symgs_layout)
+
+    @classmethod
+    def from_dense(cls, dense, omega: int,
+                   symgs_layout: bool = False) -> "AlreschaMatrix":
+        return cls.from_coo(COOMatrix.from_dense(dense), omega, symgs_layout)
+
+    # ------------------------------------------------------------------
+    # Stream access
+    # ------------------------------------------------------------------
+    def stream(self) -> Iterator[StreamBlock]:
+        """Blocks in the exact order they stream from memory."""
+        return iter(self._stream)
+
+    def payload(self) -> np.ndarray:
+        """The 1-D value stream as laid out in physical memory."""
+        if not self._stream:
+            return np.zeros(0, dtype=np.float64)
+        return np.concatenate([b.values.ravel() for b in self._stream])
+
+    @property
+    def payload_bytes(self) -> int:
+        """Bytes streamed per pass over the matrix (8 B doubles)."""
+        return self.n_blocks * self.omega * self.omega * 8
+
+    @property
+    def n_blocks(self) -> int:
+        return len(self._stream)
+
+    @property
+    def n_block_rows(self) -> int:
+        return -(-self._shape[0] // self.omega)
+
+    @property
+    def n_diagonal_blocks(self) -> int:
+        return sum(1 for b in self._stream if b.is_diagonal)
+
+    # ------------------------------------------------------------------
+    # SparseFormat API
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> Tuple[int, int]:
+        return self._shape
+
+    @property
+    def nnz(self) -> int:
+        in_blocks = int(sum(np.count_nonzero(b.values) for b in self._stream))
+        if self.diagonal is not None:
+            in_blocks += int(np.count_nonzero(self.diagonal))
+        return in_blocks
+
+    @property
+    def stored_values(self) -> int:
+        """Streamed slots per pass (dense blocks, zeros included)."""
+        return self.n_blocks * self.omega * self.omega
+
+    @property
+    def block_density(self) -> float:
+        if not self.n_blocks:
+            return 0.0
+        return self.nnz / max(1, self.stored_values +
+                              (self._shape[0] if self.diagonal is not None
+                               else 0))
+
+    def to_dense(self) -> np.ndarray:
+        w = self.omega
+        n_rows, n_cols = self._shape
+        nbr = -(-n_rows // w)
+        nbc = -(-n_cols // w)
+        padded = np.zeros((nbr * w, nbc * w), dtype=np.float64)
+        for b in self._stream:
+            padded[
+                b.block_row * w:(b.block_row + 1) * w,
+                b.block_col * w:(b.block_col + 1) * w,
+            ] += b.original_values
+        dense = padded[:n_rows, :n_cols]
+        if self.diagonal is not None:
+            dense = dense.copy()
+            idx = np.arange(min(n_rows, n_cols))
+            dense[idx, idx] += self.diagonal[: idx.size]
+        return dense
+
+    def metadata_bits(self) -> int:
+        """Same budget as BCSR: a block index per block + row pointers.
+
+        The crucial difference is *where* the bits live: they are written
+        once into the configuration table (``Inx_in``/``Inx_out``) during
+        programming and never streamed with the payload.
+        """
+        col_bits = index_bits(-(-self._shape[1] // self.omega))
+        ptr_bits = index_bits(max(self.n_blocks, 1) + 1)
+        return self.n_blocks * col_bits + (self.n_block_rows + 1) * ptr_bits
+
+    def runtime_metadata_bits(self) -> int:
+        """Meta-data streamed alongside payload at runtime: none."""
+        return 0
+
+    def block_rows(self) -> Iterator[Tuple[int, List[StreamBlock]]]:
+        """Group the stream by block-row, preserving stream order."""
+        current: List[StreamBlock] = []
+        current_row: int | None = None
+        for b in self._stream:
+            if current_row is None or b.block_row == current_row:
+                current.append(b)
+                current_row = b.block_row
+            else:
+                yield current_row, current
+                current = [b]
+                current_row = b.block_row
+        if current_row is not None:
+            yield current_row, current

@@ -1,0 +1,98 @@
+"""Common machinery for sparse-matrix storage formats.
+
+Every format in :mod:`repro.formats` is written from scratch (scipy is
+used by callers to *build* matrices, never to represent them here) and
+answers the two questions the paper cares about:
+
+1. the functional content — ``to_dense()`` / ``spmv()`` round-trips, and
+2. the meta-data cost — ``metadata_bits()``, the quantity behind the
+   storage-format spectrum of Figure 12 ("meta-data per non-zero").
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import ShapeError
+
+
+def index_bits(extent: int) -> int:
+    """Bits required to address ``extent`` distinct positions.
+
+    A 1-element extent still needs one bit in a real encoding, so the
+    result is at least 1 for positive extents.
+    """
+    if extent <= 0:
+        return 0
+    return max(1, math.ceil(math.log2(extent))) if extent > 1 else 1
+
+
+def as_dense(matrix) -> np.ndarray:
+    """Coerce a dense array / scipy matrix / SparseFormat to ndarray."""
+    if isinstance(matrix, SparseFormat):
+        return matrix.to_dense()
+    if hasattr(matrix, "toarray"):  # scipy.sparse
+        return np.asarray(matrix.toarray(), dtype=np.float64)
+    return np.asarray(matrix, dtype=np.float64)
+
+
+class SparseFormat(ABC):
+    """Abstract base for the storage formats implemented in this package."""
+
+    #: Human-readable name used in Figure-12 style reports.
+    name: str = "abstract"
+
+    @property
+    @abstractmethod
+    def shape(self) -> Tuple[int, int]:
+        """``(rows, cols)`` of the represented matrix."""
+
+    @property
+    @abstractmethod
+    def nnz(self) -> int:
+        """Number of explicitly stored non-zero values."""
+
+    @abstractmethod
+    def to_dense(self) -> np.ndarray:
+        """Materialise the matrix as a dense ``float64`` array."""
+
+    @abstractmethod
+    def metadata_bits(self) -> int:
+        """Total bits of meta-data (indices, pointers, offsets).
+
+        Payload bits (the values themselves) are excluded; Figure 12
+        compares formats by meta-data per non-zero.
+        """
+
+    def metadata_bits_per_nnz(self) -> float:
+        """Meta-data bits divided by stored non-zeros (Figure 12 metric)."""
+        if self.nnz == 0:
+            return 0.0
+        return self.metadata_bits() / self.nnz
+
+    def spmv(self, x: np.ndarray) -> np.ndarray:
+        """Reference sparse matrix-vector product ``A @ x``.
+
+        Formats override this with an implementation that follows their
+        own layout; the base implementation goes through the dense form
+        and exists so every format is at least functionally complete.
+        """
+        x = np.asarray(x, dtype=np.float64)
+        self._check_vector(x)
+        return self.to_dense() @ x
+
+    def _check_vector(self, x: np.ndarray) -> None:
+        if x.ndim != 1 or x.shape[0] != self.shape[1]:
+            raise ShapeError(
+                f"operand of shape {x.shape} incompatible with matrix "
+                f"{self.shape}"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        r, c = self.shape
+        return (f"{type(self).__name__}(shape=({r}, {c}), nnz={self.nnz}, "
+                f"meta={self.metadata_bits_per_nnz():.2f} b/nnz)")

@@ -1,0 +1,205 @@
+"""Blocked CSR (BCSR) storage format.
+
+BCSR "assigns the column indices and row pointers to blocks of non-zero
+values" (§4.5) — the right meta-data budget for matrices with spatial
+locality, and the starting point of the Alrescha format (Figure 13),
+which keeps BCSR's meta-data cost but reorders blocks and in-block values
+to match the compute order.
+
+Blocks are ω x ω and dense (explicit zeros inside a non-empty block are
+stored); matrices whose dimensions are not multiples of ω are logically
+zero-padded.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.errors import FormatError
+from repro.formats.base import SparseFormat, index_bits
+from repro.formats.coo import COOMatrix
+
+
+class BCSRMatrix(SparseFormat):
+    """Blocked-CSR matrix with square dense blocks of width ``omega``."""
+
+    name = "BCSR"
+
+    def __init__(self, shape: Tuple[int, int], omega: int,
+                 block_indptr: np.ndarray, block_cols: np.ndarray,
+                 blocks: np.ndarray) -> None:
+        if omega <= 0:
+            raise FormatError(f"block width must be positive, got {omega}")
+        block_indptr = np.asarray(block_indptr, dtype=np.int64)
+        block_cols = np.asarray(block_cols, dtype=np.int64)
+        blocks = np.asarray(blocks, dtype=np.float64)
+        n_rows, n_cols = int(shape[0]), int(shape[1])
+        n_block_rows = -(-n_rows // omega)
+        n_block_cols = -(-n_cols // omega)
+        if block_indptr.size != n_block_rows + 1:
+            raise FormatError(
+                f"block_indptr must have {n_block_rows + 1} entries"
+            )
+        if block_indptr[0] != 0 or np.any(np.diff(block_indptr) < 0):
+            raise FormatError("block_indptr must start at 0, non-decreasing")
+        if blocks.ndim != 3 or blocks.shape[1:] != (omega, omega):
+            raise FormatError(
+                f"blocks must be (n, {omega}, {omega}), got {blocks.shape}"
+            )
+        if block_cols.size != blocks.shape[0]:
+            raise FormatError("one column index required per block")
+        if int(block_indptr[-1]) != blocks.shape[0]:
+            raise FormatError("block_indptr[-1] must equal block count")
+        if block_cols.size and (
+            block_cols.min() < 0 or block_cols.max() >= n_block_cols
+        ):
+            raise FormatError("block column index out of range")
+        self._shape = (n_rows, n_cols)
+        self.omega = int(omega)
+        self.block_indptr = block_indptr
+        self.block_cols = block_cols
+        self.blocks = blocks
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_coo(cls, coo: COOMatrix, omega: int) -> "BCSRMatrix":
+        if omega <= 0:
+            raise FormatError(f"block width must be positive, got {omega}")
+        n_rows, n_cols = coo.shape
+        n_block_rows = -(-n_rows // omega)
+        br = coo.rows // omega
+        bc = coo.cols // omega
+        # Group non-zeros by (block-row, block-col); COO order is already
+        # row-major so a lexsort on (bc, br) yields block-row-major order.
+        order = np.lexsort((bc, br))
+        br_s, bc_s = br[order], bc[order]
+        rows_s, cols_s, vals_s = (
+            coo.rows[order], coo.cols[order], coo.vals[order]
+        )
+        n_block_cols = -(-n_cols // omega)
+        keys = br_s * n_block_cols + bc_s
+        uniq_keys, starts = np.unique(keys, return_index=True)
+        n_blocks = uniq_keys.size
+        blocks = np.zeros((n_blocks, omega, omega), dtype=np.float64)
+        block_of_nnz = np.searchsorted(uniq_keys, keys)
+        blocks[
+            block_of_nnz, rows_s % omega, cols_s % omega
+        ] = vals_s
+        block_rows = (uniq_keys // n_block_cols).astype(np.int64)
+        block_cols_arr = (uniq_keys % n_block_cols).astype(np.int64)
+        counts = np.bincount(block_rows, minlength=n_block_rows)
+        block_indptr = np.zeros(n_block_rows + 1, dtype=np.int64)
+        np.cumsum(counts, out=block_indptr[1:])
+        return cls(coo.shape, omega, block_indptr, block_cols_arr, blocks)
+
+    @classmethod
+    def from_dense(cls, dense, omega: int) -> "BCSRMatrix":
+        return cls.from_coo(COOMatrix.from_dense(dense), omega)
+
+    @classmethod
+    def from_scipy(cls, matrix, omega: int) -> "BCSRMatrix":
+        return cls.from_coo(COOMatrix.from_scipy(matrix), omega)
+
+    # ------------------------------------------------------------------
+    # SparseFormat API
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> Tuple[int, int]:
+        return self._shape
+
+    @property
+    def n_block_rows(self) -> int:
+        return self.block_indptr.size - 1
+
+    @property
+    def n_block_cols(self) -> int:
+        return -(-self._shape[1] // self.omega)
+
+    @property
+    def n_blocks(self) -> int:
+        return int(self.blocks.shape[0])
+
+    @property
+    def nnz(self) -> int:
+        """True non-zeros (in-block explicit zeros excluded)."""
+        return int(np.count_nonzero(self.blocks))
+
+    @property
+    def stored_values(self) -> int:
+        """All stored slots: blocks are dense, zeros included."""
+        return self.n_blocks * self.omega * self.omega
+
+    @property
+    def block_density(self) -> float:
+        """Mean fill of non-empty blocks — drives streamed-payload waste
+        and the "percentage of non-zero values in a block rarely reaches
+        a hundred percent" bandwidth-utilization effect of Figure 15."""
+        if not self.n_blocks:
+            return 0.0
+        return self.nnz / self.stored_values
+
+    def to_dense(self) -> np.ndarray:
+        n_rows, n_cols = self._shape
+        w = self.omega
+        padded = np.zeros((self.n_block_rows * w, self.n_block_cols * w))
+        for i in range(self.n_block_rows):
+            lo, hi = int(self.block_indptr[i]), int(self.block_indptr[i + 1])
+            for k in range(lo, hi):
+                j = int(self.block_cols[k])
+                padded[i * w:(i + 1) * w, j * w:(j + 1) * w] = self.blocks[k]
+        return padded[:n_rows, :n_cols]
+
+    def metadata_bits(self) -> int:
+        """A block-column index per block + a pointer per block row."""
+        col_bits = index_bits(self.n_block_cols)
+        ptr_bits = index_bits(max(self.n_blocks, 1) + 1)
+        return self.n_blocks * col_bits \
+            + (self.n_block_rows + 1) * ptr_bits
+
+    def spmv(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        self._check_vector(x)
+        w = self.omega
+        xp = np.zeros(self.n_block_cols * w, dtype=np.float64)
+        xp[: x.size] = x
+        yp = np.zeros(self.n_block_rows * w, dtype=np.float64)
+        for i in range(self.n_block_rows):
+            lo, hi = int(self.block_indptr[i]), int(self.block_indptr[i + 1])
+            acc = np.zeros(w, dtype=np.float64)
+            for k in range(lo, hi):
+                j = int(self.block_cols[k])
+                acc += self.blocks[k] @ xp[j * w:(j + 1) * w]
+            yp[i * w:(i + 1) * w] = acc
+        return yp[: self._shape[0]]
+
+    # ------------------------------------------------------------------
+    # Block access, used by the conversion algorithm
+    # ------------------------------------------------------------------
+    def block_row(self, i: int) -> List[Tuple[int, np.ndarray]]:
+        """``[(block column, block values)]`` of block-row ``i``."""
+        lo, hi = int(self.block_indptr[i]), int(self.block_indptr[i + 1])
+        return [
+            (int(self.block_cols[k]), self.blocks[k]) for k in range(lo, hi)
+        ]
+
+    def block_map(self) -> Dict[Tuple[int, int], np.ndarray]:
+        """Mapping of ``(block row, block col) -> block values``."""
+        out: Dict[Tuple[int, int], np.ndarray] = {}
+        for i in range(self.n_block_rows):
+            for j, blk in self.block_row(i):
+                out[(i, j)] = blk
+        return out
+
+    def diagonal_block_nnz(self) -> int:
+        """Non-zeros living in diagonal blocks — the operand of the
+        sequential D-SymGS data paths (Figure 16's Alrescha series)."""
+        total = 0
+        for i in range(self.n_block_rows):
+            for j, blk in self.block_row(i):
+                if i == j:
+                    total += int(np.count_nonzero(blk))
+        return total

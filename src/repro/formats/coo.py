@@ -1,0 +1,128 @@
+"""Coordinate (COO) storage format.
+
+COO stores one ``(row, col, value)`` triple per non-zero.  It is the
+interchange format of this package: every other format can be built from
+a :class:`COOMatrix` and lowered back to one.  It is also the building
+block of the 4x4-block COO layout GraphR uses (Table 2), which the GraphR
+baseline model accounts for via :func:`blocked_coo_metadata_bits`.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import FormatError, ShapeError
+from repro.formats.base import SparseFormat, as_dense, index_bits
+
+
+class COOMatrix(SparseFormat):
+    """Coordinate-format sparse matrix with sorted, deduplicated triples."""
+
+    name = "COO"
+
+    def __init__(self, shape: Tuple[int, int], rows: np.ndarray,
+                 cols: np.ndarray, vals: np.ndarray) -> None:
+        rows = np.asarray(rows, dtype=np.int64)
+        cols = np.asarray(cols, dtype=np.int64)
+        vals = np.asarray(vals, dtype=np.float64)
+        if not (rows.shape == cols.shape == vals.shape) or rows.ndim != 1:
+            raise FormatError("rows, cols and vals must be equal-length 1-D")
+        n_rows, n_cols = int(shape[0]), int(shape[1])
+        if n_rows <= 0 or n_cols <= 0:
+            raise ShapeError(f"invalid shape {shape}")
+        if rows.size:
+            if rows.min() < 0 or rows.max() >= n_rows:
+                raise FormatError("row index out of range")
+            if cols.min() < 0 or cols.max() >= n_cols:
+                raise FormatError("column index out of range")
+        self._shape = (n_rows, n_cols)
+        # Canonical order: row-major, duplicates summed, zeros dropped.
+        order = np.lexsort((cols, rows))
+        rows, cols, vals = rows[order], cols[order], vals[order]
+        if rows.size:
+            keys = rows * n_cols + cols
+            uniq, inverse = np.unique(keys, return_inverse=True)
+            summed = np.zeros(uniq.size, dtype=np.float64)
+            np.add.at(summed, inverse, vals)
+            keep = summed != 0.0
+            uniq, summed = uniq[keep], summed[keep]
+            rows = uniq // n_cols
+            cols = uniq % n_cols
+            vals = summed
+        self.rows = rows
+        self.cols = cols
+        self.vals = vals
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_dense(cls, dense) -> "COOMatrix":
+        """Build from any dense array / scipy matrix / SparseFormat."""
+        a = as_dense(dense)
+        if a.ndim != 2:
+            raise ShapeError(f"expected a 2-D matrix, got ndim={a.ndim}")
+        rows, cols = np.nonzero(a)
+        return cls(a.shape, rows, cols, a[rows, cols])
+
+    @classmethod
+    def from_scipy(cls, matrix) -> "COOMatrix":
+        """Build from a scipy.sparse matrix without densifying."""
+        coo = matrix.tocoo()
+        return cls(coo.shape, coo.row, coo.col, coo.data)
+
+    # ------------------------------------------------------------------
+    # SparseFormat API
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> Tuple[int, int]:
+        return self._shape
+
+    @property
+    def nnz(self) -> int:
+        return int(self.vals.size)
+
+    def to_dense(self) -> np.ndarray:
+        dense = np.zeros(self._shape, dtype=np.float64)
+        dense[self.rows, self.cols] = self.vals
+        return dense
+
+    def metadata_bits(self) -> int:
+        """COO carries a full (row, col) pair per non-zero."""
+        rbits = index_bits(self._shape[0])
+        cbits = index_bits(self._shape[1])
+        return self.nnz * (rbits + cbits)
+
+    def spmv(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        self._check_vector(x)
+        y = np.zeros(self._shape[0], dtype=np.float64)
+        np.add.at(y, self.rows, self.vals * x[self.cols])
+        return y
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+    def transpose(self) -> "COOMatrix":
+        return COOMatrix(
+            (self._shape[1], self._shape[0]), self.cols, self.rows, self.vals
+        )
+
+
+def blocked_coo_metadata_bits(matrix: COOMatrix, block: int = 4) -> int:
+    """Meta-data bits of a block-COO layout (GraphR stores 4x4 COO blocks).
+
+    One (block-row, block-col) pair per *non-empty block*; values inside a
+    block are stored dense, so they need no per-value indices.
+    """
+    if block <= 0:
+        raise FormatError(f"block size must be positive, got {block}")
+    n_rows, n_cols = matrix.shape
+    block_keys = (matrix.rows // block) * (-(-n_cols // block)) \
+        + (matrix.cols // block)
+    n_blocks = int(np.unique(block_keys).size) if matrix.nnz else 0
+    rbits = index_bits(-(-n_rows // block))
+    cbits = index_bits(-(-n_cols // block))
+    return n_blocks * (rbits + cbits)

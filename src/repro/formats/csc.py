@@ -1,0 +1,104 @@
+"""Compressed sparse column (CSC) storage format.
+
+The column-major mirror of CSR.  The paper's kernels index columns of
+``A^T`` (Equations 1-2), i.e. rows of ``A``; a CSC view of ``A`` gives
+exactly those columns without materialising the transpose, which is how
+the graph drivers' access pattern ("a column of the adjacency matrix",
+Table 1) maps onto storage.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import FormatError
+from repro.formats.base import SparseFormat, index_bits
+from repro.formats.coo import COOMatrix
+
+
+class CSCMatrix(SparseFormat):
+    """Compressed sparse column matrix."""
+
+    name = "CSC"
+
+    def __init__(self, shape: Tuple[int, int], indptr: np.ndarray,
+                 indices: np.ndarray, data: np.ndarray) -> None:
+        indptr = np.asarray(indptr, dtype=np.int64)
+        indices = np.asarray(indices, dtype=np.int64)
+        data = np.asarray(data, dtype=np.float64)
+        n_rows, n_cols = int(shape[0]), int(shape[1])
+        if indptr.ndim != 1 or indptr.size != n_cols + 1:
+            raise FormatError(
+                f"indptr must have {n_cols + 1} entries, got {indptr.size}"
+            )
+        if indptr[0] != 0 or np.any(np.diff(indptr) < 0):
+            raise FormatError("indptr must start at 0 and be non-decreasing")
+        if indices.shape != data.shape or indices.ndim != 1:
+            raise FormatError("indices and data must be equal-length 1-D")
+        if int(indptr[-1]) != indices.size:
+            raise FormatError("indptr[-1] must equal nnz")
+        if indices.size and (indices.min() < 0 or indices.max() >= n_rows):
+            raise FormatError("row index out of range")
+        self._shape = (n_rows, n_cols)
+        self.indptr = indptr
+        self.indices = indices
+        self.data = data
+
+    @classmethod
+    def from_coo(cls, coo: COOMatrix) -> "CSCMatrix":
+        n_rows, n_cols = coo.shape
+        order = np.lexsort((coo.rows, coo.cols))
+        rows = coo.rows[order]
+        cols = coo.cols[order]
+        vals = coo.vals[order]
+        counts = np.bincount(cols, minlength=n_cols)
+        indptr = np.zeros(n_cols + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        return cls(coo.shape, indptr, rows, vals)
+
+    @classmethod
+    def from_dense(cls, dense) -> "CSCMatrix":
+        return cls.from_coo(COOMatrix.from_dense(dense))
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        return self._shape
+
+    @property
+    def nnz(self) -> int:
+        return int(self.data.size)
+
+    def to_dense(self) -> np.ndarray:
+        dense = np.zeros(self._shape, dtype=np.float64)
+        cols = np.repeat(np.arange(self._shape[1]), np.diff(self.indptr))
+        dense[self.indices, cols] = self.data
+        return dense
+
+    def metadata_bits(self) -> int:
+        """A row index per non-zero plus one pointer per column."""
+        row_bits = index_bits(self._shape[0])
+        ptr_bits = index_bits(max(self.nnz, 1) + 1)
+        return self.nnz * row_bits + (self._shape[1] + 1) * ptr_bits
+
+    def spmv(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        self._check_vector(x)
+        y = np.zeros(self._shape[0], dtype=np.float64)
+        cols = np.repeat(np.arange(self._shape[1]), np.diff(self.indptr))
+        np.add.at(y, self.indices, self.data * x[cols])
+        return y
+
+    def column(self, j: int) -> Tuple[np.ndarray, np.ndarray]:
+        """``(row indices, values)`` of column ``j``."""
+        lo, hi = int(self.indptr[j]), int(self.indptr[j + 1])
+        return self.indices[lo:hi], self.data[lo:hi]
+
+    def transpose_view_as_csr(self):
+        """The transpose as a CSR matrix, sharing array semantics."""
+        from repro.formats.csr import CSRMatrix
+        return CSRMatrix(
+            (self._shape[1], self._shape[0]),
+            self.indptr.copy(), self.indices.copy(), self.data.copy(),
+        )

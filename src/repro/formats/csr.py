@@ -1,0 +1,134 @@
+"""Compressed sparse row (CSR) storage format.
+
+CSR "locates all the non-zeros independently" (§4.5): a column index per
+non-zero plus a row-pointer array.  It is the format OuterSPACE consumes
+(Table 2) and the baseline against which the Alrescha format's zero
+runtime meta-data is contrasted.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import FormatError
+from repro.formats.base import SparseFormat, index_bits
+from repro.formats.coo import COOMatrix
+
+
+class CSRMatrix(SparseFormat):
+    """Compressed sparse row matrix built from our own arrays."""
+
+    name = "CSR"
+
+    def __init__(self, shape: Tuple[int, int], indptr: np.ndarray,
+                 indices: np.ndarray, data: np.ndarray) -> None:
+        indptr = np.asarray(indptr, dtype=np.int64)
+        indices = np.asarray(indices, dtype=np.int64)
+        data = np.asarray(data, dtype=np.float64)
+        n_rows, n_cols = int(shape[0]), int(shape[1])
+        if indptr.ndim != 1 or indptr.size != n_rows + 1:
+            raise FormatError(
+                f"indptr must have {n_rows + 1} entries, got {indptr.size}"
+            )
+        if indptr[0] != 0 or np.any(np.diff(indptr) < 0):
+            raise FormatError("indptr must start at 0 and be non-decreasing")
+        if indices.shape != data.shape or indices.ndim != 1:
+            raise FormatError("indices and data must be equal-length 1-D")
+        if int(indptr[-1]) != indices.size:
+            raise FormatError("indptr[-1] must equal nnz")
+        if indices.size and (indices.min() < 0 or indices.max() >= n_cols):
+            raise FormatError("column index out of range")
+        self._shape = (n_rows, n_cols)
+        self.indptr = indptr
+        self.indices = indices
+        self.data = data
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_coo(cls, coo: COOMatrix) -> "CSRMatrix":
+        n_rows, n_cols = coo.shape
+        counts = np.bincount(coo.rows, minlength=n_rows)
+        indptr = np.zeros(n_rows + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        # COOMatrix triples are already in row-major order.
+        return cls(coo.shape, indptr, coo.cols.copy(), coo.vals.copy())
+
+    @classmethod
+    def from_dense(cls, dense) -> "CSRMatrix":
+        return cls.from_coo(COOMatrix.from_dense(dense))
+
+    @classmethod
+    def from_scipy(cls, matrix) -> "CSRMatrix":
+        return cls.from_coo(COOMatrix.from_scipy(matrix))
+
+    # ------------------------------------------------------------------
+    # SparseFormat API
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> Tuple[int, int]:
+        return self._shape
+
+    @property
+    def nnz(self) -> int:
+        return int(self.data.size)
+
+    def to_dense(self) -> np.ndarray:
+        dense = np.zeros(self._shape, dtype=np.float64)
+        rows = np.repeat(
+            np.arange(self._shape[0]), np.diff(self.indptr)
+        )
+        dense[rows, self.indices] = self.data
+        return dense
+
+    def metadata_bits(self) -> int:
+        """A column index per non-zero plus one pointer per row."""
+        col_bits = index_bits(self._shape[1])
+        ptr_bits = index_bits(max(self.nnz, 1) + 1)
+        return self.nnz * col_bits + (self._shape[0] + 1) * ptr_bits
+
+    def spmv(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        self._check_vector(x)
+        products = self.data * x[self.indices]
+        y = np.zeros(self._shape[0], dtype=np.float64)
+        # reduceat needs non-empty segments; mask out empty rows.
+        starts = self.indptr[:-1]
+        nonempty = np.diff(self.indptr) > 0
+        if products.size:
+            sums = np.add.reduceat(products, starts[nonempty])
+            y[nonempty] = sums
+        return y
+
+    # ------------------------------------------------------------------
+    # Row access, used by kernels and baseline models
+    # ------------------------------------------------------------------
+    def row(self, i: int) -> Tuple[np.ndarray, np.ndarray]:
+        """``(column indices, values)`` of row ``i``."""
+        lo, hi = int(self.indptr[i]), int(self.indptr[i + 1])
+        return self.indices[lo:hi], self.data[lo:hi]
+
+    def row_nnz(self) -> np.ndarray:
+        """Non-zeros per row, as an int array of length n_rows."""
+        return np.diff(self.indptr)
+
+    def diagonal(self) -> np.ndarray:
+        """Main-diagonal values (zeros where absent)."""
+        n = min(self._shape)
+        diag = np.zeros(n, dtype=np.float64)
+        for i in range(n):
+            cols, vals = self.row(i)
+            hit = np.nonzero(cols == i)[0]
+            if hit.size:
+                diag[i] = vals[hit[0]]
+        return diag
+
+    def to_coo(self) -> COOMatrix:
+        rows = np.repeat(np.arange(self._shape[0]), np.diff(self.indptr))
+        return COOMatrix(self._shape, rows, self.indices, self.data)
+
+    def transpose(self) -> "CSRMatrix":
+        return CSRMatrix.from_coo(self.to_coo().transpose())

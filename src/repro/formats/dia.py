@@ -1,0 +1,118 @@
+"""Diagonal (DIA) storage format.
+
+DIA stores whole (shifted) diagonals; the only meta-data is one offset
+per stored diagonal.  §4.5: "when all the non-zeros are located in
+diagonals, the diagonal format, which stores the non-zeros sequentially,
+could be the best option" — the low end of the Figure 12 spectrum, at the
+cost of exploding for scattered sparsity patterns.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import FormatError
+from repro.formats.base import SparseFormat, index_bits
+from repro.formats.coo import COOMatrix
+
+
+class DIAMatrix(SparseFormat):
+    """DIA matrix: ``offsets`` plus a ``(n_diags, n_cols)`` value plane.
+
+    Diagonal ``k`` holds elements ``A[i, i + k]``, stored at column
+    ``i + k`` of its row in the value plane (scipy's convention, which
+    keeps the column coordinate the in-plane index).
+    """
+
+    name = "DIA"
+
+    def __init__(self, shape: Tuple[int, int], offsets: np.ndarray,
+                 data: np.ndarray) -> None:
+        offsets = np.asarray(offsets, dtype=np.int64)
+        data = np.asarray(data, dtype=np.float64)
+        if offsets.ndim != 1 or data.ndim != 2:
+            raise FormatError("offsets must be 1-D and data 2-D")
+        if data.shape[0] != offsets.size:
+            raise FormatError("one data row required per offset")
+        if data.shape[1] != shape[1]:
+            raise FormatError("data plane width must equal matrix columns")
+        if np.unique(offsets).size != offsets.size:
+            raise FormatError("duplicate diagonal offsets")
+        self._shape = (int(shape[0]), int(shape[1]))
+        self.offsets = offsets
+        self.data = data
+
+    @classmethod
+    def from_coo(cls, coo: COOMatrix) -> "DIAMatrix":
+        n_rows, n_cols = coo.shape
+        if coo.nnz == 0:
+            return cls(coo.shape, np.zeros(0, np.int64),
+                       np.zeros((0, n_cols), np.float64))
+        diffs = coo.cols - coo.rows
+        offsets = np.unique(diffs)
+        data = np.zeros((offsets.size, n_cols), dtype=np.float64)
+        positions = np.searchsorted(offsets, diffs)
+        data[positions, coo.cols] = coo.vals
+        return cls(coo.shape, offsets, data)
+
+    @classmethod
+    def from_dense(cls, dense) -> "DIAMatrix":
+        return cls.from_coo(COOMatrix.from_dense(dense))
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        return self._shape
+
+    @property
+    def n_diagonals(self) -> int:
+        return int(self.offsets.size)
+
+    @property
+    def nnz(self) -> int:
+        return int(np.count_nonzero(self.data))
+
+    @property
+    def stored_slots(self) -> int:
+        """All value slots, including in-diagonal zero padding."""
+        n_rows, n_cols = self._shape
+        total = 0
+        for k in self.offsets:
+            k = int(k)
+            if k >= 0:
+                total += max(0, min(n_rows, n_cols - k))
+            else:
+                total += max(0, min(n_rows + k, n_cols))
+        return total
+
+    def to_dense(self) -> np.ndarray:
+        n_rows, n_cols = self._shape
+        dense = np.zeros(self._shape, dtype=np.float64)
+        for d, k in enumerate(self.offsets):
+            k = int(k)
+            for i in range(n_rows):
+                j = i + k
+                if 0 <= j < n_cols:
+                    dense[i, j] = self.data[d, j]
+        return dense
+
+    def metadata_bits(self) -> int:
+        """One signed offset per stored diagonal — nothing per value."""
+        offset_bits = index_bits(self._shape[0] + self._shape[1]) + 1
+        return self.n_diagonals * offset_bits
+
+    def spmv(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        self._check_vector(x)
+        n_rows, n_cols = self._shape
+        y = np.zeros(n_rows, dtype=np.float64)
+        for d, k in enumerate(self.offsets):
+            k = int(k)
+            i_lo = max(0, -k)
+            i_hi = min(n_rows, n_cols - k)
+            if i_hi <= i_lo:
+                continue
+            j = np.arange(i_lo + k, i_hi + k)
+            y[i_lo:i_hi] += self.data[d, j] * x[j]
+        return y

@@ -1,0 +1,105 @@
+"""ELLPACK-ITPACK (ELL) storage format.
+
+ELL pads every row to the maximum row length and stores a column index
+for every slot, padding included.  §4.5: "ELL is used for implementing
+SymGS in GPUs.  However, such a format does not provide enough flexibility
+for parallelizing rows because it does not sustain the locality across
+rows."  The GPU baseline (Table 4) uses ELL, so its meta-data and padding
+overheads feed the GPU timing model.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import FormatError
+from repro.formats.base import SparseFormat, index_bits
+from repro.formats.coo import COOMatrix
+
+#: Column-index value marking a padded (unused) ELL slot.
+PAD = -1
+
+
+class ELLMatrix(SparseFormat):
+    """ELL matrix: dense ``(n_rows, width)`` value and index planes."""
+
+    name = "ELL"
+
+    def __init__(self, shape: Tuple[int, int], col_index: np.ndarray,
+                 values: np.ndarray) -> None:
+        col_index = np.asarray(col_index, dtype=np.int64)
+        values = np.asarray(values, dtype=np.float64)
+        if col_index.shape != values.shape or col_index.ndim != 2:
+            raise FormatError("col_index and values must be equal-shape 2-D")
+        if col_index.shape[0] != shape[0]:
+            raise FormatError("plane height must equal matrix rows")
+        if col_index.size:
+            valid = col_index != PAD
+            if valid.any():
+                used = col_index[valid]
+                if used.min() < 0 or used.max() >= shape[1]:
+                    raise FormatError("column index out of range")
+        self._shape = (int(shape[0]), int(shape[1]))
+        self.col_index = col_index
+        self.values = values
+
+    @classmethod
+    def from_coo(cls, coo: COOMatrix) -> "ELLMatrix":
+        n_rows, n_cols = coo.shape
+        counts = np.bincount(coo.rows, minlength=n_rows)
+        width = int(counts.max()) if counts.size and counts.max() else 0
+        col_index = np.full((n_rows, width), PAD, dtype=np.int64)
+        values = np.zeros((n_rows, width), dtype=np.float64)
+        slot = np.zeros(n_rows, dtype=np.int64)
+        for r, c, v in zip(coo.rows, coo.cols, coo.vals):
+            col_index[r, slot[r]] = c
+            values[r, slot[r]] = v
+            slot[r] += 1
+        return cls(coo.shape, col_index, values)
+
+    @classmethod
+    def from_dense(cls, dense) -> "ELLMatrix":
+        return cls.from_coo(COOMatrix.from_dense(dense))
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        return self._shape
+
+    @property
+    def width(self) -> int:
+        """Padded row width (maximum non-zeros in any row)."""
+        return int(self.col_index.shape[1])
+
+    @property
+    def nnz(self) -> int:
+        return int(np.count_nonzero(self.col_index != PAD))
+
+    @property
+    def padding_ratio(self) -> float:
+        """Padded slots as a fraction of all slots (wasted stream)."""
+        total = self.col_index.size
+        if not total:
+            return 0.0
+        return 1.0 - self.nnz / total
+
+    def to_dense(self) -> np.ndarray:
+        dense = np.zeros(self._shape, dtype=np.float64)
+        rows, slots = np.nonzero(self.col_index != PAD)
+        dense[rows, self.col_index[rows, slots]] = self.values[rows, slots]
+        return dense
+
+    def metadata_bits(self) -> int:
+        """A column index per *slot* — padding slots carry indices too."""
+        return self.col_index.size * index_bits(self._shape[1])
+
+    def spmv(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        self._check_vector(x)
+        gathered = np.where(
+            self.col_index != PAD,
+            np.asarray(x)[np.clip(self.col_index, 0, None)],
+            0.0,
+        )
+        return (self.values * gathered).sum(axis=1)

@@ -1,0 +1,99 @@
+"""HYB (hybrid ELL + COO) storage format.
+
+cuSPARSE's answer to ELL's padding blow-up on skewed matrices: rows up
+to a width threshold live in a regular ELL plane; the long tail
+overflows into COO triples.  The GPU baseline's ELL-vs-CSR selection
+brackets this; HYB is provided as the faithful middle point and for the
+Figure 12 spectrum's completeness.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import FormatError
+from repro.formats.base import SparseFormat
+from repro.formats.coo import COOMatrix
+from repro.formats.ell import ELLMatrix
+
+
+def _default_width(row_counts: np.ndarray) -> int:
+    """cuSPARSE-style heuristic: cover ~the mean row, cap the tail."""
+    if row_counts.size == 0:
+        return 0
+    mean = float(row_counts.mean())
+    return max(1, int(np.ceil(mean)))
+
+
+class HYBMatrix(SparseFormat):
+    """Hybrid ELL + COO matrix."""
+
+    name = "HYB"
+
+    def __init__(self, ell: ELLMatrix, overflow: COOMatrix) -> None:
+        if ell.shape != overflow.shape:
+            raise FormatError(
+                f"ELL part {ell.shape} and COO part {overflow.shape} differ"
+            )
+        self.ell = ell
+        self.overflow = overflow
+
+    @classmethod
+    def from_coo(cls, coo: COOMatrix,
+                 ell_width: int | None = None) -> "HYBMatrix":
+        n_rows, n_cols = coo.shape
+        counts = np.bincount(coo.rows, minlength=n_rows)
+        width = ell_width if ell_width is not None \
+            else _default_width(counts)
+        if width < 0:
+            raise FormatError(f"ELL width must be non-negative, got {width}")
+        from repro.formats.ell import PAD
+        col_index = np.full((n_rows, width), PAD, dtype=np.int64)
+        values = np.zeros((n_rows, width), dtype=np.float64)
+        slot = np.zeros(n_rows, dtype=np.int64)
+        ov_r, ov_c, ov_v = [], [], []
+        for r, c, v in zip(coo.rows, coo.cols, coo.vals):
+            if slot[r] < width:
+                col_index[r, slot[r]] = c
+                values[r, slot[r]] = v
+                slot[r] += 1
+            else:
+                ov_r.append(r)
+                ov_c.append(c)
+                ov_v.append(v)
+        ell = ELLMatrix(coo.shape, col_index, values)
+        overflow = COOMatrix(coo.shape, np.asarray(ov_r, np.int64),
+                             np.asarray(ov_c, np.int64),
+                             np.asarray(ov_v, np.float64))
+        return cls(ell, overflow)
+
+    @classmethod
+    def from_dense(cls, dense, ell_width: int | None = None) -> "HYBMatrix":
+        return cls.from_coo(COOMatrix.from_dense(dense), ell_width)
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        return self.ell.shape
+
+    @property
+    def nnz(self) -> int:
+        return self.ell.nnz + self.overflow.nnz
+
+    @property
+    def overflow_fraction(self) -> float:
+        """Share of non-zeros living in the COO tail."""
+        total = self.nnz
+        return self.overflow.nnz / total if total else 0.0
+
+    def to_dense(self) -> np.ndarray:
+        return self.ell.to_dense() + self.overflow.to_dense()
+
+    def metadata_bits(self) -> int:
+        return self.ell.metadata_bits() + self.overflow.metadata_bits()
+
+    def spmv(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        self._check_vector(x)
+        return self.ell.spmv(x) + self.overflow.spmv(x)

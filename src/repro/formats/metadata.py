@@ -1,0 +1,50 @@
+"""Storage-format meta-data comparison (Figure 12).
+
+Figure 12 of the paper ranks formats by meta-data per non-zero across
+sparsity structures: DIA is cheapest for purely diagonal matrices, CSR
+for fully scattered ones, with ELL/BCSR in between and the Alrescha
+format matching BCSR's budget while streaming none of it at runtime.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.formats.alrescha import AlreschaMatrix
+from repro.formats.bcsr import BCSRMatrix
+from repro.formats.coo import COOMatrix
+from repro.formats.csr import CSRMatrix
+from repro.formats.dia import DIAMatrix
+from repro.formats.ell import ELLMatrix
+
+#: Default block width: the paper examines ω ∈ {8, 16, 32} and picks 8.
+DEFAULT_OMEGA = 8
+
+
+def format_survey(matrix, omega: int = DEFAULT_OMEGA) -> Dict[str, float]:
+    """Meta-data bits per non-zero for every implemented format.
+
+    ``matrix`` may be dense, scipy.sparse, or any of our formats.  The
+    returned mapping has one entry per format name, plus
+    ``"Alrescha (runtime)"`` for the bits actually streamed during
+    execution (always 0 — the configuration table holds them).
+    """
+    coo = matrix if isinstance(matrix, COOMatrix) else (
+        COOMatrix.from_scipy(matrix) if hasattr(matrix, "tocoo")
+        else COOMatrix.from_dense(matrix)
+    )
+    csr = CSRMatrix.from_coo(coo)
+    ell = ELLMatrix.from_coo(coo)
+    dia = DIAMatrix.from_coo(coo)
+    bcsr = BCSRMatrix.from_coo(coo, omega)
+    alr = AlreschaMatrix.from_bcsr(bcsr)
+    nnz = max(1, coo.nnz)
+    return {
+        "COO": coo.metadata_bits() / nnz,
+        "CSR": csr.metadata_bits() / nnz,
+        "ELL": ell.metadata_bits() / nnz,
+        "DIA": dia.metadata_bits() / nnz,
+        "BCSR": bcsr.metadata_bits() / nnz,
+        "Alrescha": alr.metadata_bits() / nnz,
+        "Alrescha (runtime)": alr.runtime_metadata_bits() / nnz,
+    }

@@ -1,0 +1,33 @@
+"""Graph analytics: BFS, SSSP and PageRank.
+
+Reference implementations (:mod:`repro.graph.reference`) plus
+accelerator-backed drivers (:mod:`repro.graph.drivers`) following the
+vertex-centric three-phase model of Table 1.
+"""
+
+from repro.graph.components import (
+    ComponentsResult,
+    connected_components,
+    connected_components_reference,
+)
+from repro.graph.drivers import GraphResult, run_bfs, run_pagerank, run_sssp
+from repro.graph.reference import (
+    bellman_ford_passes,
+    bfs_reference,
+    pagerank_reference,
+    sssp_reference,
+)
+
+__all__ = [
+    "ComponentsResult",
+    "GraphResult",
+    "connected_components",
+    "connected_components_reference",
+    "bellman_ford_passes",
+    "bfs_reference",
+    "pagerank_reference",
+    "run_bfs",
+    "run_pagerank",
+    "run_sssp",
+    "sssp_reference",
+]

@@ -1,0 +1,102 @@
+"""Connected components on top of the accelerator's BFS data path.
+
+Not one of the paper's five kernels, but a direct demonstration of the
+"generic sparse accelerator" claim: weakly connected components compose
+out of repeated D-BFS traversals (one per undiscovered component) with
+no new hardware path.  The driver symmetrises the adjacency (weak
+connectivity), repeatedly BFS-floods from the lowest unlabelled vertex,
+and sums the per-flood simulation reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.core.accelerator import Alrescha, AlreschaConfig
+from repro.core.config import KernelType
+from repro.core.report import SimReport, combine
+from repro.errors import DatasetError
+
+
+@dataclass
+class ComponentsResult:
+    """Outcome of a connected-components run."""
+
+    labels: np.ndarray
+    n_components: int
+    iterations: int
+    report: SimReport
+
+
+def _symmetrized_unit(adj: sp.spmatrix) -> sp.csr_matrix:
+    adj = adj.tocsr()
+    if adj.shape[0] != adj.shape[1]:
+        raise DatasetError(f"adjacency must be square, got {adj.shape}")
+    sym = (adj + adj.T).tocsr()
+    if sym.nnz:
+        sym.data = np.ones_like(sym.data)
+    return sym
+
+
+def connected_components_reference(adj: sp.spmatrix) -> np.ndarray:
+    """Golden weakly-connected-components labels (lowest member id)."""
+    sym = _symmetrized_unit(adj)
+    n = sym.shape[0]
+    labels = np.full(n, -1, dtype=np.int64)
+    for start in range(n):
+        if labels[start] >= 0:
+            continue
+        stack = [start]
+        labels[start] = start
+        while stack:
+            u = stack.pop()
+            lo, hi = sym.indptr[u], sym.indptr[u + 1]
+            for v in sym.indices[lo:hi]:
+                if labels[v] < 0:
+                    labels[v] = start
+                    stack.append(int(v))
+    return labels
+
+
+def connected_components(adj: sp.spmatrix,
+                         config: Optional[AlreschaConfig] = None,
+                         max_passes_per_flood: Optional[int] = None
+                         ) -> ComponentsResult:
+    """Weakly connected components via repeated accelerated BFS floods."""
+    sym = _symmetrized_unit(adj)
+    n = sym.shape[0]
+    # Undirected -> A == A^T; program once.
+    acc = Alrescha.from_matrix(KernelType.BFS, sym, config=config)
+    labels = np.full(n, -1, dtype=np.int64)
+    reports: List[SimReport] = []
+    total_passes = 0
+    limit = max_passes_per_flood or n
+    for start in range(n):
+        if labels[start] >= 0:
+            continue
+        dist = np.full(n, np.inf)
+        dist[start] = 0.0
+        for _ in range(limit):
+            total_passes += 1
+            new, report = acc.run_bfs_pass(dist)
+            reports.append(report)
+            if np.array_equal(
+                np.nan_to_num(new, posinf=-1.0),
+                np.nan_to_num(dist, posinf=-1.0),
+            ):
+                dist = new
+                break
+            dist = new
+        member = np.isfinite(dist) & (labels < 0)
+        labels[member] = start
+    n_components = int(np.unique(labels).size)
+    return ComponentsResult(
+        labels=labels,
+        n_components=n_components,
+        iterations=total_passes,
+        report=combine(reports, kernel="components"),
+    )

@@ -1,0 +1,22 @@
+"""Host-side toolchain (Figure 7's left half).
+
+The host owns the one-time work: running Algorithm 1, reformatting the
+matrix, serialising both, and writing them through the program and data
+interfaces.  :func:`compile_kernel` packages all of it into a
+:class:`CompiledKernel` artefact that can be saved to disk, shipped, and
+re-loaded into a fresh accelerator with bit-identical behaviour.
+"""
+
+from repro.host.compile import (
+    CompiledKernel,
+    compile_kernel,
+    load_kernel,
+    program_accelerator,
+)
+
+__all__ = [
+    "CompiledKernel",
+    "compile_kernel",
+    "load_kernel",
+    "program_accelerator",
+]

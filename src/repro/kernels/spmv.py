@@ -1,0 +1,28 @@
+"""Reference sparse matrix-vector multiplication (Equation 1).
+
+``x_j = sum_i b[ind_i] * val_ij`` over the stored non-zeros — the golden
+model every accelerator/baseline execution is checked against.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.formats import CSRMatrix, SparseFormat
+from repro.formats.base import as_dense
+
+
+def to_csr(matrix) -> CSRMatrix:
+    """Coerce dense / scipy / any SparseFormat input to :class:`CSRMatrix`."""
+    if isinstance(matrix, CSRMatrix):
+        return matrix
+    if isinstance(matrix, SparseFormat):
+        return CSRMatrix.from_dense(matrix.to_dense())
+    if hasattr(matrix, "tocoo"):
+        return CSRMatrix.from_scipy(matrix)
+    return CSRMatrix.from_dense(as_dense(matrix))
+
+
+def spmv(matrix, x: np.ndarray) -> np.ndarray:
+    """``A @ x`` through our own CSR kernel (no scipy arithmetic)."""
+    return to_csr(matrix).spmv(np.asarray(x, dtype=np.float64))

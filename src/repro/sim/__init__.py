@@ -1,0 +1,39 @@
+"""Simulation substrate: clock, memory, cache, buffers, energy, counters.
+
+These are the hardware-agnostic building blocks the accelerator model
+(:mod:`repro.core`) and the baseline models (:mod:`repro.baselines`) are
+assembled from.
+"""
+
+from repro.sim.buffers import Fifo, LinkStack
+from repro.sim.cache import (
+    DEFAULT_CACHE_BYTES,
+    DEFAULT_HIT_LATENCY,
+    DEFAULT_LINE_BYTES,
+    LocalCache,
+)
+from repro.sim.clock import DEFAULT_FREQUENCY_HZ, Clock
+from repro.sim.energy import DEFAULT_EVENT_ENERGY_PJ, EnergyModel
+from repro.sim.memory import (
+    DEFAULT_BANDWIDTH_BYTES_PER_S,
+    DEFAULT_BURST_BYTES,
+    StreamingMemory,
+)
+from repro.sim.stats import CounterSet
+
+__all__ = [
+    "Clock",
+    "CounterSet",
+    "EnergyModel",
+    "Fifo",
+    "LinkStack",
+    "LocalCache",
+    "StreamingMemory",
+    "DEFAULT_BANDWIDTH_BYTES_PER_S",
+    "DEFAULT_BURST_BYTES",
+    "DEFAULT_CACHE_BYTES",
+    "DEFAULT_EVENT_ENERGY_PJ",
+    "DEFAULT_FREQUENCY_HZ",
+    "DEFAULT_HIT_LATENCY",
+    "DEFAULT_LINE_BYTES",
+]

@@ -1,0 +1,116 @@
+"""Streaming-memory model.
+
+ALRESCHA's headline property is that, thanks to the locally-dense storage
+format and the configuration table holding all meta-data, the *entire*
+memory bandwidth is spent on payload (non-zero values) streamed in exactly
+the order the compute engine consumes it.  The memory model therefore only
+needs to answer one question per transfer: *how many cycles does it take
+to stream N bytes at the configured bandwidth?*
+
+Table 5 of the paper: 12 GB GDDR5 at 288 GB/s feeding a 2.5 GHz engine,
+i.e. 115.2 bytes/cycle (14.4 doubles/cycle).  Each 64-bit ALU operand
+arrives in 0.4 ns through 32-bit 5 Gbps links (§5.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SimulationError
+from repro.sim.clock import DEFAULT_FREQUENCY_HZ
+from repro.sim.stats import CounterSet
+
+#: Memory bandwidth from Table 5 (GDDR5, same budget given to every
+#: accelerator compared in the paper).
+DEFAULT_BANDWIDTH_BYTES_PER_S = 288e9
+
+#: Capacity from Table 5; only used for sanity checks, the model never
+#: simulates paging.
+DEFAULT_CAPACITY_BYTES = 12 * 1024**3
+
+#: Burst granularity of the modelled GDDR5 channel.  Transfers are padded
+#: to this size, which is also the accelerator's cache-line size.
+DEFAULT_BURST_BYTES = 64
+
+
+@dataclass
+class StreamingMemory:
+    """Bandwidth-limited streaming memory with burst granularity.
+
+    The model is deliberately simple: sequential streams achieve the full
+    configured bandwidth (this is the design point of the Alrescha format),
+    while random accesses pay per-burst padding.  Both behaviours are
+    captured by rounding each request up to whole bursts.
+
+    Parameters
+    ----------
+    bandwidth_bytes_per_s:
+        Peak sustained bandwidth.
+    frequency_hz:
+        Clock of the consumer, used to express costs in cycles.
+    burst_bytes:
+        Minimum transfer granularity.
+    """
+
+    bandwidth_bytes_per_s: float = DEFAULT_BANDWIDTH_BYTES_PER_S
+    frequency_hz: float = DEFAULT_FREQUENCY_HZ
+    burst_bytes: int = DEFAULT_BURST_BYTES
+    capacity_bytes: int = DEFAULT_CAPACITY_BYTES
+    counters: CounterSet = field(default_factory=CounterSet)
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_bytes_per_s <= 0:
+            raise SimulationError("memory bandwidth must be positive")
+        if self.burst_bytes <= 0:
+            raise SimulationError("burst size must be positive")
+
+    @property
+    def bytes_per_cycle(self) -> float:
+        """Peak bytes deliverable per consumer clock cycle."""
+        return self.bandwidth_bytes_per_s / self.frequency_hz
+
+    def stream_cycles(self, nbytes: float, sequential: bool = True) -> float:
+        """Cycles needed to transfer ``nbytes``.
+
+        Sequential streams are charged the exact byte count (the stream is
+        long-running, so burst padding amortises away); random accesses are
+        rounded up to whole bursts per request.
+        """
+        if nbytes < 0:
+            raise SimulationError(f"cannot stream {nbytes} bytes")
+        if nbytes == 0:
+            return 0.0
+        if sequential:
+            effective = float(nbytes)
+        else:
+            bursts = -(-int(nbytes) // self.burst_bytes)  # ceil division
+            effective = float(bursts * self.burst_bytes)
+        self.counters.add("dram_bytes", effective)
+        self.counters.add("dram_requests", 1.0)
+        if not sequential:
+            self.counters.add("dram_random_requests", 1.0)
+        return effective / self.bytes_per_cycle
+
+    def stream_doubles(self, count: float, sequential: bool = True) -> float:
+        """Convenience wrapper: transfer ``count`` 8-byte values."""
+        return self.stream_cycles(count * 8.0, sequential=sequential)
+
+    @property
+    def total_bytes(self) -> float:
+        """Total bytes transferred so far (post burst padding)."""
+        return self.counters.get("dram_bytes")
+
+    def utilization(self, busy_cycles: float) -> float:
+        """Fraction of peak bandwidth achieved over ``busy_cycles``.
+
+        This is the quantity plotted on the secondary axis of Figure 15:
+        payload delivered divided by what the link could have delivered in
+        the same number of cycles.
+        """
+        if busy_cycles <= 0:
+            return 0.0
+        peak = busy_cycles * self.bytes_per_cycle
+        return min(1.0, self.total_bytes / peak)
+
+    def reset(self) -> None:
+        self.counters.reset()

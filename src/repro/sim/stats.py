@@ -1,0 +1,88 @@
+"""Named event counters shared by every simulated component.
+
+Components (FCU, RCU, caches, memory, baselines) record *events* —
+"alu_op", "cache_hit", "dram_bytes", ... — into a :class:`CounterSet`.
+The energy model later multiplies event counts by per-event costs, and the
+analysis layer turns counters into report rows.  Keeping counters as a
+plain mapping (rather than attributes scattered across classes) makes
+merging sub-component statistics into a whole-accelerator report trivial.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Iterable, Iterator, Mapping, Tuple
+
+
+class CounterSet:
+    """A mapping of event names to accumulated counts.
+
+    Counts are floats so that analytically derived fractional quantities
+    (e.g. average occupancy, fractional cycles) can live beside integer
+    event counts.
+    """
+
+    def __init__(self, initial: Mapping[str, float] | None = None) -> None:
+        self._counts: Dict[str, float] = dict(initial or {})
+
+    def add(self, name: str, amount: float = 1.0) -> None:
+        """Accumulate ``amount`` into the counter ``name``."""
+        self._counts[name] = self._counts.get(name, 0.0) + amount
+
+    def get(self, name: str, default: float = 0.0) -> float:
+        """Return the current value of ``name`` (``default`` if unseen)."""
+        return self._counts.get(name, default)
+
+    def __getitem__(self, name: str) -> float:
+        return self._counts.get(name, 0.0)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._counts
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._counts)
+
+    def __len__(self) -> int:
+        return len(self._counts)
+
+    def items(self) -> Iterable[Tuple[str, float]]:
+        return self._counts.items()
+
+    def merge(self, other: "CounterSet", prefix: str = "") -> None:
+        """Accumulate every counter from ``other`` into this set.
+
+        ``prefix`` namespaces the merged counters (e.g. ``"cache."``) so a
+        top-level report can distinguish identically named events from
+        different components.
+        """
+        for name, value in other.items():
+            self.add(prefix + name, value)
+
+    def scaled(self, factor: float) -> "CounterSet":
+        """Return a new set with every counter multiplied by ``factor``.
+
+        Used to extrapolate a single solver iteration's event counts to a
+        full run without re-simulating every iteration.
+        """
+        return CounterSet({k: v * factor for k, v in self._counts.items()})
+
+    def as_dict(self) -> Dict[str, float]:
+        """A copy of the underlying mapping, for reports and tests."""
+        return dict(self._counts)
+
+    def reset(self) -> None:
+        self._counts.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        body = ", ".join(f"{k}={v:g}" for k, v in sorted(self._counts.items()))
+        return f"CounterSet({body})"
+
+    def __add__(self, other: "CounterSet") -> "CounterSet":
+        result = CounterSet(self._counts)
+        result.merge(other)
+        return result
+
+    @staticmethod
+    def from_counter(counter: Counter) -> "CounterSet":
+        """Build a CounterSet from a :class:`collections.Counter`."""
+        return CounterSet({k: float(v) for k, v in counter.items()})

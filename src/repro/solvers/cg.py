@@ -1,0 +1,62 @@
+"""Unpreconditioned conjugate gradient.
+
+Used to demonstrate *why* PCG carries the SymGS smoother: on
+ill-conditioned PDE systems plain CG needs far more iterations, each of
+which is pure SpMV — so the kernel mix (and hence the right accelerator)
+depends on the solver variant.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ConvergenceError, ShapeError
+from repro.kernels import dot, norm2, waxpby
+from repro.solvers.pcg import SolveResult, _charge_vector_ops
+
+
+def cg(backend, b: np.ndarray, tol: float = 1e-8, max_iter: int = 500,
+       x0: Optional[np.ndarray] = None) -> SolveResult:
+    """Plain CG on the backend's SpMV (no preconditioner)."""
+    b = np.asarray(b, dtype=np.float64)
+    n = backend.n
+    if b.shape != (n,):
+        raise ShapeError(f"rhs must have shape ({n},), got {b.shape}")
+    x = np.zeros(n) if x0 is None else np.asarray(x0, dtype=np.float64).copy()
+
+    norm_b = norm2(b)
+    if norm_b == 0.0:
+        return SolveResult(x=np.zeros(n), iterations=0, converged=True,
+                           residual_norms=[0.0], report=backend.report())
+    r = waxpby(1.0, b, -1.0, backend.spmv(x))
+    p = r.copy()
+    rr = dot(r, r)
+    residuals = [norm2(r) / norm_b]
+    converged = residuals[-1] < tol
+    iterations = 0
+    while not converged and iterations < max_iter:
+        iterations += 1
+        ap = backend.spmv(p)
+        pap = dot(p, ap)
+        _charge_vector_ops(backend, 2)
+        if pap <= 0.0:
+            raise ConvergenceError(
+                "p^T A p <= 0: matrix is not positive definite"
+            )
+        alpha = rr / pap
+        x = waxpby(1.0, x, alpha, p)
+        r = waxpby(1.0, r, -alpha, ap)
+        _charge_vector_ops(backend, 2)
+        residuals.append(norm2(r) / norm_b)
+        if residuals[-1] < tol:
+            converged = True
+            break
+        rr_new = dot(r, r)
+        beta = rr_new / rr
+        rr = rr_new
+        p = waxpby(1.0, r, beta, p)
+        _charge_vector_ops(backend, 2)
+    return SolveResult(x=x, iterations=iterations, converged=converged,
+                       residual_norms=residuals, report=backend.report())

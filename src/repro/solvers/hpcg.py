@@ -1,0 +1,87 @@
+"""HPCG-style benchmark driver (§1/§2: "the high-performance conjugate
+gradient benchmark is now a complement to the high-performance Linpack").
+
+Builds the 27-point-stencil system HPCG uses, runs a fixed budget of
+PCG iterations on the chosen backend and reports a GFLOP/s rating plus
+the fraction-of-peak comparison that motivates Figure 6.
+
+FLOP accounting follows HPCG's convention per iteration:
+  * SpMV:                2 * nnz
+  * SymGS (fwd + bwd):   4 * nnz
+  * vector kernels:      ~6 * 2 * n  (three dots, three waxpbys)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core.accelerator import AlreschaConfig
+from repro.datasets import stencil27
+from repro.errors import ConvergenceError
+from repro.solvers.backends import AcceleratorBackend
+from repro.solvers.pcg import pcg
+
+
+@dataclass
+class HPCGResult:
+    """Rating of one HPCG-style run."""
+
+    nx: int
+    ny: int
+    nz: int
+    n: int
+    nnz: int
+    iterations: int
+    converged: bool
+    final_residual: float
+    seconds: float
+    gflops: float
+    bandwidth_utilization: float
+    energy_j: float
+
+    def fraction_of_peak(self, peak_flops: float) -> float:
+        """This run's rating relative to a platform's peak FLOP/s."""
+        if peak_flops <= 0:
+            raise ConvergenceError("peak FLOPs must be positive")
+        return self.gflops * 1e9 / peak_flops
+
+
+def hpcg_flops(nnz: int, n: int, iterations: int) -> float:
+    """Total floating-point operations of ``iterations`` PCG steps."""
+    per_iter = 2.0 * nnz + 4.0 * nnz + 12.0 * n
+    return per_iter * iterations
+
+
+def run_hpcg(nx: int = 16, ny: int = 16, nz: int = 16,
+             iterations: int = 25, tol: float = 0.0,
+             config: Optional[AlreschaConfig] = None) -> HPCGResult:
+    """Run the HPCG-style workload on the simulated accelerator.
+
+    ``tol=0`` runs the full iteration budget (HPCG's timed mode);
+    a positive tolerance stops at convergence.
+    """
+    a = stencil27(nx, ny, nz)
+    n = a.shape[0]
+    rng = np.random.default_rng(2027)
+    x_true = rng.normal(size=n)
+    b = a @ x_true
+
+    backend = AcceleratorBackend(a, config=config)
+    result = pcg(backend, b, tol=tol if tol > 0 else 1e-300,
+                 max_iter=iterations)
+    report = result.report
+    flops = hpcg_flops(int(a.nnz), n, max(1, result.iterations))
+    seconds = report.seconds
+    return HPCGResult(
+        nx=nx, ny=ny, nz=nz, n=n, nnz=int(a.nnz),
+        iterations=result.iterations,
+        converged=result.converged,
+        final_residual=result.final_residual,
+        seconds=seconds,
+        gflops=flops / seconds / 1e9 if seconds > 0 else 0.0,
+        bandwidth_utilization=report.bandwidth_utilization,
+        energy_j=report.energy_j,
+    )

@@ -1,0 +1,115 @@
+"""Preconditioned conjugate gradient (Figure 2 of the paper).
+
+PCG solves ``A x = b`` for symmetric positive-definite ``A``; its inner
+loop is dominated by one SpMV and one SymGS application per iteration
+(Figure 3), which is why those two kernels are the accelerator's
+targets.  The solver is backend-agnostic; see
+:mod:`repro.solvers.backends`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.errors import ConvergenceError, ShapeError
+from repro.core.report import SimReport
+from repro.kernels import dot, norm2, waxpby
+
+
+@dataclass
+class SolveResult:
+    """Outcome of an iterative solve."""
+
+    x: np.ndarray
+    iterations: int
+    converged: bool
+    residual_norms: List[float] = field(default_factory=list)
+    report: Optional[SimReport] = None
+
+    @property
+    def final_residual(self) -> float:
+        return self.residual_norms[-1] if self.residual_norms else np.inf
+
+
+def pcg(backend, b: np.ndarray, tol: float = 1e-8, max_iter: int = 100,
+        x0: Optional[np.ndarray] = None,
+        raise_on_stall: bool = False) -> SolveResult:
+    """Run PCG with the given backend until ``||r|| / ||b|| < tol``.
+
+    Parameters mirror HPCG's driver: ``max_iter`` caps the iteration
+    count (the paper's algorithms are run for a fixed budget of
+    iterations, so hitting the cap is not an error unless
+    ``raise_on_stall`` is set).
+    """
+    b = np.asarray(b, dtype=np.float64)
+    n = backend.n
+    if b.shape != (n,):
+        raise ShapeError(f"rhs must have shape ({n},), got {b.shape}")
+    x = np.zeros(n) if x0 is None else np.asarray(x0, dtype=np.float64).copy()
+    if x.shape != (n,):
+        raise ShapeError(f"x0 must have shape ({n},), got {x.shape}")
+
+    norm_b = norm2(b)
+    if norm_b == 0.0:
+        return SolveResult(x=np.zeros(n), iterations=0, converged=True,
+                           residual_norms=[0.0],
+                           report=backend.report())
+
+    r = waxpby(1.0, b, -1.0, backend.spmv(x))
+    _charge_vector_ops(backend, 2)
+    z = backend.precondition(r)
+    p = z.copy()
+    rz = dot(r, z)
+    _charge_vector_ops(backend, 1)
+    residuals = [norm2(r) / norm_b]
+    converged = residuals[-1] < tol
+    iterations = 0
+
+    while not converged and iterations < max_iter:
+        iterations += 1
+        ap = backend.spmv(p)
+        pap = dot(p, ap)
+        _charge_vector_ops(backend, 1)
+        if pap <= 0.0:
+            raise ConvergenceError(
+                "p^T A p <= 0: matrix is not positive definite"
+            )
+        alpha = rz / pap
+        x = waxpby(1.0, x, alpha, p)
+        r = waxpby(1.0, r, -alpha, ap)
+        _charge_vector_ops(backend, 2)
+        residuals.append(norm2(r) / norm_b)
+        if residuals[-1] < tol:
+            converged = True
+            break
+        z = backend.precondition(r)
+        rz_new = dot(r, z)
+        _charge_vector_ops(backend, 1)
+        beta = rz_new / rz
+        rz = rz_new
+        p = waxpby(1.0, z, beta, p)
+        _charge_vector_ops(backend, 1)
+
+    if not converged and raise_on_stall:
+        raise ConvergenceError(
+            f"PCG stalled at residual {residuals[-1]:.3e} "
+            f"after {iterations} iterations"
+        )
+    return SolveResult(
+        x=x,
+        iterations=iterations,
+        converged=converged,
+        residual_norms=residuals,
+        report=backend.report(),
+    )
+
+
+def _charge_vector_ops(backend, count: int) -> None:
+    """Charge ``count`` dense vector kernels if the backend is timed."""
+    charge = getattr(backend, "vector_op", None)
+    if charge is not None:
+        for _ in range(count):
+            charge()

@@ -1,0 +1,82 @@
+"""Shared fixtures: small deterministic matrices and graphs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(42)
+
+
+def make_spd_dense(n: int, density: float = 0.15,
+                   seed: int = 0) -> np.ndarray:
+    """Small dense SPD matrix with a sparse off-diagonal pattern."""
+    gen = np.random.default_rng(seed)
+    a = np.zeros((n, n))
+    nnz = max(1, int(density * n * n))
+    i = gen.integers(0, n, size=nnz)
+    j = gen.integers(0, n, size=nnz)
+    a[i, j] = gen.normal(size=nnz)
+    a = (a + a.T) / 2.0
+    np.fill_diagonal(a, 0.0)
+    a += np.diag(np.abs(a).sum(axis=1) + 1.0)
+    return a
+
+
+@pytest.fixture
+def spd_small() -> np.ndarray:
+    """17x17 SPD matrix (odd size to exercise block padding)."""
+    return make_spd_dense(17, density=0.2, seed=3)
+
+
+@pytest.fixture
+def spd_medium() -> np.ndarray:
+    """70x70 SPD matrix spanning multiple block rows."""
+    return make_spd_dense(70, density=0.08, seed=5)
+
+
+@pytest.fixture
+def banded_spd() -> np.ndarray:
+    """Banded SPD matrix (diagonal-heavy structure)."""
+    n = 40
+    a = np.zeros((n, n))
+    for k in range(1, 4):
+        idx = np.arange(n - k)
+        a[idx, idx + k] = -1.0
+        a[idx + k, idx] = -1.0
+    np.fill_diagonal(a, 7.0)
+    return a
+
+
+@pytest.fixture
+def small_digraph() -> sp.csr_matrix:
+    """A 12-node weighted directed graph with known shortest paths."""
+    edges = [
+        (0, 1, 2.0), (0, 2, 5.0), (1, 2, 1.0), (1, 3, 4.0),
+        (2, 3, 1.0), (3, 4, 3.0), (2, 5, 7.0), (4, 5, 1.0),
+        (5, 6, 2.0), (6, 7, 2.0), (4, 8, 6.0), (8, 9, 1.0),
+        (9, 10, 1.0), (7, 11, 3.0), (10, 11, 2.0), (0, 8, 9.0),
+    ]
+    rows = [e[0] for e in edges]
+    cols = [e[1] for e in edges]
+    vals = [e[2] for e in edges]
+    return sp.coo_matrix((vals, (rows, cols)), shape=(12, 12)).tocsr()
+
+
+@pytest.fixture
+def random_digraph() -> sp.csr_matrix:
+    """Random 60-node directed graph with positive weights."""
+    gen = np.random.default_rng(11)
+    n, nnz = 60, 300
+    rows = gen.integers(0, n, size=nnz)
+    cols = gen.integers(0, n, size=nnz)
+    keep = rows != cols
+    rows, cols = rows[keep], cols[keep]
+    vals = gen.uniform(1.0, 5.0, size=rows.size)
+    m = sp.coo_matrix((vals, (rows, cols)), shape=(n, n)).tocsr()
+    m.sum_duplicates()
+    return m

@@ -1,0 +1,116 @@
+"""Tests for the analysis layer: tables, comparison data, ablations."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    KERNEL_DATAPATH_MAPPING,
+    TABLE1,
+    TABLE2,
+    arithmetic_mean,
+    block_size_sweep,
+    geometric_mean,
+    reconfiguration_ablation,
+    render_series,
+    render_table,
+    reordering_ablation,
+    smoother_ablation,
+)
+from repro.core import KernelType, convert
+from repro.datasets import stencil27
+
+
+class TestMeans:
+    def test_geometric_mean(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_geometric_mean_ignores_nonpositive(self):
+        assert geometric_mean([2.0, 0.0, -1.0, 8.0]) == pytest.approx(4.0)
+
+    def test_geometric_mean_empty(self):
+        assert geometric_mean([]) == 0.0
+
+    def test_arithmetic_mean(self):
+        assert arithmetic_mean([1.0, 3.0]) == 2.0
+        assert arithmetic_mean([]) == 0.0
+
+
+class TestRendering:
+    def test_render_table_aligns(self):
+        text = render_table(["name", "value"],
+                            [["a", 1.5], ["bb", 22.25]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[2]
+        assert "1.50" in text
+        assert "22.25" in text
+
+    def test_render_table_handles_nan_and_big(self):
+        text = render_table(["v"], [[float("nan")], [1e9], [0.0001]])
+        assert "-" in text
+        assert "1e+09" in text
+
+    def test_render_series(self):
+        text = render_series({"a": {"x": 1.0}, "b": {"x": 2.0}})
+        assert "dataset" in text
+        assert "x" in text
+
+
+class TestPaperTables:
+    def test_table1_covers_all_kernels(self):
+        assert set(TABLE1) == {"symgs", "spmv", "pagerank", "bfs", "sssp"}
+
+    def test_table1_matches_kernel_mapping(self):
+        for kernel, dp in KERNEL_DATAPATH_MAPPING.items():
+            assert dp.value in TABLE1[kernel.value]["dense_datapaths"]
+
+    def test_table1_matches_emitted_datapaths(self, spd_medium):
+        conv = convert(KernelType.SYMGS, spd_medium, omega=8)
+        emitted = {e.dp.value for e in conv.table}
+        assert emitted == set(TABLE1["symgs"]["dense_datapaths"])
+
+    def test_table2_alrescha_unique_claims(self):
+        alr = TABLE2["alrescha"]
+        assert alr["multi_kernel"]
+        assert alr["no_metadata_transfer"]
+        assert alr["reconfigurable"]
+        for name, row in TABLE2.items():
+            if name != "alrescha":
+                assert not row["multi_kernel"]
+                assert not row["no_metadata_transfer"]
+
+
+class TestAblations:
+    @pytest.fixture(scope="class")
+    def matrix(self):
+        return stencil27(6, 6, 6)
+
+    def test_block_size_sweep_trade_off(self, matrix):
+        sweep = block_size_sweep(matrix, omegas=[8, 16, 32])
+        # Bigger blocks -> fewer table entries but more streamed padding.
+        assert sweep[8]["table_entries"] > sweep[32]["table_entries"]
+        assert sweep[8]["streamed_slots"] <= sweep[32]["streamed_slots"]
+        for omega in (8, 16, 32):
+            assert 0.0 < sweep[omega]["block_density"] <= 1.0
+
+    def test_reordering_ablation(self, matrix):
+        result = reordering_ablation(matrix)
+        assert result["natural"]["sweep_cycles"] >= \
+            result["reordered"]["sweep_cycles"]
+        # Functional result identical either way.
+        assert result["natural"]["checksum"] == pytest.approx(
+            result["reordered"]["checksum"])
+
+    def test_reconfiguration_ablation(self, matrix):
+        result = reconfiguration_ablation(matrix)
+        assert result["hidden"]["exposed_reconfig_cycles"] == 0.0
+        assert result["exposed"]["exposed_reconfig_cycles"] > 0.0
+        assert result["exposed"]["sweep_cycles"] > \
+            result["hidden"]["sweep_cycles"]
+
+    def test_smoother_ablation_ordering(self):
+        a = stencil27(5, 5, 5)
+        result = smoother_ablation(a, tol=1e-8, max_iter=400)
+        assert result["symgs"]["iterations"] <= \
+            result["jacobi"]["iterations"]
+        assert result["symgs"]["iterations"] < result["none"]["iterations"]

@@ -1,0 +1,182 @@
+"""Tests for the baseline platform models and coloring analysis."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    CPUModel,
+    GPUModel,
+    GraphRModel,
+    MatrixProfile,
+    MemristiveModel,
+    OuterSPACEModel,
+    alrescha_sequential_fraction,
+    gauss_seidel_levels,
+    gpu_sequential_fraction,
+    greedy_coloring,
+    level_histogram,
+)
+from repro.datasets import stencil27, tridiagonal
+from repro.errors import BaselineError
+
+
+class TestLevelScheduling:
+    def test_tridiagonal_is_fully_sequential(self):
+        levels = gauss_seidel_levels(tridiagonal(20).toarray())
+        np.testing.assert_array_equal(levels, np.arange(20))
+
+    def test_diagonal_matrix_single_level(self):
+        levels = gauss_seidel_levels(np.eye(10))
+        np.testing.assert_array_equal(levels, 0)
+
+    def test_level_depends_only_on_lower_triangle(self):
+        a = np.eye(4)
+        a[0, 3] = 1.0  # upper-triangle entry: no dependency
+        levels = gauss_seidel_levels(a)
+        np.testing.assert_array_equal(levels, 0)
+
+    def test_level_histogram(self):
+        hist = level_histogram(np.array([0, 0, 1, 2, 2, 2]))
+        assert hist == {0: 2, 1: 1, 2: 3}
+
+
+class TestColoring:
+    def test_coloring_is_proper(self, spd_medium):
+        colors = greedy_coloring(spd_medium)
+        n = spd_medium.shape[0]
+        for i in range(n):
+            for j in range(n):
+                if i != j and spd_medium[i, j] != 0.0:
+                    assert colors[i] != colors[j]
+
+    def test_diagonal_matrix_one_color(self):
+        colors = greedy_coloring(np.eye(8))
+        assert set(colors) == {0}
+
+
+class TestSequentialFractions:
+    def test_tridiagonal_gpu_fraction_near_one(self):
+        frac, levels = gpu_sequential_fraction(tridiagonal(64).toarray())
+        assert frac > 0.95
+        assert levels == 64
+
+    def test_independent_rows_fraction_low(self):
+        # Block-diagonal with 64 independent singleton rows.
+        frac, levels = gpu_sequential_fraction(np.eye(64) * 2.0)
+        assert levels == 1
+        assert frac < 0.5
+
+    def test_alrescha_fraction_excludes_main_diagonal(self):
+        """A diagonal matrix has no sequential dot-product work at all —
+        the diagonal is stored separately and fed to the PE divide."""
+        assert alrescha_sequential_fraction(np.eye(16) * 2.0) == 0.0
+
+    def test_alrescha_fraction_below_gpu_on_stencil(self):
+        a = stencil27(6, 6, 6)
+        gpu_frac, _ = gpu_sequential_fraction(a)
+        alr_frac = alrescha_sequential_fraction(a)
+        assert alr_frac < gpu_frac
+
+    def test_tridiagonal_alrescha_still_sequential(self):
+        """In-block chains remain: Alrescha cannot parallelise a pure
+        chain, it can only shrink the sequential operand."""
+        frac = alrescha_sequential_fraction(tridiagonal(64).toarray())
+        assert frac > 0.8
+
+
+class TestMatrixProfile:
+    @pytest.fixture
+    def profile(self):
+        return MatrixProfile(stencil27(6, 6, 6))
+
+    def test_basic_counts(self, profile):
+        assert profile.n == 216
+        assert profile.nnz > 0
+        assert 0.0 < profile.block_density <= 1.0
+
+    def test_locality_ordering(self, random_digraph):
+        banded = MatrixProfile(tridiagonal(216).toarray())
+        scattered = MatrixProfile(random_digraph)
+        assert banded.column_locality > scattered.column_locality
+
+    def test_row_imbalance_bounds(self, profile, random_digraph):
+        assert 1.0 <= profile.row_imbalance <= 2.5
+        assert 1.0 <= MatrixProfile(random_digraph).row_imbalance <= 2.5
+
+    def test_blocks_at_density(self, profile):
+        blocks = profile.blocks_at(64)
+        assert blocks >= 1
+        assert 0.0 < profile.density_at(64) <= 1.0
+        with pytest.raises(BaselineError):
+            profile.blocks_at(0)
+
+
+class TestPlatformModels:
+    @pytest.fixture
+    def profile(self):
+        return MatrixProfile(stencil27(6, 6, 6))
+
+    def test_all_models_positive_spmv_time(self, profile):
+        for model in (CPUModel(), GPUModel(), OuterSPACEModel(),
+                      GraphRModel(), MemristiveModel()):
+            assert model.spmv_seconds(profile) > 0.0
+
+    def test_gpu_faster_than_cpu_spmv(self, profile):
+        assert GPUModel().spmv_seconds(profile) < \
+            CPUModel().spmv_seconds(profile)
+
+    def test_symgs_slower_than_spmv_on_gpu(self, profile):
+        """The data-dependent kernel is the GPU's bottleneck."""
+        gpu = GPUModel()
+        assert gpu.symgs_sweep_seconds(profile) > gpu.spmv_seconds(profile)
+
+    def test_pcg_iteration_composition(self, profile):
+        gpu = GPUModel()
+        total = gpu.pcg_iteration_seconds(profile)
+        assert total > 2.0 * gpu.symgs_sweep_seconds(profile)
+
+    def test_hpcg_fraction_tiny(self, profile):
+        """Figure 6: platforms reach only a tiny fraction of peak."""
+        assert CPUModel().hpcg_fraction_of_peak(profile) < 0.05
+        assert GPUModel().hpcg_fraction_of_peak(profile) < 0.05
+
+    def test_ell_vs_csr_selection(self, profile, random_digraph):
+        gpu = GPUModel()
+        assert gpu.storage_format(profile) == "ell"
+        skewed = MatrixProfile(random_digraph)
+        # One dense-ish row forces huge padding -> CSR fallback.
+        dense_row = random_digraph.toarray()
+        dense_row[0, :] = 1.0
+        assert gpu.storage_format(MatrixProfile(dense_row)) == "csr"
+        del skewed
+
+    def test_graph_models_reject_unknown_algorithm(self, profile):
+        with pytest.raises(BaselineError):
+            CPUModel().graph_pass_seconds(profile, "pagerook")
+        with pytest.raises(BaselineError):
+            GPUModel().graph_pass_seconds(profile, "bfsx")
+
+    def test_outerspace_cache_fraction_dominates(self, profile):
+        """Figure 18's line series: OuterSPACE spends most of its time
+        on cache accesses."""
+        os_model = OuterSPACEModel()
+        assert os_model.cache_time_fraction(profile) > 0.5
+
+    def test_memristive_block_choice(self, profile):
+        mem = MemristiveModel()
+        assert mem.best_block_width(profile) in (64, 128, 256, 512)
+
+    def test_memristive_symgs_serial_penalty(self, profile):
+        mem = MemristiveModel()
+        assert mem.symgs_sweep_seconds(profile) > mem.spmv_seconds(profile)
+
+    def test_energy_ordering(self, profile):
+        """CPU > GPU >> accelerators per edge (Figure 19's premise)."""
+        cpu_e = CPUModel().spmv_energy(profile)
+        gpu_e = GPUModel().spmv_energy(profile)
+        os_e = OuterSPACEModel().spmv_energy(profile)
+        assert cpu_e > gpu_e > os_e
+
+    def test_baseline_without_symgs_raises(self, profile):
+        with pytest.raises(BaselineError):
+            OuterSPACEModel().symgs_sweep_seconds(profile)

@@ -1,0 +1,70 @@
+"""Tests for Graph500-style BFS parent tracking."""
+
+import numpy as np
+import pytest
+
+from repro.graph import bfs_reference, run_bfs
+
+
+def verify_bfs_tree(adj, src, dist, parents) -> None:
+    """Graph500-style tree verification: every reached vertex's parent
+    is a real predecessor exactly one level closer to the source."""
+    adj = adj.tocsr()
+    n = adj.shape[0]
+    for v in range(n):
+        if v == src:
+            assert parents[v] == src
+            assert dist[v] == 0.0
+        elif np.isfinite(dist[v]):
+            u = int(parents[v])
+            assert u >= 0, f"reached vertex {v} lacks a parent"
+            assert adj[u, v] != 0, f"parent edge {u}->{v} missing"
+            assert dist[u] == dist[v] - 1.0, \
+                f"parent {u} not one level above {v}"
+        else:
+            assert parents[v] == -1, f"unreached {v} has a parent"
+
+
+class TestBFSParents:
+    def test_tree_valid_on_small_graph(self, small_digraph):
+        result = run_bfs(small_digraph, 0, return_parents=True)
+        verify_bfs_tree(small_digraph, 0, result.values, result.parents)
+
+    def test_tree_valid_on_random_graph(self, random_digraph):
+        result = run_bfs(random_digraph, 0, return_parents=True)
+        verify_bfs_tree(random_digraph, 0, result.values, result.parents)
+
+    def test_distances_unchanged_by_parent_tracking(self, random_digraph):
+        plain = run_bfs(random_digraph, 0)
+        with_parents = run_bfs(random_digraph, 0, return_parents=True)
+        np.testing.assert_array_equal(
+            np.nan_to_num(plain.values, posinf=-1.0),
+            np.nan_to_num(with_parents.values, posinf=-1.0),
+        )
+
+    def test_distances_match_reference(self, random_digraph):
+        result = run_bfs(random_digraph, 0, return_parents=True)
+        expected = bfs_reference((random_digraph != 0).astype(float), 0)
+        np.testing.assert_array_equal(
+            np.nan_to_num(result.values, posinf=-1.0),
+            np.nan_to_num(expected, posinf=-1.0),
+        )
+
+    def test_plain_bfs_has_no_parents(self, random_digraph):
+        result = run_bfs(random_digraph, 0)
+        assert result.parents is None
+
+    def test_parent_report_accounts_extra_writeback(self, random_digraph):
+        """Carrying the parent tag costs write-back bytes, visible in
+        the report's streamed volume."""
+        plain = run_bfs(random_digraph, 0)
+        tagged = run_bfs(random_digraph, 0, return_parents=True)
+        per_pass_plain = plain.report.streamed_bytes / plain.iterations
+        per_pass_tagged = tagged.report.streamed_bytes / tagged.iterations
+        assert per_pass_tagged > per_pass_plain
+
+    def test_dataset_scale(self):
+        from repro.datasets import load_dataset
+        adj = load_dataset("kron-g500-logn21", scale=0.06).matrix
+        result = run_bfs(adj, 0, return_parents=True)
+        verify_bfs_tree(adj, 0, result.values, result.parents)

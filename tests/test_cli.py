@@ -1,0 +1,120 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestListAndInfo:
+    def test_list_all(self, capsys):
+        assert main(["list-datasets"]) == 0
+        out = capsys.readouterr().out
+        assert "stencil27" in out
+        assert "com-orkut" in out
+
+    def test_list_kind_filter(self, capsys):
+        assert main(["list-datasets", "--kind", "scientific"]) == 0
+        out = capsys.readouterr().out
+        assert "stencil27" in out
+        assert "com-orkut" not in out
+
+    def test_info(self, capsys):
+        assert main(["info", "stencil27", "--scale", "0.08"]) == 0
+        out = capsys.readouterr().out
+        assert "block density" in out
+        assert "GPU seq fraction" in out
+
+    def test_info_graph(self, capsys):
+        assert main(["info", "Youtube", "--scale", "0.05"]) == 0
+        out = capsys.readouterr().out
+        assert "graph" in out
+
+
+class TestRun:
+    def test_run_spmv(self, capsys):
+        assert main(["run", "spmv", "--dataset", "af_shell",
+                     "--scale", "0.05"]) == 0
+        out = capsys.readouterr().out
+        assert "SpMV" in out
+        assert "BW utilization" in out
+
+    def test_run_symgs(self, capsys):
+        assert main(["run", "symgs", "--dataset", "stencil27",
+                     "--scale", "0.05"]) == 0
+        assert "SymGS" in capsys.readouterr().out
+
+    def test_run_pcg(self, capsys):
+        assert main(["run", "pcg", "--dataset", "af_shell",
+                     "--scale", "0.05", "--iterations", "40"]) == 0
+        out = capsys.readouterr().out
+        assert "converged=True" in out
+        assert "kernel switches" in out
+
+    def test_run_bfs(self, capsys):
+        assert main(["run", "bfs", "--dataset", "Youtube",
+                     "--scale", "0.05"]) == 0
+        assert "BFS" in capsys.readouterr().out
+
+    def test_run_sssp_weights_synthesized(self, capsys):
+        assert main(["run", "sssp", "--dataset", "Youtube",
+                     "--scale", "0.05"]) == 0
+        assert "SSSP" in capsys.readouterr().out
+
+    def test_run_pagerank(self, capsys):
+        assert main(["run", "pagerank", "--dataset", "Youtube",
+                     "--scale", "0.05"]) == 0
+        assert "top-5" in capsys.readouterr().out
+
+    def test_run_cc(self, capsys):
+        assert main(["run", "cc", "--dataset", "roadNet-CA",
+                     "--scale", "0.03"]) == 0
+        assert "components" in capsys.readouterr().out
+
+    def test_run_hpcg(self, capsys):
+        assert main(["run", "hpcg", "--scale", "0.05",
+                     "--iterations", "3"]) == 0
+        assert "GFLOP/s" in capsys.readouterr().out
+
+
+class TestSurveyAndExperiment:
+    def test_survey(self, capsys):
+        assert main(["survey", "stencil27", "--scale", "0.05"]) == 0
+        out = capsys.readouterr().out
+        assert "Alrescha (runtime)" in out
+        assert "BCSR" in out
+
+    def test_experiment_fig16(self, capsys):
+        assert main(["experiment", "fig16", "--scale", "0.05"]) == 0
+        out = capsys.readouterr().out
+        assert "gpu" in out
+        assert "alrescha" in out
+
+    def test_unknown_dataset_raises(self):
+        from repro.errors import DatasetError
+        with pytest.raises(DatasetError):
+            main(["info", "not-a-dataset"])
+
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+
+class TestCompileAndValidate:
+    def test_compile_writes_artifacts(self, tmp_path, capsys):
+        out = tmp_path / "k"
+        assert main(["compile", "spmv", "--dataset", "af_shell",
+                     "--scale", "0.05", "-o", str(out)]) == 0
+        prog = (tmp_path / "k.prog").read_bytes()
+        img = (tmp_path / "k.img").read_bytes()
+        assert prog and img
+        # Artifacts decode back to a runnable kernel.
+        from repro.core import decode_image, decode_program
+        kernel, table = decode_program(prog)
+        matrix = decode_image(img)
+        assert kernel.value == "spmv"
+        assert len(table) == matrix.n_blocks
+
+    def test_validate_passes(self, capsys):
+        assert main(["validate", "--scale", "0.03"]) == 0
+        out = capsys.readouterr().out
+        assert "validations passed" in out

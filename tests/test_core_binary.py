@@ -1,0 +1,146 @@
+"""Tests for the binary program interface (§4, Figure 7)."""
+
+import numpy as np
+import pytest
+
+from repro.core import KernelType, convert
+from repro.core.binary import (
+    BitReader,
+    BitWriter,
+    decode_program,
+    encode_program,
+    program_size_bytes,
+)
+from repro.errors import ConfigError
+
+
+class TestBitStream:
+    def test_round_trip_values(self):
+        w = BitWriter()
+        w.write(5, 3)
+        w.write(0, 1)
+        w.write(1023, 10)
+        r = BitReader(w.to_bytes())
+        assert r.read(3) == 5
+        assert r.read(1) == 0
+        assert r.read(10) == 1023
+
+    def test_value_too_wide_rejected(self):
+        with pytest.raises(ConfigError):
+            BitWriter().write(8, 3)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigError):
+            BitWriter().write(-1, 4)
+
+    def test_truncated_read_rejected(self):
+        w = BitWriter()
+        w.write(1, 1)
+        r = BitReader(w.to_bytes())
+        r.read(1)
+        with pytest.raises(ConfigError):
+            r.read(16)
+
+    def test_partial_byte_padding(self):
+        w = BitWriter()
+        w.write(0b101, 3)
+        data = w.to_bytes()
+        assert len(data) == 1
+        assert data[0] == 0b10100000
+
+
+class TestProgramRoundTrip:
+    @pytest.mark.parametrize("kernel", [
+        KernelType.SPMV, KernelType.BFS, KernelType.SSSP,
+        KernelType.PAGERANK,
+    ])
+    def test_straightforward_kernels(self, spd_medium, kernel):
+        conv = convert(kernel, spd_medium, omega=8)
+        blob = encode_program(kernel, conv.table)
+        k2, table2 = decode_program(blob)
+        assert k2 is kernel
+        assert len(table2) == len(conv.table)
+        for a, b in zip(conv.table, table2):
+            assert a == b
+
+    def test_symgs_program(self, spd_medium):
+        conv = convert(KernelType.SYMGS, spd_medium, omega=8)
+        blob = encode_program(KernelType.SYMGS, conv.table)
+        kernel, table2 = decode_program(blob)
+        assert kernel is KernelType.SYMGS
+        for a, b in zip(conv.table, table2):
+            assert a == b
+
+    def test_decoded_program_runs_identically(self, spd_medium, rng):
+        """A table shipped through the binary produces bit-identical
+        kernel results."""
+        from repro.core import Alrescha
+        from repro.core.convert import ConversionResult
+
+        conv = convert(KernelType.SYMGS, spd_medium, omega=8)
+        blob = encode_program(KernelType.SYMGS, conv.table)
+        _k, table2 = decode_program(blob)
+        conv2 = ConversionResult(
+            kernel=conv.kernel, omega=conv.omega, table=table2,
+            matrix=conv.matrix, bcsr=conv.bcsr, reordered=conv.reordered,
+        )
+        b = rng.normal(size=70)
+        x0 = rng.normal(size=70)
+        acc1 = Alrescha()
+        acc1.program(conv)
+        acc2 = Alrescha()
+        acc2.program(conv2)
+        x1, _ = acc1.run_symgs_sweep(b, x0)
+        x2, _ = acc2.run_symgs_sweep(b, x0)
+        np.testing.assert_array_equal(x1, x2)
+
+
+class TestBinarySize:
+    def test_size_matches_paper_bit_budget(self, spd_medium):
+        """Payload bits per entry = 2*ceil(log2(n/omega)) + 3 exactly."""
+        conv = convert(KernelType.SPMV, spd_medium, omega=8)
+        blob = encode_program(KernelType.SPMV, conv.table)
+        assert len(blob) == program_size_bytes(conv.table)
+        header = 15  # >IBIHI
+        payload_bits = (len(blob) - header) * 8
+        need = len(conv.table) * conv.table.entry_bits()
+        assert need <= payload_bits < need + 8
+
+    def test_program_is_small(self, spd_medium):
+        """The one-time program is tiny relative to the payload the
+        format would otherwise stream as meta-data every iteration."""
+        conv = convert(KernelType.SPMV, spd_medium, omega=8)
+        blob = encode_program(KernelType.SPMV, conv.table)
+        payload_bytes = conv.matrix.payload_bytes
+        assert len(blob) < payload_bytes
+
+
+class TestBinaryValidation:
+    def test_bad_magic(self, spd_small):
+        conv = convert(KernelType.SPMV, spd_small, omega=8)
+        blob = bytearray(encode_program(KernelType.SPMV, conv.table))
+        blob[0] ^= 0xFF
+        with pytest.raises(ConfigError):
+            decode_program(bytes(blob))
+
+    def test_truncated_header(self):
+        with pytest.raises(ConfigError):
+            decode_program(b"\x41\x4c")
+
+    def test_truncated_payload(self, spd_medium):
+        conv = convert(KernelType.SPMV, spd_medium, omega=8)
+        blob = encode_program(KernelType.SPMV, conv.table)
+        with pytest.raises(ConfigError):
+            decode_program(blob[: len(blob) // 2])
+
+    def test_unknown_kernel_code(self, spd_small):
+        conv = convert(KernelType.SPMV, spd_small, omega=8)
+        blob = bytearray(encode_program(KernelType.SPMV, conv.table))
+        blob[4] = 0xEE  # kernel code byte
+        with pytest.raises(ConfigError):
+            decode_program(bytes(blob))
+
+    def test_invalid_kernel_rejected(self, spd_small):
+        conv = convert(KernelType.SPMV, spd_small, omega=8)
+        with pytest.raises(ConfigError):
+            encode_program("spmv", conv.table)

@@ -1,0 +1,94 @@
+"""Tests for the detailed (bounded-buffer) timing simulation."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Alrescha,
+    DEFAULT_FIFO_DEPTH,
+    KernelType,
+    crosscheck_with_analytic,
+    fifo_depth_sweep,
+    simulate_pass,
+)
+from repro.datasets import load_dataset, stencil27
+from repro.errors import SimulationError
+
+
+@pytest.fixture(scope="module")
+def symgs_acc():
+    return Alrescha.from_matrix(KernelType.SYMGS, stencil27(6, 6, 6))
+
+
+@pytest.fixture(scope="module")
+def spmv_acc():
+    return Alrescha.from_matrix(KernelType.SPMV, stencil27(6, 6, 6))
+
+
+class TestDetailedSimulation:
+    def test_report_structure(self, symgs_acc):
+        report = simulate_pass(symgs_acc)
+        assert report.cycles > 0
+        assert report.n_jobs == len(symgs_acc.table)
+        assert 0.0 < report.memory_utilization <= 1.0
+        assert 0.0 < report.engine_utilization <= 1.0
+        assert report.mem_busy_cycles + report.mem_stall_cycles \
+            == pytest.approx(report.cycles)
+
+    def test_invalid_depth(self, symgs_acc):
+        with pytest.raises(SimulationError):
+            simulate_pass(symgs_acc, fifo_depth=0)
+
+    def test_deterministic(self, symgs_acc):
+        a = simulate_pass(symgs_acc)
+        b = simulate_pass(symgs_acc)
+        assert a.cycles == b.cycles
+
+
+class TestCrossValidation:
+    def test_symgs_agrees_with_analytic(self, symgs_acc):
+        n = symgs_acc.n
+        b = np.random.default_rng(0).normal(size=n)
+        _x, rep = symgs_acc.run_symgs_sweep(b, np.zeros(n))
+        check = crosscheck_with_analytic(symgs_acc, rep.cycles)
+        assert 0.7 < check["ratio"] < 1.3
+
+    def test_spmv_agrees_with_analytic(self, spmv_acc):
+        n = spmv_acc.n
+        _y, rep = spmv_acc.run_spmv(np.ones(n))
+        check = crosscheck_with_analytic(spmv_acc, rep.cycles)
+        assert 0.7 < check["ratio"] < 1.3
+
+    @pytest.mark.parametrize("name", ["af_shell", "scircuit", "Youtube"])
+    def test_agreement_across_datasets(self, name):
+        ds = load_dataset(name, scale=0.05)
+        matrix = ds.matrix if ds.kind == "scientific" \
+            else ds.matrix.T.tocsr()
+        acc = Alrescha.from_matrix(KernelType.SPMV, matrix)
+        _y, rep = acc.run_spmv(np.ones(acc.n))
+        check = crosscheck_with_analytic(acc, rep.cycles)
+        assert 0.6 < check["ratio"] < 1.4, name
+
+
+class TestFifoDepth:
+    def test_deeper_fifo_never_slower(self, symgs_acc):
+        sweep = fifo_depth_sweep(symgs_acc, [1, 2, 4, 8, 16])
+        cycles = [sweep[d]["cycles"] for d in (1, 2, 4, 8, 16)]
+        for shallow, deep in zip(cycles, cycles[1:]):
+            assert deep <= shallow + 1e-9
+
+    def test_depth_one_serialises(self, symgs_acc):
+        """With no run-ahead window, stream and compute interlock and
+        the pass takes measurably longer — the reason §4.3's FIFOs
+        exist."""
+        sweep = fifo_depth_sweep(symgs_acc, [1, DEFAULT_FIFO_DEPTH])
+        assert sweep[1]["cycles"] > sweep[DEFAULT_FIFO_DEPTH]["cycles"]
+
+    def test_saturation(self, symgs_acc):
+        """Beyond a modest depth, extra buffering buys nothing."""
+        sweep = fifo_depth_sweep(symgs_acc, [8, 64])
+        assert sweep[64]["cycles"] == pytest.approx(sweep[8]["cycles"])
+
+    def test_stalls_shrink_with_depth(self, symgs_acc):
+        sweep = fifo_depth_sweep(symgs_acc, [1, 8])
+        assert sweep[8]["mem_stall_cycles"] <= sweep[1]["mem_stall_cycles"]

@@ -1,0 +1,121 @@
+"""Unit tests for the fixed compute unit (§4.3)."""
+
+import numpy as np
+import pytest
+
+from repro.core import FixedComputeUnit
+from repro.errors import SimulationError
+
+
+class TestConstruction:
+    def test_defaults(self):
+        fcu = FixedComputeUnit()
+        assert fcu.omega == 8
+        assert fcu.alu_latency == 3
+        assert fcu.re_sum_latency == 3
+        assert fcu.re_min_latency == 1
+
+    def test_omega_must_be_power_of_two(self):
+        with pytest.raises(SimulationError):
+            FixedComputeUnit(omega=6)
+        with pytest.raises(SimulationError):
+            FixedComputeUnit(omega=0)
+
+    def test_alu_row_must_fit_a_slice(self):
+        with pytest.raises(SimulationError):
+            FixedComputeUnit(omega=16, n_alus=8)
+
+
+class TestFunctional:
+    def test_vector_mul(self):
+        fcu = FixedComputeUnit()
+        a = np.arange(8.0)
+        b = np.full(8, 2.0)
+        np.testing.assert_allclose(fcu.vector_op(a, b, "mul"), a * b)
+
+    def test_vector_add(self):
+        fcu = FixedComputeUnit()
+        a = np.arange(8.0)
+        np.testing.assert_allclose(fcu.vector_op(a, a, "add"), 2 * a)
+
+    def test_and_div_selects_where_nonzero(self):
+        fcu = FixedComputeUnit()
+        a = np.array([1.0, 0.0, 1.0, 0.0, 1.0, 0.0, 1.0, 0.0])
+        b = np.full(8, 5.0)
+        out = fcu.vector_op(a, b, "and_div")
+        np.testing.assert_allclose(out, a * 5.0)
+
+    def test_reduce_sum(self):
+        fcu = FixedComputeUnit()
+        assert fcu.reduce(np.arange(8.0), "sum") == pytest.approx(28.0)
+
+    def test_reduce_min(self):
+        fcu = FixedComputeUnit()
+        assert fcu.reduce(np.array([3.0, 1.0, 2.0]), "min") == 1.0
+
+    def test_reduce_min_empty_is_inf(self):
+        fcu = FixedComputeUnit()
+        assert fcu.reduce(np.zeros(0), "min") == np.inf
+
+    def test_dot(self):
+        fcu = FixedComputeUnit()
+        a, b = np.arange(8.0), np.ones(8)
+        assert fcu.dot(a, b) == pytest.approx(28.0)
+
+    def test_unknown_ops_rejected(self):
+        fcu = FixedComputeUnit()
+        with pytest.raises(SimulationError):
+            fcu.vector_op(np.zeros(8), np.zeros(8), "xor")
+        with pytest.raises(SimulationError):
+            fcu.reduce(np.zeros(8), "max")
+
+    def test_shape_mismatch_rejected(self):
+        fcu = FixedComputeUnit()
+        with pytest.raises(SimulationError):
+            fcu.vector_op(np.zeros(8), np.zeros(4))
+
+
+class TestActivityCounting:
+    def test_alu_activity_scales_with_density(self):
+        """'The activity of compute units, defined by the density of the
+        locally-dense block, impacts energy but not performance' (§5.4)."""
+        fcu = FixedComputeUnit()
+        sparse = np.zeros(8)
+        sparse[0] = 1.0
+        fcu.vector_op(sparse, np.ones(8))
+        assert fcu.counters.get("alu_op") == 1.0
+        fcu.vector_op(np.ones(8), np.ones(8))
+        assert fcu.counters.get("alu_op") == 9.0
+
+    def test_reduce_activity(self):
+        fcu = FixedComputeUnit()
+        fcu.reduce(np.ones(8))
+        assert fcu.counters.get("re_op") == 7.0
+
+
+class TestTiming:
+    def test_tree_depth(self):
+        assert FixedComputeUnit(omega=8).tree_depth == 3
+        assert FixedComputeUnit(omega=16, n_alus=16).tree_depth == 4
+
+    def test_pipeline_latency_sum(self):
+        fcu = FixedComputeUnit()
+        # ALU(3) + 3 levels x RE_sum(3) = 12.
+        assert fcu.pipeline_latency("sum") == 12
+
+    def test_pipeline_latency_min_cheaper(self):
+        """Table 5: RE latency is 3 for sum, 1 for min."""
+        fcu = FixedComputeUnit()
+        assert fcu.pipeline_latency("min") == 6
+        assert fcu.pipeline_latency("min") < fcu.pipeline_latency("sum")
+
+    def test_drain_is_tree_only(self):
+        fcu = FixedComputeUnit()
+        assert fcu.drain_cycles("sum") == 9
+        assert fcu.drain_cycles("min") == 3
+
+    def test_compute_bandwidth_matches_memory(self):
+        """§5.2: the ALU row is sized to keep up with the 288 GB/s
+        stream (115.2 B/cycle at 2.5 GHz)."""
+        fcu = FixedComputeUnit()
+        assert fcu.compute_bytes_per_cycle >= 115.2

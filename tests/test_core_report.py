@@ -1,0 +1,90 @@
+"""Unit tests for SimReport and report combination."""
+
+import pytest
+
+from repro.core import SimReport, combine
+from repro.sim import CounterSet
+
+
+def make_report(cycles=100.0, useful=576.0, streamed=1152.0, seq=20.0):
+    return SimReport(
+        kernel="spmv",
+        cycles=cycles,
+        useful_bytes=useful,
+        streamed_bytes=streamed,
+        sequential_cycles=seq,
+        cache_busy_cycles=10.0,
+        n_entries=5,
+        n_switches=2,
+        counters=CounterSet({"alu_op": 7.0}),
+        energy_j=1e-9,
+        datapath_cycles={"gemv": 80.0},
+        bytes_per_cycle=115.2,
+    )
+
+
+class TestDerivedMetrics:
+    def test_seconds(self):
+        r = make_report(cycles=2.5e9)
+        assert r.seconds == pytest.approx(1.0)
+
+    def test_bandwidth_utilization(self):
+        r = make_report(cycles=10.0, useful=576.0)
+        assert r.bandwidth_utilization == pytest.approx(576 / 1152)
+
+    def test_utilization_capped_at_one(self):
+        r = make_report(cycles=1.0, useful=1e6)
+        assert r.bandwidth_utilization == 1.0
+
+    def test_stream_utilization_above_useful(self):
+        r = make_report(cycles=20.0)
+        assert r.stream_utilization >= r.bandwidth_utilization
+
+    def test_sequential_fraction(self):
+        r = make_report(cycles=100.0, seq=25.0)
+        assert r.sequential_fraction == pytest.approx(0.25)
+
+    def test_cache_time_fraction(self):
+        r = make_report(cycles=100.0)
+        assert r.cache_time_fraction == pytest.approx(0.1)
+
+    def test_zero_cycles_safe(self):
+        r = SimReport(kernel="empty")
+        assert r.bandwidth_utilization == 0.0
+        assert r.sequential_fraction == 0.0
+        assert r.cache_time_fraction == 0.0
+
+
+class TestScaling:
+    def test_scaled_multiplies_extensives(self):
+        r = make_report().scaled(10)
+        assert r.cycles == pytest.approx(1000.0)
+        assert r.useful_bytes == pytest.approx(5760.0)
+        assert r.energy_j == pytest.approx(1e-8)
+        assert r.counters.get("alu_op") == pytest.approx(70.0)
+        assert r.datapath_cycles["gemv"] == pytest.approx(800.0)
+
+    def test_scaled_preserves_intensives(self):
+        r = make_report()
+        s = r.scaled(7)
+        assert s.bandwidth_utilization == pytest.approx(
+            r.bandwidth_utilization)
+        assert s.sequential_fraction == pytest.approx(r.sequential_fraction)
+
+
+class TestCombine:
+    def test_combine_sums(self):
+        total = combine([make_report(), make_report()])
+        assert total.cycles == pytest.approx(200.0)
+        assert total.n_entries == 10
+        assert total.counters.get("alu_op") == 14.0
+        assert total.datapath_cycles["gemv"] == pytest.approx(160.0)
+
+    def test_combine_kernel_name(self):
+        total = combine([make_report()], kernel="pcg")
+        assert total.kernel == "pcg"
+
+    def test_combine_empty(self):
+        total = combine([])
+        assert total.cycles == 0.0
+        assert total.kernel == "empty"

@@ -1,0 +1,99 @@
+"""Tests for the Figure 8 kernel state machine."""
+
+import pytest
+
+from repro.core import (
+    ACCELERATED,
+    HOST,
+    KernelStateMachine,
+    pcg_state_machine,
+    walk_pcg,
+)
+from repro.errors import ConfigError
+
+
+class TestStateMachineBasics:
+    def test_add_and_visit(self):
+        sm = KernelStateMachine()
+        sm.add_state("a", ACCELERATED, "spmv")
+        sm.add_state("b", HOST, "dot")
+        sm.add_transition("a", "b")
+        sm.visit("a")
+        sm.visit("b")
+        assert sm.walk == ["a", "b"]
+
+    def test_illegal_transition_rejected(self):
+        sm = KernelStateMachine()
+        sm.add_state("a", ACCELERATED, "spmv")
+        sm.add_state("b", HOST, "dot")
+        sm.visit("a")
+        with pytest.raises(ConfigError):
+            sm.visit("b")
+
+    def test_unknown_state_rejected(self):
+        sm = KernelStateMachine()
+        with pytest.raises(ConfigError):
+            sm.visit("ghost")
+        sm.add_state("a", HOST, "dot")
+        with pytest.raises(ConfigError):
+            sm.add_transition("a", "ghost")
+
+    def test_duplicate_state_rejected(self):
+        sm = KernelStateMachine()
+        sm.add_state("a", HOST, "dot")
+        with pytest.raises(ConfigError):
+            sm.add_state("a", HOST, "dot")
+
+    def test_invalid_kind_rejected(self):
+        sm = KernelStateMachine()
+        with pytest.raises(ConfigError):
+            sm.add_state("a", "quantum", "dot")
+
+    def test_reset_walk(self):
+        sm = KernelStateMachine()
+        sm.add_state("a", HOST, "dot")
+        sm.visit("a")
+        sm.reset_walk()
+        assert sm.walk == []
+
+
+class TestPCGStateMachine:
+    def test_figure2_walk_is_legal(self):
+        sm = pcg_state_machine()
+        walk_pcg(sm, iterations=5)  # raises on any illegal transition
+        assert len(sm.walk) == 3 + 5 * 7
+
+    def test_accelerated_states(self):
+        sm = pcg_state_machine()
+        accelerated = {s.kernel for s in sm.states.values()
+                       if s.kind == ACCELERATED}
+        # The two kernels launched to the accelerator (Figure 8):
+        assert accelerated == {"spmv", "symgs"}
+
+    def test_kernel_switches_per_iteration(self):
+        """Each PCG iteration switches the accelerator spmv<->symgs
+        twice — the switching Alrescha's reconfigurability targets."""
+        sm = pcg_state_machine()
+        walk_pcg(sm, iterations=1)
+        base = sm.accelerator_switches()
+        sm2 = pcg_state_machine()
+        walk_pcg(sm2, iterations=4)
+        assert sm2.accelerator_switches() - base == 3 * 2
+
+    def test_walk_requires_iterations(self):
+        with pytest.raises(ConfigError):
+            walk_pcg(pcg_state_machine(), iterations=0)
+
+    def test_matches_backend_switch_count(self, banded_spd, rng):
+        """The state-machine prediction equals the backend's measured
+        kernel-switch count for the same iteration count."""
+        from repro.solvers import AcceleratorBackend, pcg as run_pcg
+
+        backend = AcceleratorBackend(banded_spd)
+        result = run_pcg(backend, rng.normal(size=40), tol=1e-10,
+                         max_iter=30)
+        sm = pcg_state_machine()
+        walk_pcg(sm, iterations=result.iterations)
+        # The solver breaks out after the convergence check, skipping
+        # the final precondition, so it may save exactly one switch.
+        assert sm.accelerator_switches() - backend.kernel_switches in (0, 1)

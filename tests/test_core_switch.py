@@ -1,0 +1,141 @@
+"""Tests for the Figure 9 configurable-switch interconnect model."""
+
+import pytest
+
+from repro.core import (
+    CONFIGURATIONS,
+    ConfigurableSwitch,
+    DataPathType,
+    switch_distance,
+)
+from repro.core.switch import UNITS, SwitchConfiguration, _conn
+from repro.errors import ReconfigurationError
+
+
+class TestConfigurations:
+    def test_every_datapath_has_a_configuration(self):
+        assert set(CONFIGURATIONS) == set(DataPathType)
+
+    def test_endpoints_are_known_units(self):
+        for config in CONFIGURATIONS.values():
+            for src, dst in config.connections:
+                assert src in UNITS
+                assert dst in UNITS
+
+    def test_all_paths_stream_matrix_operand(self):
+        """Every data path wires the A-FIFO into the ALU row (the
+        fixed streaming input of the FCU)."""
+        for config in CONFIGURATIONS.values():
+            assert ("fifo_a", "alu_in") in config.connections
+
+    def test_dsymgs_has_forward_path(self):
+        """Figure 9b/10: the fresh x_j^t shifts back into the operand
+        register — the defining connection of the dependent data path."""
+        conns = CONFIGURATIONS[DataPathType.D_SYMGS].connections
+        assert ("pe_div", "forward_path") in conns
+        assert ("forward_path", "alu_vec_in") in conns
+        assert ("link_stack", "pe_add") in conns
+
+    def test_only_dsymgs_uses_forward_path(self):
+        for dp, config in CONFIGURATIONS.items():
+            uses = any("forward_path" in conn
+                       for conn in config.connections)
+            assert uses == (dp is DataPathType.D_SYMGS)
+
+    def test_dpr_divides(self):
+        conns = CONFIGURATIONS[DataPathType.D_PR].connections
+        assert ("cache_port1", "pe_div") in conns
+        assert ("cache_port2", "pe_div") in conns
+
+    def test_min_paths_share_configuration_shape(self):
+        bfs = CONFIGURATIONS[DataPathType.D_BFS].connections
+        sssp = CONFIGURATIONS[DataPathType.D_SSSP].connections
+        assert bfs == sssp  # identical wiring; the ALU op differs
+
+    def test_unknown_endpoint_rejected(self):
+        with pytest.raises(ReconfigurationError):
+            _conn(("fifo_a", "warp_scheduler"))
+
+
+class TestDistances:
+    def test_distance_symmetric(self):
+        assert switch_distance(DataPathType.GEMV, DataPathType.D_SYMGS) \
+            == switch_distance(DataPathType.D_SYMGS, DataPathType.GEMV)
+
+    def test_self_distance_zero(self):
+        for dp in DataPathType:
+            assert switch_distance(dp, dp) == 0
+
+    def test_gemv_dsymgs_is_a_big_switch(self):
+        """The SymGS transition rewires most of the RCU — exactly why
+        the drain window matters."""
+        assert switch_distance(DataPathType.GEMV,
+                               DataPathType.D_SYMGS) >= 8
+
+    def test_bfs_sssp_is_free(self):
+        assert switch_distance(DataPathType.D_BFS,
+                               DataPathType.D_SSSP) == 0
+
+    def test_toggles_from_none_is_full_install(self):
+        config = CONFIGURATIONS[DataPathType.GEMV]
+        assert config.toggles_from(None) == len(config.connections)
+
+
+class TestConfigurableSwitch:
+    def test_install_counts_toggles(self):
+        sw = ConfigurableSwitch()
+        first = sw.install(DataPathType.GEMV)
+        assert first == len(CONFIGURATIONS[DataPathType.GEMV].connections)
+        second = sw.install(DataPathType.D_SYMGS)
+        assert second == switch_distance(DataPathType.GEMV,
+                                         DataPathType.D_SYMGS)
+        assert sw.total_toggles == first + second
+        assert sw.installs == 2
+
+    def test_reinstall_is_free(self):
+        sw = ConfigurableSwitch()
+        sw.install(DataPathType.GEMV)
+        assert sw.install(DataPathType.GEMV) == 0
+        assert sw.installs == 1
+
+    def test_history_recorded(self):
+        sw = ConfigurableSwitch()
+        sw.install(DataPathType.GEMV)
+        sw.install(DataPathType.D_PR)
+        assert [dp for dp, _ in sw.history] == [
+            DataPathType.GEMV, DataPathType.D_PR
+        ]
+
+    def test_unknown_datapath_rejected(self):
+        sw = ConfigurableSwitch()
+        with pytest.raises(ReconfigurationError):
+            sw.install("gemv")
+
+
+class TestSwitchEnergyCoupling:
+    def test_symgs_sweep_counts_interconnect_toggles(self, spd_medium,
+                                                     rng):
+        """A SymGS sweep's switch_toggle counter equals the sum of
+        Figure 9 interconnect differences along its walk."""
+        import numpy as np
+        from repro.core import Alrescha, KernelType
+
+        acc = Alrescha.from_matrix(KernelType.SYMGS, spd_medium)
+        _x, report = acc.run_symgs_sweep(rng.normal(size=70),
+                                         np.zeros(70))
+        toggles = report.counters.get("switch_toggle")
+        d = switch_distance(DataPathType.GEMV, DataPathType.D_SYMGS)
+        # At least one full install plus one cross-switch, and every
+        # subsequent switch contributes exactly d toggles.
+        first_install = min(
+            len(CONFIGURATIONS[DataPathType.GEMV].connections),
+            len(CONFIGURATIONS[DataPathType.D_SYMGS].connections),
+        )
+        assert toggles >= first_install + d
+        assert (toggles - first_install) % d == 0 or (
+            toggles - len(
+                CONFIGURATIONS[DataPathType.D_SYMGS].connections)
+        ) % d == 0 or (
+            toggles - len(
+                CONFIGURATIONS[DataPathType.GEMV].connections)
+        ) % d == 0

@@ -1,0 +1,183 @@
+"""Tests for the synthetic dataset generators and registry."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.datasets import (
+    banded,
+    circuit_like,
+    clustered_power_law,
+    list_datasets,
+    load_dataset,
+    out_degrees,
+    preferential_attachment,
+    random_spd,
+    rmat,
+    road_grid,
+    stencil5,
+    stencil7,
+    stencil27,
+    structural_like,
+    thermal_like,
+    tridiagonal,
+)
+from repro.errors import DatasetError
+
+
+def assert_spd_like(a: sp.csr_matrix):
+    """Symmetric with strictly dominant positive diagonal."""
+    assert (abs(a - a.T)).max() < 1e-12
+    diag = a.diagonal()
+    assert (diag > 0).all()
+    off_row_sum = np.asarray(abs(a).sum(axis=1)).ravel() - abs(diag)
+    assert (diag >= off_row_sum - 1e-9).all()
+
+
+class TestScientificGenerators:
+    def test_stencil27_structure(self):
+        a = stencil27(4, 4, 4)
+        assert a.shape == (64, 64)
+        # Interior point has 26 neighbours + diagonal.
+        interior = 1 + 1 * 4 + 1 * 16  # (1,1,1)
+        assert a[interior].getnnz() == 27
+        assert_spd_like(a)
+
+    def test_stencil7_structure(self):
+        a = stencil7(4, 4, 4)
+        interior = 1 + 4 + 16
+        assert a[interior].getnnz() == 7
+        assert_spd_like(a)
+
+    def test_stencil5_structure(self):
+        a = stencil5(5, 5)
+        assert a[12].getnnz() == 5  # interior of 5x5 grid
+        assert_spd_like(a)
+
+    def test_tridiagonal(self):
+        a = tridiagonal(10)
+        assert a.nnz == 28
+        assert_spd_like(a)
+
+    @pytest.mark.parametrize("gen,kwargs", [
+        (banded, {"n": 100, "bandwidth": 5}),
+        (circuit_like, {"n": 100}),
+        (structural_like, {"n": 96}),
+        (random_spd, {"n": 100, "density": 0.02}),
+        (thermal_like, {"nx": 10, "ny": 10}),
+    ])
+    def test_generators_produce_spd(self, gen, kwargs):
+        assert_spd_like(gen(**kwargs))
+
+    def test_generators_deterministic(self):
+        a = circuit_like(80, seed=5)
+        b = circuit_like(80, seed=5)
+        assert (a != b).nnz == 0
+
+    def test_invalid_params(self):
+        with pytest.raises(DatasetError):
+            banded(10, bandwidth=10)
+        with pytest.raises(DatasetError):
+            random_spd(10, density=0.0)
+        with pytest.raises(DatasetError):
+            stencil27(0, 4, 4)
+
+
+class TestGraphGenerators:
+    def test_rmat_shape_and_degree_skew(self):
+        adj = rmat(8, edge_factor=8, seed=1)
+        assert adj.shape == (256, 256)
+        deg = out_degrees(adj)
+        assert deg.max() > 4 * max(1.0, np.median(deg[deg > 0]))
+
+    def test_rmat_no_self_loops(self):
+        adj = rmat(6, seed=2)
+        assert adj.diagonal().sum() == 0.0
+
+    def test_preferential_attachment_power_law_head(self):
+        adj = preferential_attachment(400, m=4, seed=3)
+        indeg = np.asarray((adj != 0).sum(axis=0)).ravel()
+        # Early vertices act as hubs.
+        assert indeg[:10].mean() > indeg[200:].mean()
+
+    def test_road_grid_degree_bounded(self):
+        adj = road_grid(10, 10, seed=4)
+        deg = out_degrees(adj)
+        assert deg.max() <= 8
+        # Bidirectional lattice.
+        assert (abs((adj != 0).astype(int)
+                    - (adj != 0).astype(int).T)).nnz == 0
+
+    def test_road_grid_weighted(self):
+        adj = road_grid(6, 6, weighted=True)
+        assert adj.data.min() >= 1.0
+
+    def test_clustered_power_law_clusters(self):
+        adj = clustered_power_law(256, cluster_size=16, seed=5)
+        coo = adj.tocoo()
+        same_cluster = (coo.row // 16) == (coo.col // 16)
+        assert same_cluster.mean() > 0.5
+
+    def test_validation(self):
+        with pytest.raises(DatasetError):
+            rmat(0)
+        with pytest.raises(DatasetError):
+            preferential_attachment(4, m=4)
+        with pytest.raises(DatasetError):
+            road_grid(1, 5)
+        with pytest.raises(DatasetError):
+            clustered_power_law(8, cluster_size=16)
+
+
+class TestRegistry:
+    def test_catalog_sizes(self):
+        # 10 Figure-14 suite matrices + 4 registry extras.
+        assert len(list_datasets("scientific")) == 14
+        assert len(list_datasets("graph")) == 8
+        assert len(list_datasets()) == 22
+
+    def test_table3_names_present(self):
+        for name in ("com-orkut", "hollywood-2009", "kron-g500-logn21",
+                     "roadNet-CA", "LiveJournal", "Youtube", "Pokec",
+                     "sx-stackoverflow"):
+            assert name in list_datasets("graph")
+
+    def test_load_scientific(self):
+        ds = load_dataset("stencil27", scale=0.1)
+        assert ds.kind == "scientific"
+        assert ds.n > 0
+        assert_spd_like(ds.matrix)
+
+    def test_load_graph(self):
+        ds = load_dataset("roadNet-CA", scale=0.1)
+        assert ds.kind == "graph"
+        assert ds.weighted
+        assert ds.nnz > 0
+
+    def test_scale_changes_size(self):
+        small = load_dataset("com-orkut", scale=0.1)
+        large = load_dataset("com-orkut", scale=0.3)
+        assert large.n > small.n
+
+    def test_deterministic_loading(self):
+        a = load_dataset("Pokec", scale=0.1).matrix
+        b = load_dataset("Pokec", scale=0.1).matrix
+        assert (a != b).nnz == 0
+
+    def test_unknown_name(self):
+        with pytest.raises(DatasetError):
+            load_dataset("twitter")
+
+    def test_invalid_scale(self):
+        with pytest.raises(DatasetError):
+            load_dataset("Pokec", scale=0.0)
+
+    def test_all_scientific_datasets_spd(self):
+        for name in list_datasets("scientific"):
+            assert_spd_like(load_dataset(name, scale=0.05).matrix)
+
+    def test_all_graph_datasets_loadable(self):
+        for name in list_datasets("graph"):
+            ds = load_dataset(name, scale=0.05)
+            assert ds.nnz > 0
+            assert ds.matrix.diagonal().sum() == 0.0

@@ -1,0 +1,127 @@
+"""Degenerate and boundary inputs through the whole pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.core import Alrescha, KernelType, convert
+from repro.formats import AlreschaMatrix, BCSRMatrix
+
+
+class TestEmptyMatrix:
+    def test_convert_empty(self):
+        conv = convert(KernelType.SPMV, np.zeros((8, 8)), omega=8)
+        assert len(conv.table) == 0
+        assert conv.matrix.n_blocks == 0
+
+    def test_spmv_on_empty(self):
+        acc = Alrescha.from_matrix(KernelType.SPMV, np.zeros((8, 8)))
+        y, report = acc.run_spmv(np.ones(8))
+        np.testing.assert_allclose(y, 0.0)
+        assert report.useful_bytes == 0.0
+
+    def test_detailed_sim_on_empty(self):
+        from repro.core import simulate_pass
+        acc = Alrescha.from_matrix(KernelType.SPMV, np.zeros((8, 8)))
+        report = simulate_pass(acc)
+        assert report.cycles == 0.0
+        assert report.n_jobs == 0
+
+    def test_empty_symgs_sweep(self):
+        """All-zero matrix: no blocks, so the sweep is the identity on
+        x (and the 'solve' never divides by the missing diagonal)."""
+        acc = Alrescha.from_matrix(KernelType.SYMGS, np.zeros((8, 8)))
+        x, _ = acc.run_symgs_sweep(np.ones(8), np.full(8, 7.0))
+        np.testing.assert_allclose(x, 7.0)
+
+
+class TestTinyMatrices:
+    def test_one_by_one(self):
+        a = np.array([[4.0]])
+        acc = Alrescha.from_matrix(KernelType.SPMV, a)
+        y, _ = acc.run_spmv(np.array([3.0]))
+        assert y[0] == pytest.approx(12.0)
+
+    def test_one_by_one_symgs(self):
+        a = np.array([[4.0]])
+        acc = Alrescha.from_matrix(KernelType.SYMGS, a)
+        x, _ = acc.run_symgs_sweep(np.array([8.0]), np.array([0.0]))
+        assert x[0] == pytest.approx(2.0)
+
+    def test_diagonal_only_matrix(self, rng):
+        d = rng.uniform(1.0, 3.0, size=20)
+        a = np.diag(d)
+        acc = Alrescha.from_matrix(KernelType.SYMGS, a)
+        b = rng.normal(size=20)
+        x, report = acc.run_symgs_sweep(b, np.zeros(20))
+        np.testing.assert_allclose(x, b / d, atol=1e-12)
+        # No off-diagonal work: every entry is a D-SymGS.
+        assert report.datapath_cycles.get("gemv", 0.0) == 0.0
+
+    def test_single_off_diagonal_entry(self):
+        a = np.eye(20) * 2.0
+        a[3, 17] = 1.0
+        acc = Alrescha.from_matrix(KernelType.SPMV, a)
+        x = np.arange(20.0)
+        y, _ = acc.run_spmv(x)
+        np.testing.assert_allclose(y, a @ x)
+
+
+class TestExactBlockBoundaries:
+    @pytest.mark.parametrize("n", [8, 16, 64])
+    def test_multiple_of_omega(self, n, rng):
+        a = np.diag(rng.uniform(1.0, 2.0, size=n))
+        a += np.diag(rng.normal(size=n - 1) * 0.1, k=1)
+        a += np.diag(rng.normal(size=n - 1) * 0.1, k=-1)
+        acc = Alrescha.from_matrix(KernelType.SPMV, a)
+        x = rng.normal(size=n)
+        y, _ = acc.run_spmv(x)
+        np.testing.assert_allclose(y, a @ x, atol=1e-10)
+
+    @pytest.mark.parametrize("n", [7, 9, 15, 17, 63, 65])
+    def test_off_by_one_sizes(self, n, rng):
+        a = np.diag(np.full(n, 3.0))
+        if n > 1:
+            a += np.diag(np.full(n - 1, -1.0), k=1)
+            a += np.diag(np.full(n - 1, -1.0), k=-1)
+        acc = Alrescha.from_matrix(KernelType.SYMGS, a)
+        b = rng.normal(size=n)
+        from repro.kernels import forward_sweep
+        x, _ = acc.run_symgs_sweep(b, np.zeros(n))
+        np.testing.assert_allclose(
+            x, forward_sweep(a, b, np.zeros(n)), atol=1e-10)
+
+    def test_last_block_row_padding_in_format(self):
+        a = np.eye(9) * 2.0
+        alr = AlreschaMatrix.from_dense(a, 8, symgs_layout=True)
+        assert alr.n_block_rows == 2
+        np.testing.assert_allclose(alr.to_dense(), a)
+
+    def test_bcsr_single_padded_block(self):
+        a = np.ones((3, 3))
+        bcsr = BCSRMatrix.from_dense(a, 8)
+        assert bcsr.n_blocks == 1
+        assert bcsr.stored_values == 64
+        np.testing.assert_allclose(bcsr.to_dense(), a)
+
+
+class TestExtremeValues:
+    def test_huge_values_survive_round_trip(self):
+        a = np.diag(np.full(10, 1e300))
+        acc = Alrescha.from_matrix(KernelType.SPMV, a)
+        y, _ = acc.run_spmv(np.full(10, 1e-300))
+        np.testing.assert_allclose(y, 1.0)
+
+    def test_tiny_diagonal_still_solves(self, rng):
+        a = np.diag(np.full(10, 1e-12))
+        acc = Alrescha.from_matrix(KernelType.SYMGS, a)
+        b = rng.normal(size=10)
+        x, _ = acc.run_symgs_sweep(b, np.zeros(10))
+        np.testing.assert_allclose(x, b / 1e-12, rtol=1e-12)
+
+    def test_negative_diagonal_allowed(self, rng):
+        """Gauss-Seidel only needs a non-zero diagonal."""
+        a = np.diag(np.full(10, -2.0))
+        acc = Alrescha.from_matrix(KernelType.SYMGS, a)
+        b = rng.normal(size=10)
+        x, _ = acc.run_symgs_sweep(b, np.zeros(10))
+        np.testing.assert_allclose(x, b / -2.0)

@@ -1,0 +1,85 @@
+"""Tests for the energy breakdown and preprocessing amortization."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    AmortizationResult,
+    energy_breakdown,
+    pcg_amortization,
+    spmv_energy_breakdown,
+    symgs_energy_breakdown,
+)
+from repro.datasets import load_dataset, stencil27
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    return stencil27(6, 6, 6)
+
+
+class TestEnergyBreakdown:
+    def test_components_sum_to_report_energy(self, matrix):
+        from repro.core import Alrescha, KernelType
+        acc = Alrescha.from_matrix(KernelType.SPMV, matrix)
+        x = np.random.default_rng(3).normal(size=acc.n)
+        _y, report = acc.run_spmv(x)
+        parts = energy_breakdown(report)
+        assert sum(parts.values()) == pytest.approx(report.energy_j,
+                                                    rel=1e-6)
+
+    def test_dram_dominates_spmv(self, matrix):
+        """Streaming dominates: the design trades compute for fewer
+        memory/cache accesses (§5.4)."""
+        parts = spmv_energy_breakdown(matrix)
+        total = sum(parts.values())
+        assert parts["dram"] > 0.5 * total
+        assert parts["configuration"] < 0.01 * total
+
+    def test_symgs_has_more_pe_share_than_spmv(self, matrix):
+        spmv = spmv_energy_breakdown(matrix)
+        symgs = symgs_energy_breakdown(matrix)
+        spmv_compute = spmv["compute"] / sum(spmv.values())
+        symgs_compute = symgs["compute"] / sum(symgs.values())
+        assert symgs_compute > 0.0
+        assert spmv_compute > 0.0
+
+    def test_all_components_nonnegative(self, matrix):
+        for parts in (spmv_energy_breakdown(matrix),
+                      symgs_energy_breakdown(matrix)):
+            assert all(v >= 0.0 for v in parts.values())
+
+
+class TestAmortization:
+    def test_breakeven_is_fast(self):
+        """§4: preprocessing is a one-time overhead — it pays for
+        itself within the first few PCG iterations."""
+        m = load_dataset("stencil27", scale=0.1).matrix
+        result = pcg_amortization(m)
+        assert result.breakeven_iterations < 5.0
+        assert result.per_iteration_saving > 0.0
+
+    def test_overhead_small_over_a_run(self):
+        m = load_dataset("af_shell", scale=0.1).matrix
+        result = pcg_amortization(m)
+        assert result.overhead_fraction_at < 0.5
+
+    def test_preprocess_scales_with_nnz(self):
+        small = pcg_amortization(load_dataset("stencil27",
+                                              scale=0.05).matrix)
+        large = pcg_amortization(load_dataset("stencil27",
+                                              scale=0.2).matrix)
+        assert large.preprocess_seconds > small.preprocess_seconds
+
+    def test_result_fields(self):
+        r = AmortizationResult(preprocess_seconds=1.0,
+                               alrescha_iteration_seconds=0.1,
+                               gpu_iteration_seconds=0.6)
+        assert r.per_iteration_saving == pytest.approx(0.5)
+        assert r.breakeven_iterations == pytest.approx(2.0)
+
+    def test_no_saving_means_never(self):
+        r = AmortizationResult(preprocess_seconds=1.0,
+                               alrescha_iteration_seconds=0.6,
+                               gpu_iteration_seconds=0.5)
+        assert r.breakeven_iterations == float("inf")

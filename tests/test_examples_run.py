@@ -1,0 +1,48 @@
+"""The examples must actually run — guarded against rot.
+
+Each example executes in-process (runpy) with small arguments; any
+exception or failed internal assertion fails the test.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str, argv: list) -> None:
+    old_argv = sys.argv
+    sys.argv = [name] + argv
+    try:
+        runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+
+
+@pytest.mark.parametrize("name,argv", [
+    ("quickstart.py", []),
+    ("pcg_scientific.py", ["af_shell", "0.06"]),
+    ("graph_analytics.py", ["Youtube", "0.06"]),
+    ("storage_formats.py", []),
+    ("reconfiguration_trace.py", []),
+    ("hpcg_multigrid.py", ["8"]),
+    ("spmm_panel.py", ["af_shell", "0.06"]),
+    ("compile_and_run.py", ["af_shell", "0.06"]),
+])
+def test_example_runs(name, argv, capsys):
+    run_example(name, argv)
+    out = capsys.readouterr().out
+    assert out.strip(), f"{name} produced no output"
+
+
+def test_pcg_example_rejects_graph_dataset():
+    with pytest.raises(SystemExit):
+        run_example("pcg_scientific.py", ["Youtube", "0.06"])
+
+
+def test_mg_example_rejects_bad_grid():
+    with pytest.raises(SystemExit):
+        run_example("hpcg_multigrid.py", ["7"])

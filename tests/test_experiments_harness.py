@@ -1,0 +1,114 @@
+"""Smoke/structure tests for the experiment harness itself.
+
+The benchmarks assert the paper-facing shapes; these tests pin the
+harness's *contract* — keys, value ranges, dataset coverage — at a tiny
+scale so refactors cannot silently change what the figures measure.
+"""
+
+import pytest
+
+from repro.analysis import (
+    SCIENTIFIC_SUITE,
+    GRAPH_SUITE,
+    fig3_pcg_breakdown,
+    fig6_hpcg_fraction,
+    fig15_pcg_speedup,
+    fig16_sequential_fraction,
+    fig17_graph_speedup,
+    fig18_spmv_speedup,
+    fig19_energy,
+    full_spmv_comparison,
+    parity_orderings,
+)
+
+TINY = 0.04
+TWO_SCI = ["stencil27", "economics"]
+TWO_GRAPH = ["Youtube", "roadNet-CA"]
+
+
+class TestSuites:
+    def test_suite_membership(self):
+        from repro.datasets import list_datasets
+        # The benchmarked suites are subsets of the registry (the
+        # registry carries extra matrices beyond the calibrated suite).
+        assert set(SCIENTIFIC_SUITE) <= set(list_datasets("scientific"))
+        assert set(GRAPH_SUITE) == set(list_datasets("graph"))
+        assert len(SCIENTIFIC_SUITE) == 10
+
+
+class TestFigureContracts:
+    def test_fig3_shares_sum_to_one(self):
+        result = fig3_pcg_breakdown(scale=TINY)
+        for platform in ("gpu", "alrescha"):
+            assert sum(result[platform].values()) == pytest.approx(1.0)
+
+    def test_fig6_keys_and_ranges(self):
+        result = fig6_hpcg_fraction(datasets=TWO_SCI, scale=TINY)
+        assert set(result) == {"cpu", "gpu"}
+        for series in result.values():
+            assert set(series) == set(TWO_SCI)
+            assert all(0.0 < v < 1.0 for v in series.values())
+
+    def test_fig15_contract(self):
+        result = fig15_pcg_speedup(datasets=TWO_SCI, scale=TINY)
+        assert set(result["alrescha_speedup"]) == set(TWO_SCI)
+        for k in TWO_SCI:
+            assert result["alrescha_speedup"][k] > 0
+            assert 0.0 <= result["alrescha_bw_utilization"][k] <= 1.0
+        assert result["summary"]["alrescha_mean"] > 0
+
+    def test_fig16_contract(self):
+        result = fig16_sequential_fraction(datasets=TWO_SCI, scale=TINY)
+        for series in (result["gpu"], result["alrescha"]):
+            assert all(0.0 <= v <= 1.0 for v in series.values())
+
+    def test_fig17_contract(self):
+        result = fig17_graph_speedup(datasets=TWO_GRAPH,
+                                     algorithms=["bfs"], scale=TINY)
+        assert set(result) == {"bfs"}
+        rows = result["bfs"]
+        assert set(rows["alrescha"]) == set(TWO_GRAPH)
+        assert rows["summary"]["alrescha_mean"] > 0
+
+    def test_fig18_contract(self):
+        result = fig18_spmv_speedup(scientific=TWO_SCI, graph=TWO_GRAPH,
+                                    scale=TINY)
+        assert set(result["alrescha_speedup"]) == \
+            set(TWO_SCI) | set(TWO_GRAPH)
+        for frac in result["alrescha_cache_fraction"].values():
+            assert 0.0 <= frac <= 1.0
+        summary = result["summary"]
+        assert summary["alrescha_scientific_mean"] > 0
+        assert summary["alrescha_graph_mean"] > 0
+
+    def test_fig19_contract(self):
+        result = fig19_energy(datasets=TWO_SCI, scale=TINY)
+        assert set(result["vs_cpu"]) == set(TWO_SCI)
+        for k in TWO_SCI:
+            assert result["vs_cpu"][k] > result["vs_gpu"][k] > 0
+        assert result["summary"]["vs_cpu_gmean"] > 0
+
+
+class TestParityContract:
+    def test_table_structure(self):
+        table = full_spmv_comparison(datasets=TWO_SCI + TWO_GRAPH,
+                                     scale=TINY)
+        assert set(table) == set(TWO_SCI + TWO_GRAPH)
+        for row in table.values():
+            assert row["gpu"] == 1.0
+            assert {"cpu", "outerspace", "graphr", "memristive",
+                    "alrescha"} <= set(row)
+
+    def test_orderings_are_fractions(self):
+        table = full_spmv_comparison(datasets=TWO_SCI, scale=TINY)
+        orderings = parity_orderings(table)
+        assert all(0.0 <= v <= 1.0 for v in orderings.values())
+
+    def test_empty_table(self):
+        assert parity_orderings({}) == {
+            "alrescha_beats_gpu": 0.0,
+            "alrescha_beats_cpu": 0.0,
+            "alrescha_beats_outerspace": 0.0,
+            "alrescha_beats_memristive": 0.0,
+            "gpu_beats_cpu": 0.0,
+        }

@@ -1,0 +1,194 @@
+"""Tests for the extension modules: connected components, HPCG driver,
+sensitivity sweeps, roofline analysis, kernel-switch accounting."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    bandwidth_sweep,
+    cache_sweep,
+    dsymgs_latency_sweep,
+    omega_bandwidth_matrix,
+    roofline_summary,
+    spmv_roofline,
+)
+from repro.datasets import load_dataset, road_grid, stencil27
+from repro.graph import (
+    connected_components,
+    connected_components_reference,
+)
+from repro.solvers import AcceleratorBackend, hpcg_flops, pcg, run_hpcg
+
+
+class TestConnectedComponents:
+    def test_reference_on_two_islands(self):
+        import scipy.sparse as sp
+        edges = ([0, 1, 3], [1, 2, 4])
+        adj = sp.coo_matrix((np.ones(3), edges), shape=(6, 6)).tocsr()
+        labels = connected_components_reference(adj)
+        assert labels[0] == labels[1] == labels[2]
+        assert labels[3] == labels[4]
+        assert labels[5] not in (labels[0], labels[3])
+
+    def test_accelerated_matches_reference(self, random_digraph):
+        ref = connected_components_reference(random_digraph)
+        result = connected_components(random_digraph)
+        np.testing.assert_array_equal(result.labels, ref)
+        assert result.n_components == np.unique(ref).size
+        assert result.report.cycles > 0
+
+    def test_matches_networkx(self, random_digraph):
+        import networkx as nx
+        g = nx.Graph()
+        g.add_nodes_from(range(60))
+        coo = random_digraph.tocoo()
+        g.add_edges_from(zip(coo.row, coo.col))
+        result = connected_components(random_digraph)
+        assert result.n_components == nx.number_connected_components(g)
+
+    def test_connected_grid_is_one_component(self):
+        adj = road_grid(6, 6, seed=1)
+        result = connected_components(adj)
+        assert result.n_components == 1
+
+    def test_directionality_ignored(self):
+        """Weak connectivity: a one-way chain is one component."""
+        import scipy.sparse as sp
+        adj = sp.coo_matrix(
+            (np.ones(4), ([0, 1, 2, 3], [1, 2, 3, 4])), shape=(5, 5)
+        ).tocsr()
+        result = connected_components(adj)
+        assert result.n_components == 1
+
+
+class TestHPCGDriver:
+    def test_rating_positive(self):
+        result = run_hpcg(6, 6, 6, iterations=5)
+        assert result.gflops > 0
+        assert result.n == 216
+        assert result.iterations == 5
+        assert 0 < result.bandwidth_utilization < 1
+
+    def test_flop_accounting(self):
+        assert hpcg_flops(nnz=100, n=10, iterations=2) == \
+            pytest.approx(2 * (600 + 120))
+
+    def test_fraction_of_peak_tiny_even_for_alrescha(self):
+        """Alrescha wins by *effective* bandwidth, not by approaching a
+        compute peak — HPCG stays memory-bound on every platform."""
+        result = run_hpcg(6, 6, 6, iterations=5)
+        from repro.baselines.gpu import GPU_PEAK_DP_FLOPS
+        assert result.fraction_of_peak(GPU_PEAK_DP_FLOPS) < 0.2
+
+    def test_convergent_mode(self):
+        result = run_hpcg(5, 5, 5, iterations=60, tol=1e-9)
+        assert result.converged
+        assert result.final_residual < 1e-9
+
+
+class TestSensitivity:
+    @pytest.fixture(scope="class")
+    def matrix(self):
+        return stencil27(6, 6, 6)
+
+    def test_bandwidth_scaling_contrast(self, matrix):
+        """SpMV scales with bandwidth; SymGS saturates on its chain."""
+        sweep = bandwidth_sweep(matrix, [144e9, 576e9])
+        spmv_gain = sweep[576e9]["spmv_speedup_vs_base"]
+        symgs_gain = sweep[576e9]["symgs_speedup_vs_base"]
+        assert spmv_gain > 2.5          # near the 4x bandwidth ratio
+        assert symgs_gain < spmv_gain   # the dependent chain saturates
+
+    def test_bandwidth_monotone(self, matrix):
+        sweep = bandwidth_sweep(matrix, [144e9, 288e9, 576e9])
+        cycles = [sweep[bw]["spmv_cycles"] for bw in (144e9, 288e9, 576e9)]
+        assert cycles[0] > cycles[1] > cycles[2]
+
+    def test_cache_sweep_hit_rate_monotone(self, matrix):
+        sweep = cache_sweep(matrix, [256, 4096])
+        assert sweep[4096]["hit_rate"] >= sweep[256]["hit_rate"]
+        assert sweep[4096]["streamed_bytes"] <= sweep[256]["streamed_bytes"]
+
+    def test_dsymgs_latency_monotone(self, matrix):
+        sweep = dsymgs_latency_sweep(matrix, [1, 4, 16])
+        assert sweep[1]["sweep_cycles"] < sweep[4]["sweep_cycles"] \
+            < sweep[16]["sweep_cycles"]
+        assert sweep[16]["sequential_fraction"] > \
+            sweep[1]["sequential_fraction"]
+
+    def test_omega_bandwidth_grid(self, matrix):
+        grid = omega_bandwidth_matrix(matrix, [8, 16], [144e9, 576e9])
+        for omega in (8, 16):
+            assert grid[omega][144e9] >= grid[omega][576e9]
+
+
+class TestRoofline:
+    def test_points_structurally_sane(self):
+        matrix = load_dataset("stencil27", scale=0.1).matrix
+        points = spmv_roofline(matrix)
+        for name in ("cpu", "gpu", "alrescha"):
+            p = points[name]
+            assert p.arithmetic_intensity > 0
+            assert p.achieved_gflops > 0
+            assert p.efficiency <= 1.0
+
+    def test_spmv_is_memory_bound_everywhere(self):
+        """AI x BW << peak FLOPs on every platform: the memory roof."""
+        from repro.baselines.cpu import CPU_PEAK_DP_FLOPS
+        from repro.baselines.gpu import GPU_PEAK_DP_FLOPS
+        matrix = load_dataset("stencil27", scale=0.1).matrix
+        points = spmv_roofline(matrix)
+        assert points["cpu"].attainable_gflops * 1e9 < CPU_PEAK_DP_FLOPS
+        assert points["gpu"].attainable_gflops * 1e9 < GPU_PEAK_DP_FLOPS
+
+    def test_alrescha_highest_efficiency(self):
+        """Alrescha runs closest to its attainable roofline — that is
+        the whole design argument."""
+        matrix = load_dataset("stencil27", scale=0.1).matrix
+        summary = roofline_summary(matrix)
+        assert summary["alrescha"]["efficiency"] > \
+            summary["gpu"]["efficiency"]
+        assert summary["alrescha"]["efficiency"] > \
+            summary["cpu"]["efficiency"]
+
+    def test_alrescha_achieves_most_gflops(self):
+        matrix = load_dataset("stencil27", scale=0.1).matrix
+        summary = roofline_summary(matrix)
+        assert summary["alrescha"]["achieved_gflops"] > \
+            summary["gpu"]["achieved_gflops"]
+
+
+class TestKernelSwitchAccounting:
+    def test_pcg_counts_switches(self, banded_spd, rng):
+        backend = AcceleratorBackend(banded_spd)
+        b = rng.normal(size=40)
+        result = pcg(backend, b, tol=1e-8, max_iter=30)
+        assert result.converged
+        # Each iteration alternates spmv <-> symgs at least once.
+        assert backend.kernel_switches >= result.iterations
+
+    def test_switches_hidden_by_default(self, banded_spd, rng):
+        backend = AcceleratorBackend(banded_spd)
+        pcg(backend, rng.normal(size=40), tol=1e-8, max_iter=20)
+        switch_cycles = sum(
+            r.cycles for r in backend._reports
+            if r.kernel == "kernel-switch"
+        )
+        assert switch_cycles == 0.0
+
+    def test_switches_exposed_with_ablation(self, banded_spd, rng):
+        from repro.core import AlreschaConfig
+        config = AlreschaConfig(hide_reconfig_under_drain=False)
+        backend = AcceleratorBackend(banded_spd, config=config)
+        pcg(backend, rng.normal(size=40), tol=1e-8, max_iter=20)
+        switch_cycles = sum(
+            r.cycles for r in backend._reports
+            if r.kernel == "kernel-switch"
+        )
+        assert switch_cycles > 0.0
+
+    def test_reset_clears_switch_state(self, banded_spd, rng):
+        backend = AcceleratorBackend(banded_spd)
+        pcg(backend, rng.normal(size=40), tol=1e-8, max_iter=5)
+        backend.reset_reports()
+        assert backend.kernel_switches == 0

@@ -1,0 +1,123 @@
+"""Failure-injection tests: the simulator fails loudly, not silently.
+
+Corrupted streams, mismatched tables, singular systems and poisoned
+values must surface as typed errors (or NaNs that tests can observe),
+never as quietly wrong results.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import Alrescha, AlreschaConfig, KernelType, convert
+from repro.core.config import ConfigEntry, ConfigTable, DataPathType, \
+    AccessOrder, OperandPort
+from repro.core.convert import ConversionResult
+from repro.errors import ConfigError, ReproError, SimulationError
+
+
+class TestCorruptedPrograms:
+    def test_table_referencing_missing_block(self, spd_small):
+        conv = convert(KernelType.SPMV, spd_small, omega=8)
+        bad_table = ConfigTable(conv.table.n, conv.table.omega)
+        for e in conv.table:
+            bad_table.add(e)
+        # Reference a block that was never streamed.
+        bad_table.add(ConfigEntry(
+            DataPathType.GEMV, 0, 0, AccessOrder.L2R, OperandPort.PORT1,
+            block_row=2, block_col=2,
+        ))
+        bad = ConversionResult(
+            kernel=conv.kernel, omega=conv.omega, table=bad_table,
+            matrix=conv.matrix, bcsr=conv.bcsr,
+        )
+        acc = Alrescha()
+        present = {(b.block_row, b.block_col)
+                   for b in conv.matrix.stream()}
+        if (2, 2) in present:
+            pytest.skip("fixture happens to contain block (2,2)")
+        with pytest.raises(ConfigError):
+            acc.program(bad)
+
+    def test_omega_mismatch(self, spd_small):
+        conv = convert(KernelType.SPMV, spd_small, omega=4)
+        with pytest.raises(ConfigError):
+            Alrescha(AlreschaConfig(omega=8)).program(conv)
+
+    def test_every_repro_error_is_catchable_at_base(self, spd_small):
+        with pytest.raises(ReproError):
+            convert(KernelType.SYMGS, np.ones((4, 8)), omega=4)
+
+
+class TestSingularSystems:
+    def test_zero_diagonal_detected_at_execution(self):
+        a = np.eye(16)
+        a[5, 5] = 0.0
+        a[5, 6] = 1.0  # keep the row non-empty
+        a[6, 5] = 1.0
+        acc = Alrescha.from_matrix(KernelType.SYMGS, a)
+        with pytest.raises(SimulationError):
+            acc.run_symgs_sweep(np.ones(16), np.zeros(16))
+
+    def test_empty_block_row_passes_through(self):
+        """A fully empty row of blocks leaves its x chunk untouched
+        rather than crashing (the system is singular; the caller
+        decides what that means)."""
+        a = np.eye(16)
+        a[3, :] = 0.0
+        a[:, 3] = 0.0
+        a[3, 3] = 0.0
+        # Whole block row 0 is not empty (other diag entries), so only
+        # row 3 inside the diagonal block lacks a pivot.
+        acc = Alrescha.from_matrix(KernelType.SYMGS, a)
+        with pytest.raises(SimulationError):
+            acc.run_symgs_sweep(np.ones(16), np.zeros(16))
+
+
+class TestPoisonedValues:
+    def test_nan_propagates_visibly_spmv(self, spd_small):
+        acc = Alrescha.from_matrix(KernelType.SPMV, spd_small)
+        x = np.ones(17)
+        x[0] = np.nan
+        y, _ = acc.run_spmv(x)
+        assert np.isnan(y).any()
+
+    def test_inf_input_does_not_crash_bfs(self, random_digraph):
+        at = random_digraph.T.tocsr().copy()
+        at.data = np.ones_like(at.data)
+        acc = Alrescha.from_matrix(KernelType.BFS, at)
+        dist = np.full(60, np.inf)  # no source at all
+        new, _ = acc.run_bfs_pass(dist)
+        assert np.isinf(new).all()
+
+
+class TestOperandShapeErrors:
+    @pytest.mark.parametrize("kernel,method,args", [
+        (KernelType.SPMV, "run_spmv", (np.zeros(5),)),
+        (KernelType.BFS, "run_bfs_pass", (np.zeros(5),)),
+        (KernelType.SSSP, "run_sssp_pass", (np.zeros(5),)),
+    ])
+    def test_wrong_length_operands(self, spd_small, kernel, method, args):
+        matrix = np.abs(spd_small)  # non-negative weights for sssp
+        acc = Alrescha.from_matrix(kernel, matrix)
+        with pytest.raises(SimulationError):
+            getattr(acc, method)(*args)
+
+    def test_pr_operand_mismatch(self, spd_small):
+        acc = Alrescha.from_matrix(KernelType.PAGERANK, np.abs(spd_small))
+        with pytest.raises(SimulationError):
+            acc.run_pr_pass(np.zeros(17), np.zeros(5))
+
+
+class TestValidationHarness:
+    def test_validate_smoke(self):
+        from repro.analysis import validate
+        report = validate(scale=0.03,
+                          datasets=["stencil27", "Youtube"])
+        assert report.passed
+        assert report.n_passed == len(report.cases) > 0
+        assert "ok" in report.summary()
+
+    def test_validation_detects_broken_hardware(self):
+        """A mis-configured engine (too-narrow ALU row) fails fast."""
+        with pytest.raises(ReproError):
+            AlreschaConfig(omega=16, n_alus=8).make_fcu()

@@ -1,0 +1,115 @@
+"""Unit tests for the Alrescha locally-dense storage format (§4.5)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FormatError
+from repro.formats import AlreschaMatrix, BCSRMatrix
+
+
+@pytest.fixture
+def alr_symgs(spd_small):
+    return AlreschaMatrix.from_dense(spd_small, omega=8, symgs_layout=True)
+
+
+@pytest.fixture
+def alr_plain(spd_small):
+    return AlreschaMatrix.from_dense(spd_small, omega=8, symgs_layout=False)
+
+
+class TestRoundTrip:
+    def test_plain_layout_round_trip(self, spd_small, alr_plain):
+        np.testing.assert_allclose(alr_plain.to_dense(), spd_small)
+
+    def test_symgs_layout_round_trip(self, spd_small, alr_symgs):
+        np.testing.assert_allclose(alr_symgs.to_dense(), spd_small)
+
+    @pytest.mark.parametrize("omega", [2, 4, 8, 16])
+    def test_round_trip_across_omegas(self, spd_medium, omega):
+        alr = AlreschaMatrix.from_dense(spd_medium, omega,
+                                        symgs_layout=True)
+        np.testing.assert_allclose(alr.to_dense(), spd_medium)
+
+
+class TestBlockOrder:
+    def test_diagonal_block_is_last_in_each_row(self, alr_symgs):
+        for row, blocks in alr_symgs.block_rows():
+            diag_positions = [k for k, b in enumerate(blocks)
+                              if b.is_diagonal]
+            assert len(diag_positions) <= 1
+            if diag_positions:
+                assert diag_positions[0] == len(blocks) - 1
+
+    def test_plain_layout_has_no_diagonal_marking(self, alr_plain):
+        assert alr_plain.n_diagonal_blocks == 0
+
+    def test_stream_covers_all_blocks(self, spd_small, alr_symgs):
+        bcsr = BCSRMatrix.from_dense(spd_small, 8)
+        assert alr_symgs.n_blocks >= bcsr.n_blocks
+
+
+class TestValueOrder:
+    def test_upper_blocks_reversed(self, alr_symgs):
+        uppers = [b for b in alr_symgs.stream()
+                  if not b.is_diagonal and b.block_col > b.block_row]
+        assert uppers, "fixture must produce upper-triangle blocks"
+        for b in uppers:
+            assert b.reversed_cols
+            np.testing.assert_allclose(b.original_values, b.values[:, ::-1])
+
+    def test_lower_blocks_keep_order(self, alr_symgs):
+        lowers = [b for b in alr_symgs.stream()
+                  if not b.is_diagonal and b.block_col < b.block_row]
+        assert lowers
+        for b in lowers:
+            assert not b.reversed_cols
+
+    def test_reversal_preserves_product(self, alr_symgs, rng):
+        """Reading the operand right-to-left restores the original GEMV."""
+        for b in alr_symgs.stream():
+            if not b.reversed_cols:
+                continue
+            chunk = rng.normal(size=b.values.shape[1])
+            np.testing.assert_allclose(b.values @ chunk[::-1],
+                                       b.original_values @ chunk)
+
+
+class TestDiagonalExtraction:
+    def test_diagonal_extracted(self, spd_small, alr_symgs):
+        np.testing.assert_allclose(alr_symgs.diagonal, np.diag(spd_small))
+
+    def test_diagonal_blocks_have_zero_diag(self, alr_symgs):
+        for b in alr_symgs.stream():
+            if b.is_diagonal:
+                np.testing.assert_allclose(np.diag(b.values), 0.0)
+
+    def test_plain_layout_keeps_diagonal_inline(self, alr_plain):
+        assert alr_plain.diagonal is None
+
+    def test_symgs_layout_requires_square(self):
+        with pytest.raises(FormatError):
+            AlreschaMatrix.from_dense(np.ones((4, 8)), 4, symgs_layout=True)
+
+
+class TestMetadata:
+    def test_runtime_metadata_is_zero(self, alr_symgs, alr_plain):
+        assert alr_symgs.runtime_metadata_bits() == 0
+        assert alr_plain.runtime_metadata_bits() == 0
+
+    def test_table_metadata_matches_bcsr_budget(self, spd_small, alr_plain):
+        bcsr = BCSRMatrix.from_dense(spd_small, 8)
+        assert alr_plain.metadata_bits() == bcsr.metadata_bits()
+
+    def test_payload_length(self, alr_plain):
+        payload = alr_plain.payload()
+        assert payload.size == alr_plain.n_blocks * 64
+        assert alr_plain.payload_bytes == payload.size * 8
+
+    def test_payload_streams_in_block_order(self, alr_symgs):
+        payload = alr_symgs.payload()
+        offset = 0
+        for b in alr_symgs.stream():
+            np.testing.assert_allclose(
+                payload[offset:offset + 64], b.values.ravel()
+            )
+            offset += 64

@@ -1,0 +1,92 @@
+"""Unit tests for the BCSR format."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FormatError
+from repro.formats import BCSRMatrix, COOMatrix
+
+
+class TestConstruction:
+    @pytest.mark.parametrize("omega", [2, 4, 8])
+    def test_round_trip(self, spd_small, omega):
+        bcsr = BCSRMatrix.from_dense(spd_small, omega)
+        np.testing.assert_allclose(bcsr.to_dense(), spd_small)
+
+    def test_padding_for_non_multiple_size(self, spd_small):
+        # 17x17 with omega=8 -> 3x3 block grid.
+        bcsr = BCSRMatrix.from_dense(spd_small, 8)
+        assert bcsr.n_block_rows == 3
+        assert bcsr.n_block_cols == 3
+        np.testing.assert_allclose(bcsr.to_dense(), spd_small)
+
+    def test_blocks_are_dense_omega_squared(self, spd_small):
+        bcsr = BCSRMatrix.from_dense(spd_small, 4)
+        assert bcsr.blocks.shape[1:] == (4, 4)
+        assert bcsr.stored_values == bcsr.n_blocks * 16
+
+    def test_only_nonempty_blocks_stored(self):
+        dense = np.zeros((16, 16))
+        dense[0, 0] = 1.0
+        dense[15, 15] = 2.0
+        bcsr = BCSRMatrix.from_dense(dense, 8)
+        assert bcsr.n_blocks == 2
+
+    def test_empty_matrix(self):
+        bcsr = BCSRMatrix.from_dense(np.zeros((8, 8)), 4)
+        assert bcsr.n_blocks == 0
+        assert bcsr.nnz == 0
+
+    def test_invalid_omega(self, spd_small):
+        with pytest.raises(FormatError):
+            BCSRMatrix.from_dense(spd_small, 0)
+
+
+class TestValidation:
+    def test_indptr_length(self):
+        with pytest.raises(FormatError):
+            BCSRMatrix((8, 8), 4, [0, 0], [], np.zeros((0, 4, 4)))
+
+    def test_block_shape(self):
+        with pytest.raises(FormatError):
+            BCSRMatrix((8, 8), 4, [0, 1, 1], [0], np.zeros((1, 3, 3)))
+
+    def test_block_col_range(self):
+        with pytest.raises(FormatError):
+            BCSRMatrix((8, 8), 4, [0, 1, 1], [7], np.zeros((1, 4, 4)))
+
+
+class TestOperations:
+    def test_spmv(self, spd_medium, rng):
+        bcsr = BCSRMatrix.from_dense(spd_medium, 8)
+        x = rng.normal(size=spd_medium.shape[1])
+        np.testing.assert_allclose(bcsr.spmv(x), spd_medium @ x)
+
+    def test_block_row_access(self, spd_small):
+        bcsr = BCSRMatrix.from_dense(spd_small, 8)
+        total = sum(len(bcsr.block_row(i)) for i in range(bcsr.n_block_rows))
+        assert total == bcsr.n_blocks
+
+    def test_block_map_covers_matrix(self, spd_small):
+        bcsr = BCSRMatrix.from_dense(spd_small, 8)
+        rebuilt = np.zeros((24, 24))
+        for (i, j), blk in bcsr.block_map().items():
+            rebuilt[i * 8:(i + 1) * 8, j * 8:(j + 1) * 8] = blk
+        np.testing.assert_allclose(rebuilt[:17, :17], spd_small)
+
+    def test_block_density(self):
+        dense = np.zeros((8, 8))
+        dense[:4, :4] = 1.0  # 16 nnz in one 8x8 block
+        bcsr = BCSRMatrix.from_dense(dense, 8)
+        assert bcsr.block_density == pytest.approx(16.0 / 64.0)
+
+    def test_diagonal_block_nnz(self, banded_spd):
+        bcsr = BCSRMatrix.from_dense(banded_spd, 8)
+        # Banded with bandwidth 3 < 8: most nnz sit in diagonal blocks.
+        assert bcsr.diagonal_block_nnz() > bcsr.nnz / 2
+
+    def test_metadata_below_csr_for_blocky(self, banded_spd):
+        from repro.formats import CSRMatrix
+        bcsr = BCSRMatrix.from_dense(banded_spd, 8)
+        csr = CSRMatrix.from_dense(banded_spd)
+        assert bcsr.metadata_bits() < csr.metadata_bits()

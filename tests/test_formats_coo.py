@@ -1,0 +1,101 @@
+"""Unit tests for the COO format."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FormatError, ShapeError
+from repro.formats import COOMatrix, blocked_coo_metadata_bits
+
+
+class TestConstruction:
+    def test_round_trip_dense(self, spd_small):
+        coo = COOMatrix.from_dense(spd_small)
+        np.testing.assert_allclose(coo.to_dense(), spd_small)
+
+    def test_from_scipy(self, small_digraph):
+        coo = COOMatrix.from_scipy(small_digraph)
+        np.testing.assert_allclose(coo.to_dense(),
+                                   small_digraph.toarray())
+
+    def test_triples_sorted_row_major(self):
+        coo = COOMatrix((3, 3), [2, 0, 1], [0, 2, 1], [1.0, 2.0, 3.0])
+        assert list(coo.rows) == [0, 1, 2]
+        assert list(coo.cols) == [2, 1, 0]
+
+    def test_duplicates_summed(self):
+        coo = COOMatrix((2, 2), [0, 0], [1, 1], [2.0, 3.0])
+        assert coo.nnz == 1
+        assert coo.to_dense()[0, 1] == pytest.approx(5.0)
+
+    def test_explicit_zeros_dropped(self):
+        coo = COOMatrix((2, 2), [0, 1], [0, 1], [0.0, 1.0])
+        assert coo.nnz == 1
+
+    def test_duplicates_cancelling_to_zero_dropped(self):
+        coo = COOMatrix((2, 2), [0, 0], [1, 1], [2.0, -2.0])
+        assert coo.nnz == 0
+
+    def test_empty_matrix(self):
+        coo = COOMatrix((4, 4), [], [], [])
+        assert coo.nnz == 0
+        np.testing.assert_allclose(coo.to_dense(), np.zeros((4, 4)))
+
+
+class TestValidation:
+    def test_out_of_range_row(self):
+        with pytest.raises(FormatError):
+            COOMatrix((2, 2), [2], [0], [1.0])
+
+    def test_out_of_range_col(self):
+        with pytest.raises(FormatError):
+            COOMatrix((2, 2), [0], [5], [1.0])
+
+    def test_negative_index(self):
+        with pytest.raises(FormatError):
+            COOMatrix((2, 2), [-1], [0], [1.0])
+
+    def test_mismatched_arrays(self):
+        with pytest.raises(FormatError):
+            COOMatrix((2, 2), [0, 1], [0], [1.0])
+
+    def test_bad_shape(self):
+        with pytest.raises(ShapeError):
+            COOMatrix((0, 2), [], [], [])
+
+
+class TestOperations:
+    def test_spmv_matches_dense(self, spd_small, rng):
+        coo = COOMatrix.from_dense(spd_small)
+        x = rng.normal(size=spd_small.shape[1])
+        np.testing.assert_allclose(coo.spmv(x), spd_small @ x)
+
+    def test_spmv_shape_check(self, spd_small):
+        coo = COOMatrix.from_dense(spd_small)
+        with pytest.raises(ShapeError):
+            coo.spmv(np.zeros(3))
+
+    def test_transpose(self, spd_small):
+        coo = COOMatrix.from_dense(spd_small)
+        np.testing.assert_allclose(coo.transpose().to_dense(), spd_small.T)
+
+    def test_metadata_bits_positive(self, spd_small):
+        coo = COOMatrix.from_dense(spd_small)
+        assert coo.metadata_bits() > 0
+        # COO: row index + col index per non-zero.
+        assert coo.metadata_bits() == coo.nnz * 2 * 5  # 17 -> 5 bits
+
+
+class TestBlockedCOO:
+    def test_counts_nonempty_blocks(self):
+        dense = np.zeros((8, 8))
+        dense[0, 0] = 1.0
+        dense[1, 1] = 1.0  # same 4x4 block
+        dense[7, 7] = 1.0  # different block
+        coo = COOMatrix.from_dense(dense)
+        bits = blocked_coo_metadata_bits(coo, block=4)
+        assert bits == 2 * 2  # 2 blocks x (1 + 1) bits
+
+    def test_invalid_block(self, spd_small):
+        coo = COOMatrix.from_dense(spd_small)
+        with pytest.raises(FormatError):
+            blocked_coo_metadata_bits(coo, block=0)

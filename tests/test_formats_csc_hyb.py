@@ -1,0 +1,102 @@
+"""Unit tests for the CSC and HYB formats."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FormatError
+from repro.formats import COOMatrix, CSCMatrix, CSRMatrix, HYBMatrix
+
+
+class TestCSC:
+    def test_round_trip(self, spd_small):
+        csc = CSCMatrix.from_dense(spd_small)
+        np.testing.assert_allclose(csc.to_dense(), spd_small)
+
+    def test_spmv(self, spd_medium, rng):
+        csc = CSCMatrix.from_dense(spd_medium)
+        x = rng.normal(size=70)
+        np.testing.assert_allclose(csc.spmv(x), spd_medium @ x)
+
+    def test_column_access(self, spd_small):
+        csc = CSCMatrix.from_dense(spd_small)
+        rows, vals = csc.column(0)
+        expected = np.nonzero(spd_small[:, 0])[0]
+        np.testing.assert_array_equal(rows, expected)
+        np.testing.assert_allclose(vals, spd_small[expected, 0])
+
+    def test_transpose_view_as_csr(self, spd_small):
+        csc = CSCMatrix.from_dense(spd_small)
+        csr_t = csc.transpose_view_as_csr()
+        np.testing.assert_allclose(csr_t.to_dense(), spd_small.T)
+
+    def test_csc_of_symmetric_equals_csr(self, spd_small):
+        """For symmetric matrices CSC and CSR hold the same arrays."""
+        csc = CSCMatrix.from_dense(spd_small)
+        csr = CSRMatrix.from_dense(spd_small)
+        np.testing.assert_array_equal(csc.indptr, csr.indptr)
+        np.testing.assert_array_equal(csc.indices, csr.indices)
+
+    def test_validation(self):
+        with pytest.raises(FormatError):
+            CSCMatrix((2, 2), [0, 1], [0], [1.0])
+        with pytest.raises(FormatError):
+            CSCMatrix((2, 2), [0, 1, 1], [5], [1.0])
+
+    def test_metadata_mirrors_csr(self, spd_small):
+        csc = CSCMatrix.from_dense(spd_small)
+        csr = CSRMatrix.from_dense(spd_small)
+        assert csc.metadata_bits() == csr.metadata_bits()
+
+
+class TestHYB:
+    @pytest.fixture
+    def skewed(self):
+        """One hub row on an otherwise regular matrix."""
+        dense = np.zeros((16, 16))
+        idx = np.arange(15)
+        dense[idx, idx + 1] = 1.0
+        dense[0, :] = 2.0  # hub row
+        return dense
+
+    def test_round_trip(self, skewed):
+        hyb = HYBMatrix.from_dense(skewed)
+        np.testing.assert_allclose(hyb.to_dense(), skewed)
+
+    def test_spmv(self, skewed, rng):
+        hyb = HYBMatrix.from_dense(skewed)
+        x = rng.normal(size=16)
+        np.testing.assert_allclose(hyb.spmv(x), skewed @ x)
+
+    def test_overflow_absorbs_hub_tail(self, skewed):
+        hyb = HYBMatrix.from_dense(skewed)
+        assert hyb.overflow.nnz > 0
+        assert 0.0 < hyb.overflow_fraction < 1.0
+
+    def test_regular_matrix_has_no_overflow(self, banded_spd):
+        hyb = HYBMatrix.from_dense(banded_spd,
+                                   ell_width=int(np.max(
+                                       (banded_spd != 0).sum(axis=1))))
+        assert hyb.overflow.nnz == 0
+
+    def test_width_zero_puts_all_in_coo(self, skewed):
+        hyb = HYBMatrix.from_dense(skewed, ell_width=0)
+        assert hyb.overflow_fraction == 1.0
+        np.testing.assert_allclose(hyb.to_dense(), skewed)
+
+    def test_metadata_between_ell_and_csr_for_skew(self, skewed):
+        """HYB's raison d'etre: cheaper than pure ELL on skewed rows."""
+        from repro.formats import ELLMatrix
+        hyb = HYBMatrix.from_dense(skewed)
+        ell = ELLMatrix.from_dense(skewed)
+        assert hyb.metadata_bits() < ell.metadata_bits()
+
+    def test_nnz_consistent(self, skewed):
+        hyb = HYBMatrix.from_dense(skewed)
+        assert hyb.nnz == int(np.count_nonzero(skewed))
+
+    def test_shape_mismatch_rejected(self):
+        from repro.formats import ELLMatrix
+        ell = ELLMatrix.from_dense(np.eye(3))
+        coo = COOMatrix.from_dense(np.eye(4))
+        with pytest.raises(FormatError):
+            HYBMatrix(ell, coo)

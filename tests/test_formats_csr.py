@@ -1,0 +1,91 @@
+"""Unit tests for the CSR format."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FormatError
+from repro.formats import COOMatrix, CSRMatrix
+
+
+class TestConstruction:
+    def test_round_trip(self, spd_small):
+        csr = CSRMatrix.from_dense(spd_small)
+        np.testing.assert_allclose(csr.to_dense(), spd_small)
+
+    def test_from_coo(self, spd_small):
+        coo = COOMatrix.from_dense(spd_small)
+        csr = CSRMatrix.from_coo(coo)
+        assert csr.nnz == coo.nnz
+        np.testing.assert_allclose(csr.to_dense(), spd_small)
+
+    def test_from_scipy(self, small_digraph):
+        csr = CSRMatrix.from_scipy(small_digraph)
+        np.testing.assert_allclose(csr.to_dense(), small_digraph.toarray())
+
+    def test_empty_rows_handled(self):
+        dense = np.zeros((5, 5))
+        dense[0, 4] = 1.0
+        dense[4, 0] = 2.0
+        csr = CSRMatrix.from_dense(dense)
+        assert list(csr.row_nnz()) == [1, 0, 0, 0, 1]
+        np.testing.assert_allclose(csr.to_dense(), dense)
+
+
+class TestValidation:
+    def test_bad_indptr_length(self):
+        with pytest.raises(FormatError):
+            CSRMatrix((2, 2), [0, 1], [0], [1.0])
+
+    def test_decreasing_indptr(self):
+        with pytest.raises(FormatError):
+            CSRMatrix((2, 2), [0, 1, 0], [0], [1.0])
+
+    def test_indptr_must_start_at_zero(self):
+        with pytest.raises(FormatError):
+            CSRMatrix((2, 2), [1, 1, 1], [], [])
+
+    def test_indptr_end_must_equal_nnz(self):
+        with pytest.raises(FormatError):
+            CSRMatrix((2, 2), [0, 1, 3], [0, 1], [1.0, 2.0])
+
+    def test_column_out_of_range(self):
+        with pytest.raises(FormatError):
+            CSRMatrix((2, 2), [0, 1, 1], [5], [1.0])
+
+
+class TestOperations:
+    def test_spmv_matches_dense(self, spd_medium, rng):
+        csr = CSRMatrix.from_dense(spd_medium)
+        x = rng.normal(size=spd_medium.shape[1])
+        np.testing.assert_allclose(csr.spmv(x), spd_medium @ x)
+
+    def test_spmv_with_empty_rows(self, rng):
+        dense = np.zeros((6, 6))
+        dense[1, 2] = 3.0
+        csr = CSRMatrix.from_dense(dense)
+        x = rng.normal(size=6)
+        np.testing.assert_allclose(csr.spmv(x), dense @ x)
+
+    def test_row_access(self, spd_small):
+        csr = CSRMatrix.from_dense(spd_small)
+        cols, vals = csr.row(0)
+        expected = np.nonzero(spd_small[0])[0]
+        np.testing.assert_array_equal(cols, expected)
+        np.testing.assert_allclose(vals, spd_small[0][expected])
+
+    def test_diagonal(self, spd_small):
+        csr = CSRMatrix.from_dense(spd_small)
+        np.testing.assert_allclose(csr.diagonal(), np.diag(spd_small))
+
+    def test_transpose(self, spd_small):
+        csr = CSRMatrix.from_dense(spd_small)
+        np.testing.assert_allclose(csr.transpose().to_dense(), spd_small.T)
+
+    def test_to_coo_round_trip(self, spd_small):
+        csr = CSRMatrix.from_dense(spd_small)
+        np.testing.assert_allclose(csr.to_coo().to_dense(), spd_small)
+
+    def test_metadata_cheaper_than_coo(self, spd_medium):
+        coo = COOMatrix.from_dense(spd_medium)
+        csr = CSRMatrix.from_coo(coo)
+        assert csr.metadata_bits() < coo.metadata_bits()

@@ -1,0 +1,114 @@
+"""Unit tests for the ELL and DIA formats."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FormatError
+from repro.formats import COOMatrix, DIAMatrix, ELLMatrix, PAD
+
+
+class TestELLConstruction:
+    def test_round_trip(self, spd_small):
+        ell = ELLMatrix.from_dense(spd_small)
+        np.testing.assert_allclose(ell.to_dense(), spd_small)
+
+    def test_width_is_max_row(self):
+        dense = np.zeros((3, 5))
+        dense[0, :3] = 1.0
+        dense[1, 0] = 1.0
+        ell = ELLMatrix.from_dense(dense)
+        assert ell.width == 3
+
+    def test_padding_ratio(self):
+        dense = np.zeros((2, 4))
+        dense[0, :4] = 1.0   # full row
+        dense[1, 0] = 1.0    # 1 of 4 slots used
+        ell = ELLMatrix.from_dense(dense)
+        assert ell.padding_ratio == pytest.approx(3.0 / 8.0)
+
+    def test_empty_matrix(self):
+        ell = ELLMatrix.from_dense(np.zeros((3, 3)))
+        assert ell.width == 0
+        assert ell.nnz == 0
+        assert ell.padding_ratio == 0.0
+
+    def test_validation(self):
+        with pytest.raises(FormatError):
+            ELLMatrix((2, 2), np.zeros((3, 1), dtype=np.int64),
+                      np.zeros((3, 1)))
+        with pytest.raises(FormatError):
+            ELLMatrix((2, 2), np.full((2, 1), 9, dtype=np.int64),
+                      np.ones((2, 1)))
+
+
+class TestELLOperations:
+    def test_spmv(self, spd_medium, rng):
+        ell = ELLMatrix.from_dense(spd_medium)
+        x = rng.normal(size=spd_medium.shape[1])
+        np.testing.assert_allclose(ell.spmv(x), spd_medium @ x)
+
+    def test_metadata_counts_padding(self):
+        dense = np.zeros((2, 4))
+        dense[0, :4] = 1.0
+        dense[1, 0] = 1.0
+        ell = ELLMatrix.from_dense(dense)
+        # 8 slots x 2 bits each (4 columns).
+        assert ell.metadata_bits() == 8 * 2
+
+    def test_pad_marker(self):
+        dense = np.zeros((2, 2))
+        dense[0, 0] = 1.0
+        dense[0, 1] = 1.0
+        ell = ELLMatrix.from_dense(dense)
+        assert (ell.col_index[1] == PAD).all()
+
+
+class TestDIAConstruction:
+    def test_round_trip_banded(self, banded_spd):
+        dia = DIAMatrix.from_dense(banded_spd)
+        np.testing.assert_allclose(dia.to_dense(), banded_spd)
+
+    def test_round_trip_scattered(self, spd_small):
+        dia = DIAMatrix.from_dense(spd_small)
+        np.testing.assert_allclose(dia.to_dense(), spd_small)
+
+    def test_n_diagonals_banded(self, banded_spd):
+        dia = DIAMatrix.from_dense(banded_spd)
+        assert dia.n_diagonals == 7  # main + 3 each side
+
+    def test_empty(self):
+        dia = DIAMatrix.from_dense(np.zeros((3, 3)))
+        assert dia.n_diagonals == 0
+        assert dia.nnz == 0
+
+    def test_validation_duplicate_offsets(self):
+        with pytest.raises(FormatError):
+            DIAMatrix((3, 3), np.array([0, 0]), np.zeros((2, 3)))
+
+    def test_validation_shape(self):
+        with pytest.raises(FormatError):
+            DIAMatrix((3, 3), np.array([0]), np.zeros((2, 3)))
+
+
+class TestDIAOperations:
+    def test_spmv_banded(self, banded_spd, rng):
+        dia = DIAMatrix.from_dense(banded_spd)
+        x = rng.normal(size=banded_spd.shape[1])
+        np.testing.assert_allclose(dia.spmv(x), banded_spd @ x)
+
+    def test_spmv_rectangularish_offsets(self, rng):
+        dense = np.zeros((5, 5))
+        dense[0, 4] = 2.0   # offset +4
+        dense[4, 0] = 3.0   # offset -4
+        dia = DIAMatrix.from_dense(dense)
+        x = rng.normal(size=5)
+        np.testing.assert_allclose(dia.spmv(x), dense @ x)
+
+    def test_metadata_tiny_for_banded(self, banded_spd):
+        dia = DIAMatrix.from_dense(banded_spd)
+        # One offset per diagonal only: far below one bit per nnz.
+        assert dia.metadata_bits_per_nnz() < 1.0
+
+    def test_stored_slots_include_in_diagonal_padding(self, banded_spd):
+        dia = DIAMatrix.from_dense(banded_spd)
+        assert dia.stored_slots >= dia.nnz

@@ -1,0 +1,123 @@
+"""Property-based tests (hypothesis) for the storage formats.
+
+Invariants: every format round-trips any matrix exactly, all formats
+agree on SpMV, and the Figure 12 ordering relations hold structurally.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.formats import (
+    AlreschaMatrix,
+    BCSRMatrix,
+    COOMatrix,
+    CSRMatrix,
+    DIAMatrix,
+    ELLMatrix,
+    format_survey,
+    index_bits,
+)
+
+matrices = arrays(
+    dtype=np.float64,
+    shape=st.tuples(st.integers(1, 20), st.integers(1, 20)),
+    elements=st.sampled_from([0.0, 0.0, 0.0, 1.0, -1.0, 2.5, -0.5]),
+)
+
+square_matrices = arrays(
+    dtype=np.float64,
+    shape=st.integers(1, 18).map(lambda n: (n, n)),
+    elements=st.sampled_from([0.0, 0.0, 0.0, 1.0, -1.0, 3.0]),
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(matrices)
+def test_coo_round_trip(dense):
+    np.testing.assert_allclose(COOMatrix.from_dense(dense).to_dense(), dense)
+
+
+@settings(max_examples=40, deadline=None)
+@given(matrices)
+def test_csr_round_trip(dense):
+    np.testing.assert_allclose(CSRMatrix.from_dense(dense).to_dense(), dense)
+
+
+@settings(max_examples=40, deadline=None)
+@given(matrices)
+def test_ell_round_trip(dense):
+    np.testing.assert_allclose(ELLMatrix.from_dense(dense).to_dense(), dense)
+
+
+@settings(max_examples=40, deadline=None)
+@given(matrices)
+def test_dia_round_trip(dense):
+    np.testing.assert_allclose(DIAMatrix.from_dense(dense).to_dense(), dense)
+
+
+@settings(max_examples=40, deadline=None)
+@given(matrices, st.sampled_from([2, 4, 8]))
+def test_bcsr_round_trip(dense, omega):
+    np.testing.assert_allclose(
+        BCSRMatrix.from_dense(dense, omega).to_dense(), dense
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(square_matrices, st.sampled_from([2, 4, 8]))
+def test_alrescha_symgs_round_trip(dense, omega):
+    alr = AlreschaMatrix.from_dense(dense, omega, symgs_layout=True)
+    np.testing.assert_allclose(alr.to_dense(), dense)
+
+
+@settings(max_examples=30, deadline=None)
+@given(matrices)
+def test_all_formats_agree_on_spmv(dense):
+    x = np.arange(1.0, dense.shape[1] + 1.0)
+    expected = dense @ x
+    for fmt in (COOMatrix.from_dense(dense),
+                CSRMatrix.from_dense(dense),
+                ELLMatrix.from_dense(dense),
+                DIAMatrix.from_dense(dense),
+                BCSRMatrix.from_dense(dense, 4)):
+        np.testing.assert_allclose(fmt.spmv(x), expected, atol=1e-12)
+
+
+@settings(max_examples=30, deadline=None)
+@given(matrices)
+def test_nnz_consistent_across_formats(dense):
+    expected = int(np.count_nonzero(dense))
+    assert COOMatrix.from_dense(dense).nnz == expected
+    assert CSRMatrix.from_dense(dense).nnz == expected
+    assert ELLMatrix.from_dense(dense).nnz == expected
+    assert DIAMatrix.from_dense(dense).nnz == expected
+    assert BCSRMatrix.from_dense(dense, 4).nnz == expected
+
+
+@settings(max_examples=20, deadline=None)
+@given(square_matrices)
+def test_format_survey_invariants(dense):
+    survey = format_survey(dense, omega=4)
+    # The Alrescha format never streams meta-data at runtime.
+    assert survey["Alrescha (runtime)"] == 0.0
+    # Alrescha's table budget equals BCSR's budget.
+    assert survey["Alrescha"] == survey["BCSR"]
+    # Meta-data costs are never negative.
+    assert all(v >= 0.0 for v in survey.values())
+
+
+@given(st.integers(1, 10**6))
+def test_index_bits_sufficient(extent):
+    bits = index_bits(extent)
+    assert 2 ** bits >= extent
+
+
+def test_index_bits_edge_cases():
+    assert index_bits(0) == 0
+    assert index_bits(1) == 1
+    assert index_bits(2) == 1
+    assert index_bits(3) == 2
+    assert index_bits(256) == 8
+    assert index_bits(257) == 9

@@ -1,0 +1,132 @@
+"""Tests for graph algorithms: references and accelerated drivers."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.errors import DatasetError
+from repro.graph import (
+    bellman_ford_passes,
+    bfs_reference,
+    pagerank_reference,
+    run_bfs,
+    run_pagerank,
+    run_sssp,
+    sssp_reference,
+)
+
+
+def to_nx(adj):
+    g = nx.DiGraph()
+    g.add_nodes_from(range(adj.shape[0]))
+    coo = adj.tocoo()
+    for u, v, w in zip(coo.row, coo.col, coo.data):
+        g.add_edge(int(u), int(v), weight=float(w))
+    return g
+
+
+class TestReferencesAgainstNetworkx:
+    def test_bfs_levels(self, random_digraph):
+        unit = (random_digraph != 0).astype(float)
+        ours = bfs_reference(unit, 0)
+        lengths = nx.single_source_shortest_path_length(
+            to_nx(unit), 0)
+        for v in range(60):
+            if v in lengths:
+                assert ours[v] == lengths[v]
+            else:
+                assert np.isinf(ours[v])
+
+    def test_sssp_distances(self, random_digraph):
+        ours = sssp_reference(random_digraph, 0)
+        lengths = nx.single_source_dijkstra_path_length(
+            to_nx(random_digraph), 0)
+        for v in range(60):
+            if v in lengths:
+                assert ours[v] == pytest.approx(lengths[v])
+            else:
+                assert np.isinf(ours[v])
+
+    def test_pagerank_close_to_networkx(self, random_digraph):
+        unit = (random_digraph != 0).astype(float)
+        ours = pagerank_reference(unit, damping=0.85, tol=1e-12)
+        theirs = nx.pagerank(to_nx(unit), alpha=0.85, tol=1e-12)
+        for v in range(60):
+            assert ours[v] == pytest.approx(theirs[v], abs=2e-6)
+
+    def test_sssp_rejects_negative_weights(self):
+        import scipy.sparse as sp
+        adj = sp.coo_matrix(([-1.0], ([0], [1])), shape=(2, 2)).tocsr()
+        with pytest.raises(DatasetError):
+            sssp_reference(adj, 0)
+
+    def test_bellman_ford_matches_dijkstra(self, random_digraph):
+        dist_bf, passes = bellman_ford_passes(random_digraph, 0)
+        dist_dj = sssp_reference(random_digraph, 0)
+        np.testing.assert_allclose(
+            np.nan_to_num(dist_bf, posinf=-1.0),
+            np.nan_to_num(dist_dj, posinf=-1.0),
+        )
+        assert passes >= 1
+
+
+class TestAcceleratedDrivers:
+    def test_bfs_matches_reference(self, random_digraph):
+        unit = (random_digraph != 0).astype(float)
+        result = run_bfs(random_digraph, 0)
+        expected = bfs_reference(unit, 0)
+        np.testing.assert_allclose(
+            np.nan_to_num(result.values, posinf=-1.0),
+            np.nan_to_num(expected, posinf=-1.0),
+        )
+        assert result.converged
+
+    def test_sssp_matches_reference(self, random_digraph):
+        result = run_sssp(random_digraph, 0)
+        expected = sssp_reference(random_digraph, 0)
+        np.testing.assert_allclose(
+            np.nan_to_num(result.values, posinf=-1.0),
+            np.nan_to_num(expected, posinf=-1.0),
+            atol=1e-10,
+        )
+
+    def test_sssp_known_graph(self, small_digraph):
+        result = run_sssp(small_digraph, 0)
+        assert result.values[3] == pytest.approx(4.0)   # 0-1-2-3
+        assert result.values[11] == pytest.approx(13.0)  # 0-8-9-10-11
+
+    def test_pagerank_matches_reference(self, random_digraph):
+        result = run_pagerank(random_digraph, tol=1e-11)
+        expected = pagerank_reference(random_digraph, tol=1e-11)
+        np.testing.assert_allclose(result.values, expected, atol=1e-9)
+
+    def test_pagerank_sums_to_one(self, random_digraph):
+        result = run_pagerank(random_digraph, tol=1e-10)
+        assert result.values.sum() == pytest.approx(1.0)
+        assert (result.values > 0).all()
+
+    def test_reports_combined_over_passes(self, random_digraph):
+        result = run_bfs(random_digraph, 0)
+        assert result.report.cycles > 0
+        assert result.report.kernel == "bfs"
+        assert result.iterations >= 2
+
+    def test_source_validation(self, random_digraph):
+        with pytest.raises(DatasetError):
+            run_bfs(random_digraph, 600)
+        with pytest.raises(DatasetError):
+            run_sssp(random_digraph, -1)
+
+    def test_damping_validation(self, random_digraph):
+        with pytest.raises(DatasetError):
+            run_pagerank(random_digraph, damping=1.5)
+
+    def test_max_passes_caps_iterations(self, random_digraph):
+        result = run_bfs(random_digraph, 0, max_passes=1)
+        assert result.iterations == 1
+        assert not result.converged
+
+    def test_unreachable_vertices_stay_inf(self, small_digraph):
+        result = run_bfs(small_digraph, 5)
+        # Vertex 0 has no in-path from 5.
+        assert np.isinf(result.values[0])

@@ -1,0 +1,95 @@
+"""End-to-end integration tests on registry datasets.
+
+These run the full pipeline — dataset generation, Algorithm 1
+conversion, accelerator execution, solver/driver iteration, reporting —
+exactly as the benchmarks do, at small scale.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import Alrescha, KernelType
+from repro.datasets import load_dataset
+from repro.graph import (
+    bfs_reference,
+    pagerank_reference,
+    run_bfs,
+    run_pagerank,
+    run_sssp,
+    sssp_reference,
+)
+from repro.kernels import forward_sweep_vectorized
+from repro.solvers import AcceleratorBackend, ReferenceBackend, pcg
+
+
+SCI_SAMPLE = ["stencil27", "scircuit", "economics", "af_shell"]
+GRAPH_SAMPLE = ["com-orkut", "roadNet-CA", "hollywood-2009"]
+
+
+class TestPCGOnDatasets:
+    @pytest.mark.parametrize("name", SCI_SAMPLE)
+    def test_accelerated_pcg_matches_reference(self, name):
+        matrix = load_dataset(name, scale=0.05).matrix
+        n = matrix.shape[0]
+        rng = np.random.default_rng(1)
+        b = rng.normal(size=n)
+        ref = pcg(ReferenceBackend(matrix), b, tol=1e-8, max_iter=60)
+        acc = pcg(AcceleratorBackend(matrix), b, tol=1e-8, max_iter=60)
+        assert acc.iterations == ref.iterations
+        np.testing.assert_allclose(acc.x, ref.x, atol=1e-6)
+        assert acc.report.cycles > 0
+        assert acc.report.sequential_cycles > 0
+
+    def test_symgs_sweep_on_dataset(self):
+        matrix = load_dataset("thermal2", scale=0.08).matrix
+        n = matrix.shape[0]
+        rng = np.random.default_rng(2)
+        b, x0 = rng.normal(size=n), rng.normal(size=n)
+        acc = Alrescha.from_matrix(KernelType.SYMGS, matrix)
+        x1, report = acc.run_symgs_sweep(b, x0)
+        expected = forward_sweep_vectorized(matrix, b, x0)
+        np.testing.assert_allclose(x1, expected, atol=1e-9)
+        assert 0.0 < report.bandwidth_utilization < 1.0
+
+
+class TestGraphOnDatasets:
+    @pytest.mark.parametrize("name", GRAPH_SAMPLE)
+    def test_bfs_on_dataset(self, name):
+        adj = load_dataset(name, scale=0.05).matrix
+        result = run_bfs(adj, 0)
+        unit = (adj != 0).astype(float)
+        expected = bfs_reference(unit, 0)
+        np.testing.assert_allclose(
+            np.nan_to_num(result.values, posinf=-1.0),
+            np.nan_to_num(expected, posinf=-1.0),
+        )
+
+    def test_sssp_on_weighted_dataset(self):
+        adj = load_dataset("roadNet-CA", scale=0.05).matrix
+        result = run_sssp(adj, 0)
+        expected = sssp_reference(adj, 0)
+        np.testing.assert_allclose(
+            np.nan_to_num(result.values, posinf=-1.0),
+            np.nan_to_num(expected, posinf=-1.0),
+            atol=1e-9,
+        )
+
+    def test_pagerank_on_dataset(self):
+        adj = load_dataset("Youtube", scale=0.05).matrix
+        result = run_pagerank(adj, tol=1e-10)
+        expected = pagerank_reference(adj, tol=1e-10)
+        np.testing.assert_allclose(result.values, expected, atol=1e-8)
+        assert result.values.sum() == pytest.approx(1.0)
+
+
+class TestSpMVOnDatasets:
+    @pytest.mark.parametrize("name", SCI_SAMPLE + GRAPH_SAMPLE)
+    def test_spmv_matches_scipy(self, name):
+        ds = load_dataset(name, scale=0.05)
+        matrix = ds.matrix
+        acc = Alrescha.from_matrix(KernelType.SPMV, matrix)
+        rng = np.random.default_rng(3)
+        x = rng.normal(size=matrix.shape[0])
+        y, report = acc.run_spmv(x)
+        np.testing.assert_allclose(y, matrix @ x, atol=1e-9)
+        assert report.useful_bytes == matrix.nnz * 8

@@ -1,0 +1,111 @@
+"""Tests for the HPCG-style multigrid preconditioner."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.solvers import (
+    MultigridBackend,
+    MultigridPreconditioner,
+    ReferenceBackend,
+    pcg,
+    prolong_constant,
+    restrict_injection,
+)
+
+
+class TestGridTransfers:
+    def test_restriction_samples_even_points(self):
+        fine = np.arange(4 * 4 * 4, dtype=float)
+        coarse = restrict_injection(fine, (4, 4, 4))
+        assert coarse.size == 8
+        f = fine.reshape(4, 4, 4)
+        np.testing.assert_array_equal(
+            coarse.reshape(2, 2, 2), f[::2, ::2, ::2]
+        )
+
+    def test_prolongation_is_piecewise_constant(self):
+        coarse = np.arange(8, dtype=float)
+        fine = prolong_constant(coarse, (4, 4, 4))
+        assert fine.size == 64
+        f = fine.reshape(4, 4, 4)
+        c = coarse.reshape(2, 2, 2)
+        for iz in range(4):
+            for iy in range(4):
+                for ix in range(4):
+                    assert f[iz, iy, ix] == c[iz // 2, iy // 2, ix // 2]
+
+    def test_transfer_round_trip(self):
+        """Restriction after prolongation is the identity (injection
+        picks exactly the parent values)."""
+        coarse = np.random.default_rng(0).normal(size=27)
+        fine = prolong_constant(coarse, (6, 6, 6))
+        back = restrict_injection(fine, (6, 6, 6))
+        np.testing.assert_array_equal(back, coarse)
+
+
+class TestConstruction:
+    def test_level_dims_halve(self):
+        mg = MultigridPreconditioner(8, 8, 8, n_levels=3)
+        assert [lvl.dims for lvl in mg.levels] == [
+            (8, 8, 8), (4, 4, 4), (2, 2, 2)
+        ]
+
+    def test_dims_must_support_coarsening(self):
+        with pytest.raises(ConfigError):
+            MultigridPreconditioner(6, 6, 6, n_levels=3)  # 6 % 4 != 0
+
+    def test_single_level_allowed(self):
+        mg = MultigridPreconditioner(4, 4, 4, n_levels=1)
+        assert len(mg.levels) == 1
+
+    def test_bad_backend_rejected(self):
+        with pytest.raises(ConfigError):
+            MultigridPreconditioner(4, 4, 4, backend="asic")
+
+
+class TestConvergence:
+    def test_vcycle_reduces_residual(self):
+        mg = MultigridPreconditioner(8, 8, 8, n_levels=3)
+        a = mg.fine_matrix
+        rng = np.random.default_rng(1)
+        x_true = rng.normal(size=a.shape[0])
+        b = a @ x_true
+        x = mg.apply(b)
+        assert np.linalg.norm(b - a @ x) < np.linalg.norm(b)
+
+    def test_mg_pcg_beats_single_level_iterations(self):
+        backend = MultigridBackend(8, 8, 8, n_levels=3)
+        b = np.random.default_rng(2).normal(size=backend.n)
+        mg_result = pcg(backend, b, tol=1e-8, max_iter=60)
+        gs_result = pcg(ReferenceBackend(backend.matrix), b, tol=1e-8,
+                        max_iter=60)
+        assert mg_result.converged
+        assert mg_result.iterations <= gs_result.iterations
+        np.testing.assert_allclose(mg_result.x, gs_result.x, atol=1e-5)
+
+    def test_accelerated_multigrid_matches_reference(self):
+        rng = np.random.default_rng(3)
+        ref = MultigridBackend(8, 8, 8, n_levels=2, backend="reference")
+        acc = MultigridBackend(8, 8, 8, n_levels=2, backend="alrescha")
+        b = rng.normal(size=ref.n)
+        z_ref = ref.precondition(b)
+        z_acc = acc.precondition(b)
+        np.testing.assert_allclose(z_acc, z_ref, atol=1e-9)
+
+    def test_accelerated_multigrid_reports(self):
+        backend = MultigridBackend(8, 8, 8, n_levels=2,
+                                   backend="alrescha")
+        b = np.random.default_rng(4).normal(size=backend.n)
+        result = pcg(backend, b, tol=1e-7, max_iter=40)
+        assert result.converged
+        report = result.report
+        assert report is not None
+        assert report.cycles > 0
+        # All levels' SymGS work appears in the combined report.
+        assert report.sequential_cycles > 0
+
+    def test_reference_backend_has_no_report(self):
+        backend = MultigridBackend(4, 4, 4, n_levels=1,
+                                   backend="reference")
+        assert backend.report() is None

@@ -1,0 +1,109 @@
+"""Property-based tests: the accelerator equals the golden kernels on
+arbitrary inputs, and its reports satisfy structural invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Alrescha, KernelType
+from repro.kernels import forward_sweep
+
+
+@st.composite
+def spd_systems(draw):
+    """Random small SPD system (matrix, b, x0)."""
+    n = draw(st.integers(3, 24))
+    seed = draw(st.integers(0, 2**31 - 1))
+    rng = np.random.default_rng(seed)
+    density = draw(st.floats(0.05, 0.5))
+    a = np.zeros((n, n))
+    nnz = max(1, int(density * n * n))
+    i = rng.integers(0, n, size=nnz)
+    j = rng.integers(0, n, size=nnz)
+    a[i, j] = rng.normal(size=nnz)
+    a = (a + a.T) / 2
+    np.fill_diagonal(a, 0.0)
+    a += np.diag(np.abs(a).sum(axis=1) + 1.0)
+    return a, rng.normal(size=n), rng.normal(size=n)
+
+
+@st.composite
+def digraphs(draw):
+    """Random directed weighted adjacency matrix."""
+    n = draw(st.integers(3, 24))
+    seed = draw(st.integers(0, 2**31 - 1))
+    rng = np.random.default_rng(seed)
+    a = np.zeros((n, n))
+    nnz = draw(st.integers(1, 4 * n))
+    i = rng.integers(0, n, size=nnz)
+    j = rng.integers(0, n, size=nnz)
+    w = rng.uniform(0.5, 5.0, size=nnz)
+    a[i, j] = w
+    np.fill_diagonal(a, 0.0)
+    return a
+
+
+@settings(max_examples=25, deadline=None)
+@given(spd_systems())
+def test_accelerated_spmv_equals_dense_product(system):
+    a, b, _x0 = system
+    acc = Alrescha.from_matrix(KernelType.SPMV, a)
+    y, report = acc.run_spmv(b)
+    np.testing.assert_allclose(y, a @ b, atol=1e-9)
+    assert report.cycles > 0
+
+
+@settings(max_examples=25, deadline=None)
+@given(spd_systems())
+def test_accelerated_symgs_equals_reference_sweep(system):
+    a, b, x0 = system
+    acc = Alrescha.from_matrix(KernelType.SYMGS, a)
+    x1, report = acc.run_symgs_sweep(b, x0)
+    np.testing.assert_allclose(x1, forward_sweep(a, b, x0), atol=1e-8)
+    assert report.sequential_cycles >= 0
+
+
+@settings(max_examples=25, deadline=None)
+@given(spd_systems())
+def test_symgs_report_invariants(system):
+    a, b, x0 = system
+    acc = Alrescha.from_matrix(KernelType.SYMGS, a)
+    _x1, report = acc.run_symgs_sweep(b, x0)
+    assert 0.0 <= report.bandwidth_utilization <= 1.0
+    assert 0.0 <= report.sequential_fraction <= 1.0
+    assert report.streamed_bytes >= report.useful_bytes * 0.99
+    assert report.energy_j >= 0.0
+    # The dependent share never exceeds the whole.
+    assert report.sequential_cycles <= report.cycles
+
+
+@settings(max_examples=20, deadline=None)
+@given(digraphs())
+def test_bfs_pass_monotone_and_bounded(adj):
+    at = adj.T.copy()
+    at[at != 0] = 1.0
+    acc = Alrescha.from_matrix(KernelType.BFS, at)
+    n = adj.shape[0]
+    dist = np.full(n, np.inf)
+    dist[0] = 0.0
+    prev = dist
+    for _ in range(3):
+        new, _rep = acc.run_bfs_pass(prev)
+        assert (new <= prev).all()
+        finite = np.isfinite(new)
+        assert (new[finite] >= 0).all()
+        prev = new
+
+
+@settings(max_examples=20, deadline=None)
+@given(digraphs())
+def test_pr_pass_conserves_nonnegativity(adj):
+    structure = (adj != 0).astype(float)
+    acc = Alrescha.from_matrix(KernelType.PAGERANK, structure.T.copy())
+    n = adj.shape[0]
+    outdeg = structure.sum(axis=1)
+    rank = np.full(n, 1.0 / n)
+    contrib, _rep = acc.run_pr_pass(rank, outdeg)
+    assert (contrib >= 0).all()
+    # Mass never increases: sum(contrib) <= sum(rank over non-dangling).
+    assert contrib.sum() <= rank[outdeg > 0].sum() + 1e-9

@@ -1,0 +1,62 @@
+"""Property-based tests for the program binary and device image."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import KernelType, convert, decode_image, decode_program, \
+    encode_image, encode_program
+from repro.core.binary import BitReader, BitWriter
+
+
+@st.composite
+def random_spd_matrices(draw):
+    n = draw(st.integers(4, 40))
+    seed = draw(st.integers(0, 2**31 - 1))
+    rng = np.random.default_rng(seed)
+    density = draw(st.floats(0.02, 0.4))
+    a = np.zeros((n, n))
+    nnz = max(1, int(density * n * n))
+    i = rng.integers(0, n, size=nnz)
+    j = rng.integers(0, n, size=nnz)
+    a[i, j] = rng.normal(size=nnz)
+    a = (a + a.T) / 2
+    np.fill_diagonal(a, 0.0)
+    a += np.diag(np.abs(a).sum(axis=1) + 1.0)
+    return a
+
+
+@settings(max_examples=25, deadline=None)
+@given(random_spd_matrices(),
+       st.sampled_from([KernelType.SPMV, KernelType.SYMGS,
+                        KernelType.BFS]))
+def test_program_binary_round_trips(matrix, kernel):
+    conv = convert(kernel, matrix, omega=8)
+    kernel2, table2 = decode_program(encode_program(kernel, conv.table))
+    assert kernel2 is kernel
+    assert list(table2) == list(conv.table)
+
+
+@settings(max_examples=25, deadline=None)
+@given(random_spd_matrices(), st.booleans())
+def test_device_image_round_trips(matrix, symgs_layout):
+    from repro.formats import AlreschaMatrix
+    alr = AlreschaMatrix.from_dense(matrix, 8, symgs_layout=symgs_layout)
+    decoded = decode_image(encode_image(alr))
+    np.testing.assert_array_equal(decoded.to_dense(), matrix)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.tuples(st.integers(0, 2**20 - 1),
+                          st.integers(1, 24)),
+                min_size=1, max_size=40))
+def test_bitstream_round_trips_arbitrary_fields(fields):
+    writer = BitWriter()
+    clipped = []
+    for value, width in fields:
+        v = value & ((1 << width) - 1)
+        writer.write(v, width)
+        clipped.append((v, width))
+    reader = BitReader(writer.to_bytes())
+    for v, width in clipped:
+        assert reader.read(width) == v

@@ -1,0 +1,86 @@
+"""Mathematical property tests: linearity of the accelerated kernels.
+
+SpMV is linear in its operand; a Gauss-Seidel sweep is *jointly linear*
+in ``(b, x_old)`` (it is a fixed affine map with zero offset:
+``x_new = (L+D)^{-1} (b - U x_old)``).  The accelerator must preserve
+these identities to floating-point tolerance — a strong whole-pipeline
+invariant that catches dataflow mistakes no single example would.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Alrescha, KernelType
+
+
+@st.composite
+def spd_with_vectors(draw):
+    n = draw(st.integers(4, 28))
+    seed = draw(st.integers(0, 2**31 - 1))
+    rng = np.random.default_rng(seed)
+    a = np.zeros((n, n))
+    nnz = max(1, int(draw(st.floats(0.05, 0.4)) * n * n))
+    i = rng.integers(0, n, size=nnz)
+    j = rng.integers(0, n, size=nnz)
+    a[i, j] = rng.normal(size=nnz)
+    a = (a + a.T) / 2
+    np.fill_diagonal(a, 0.0)
+    a += np.diag(np.abs(a).sum(axis=1) + 1.0)
+    vecs = rng.normal(size=(4, n))
+    alpha = draw(st.floats(-3.0, 3.0))
+    return a, vecs, alpha
+
+
+@settings(max_examples=20, deadline=None)
+@given(spd_with_vectors())
+def test_spmv_is_linear(case):
+    a, vecs, alpha = case
+    acc = Alrescha.from_matrix(KernelType.SPMV, a)
+    x1, x2 = vecs[0], vecs[1]
+    y1, _ = acc.run_spmv(x1)
+    y2, _ = acc.run_spmv(x2)
+    y_sum, _ = acc.run_spmv(x1 + alpha * x2)
+    np.testing.assert_allclose(y_sum, y1 + alpha * y2,
+                               rtol=1e-9, atol=1e-9)
+
+
+@settings(max_examples=20, deadline=None)
+@given(spd_with_vectors())
+def test_symgs_sweep_is_jointly_linear(case):
+    a, vecs, alpha = case
+    acc = Alrescha.from_matrix(KernelType.SYMGS, a)
+    b1, x1, b2, x2 = vecs
+    out1, _ = acc.run_symgs_sweep(b1, x1)
+    out2, _ = acc.run_symgs_sweep(b2, x2)
+    combined, _ = acc.run_symgs_sweep(b1 + alpha * b2, x1 + alpha * x2)
+    np.testing.assert_allclose(combined, out1 + alpha * out2,
+                               rtol=1e-8, atol=1e-8)
+
+
+@settings(max_examples=20, deadline=None)
+@given(spd_with_vectors())
+def test_symgs_zero_inputs_give_zero(case):
+    a, _vecs, _alpha = case
+    n = a.shape[0]
+    acc = Alrescha.from_matrix(KernelType.SYMGS, a)
+    out, _ = acc.run_symgs_sweep(np.zeros(n), np.zeros(n))
+    np.testing.assert_allclose(out, 0.0, atol=1e-12)
+
+
+@settings(max_examples=15, deadline=None)
+@given(spd_with_vectors())
+def test_pr_pass_is_linear_in_rank(case):
+    a, vecs, alpha = case
+    structure = (np.abs(a) > 0).astype(float)
+    np.fill_diagonal(structure, 0.0)
+    acc = Alrescha.from_matrix(KernelType.PAGERANK, structure.T.copy())
+    n = a.shape[0]
+    outdeg = structure.sum(axis=1)
+    r1 = np.abs(vecs[0]) + 0.01
+    r2 = np.abs(vecs[1]) + 0.01
+    c1, _ = acc.run_pr_pass(r1, outdeg)
+    c2, _ = acc.run_pr_pass(r2, outdeg)
+    c_sum, _ = acc.run_pr_pass(r1 + abs(alpha) * r2, outdeg)
+    np.testing.assert_allclose(c_sum, c1 + abs(alpha) * c2,
+                               rtol=1e-9, atol=1e-9)

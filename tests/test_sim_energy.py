@@ -1,0 +1,65 @@
+"""Unit tests for the event-based energy model."""
+
+import pytest
+
+from repro.sim import CounterSet, EnergyModel
+
+
+class TestDynamicEnergy:
+    def test_single_event(self):
+        m = EnergyModel(event_energy_pj={"alu_op": 20.0}, static_power_w=0.0)
+        assert m.energy_pj(CounterSet({"alu_op": 10.0})) == pytest.approx(200.0)
+
+    def test_joule_conversion(self):
+        m = EnergyModel(event_energy_pj={"alu_op": 1.0}, static_power_w=0.0)
+        assert m.energy_j(CounterSet({"alu_op": 1e12})) == pytest.approx(1.0)
+
+    def test_unknown_event_is_free(self):
+        m = EnergyModel(static_power_w=0.0)
+        assert m.energy_pj(CounterSet({"mystery_event": 100.0})) == 0.0
+
+    def test_namespaced_counter_matches_suffix(self):
+        m = EnergyModel(event_energy_pj={"cache_reads": 10.0},
+                        static_power_w=0.0)
+        e = m.energy_pj(CounterSet({"cache.cache_reads": 3.0}))
+        assert e == pytest.approx(30.0)
+
+    def test_buffer_counters_map_to_fifo_cost(self):
+        m = EnergyModel(event_energy_pj={"fifo_access": 2.0,
+                                         "stack_access": 5.0},
+                        static_power_w=0.0)
+        assert m.energy_pj(CounterSet({"A_fifo_pushes": 4.0})) \
+            == pytest.approx(8.0)
+        assert m.energy_pj(CounterSet({"link_pops": 2.0})) \
+            == pytest.approx(10.0)
+
+    def test_accepts_plain_mapping(self):
+        m = EnergyModel(event_energy_pj={"alu_op": 2.0}, static_power_w=0.0)
+        assert m.energy_pj({"alu_op": 3.0}) == pytest.approx(6.0)
+
+
+class TestStaticEnergy:
+    def test_static_power_charged_over_time(self):
+        m = EnergyModel(event_energy_pj={}, static_power_w=1.0)
+        # 1 W for 1 second = 1 J = 1e12 pJ.
+        assert m.energy_pj(CounterSet(), elapsed_s=1.0) == pytest.approx(1e12)
+
+    def test_combined(self):
+        m = EnergyModel(event_energy_pj={"alu_op": 1.0}, static_power_w=1.0)
+        e = m.energy_pj(CounterSet({"alu_op": 5.0}), elapsed_s=1e-12)
+        assert e == pytest.approx(6.0)
+
+
+class TestBreakdown:
+    def test_breakdown_names_costs(self):
+        m = EnergyModel(event_energy_pj={"alu_op": 2.0, "re_op": 3.0},
+                        static_power_w=0.0)
+        b = m.breakdown_pj(CounterSet({"alu_op": 1.0, "re_op": 2.0,
+                                       "free": 9.0}))
+        assert b == {"alu_op": 2.0, "re_op": 6.0}
+
+    def test_defaults_contain_key_events(self):
+        m = EnergyModel()
+        for event in ("alu_op", "re_op", "pe_op", "dram_bytes",
+                      "cache_reads", "config_write"):
+            assert event in m.event_energy_pj

@@ -1,0 +1,86 @@
+"""Unit tests for the streaming-memory model."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import StreamingMemory
+
+
+class TestBandwidth:
+    def test_table5_bytes_per_cycle(self):
+        mem = StreamingMemory()
+        # 288 GB/s at 2.5 GHz = 115.2 B/cycle.
+        assert mem.bytes_per_cycle == pytest.approx(115.2)
+
+    def test_sequential_stream_cost(self):
+        mem = StreamingMemory()
+        cycles = mem.stream_cycles(1152, sequential=True)
+        assert cycles == pytest.approx(10.0)
+
+    def test_stream_doubles(self):
+        mem = StreamingMemory()
+        assert mem.stream_doubles(14.4) == pytest.approx(1.0)
+
+    def test_zero_bytes_free(self):
+        mem = StreamingMemory()
+        assert mem.stream_cycles(0) == 0.0
+        assert mem.total_bytes == 0.0
+
+
+class TestBurstPadding:
+    def test_random_access_rounds_to_bursts(self):
+        mem = StreamingMemory(burst_bytes=64)
+        mem.stream_cycles(8, sequential=False)
+        assert mem.total_bytes == pytest.approx(64.0)
+
+    def test_random_access_multiple_bursts(self):
+        mem = StreamingMemory(burst_bytes=64)
+        mem.stream_cycles(65, sequential=False)
+        assert mem.total_bytes == pytest.approx(128.0)
+
+    def test_sequential_not_padded(self):
+        mem = StreamingMemory(burst_bytes=64)
+        mem.stream_cycles(8, sequential=True)
+        assert mem.total_bytes == pytest.approx(8.0)
+
+
+class TestCountersAndUtilization:
+    def test_request_counting(self):
+        mem = StreamingMemory()
+        mem.stream_cycles(100)
+        mem.stream_cycles(100, sequential=False)
+        assert mem.counters.get("dram_requests") == 2.0
+        assert mem.counters.get("dram_random_requests") == 1.0
+
+    def test_full_utilization(self):
+        mem = StreamingMemory()
+        cycles = mem.stream_cycles(1152)
+        assert mem.utilization(cycles) == pytest.approx(1.0)
+
+    def test_half_utilization(self):
+        mem = StreamingMemory()
+        cycles = mem.stream_cycles(1152)
+        assert mem.utilization(2 * cycles) == pytest.approx(0.5)
+
+    def test_zero_cycles_utilization(self):
+        assert StreamingMemory().utilization(0.0) == 0.0
+
+    def test_reset(self):
+        mem = StreamingMemory()
+        mem.stream_cycles(100)
+        mem.reset()
+        assert mem.total_bytes == 0.0
+
+
+class TestErrors:
+    def test_negative_bytes(self):
+        with pytest.raises(SimulationError):
+            StreamingMemory().stream_cycles(-1)
+
+    def test_invalid_bandwidth(self):
+        with pytest.raises(SimulationError):
+            StreamingMemory(bandwidth_bytes_per_s=0)
+
+    def test_invalid_burst(self):
+        with pytest.raises(SimulationError):
+            StreamingMemory(burst_bytes=0)

@@ -1,0 +1,71 @@
+"""Unit tests for the counter set."""
+
+from collections import Counter
+
+import pytest
+
+from repro.sim import CounterSet
+
+
+class TestCounterSet:
+    def test_add_and_get(self):
+        c = CounterSet()
+        c.add("alu_op")
+        c.add("alu_op", 4)
+        assert c.get("alu_op") == pytest.approx(5.0)
+
+    def test_missing_counter_defaults_to_zero(self):
+        c = CounterSet()
+        assert c.get("nope") == 0.0
+        assert c["nope"] == 0.0
+        assert "nope" not in c
+
+    def test_initial_mapping(self):
+        c = CounterSet({"a": 1.0, "b": 2.0})
+        assert c["a"] == 1.0
+        assert len(c) == 2
+
+    def test_merge_plain(self):
+        a = CounterSet({"x": 1.0})
+        b = CounterSet({"x": 2.0, "y": 3.0})
+        a.merge(b)
+        assert a["x"] == pytest.approx(3.0)
+        assert a["y"] == pytest.approx(3.0)
+
+    def test_merge_with_prefix(self):
+        a = CounterSet()
+        a.merge(CounterSet({"hits": 7.0}), prefix="cache.")
+        assert a["cache.hits"] == 7.0
+        assert a["hits"] == 0.0
+
+    def test_scaled_returns_new_set(self):
+        c = CounterSet({"e": 2.0})
+        s = c.scaled(10)
+        assert s["e"] == 20.0
+        assert c["e"] == 2.0
+
+    def test_add_operator(self):
+        total = CounterSet({"a": 1.0}) + CounterSet({"a": 2.0, "b": 1.0})
+        assert total["a"] == 3.0
+        assert total["b"] == 1.0
+
+    def test_as_dict_is_copy(self):
+        c = CounterSet({"a": 1.0})
+        d = c.as_dict()
+        d["a"] = 99.0
+        assert c["a"] == 1.0
+
+    def test_reset(self):
+        c = CounterSet({"a": 1.0})
+        c.reset()
+        assert len(c) == 0
+
+    def test_from_counter(self):
+        c = CounterSet.from_counter(Counter(["x", "x", "y"]))
+        assert c["x"] == 2.0
+        assert c["y"] == 1.0
+
+    def test_iteration(self):
+        c = CounterSet({"a": 1.0, "b": 2.0})
+        assert sorted(c) == ["a", "b"]
+        assert dict(c.items()) == {"a": 1.0, "b": 2.0}

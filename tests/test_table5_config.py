@@ -1,0 +1,103 @@
+"""Table 5: the Alrescha configuration, asserted field by field.
+
+DESIGN.md's experiment index promises Table 5 is pinned by tests; this
+file is that pin.  If a default drifts, the whole calibration story
+drifts with it — fail loudly.
+"""
+
+import pytest
+
+from repro.core import AlreschaConfig
+
+
+@pytest.fixture(scope="module")
+def config():
+    return AlreschaConfig()
+
+
+class TestTable5:
+    def test_double_precision(self, config):
+        """'Floating point: double precision (64 bits)'."""
+        assert config.element_bytes == 8
+
+    def test_clock_frequency(self, config):
+        """'Clock frequency: 2.5 GHz'."""
+        assert config.frequency_hz == pytest.approx(2.5e9)
+
+    def test_cache_geometry(self, config):
+        """'Cache: 1KB, 64-Byte lines, 4-cycle access latency'."""
+        assert config.cache_bytes == 1024
+        assert config.cache_line_bytes == 64
+        assert config.cache_hit_latency == 4
+
+    def test_re_latency(self, config):
+        """'RE latency: 3 Cycles (sum: 3, min: 1)'."""
+        assert config.re_sum_latency == 3
+        assert config.re_min_latency == 1
+
+    def test_alu_latency(self, config):
+        """'ALU latency: 3 Cycles'."""
+        assert config.alu_latency == 3
+
+    def test_memory_bandwidth(self, config):
+        """'Memory: 12 GB GDDR5, 288 GB/s'."""
+        assert config.bandwidth_bytes_per_s == pytest.approx(288e9)
+        assert config.bytes_per_cycle == pytest.approx(115.2)
+
+    def test_operand_delivery_rate(self, config):
+        """§5.2: 'each 64-bit operand of ALU is delivered from memory in
+        0.4 ns' — one operand per 2.5 GHz cycle per lane."""
+        cycle_s = 1.0 / config.frequency_hz
+        assert cycle_s == pytest.approx(0.4e-9)
+
+    def test_block_width_default(self, config):
+        """§5.2: the paper picks omega = 8."""
+        assert config.omega == 8
+
+    def test_alu_row_keeps_up_with_memory(self, config):
+        """The compute logic must 'follow the speed of streaming from
+        memory': lane bandwidth >= channel bandwidth."""
+        lane_bytes_per_s = config.n_alus * 8 * config.frequency_hz
+        assert lane_bytes_per_s >= config.bandwidth_bytes_per_s
+
+    def test_reconfig_hides_under_default_drain(self, config):
+        """§4.4's design point holds for the default geometry: the sum
+        tree's drain (3 levels x 3 cycles) covers the switch rewrite."""
+        timing = config.timing()
+        from repro.core import DataPathType
+        assert timing.drain(DataPathType.GEMV) >= config.reconfig_cycles
+
+
+class TestTable4Baselines:
+    def test_gpu_k40c(self):
+        """Table 4's GPU: K40c-class memory system."""
+        from repro.baselines.gpu import GPU_BANDWIDTH, GPU_CUDA_CORES
+        assert GPU_BANDWIDTH == pytest.approx(288e9)
+        assert GPU_CUDA_CORES == 2880
+
+    def test_cpu_xeon(self):
+        """Table 4's CPU: Xeon E5-2630 v3-class."""
+        from repro.baselines.cpu import CPU_BANDWIDTH, CPU_CORES, \
+            CPU_FREQUENCY
+        assert CPU_BANDWIDTH == pytest.approx(59e9)
+        assert CPU_CORES == 8
+        assert CPU_FREQUENCY == pytest.approx(2.4e9)
+
+    def test_peer_accelerators_share_memory_budget(self):
+        """§5.1: 'we assign all the accelerators the same computation
+        and memory-bandwidth budget'."""
+        from repro.baselines.graphr import GR_BANDWIDTH
+        from repro.baselines.memristive import MEM_BANDWIDTH
+        from repro.baselines.outerspace import OS_BANDWIDTH
+        assert GR_BANDWIDTH == MEM_BANDWIDTH == OS_BANDWIDTH \
+            == pytest.approx(288e9)
+
+    def test_graphr_block_size(self):
+        """Table 2: GraphR uses 4x4 COO blocks."""
+        from repro.baselines.graphr import GR_BLOCK
+        assert GR_BLOCK == 4
+
+    def test_memristive_block_sizes(self):
+        """Table 2: the Memristive accelerator uses 64..512 blocks."""
+        from repro.baselines.memristive import MEM_BLOCK_WIDTHS
+        assert MEM_BLOCK_WIDTHS == (64, 128, 256, 512)
