@@ -1,0 +1,78 @@
+"""Wall-clock speedup of the compiled pass plans over the interpreter.
+
+Not a paper figure: this benchmark guards the simulator's own
+performance. The compiled plan layer (:mod:`repro.core.plan`) must make
+an accelerator-backend PCG solve at least 3x faster than the per-block
+interpreter while producing bit-identical iterates and reports.
+
+Marked ``slow`` — run explicitly (``pytest benchmarks``) or drop the
+``-m "not slow"`` filter.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import AlreschaConfig
+from repro.datasets import load_dataset
+from repro.solvers.backends import AcceleratorBackend
+from repro.solvers.pcg import pcg
+
+from conftest import run_once, save_and_print
+
+pytestmark = pytest.mark.slow
+
+MIN_SPEEDUP = 3.0
+#: Iteration cap; a tolerance no solver reaches keeps both paths
+#: iterating until the cap or a (deterministic, shared) stall.
+ITERS = 30
+
+
+def _solve_timed(matrix, b, use_plan):
+    backend = AcceleratorBackend(
+        matrix, config=AlreschaConfig(use_plan=use_plan))
+    # Warm both paths outside the timed region (plans are compiled in
+    # the constructor; the first legacy pass pays numpy warmup).
+    backend.spmv(b)
+    backend.precondition(b)
+    backend.reset_reports()
+    t0 = time.perf_counter()
+    result = pcg(backend, b, tol=1e-30, max_iter=ITERS)
+    elapsed = time.perf_counter() - t0
+    return result, elapsed
+
+
+def test_plan_speedup_pcg(benchmark, scale, results_dir):
+    ds = load_dataset("stencil27", scale=max(scale, 0.1))
+    rng = np.random.default_rng(11)
+    b = rng.normal(size=ds.matrix.shape[0])
+
+    def experiment():
+        legacy, t_legacy = _solve_timed(ds.matrix, b, use_plan=False)
+        plan, t_plan = _solve_timed(ds.matrix, b, use_plan=True)
+        return legacy, t_legacy, plan, t_plan
+
+    legacy, t_legacy, plan, t_plan = run_once(benchmark, experiment)
+
+    # Same arithmetic, bit for bit: the plan only reorganises execution.
+    np.testing.assert_array_equal(plan.x, legacy.x)
+    # Bit-identical iterates mean both paths run the same iteration
+    # count, i.e. the timed regions do exactly equal work.
+    assert plan.iterations == legacy.iterations
+    assert plan.report.cycles == legacy.report.cycles
+    assert plan.report.energy_j == legacy.report.energy_j
+    assert plan.report.counters.as_dict() == legacy.report.counters.as_dict()
+
+    speedup = t_legacy / t_plan
+    save_and_print(
+        results_dir, "plan_speedup",
+        "\n".join([
+            f"Compiled-plan speedup (PCG, stencil27 n={ds.matrix.shape[0]}, "
+            f"{plan.iterations} iterations)",
+            f"  interpreter : {t_legacy * 1e3:9.1f} ms",
+            f"  plan        : {t_plan * 1e3:9.1f} ms",
+            f"  speedup     : {speedup:9.2f}x  (floor {MIN_SPEEDUP}x)",
+        ]),
+    )
+    assert speedup >= MIN_SPEEDUP

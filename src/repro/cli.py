@@ -253,6 +253,8 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
+    from repro.errors import ConfigError, DatasetError, FormatError
+
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
@@ -264,6 +266,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         except OSError:
             pass
         return 0
+    except (DatasetError, FormatError, ConfigError) as exc:
+        # User-facing input problems: one line on stderr, no traceback.
+        msg = f"error: {exc}"
+        if isinstance(exc, DatasetError) and "unknown dataset" in msg \
+                and "known:" not in msg:
+            from repro.datasets import list_datasets
+            msg += "; known datasets: " + ", ".join(sorted(list_datasets()))
+        print(msg, file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

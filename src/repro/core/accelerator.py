@@ -58,6 +58,7 @@ from repro.core.datapaths import (
     gemv_block,
 )
 from repro.core.fcu import DEFAULT_N_ALUS, FixedComputeUnit
+from repro.core.plan import KERNEL_PLAN_KINDS, compile_pass
 from repro.core.report import SimReport
 from repro.core.rcu import RCUConfig, ReconfigurableComputeUnit
 from repro.sim.cache import LocalCache
@@ -87,6 +88,11 @@ class AlreschaConfig:
     #: Stored element width in bytes: 8 (Table 5's double precision) or
     #: 4 for an fp32-traffic study.  Functional results stay fp64.
     element_bytes: int = 8
+    #: Execute passes through compiled plans (:mod:`repro.core.plan`):
+    #: bit-identical results and reports, batched numpy instead of the
+    #: per-block interpreter.  False falls back to the legacy path
+    #: (the equivalence oracle).
+    use_plan: bool = True
     energy_model: EnergyModel = field(default_factory=EnergyModel)
 
     @property
@@ -168,6 +174,9 @@ class Alrescha:
         self._conversion: Optional[ConversionResult] = None
         self._rows: List[_RowGroup] = []
         self._table_order_switches: int = 0
+        #: Compiled pass plans, keyed by pass kind; built lazily on the
+        #: first run of each kind and invalidated by :meth:`program`.
+        self._plans: Dict[str, object] = {}
 
     # ------------------------------------------------------------------
     # Programming (host side, one-time per matrix+kernel)
@@ -225,6 +234,56 @@ class Alrescha:
                 group.streaming.append(op)
         self._rows = [rows[i] for i in order]
         self._table_order_switches = conversion.table.switch_count()
+        self._plans.clear()
+        self._validate_symgs_diagonal()
+
+    def _validate_symgs_diagonal(self) -> None:
+        """Reject zero/non-finite pivots the D-SymGS PE would divide by.
+
+        Checked at program time (the host knows the full diagonal here)
+        rather than mid-sweep, and only for rows an actual D-SymGS entry
+        covers — rows of an entirely empty block row pass through the
+        sweep untouched, so a missing pivot there is the caller's
+        business (the system is singular either way).
+        """
+        conversion = self._conversion
+        diag = conversion.matrix.diagonal
+        if conversion.kernel is not KernelType.SYMGS or diag is None:
+            return
+        n, w = conversion.matrix.shape[0], self.config.omega
+        for group in self._rows:
+            if group.diagonal is None:
+                continue
+            start = group.block_row * w
+            valid = max(0, min(w, n - start))
+            d = diag[start:start + valid]
+            bad = ~np.isfinite(d) | (d == 0.0)
+            if bad.any():
+                r = int(np.argmax(bad))
+                raise ConfigError(
+                    f"SymGS needs a nonzero finite main diagonal; "
+                    f"row {start + r} has {d[r]!r}"
+                )
+
+    # ------------------------------------------------------------------
+    # Compiled pass plans
+    # ------------------------------------------------------------------
+    def _plan(self, kind: str):
+        plan = self._plans.get(kind)
+        if plan is None:
+            plan = compile_pass(self, kind)
+            self._plans[kind] = plan
+        return plan
+
+    def compile_plans(self) -> None:
+        """Eagerly compile the pass plans of the programmed kernel.
+
+        Plans otherwise compile lazily on first run; callers that know
+        they will iterate (solvers, graph drivers) can pay the one-off
+        compile cost up front.
+        """
+        for kind in KERNEL_PLAN_KINDS.get(self.conversion.kernel, ()):
+            self._plan(kind)
 
     @property
     def conversion(self) -> ConversionResult:
@@ -252,6 +311,10 @@ class Alrescha:
         one vector to a panel.  Timing: the stream cost is unchanged
         from one SpMV; compute and cache costs scale with ``k``, so
         throughput per column improves until the ALU row saturates.
+
+        Always runs on the per-block interpreter: the operand panel
+        width ``k`` varies per call, so there is no per-program pass
+        structure for :mod:`repro.core.plan` to compile.
         """
         self._require_kernel(KernelType.SPMV)
         x = np.asarray(x, dtype=np.float64)
@@ -336,6 +399,13 @@ class Alrescha:
     def run_spmv(self, x: np.ndarray) -> Tuple[np.ndarray, SimReport]:
         """SpMV over the programmed matrix: ``y = A @ x``."""
         self._require_kernel(KernelType.SPMV)
+        x = np.asarray(x, dtype=np.float64)
+        if self.config.use_plan:
+            return self._plan("spmv").run_spmv(x)
+        return self._legacy_run_spmv(x)
+
+    def _legacy_run_spmv(self, x: np.ndarray) -> Tuple[np.ndarray, SimReport]:
+        """Per-block interpreter for SpMV (the plan-equivalence oracle)."""
         return self._run_streaming_pass(
             kernel_name="spmv",
             operand_vectors={"x": np.asarray(x, dtype=np.float64)},
@@ -357,6 +427,13 @@ class Alrescha:
         """
         self._require_kernel(KernelType.BFS)
         dist = np.asarray(dist, dtype=np.float64)
+        if self.config.use_plan:
+            return self._plan("bfs").run_minplus(dist)
+        return self._legacy_run_bfs_pass(dist)
+
+    def _legacy_run_bfs_pass(self, dist: np.ndarray
+                             ) -> Tuple[np.ndarray, SimReport]:
+        """Per-block interpreter for D-BFS (the plan-equivalence oracle)."""
         return self._run_streaming_pass(
             kernel_name="bfs",
             operand_vectors={"dist": dist},
@@ -383,6 +460,15 @@ class Alrescha:
         self._require_kernel(KernelType.BFS)
         dist = np.asarray(dist, dtype=np.float64)
         parent = np.asarray(parent, dtype=np.int64)
+        if self.config.use_plan:
+            return self._plan("bfs-parents").run_parents(dist, parent)
+        return self._legacy_run_bfs_pass_parents(dist, parent)
+
+    def _legacy_run_bfs_pass_parents(
+        self, dist: np.ndarray, parent: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, SimReport]:
+        """Per-block interpreter for parent-tracking D-BFS (the
+        plan-equivalence oracle)."""
         n, w = self.n, self.config.omega
         if dist.shape != (n,) or parent.shape != (n,):
             raise SimulationError(f"operands must have shape ({n},)")
@@ -455,6 +541,13 @@ class Alrescha:
         """One synchronous D-SSSP relaxation pass (weighted min-plus)."""
         self._require_kernel(KernelType.SSSP)
         dist = np.asarray(dist, dtype=np.float64)
+        if self.config.use_plan:
+            return self._plan("sssp").run_minplus(dist)
+        return self._legacy_run_sssp_pass(dist)
+
+    def _legacy_run_sssp_pass(self, dist: np.ndarray
+                              ) -> Tuple[np.ndarray, SimReport]:
+        """Per-block interpreter for D-SSSP (the plan-equivalence oracle)."""
         return self._run_streaming_pass(
             kernel_name="sssp",
             operand_vectors={"dist": dist},
@@ -479,6 +572,13 @@ class Alrescha:
         self._require_kernel(KernelType.PAGERANK)
         rank = np.asarray(rank, dtype=np.float64)
         outdeg = np.asarray(outdeg, dtype=np.float64)
+        if self.config.use_plan:
+            return self._plan("pagerank").run_pagerank(rank, outdeg)
+        return self._legacy_run_pr_pass(rank, outdeg)
+
+    def _legacy_run_pr_pass(self, rank: np.ndarray, outdeg: np.ndarray
+                            ) -> Tuple[np.ndarray, SimReport]:
+        """Per-block interpreter for D-PR (the plan-equivalence oracle)."""
 
         def block_fn(fcu, rcu, op, chunks):
             return dpr_block(fcu, rcu, op.values, chunks["rank"],
@@ -505,6 +605,14 @@ class Alrescha:
         self._require_kernel(KernelType.SYMGS)
         b = np.asarray(b, dtype=np.float64)
         x_prev = np.asarray(x_prev, dtype=np.float64)
+        if self.config.use_plan:
+            return self._plan("symgs").run(b, x_prev)
+        return self._legacy_run_symgs_sweep(b, x_prev)
+
+    def _legacy_run_symgs_sweep(self, b: np.ndarray, x_prev: np.ndarray
+                                ) -> Tuple[np.ndarray, SimReport]:
+        """Per-block interpreter for the SymGS sweep (the
+        plan-equivalence oracle)."""
         n, w = self.n, self.config.omega
         if b.shape != (n,) or x_prev.shape != (n,):
             raise SimulationError(

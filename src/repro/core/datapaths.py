@@ -58,7 +58,11 @@ def gemv_block(fcu: FixedComputeUnit, block: np.ndarray,
     the original product exactly.
     """
     _require_square_block(block, fcu.omega)
-    operand = chunk[::-1] if reversed_cols else chunk
+    # The r2l read lands in the PE's operand buffer as a contiguous
+    # vector; materialise it the same way here so the product is
+    # bit-identical to the compiled plan's gathered operands (BLAS picks
+    # a different accumulation order for negative-stride views).
+    operand = np.ascontiguousarray(chunk[::-1]) if reversed_cols else chunk
     if operand.shape != (fcu.omega,):
         raise SimulationError(
             f"operand chunk must have {fcu.omega} elements"
@@ -70,6 +74,33 @@ def gemv_block(fcu: FixedComputeUnit, block: np.ndarray,
     fcu.counters.add("re_op", max(0.0, nnz - np.count_nonzero(
         block.any(axis=1))))
     return block @ operand
+
+
+def dsymgs_solve(body: np.ndarray, diag: np.ndarray, b_chunk: np.ndarray,
+                 x_old_chunk: np.ndarray, acc: np.ndarray,
+                 valid_rows: int, omega: int) -> np.ndarray:
+    """The arithmetic of one D-SymGS block, without event counting.
+
+    This is the exact recurrence :func:`dsymgs_block` executes — shared
+    with the compiled plan layer (:mod:`repro.core.plan`), which accounts
+    events through its captured report template instead of live counters.
+    The expressions are kept operation-for-operation identical to the
+    counted path so both produce bit-identical iterates.
+    """
+    x_new = np.zeros(omega, dtype=np.float64)
+    for r in range(valid_rows):
+        row = body[r]
+        lower = row[:r]
+        upper = row[r + 1:]
+        dot = float(lower @ x_new[:r]) + float(upper @ x_old_chunk[r + 1:])
+        s = float(acc[r]) + dot
+        if diag[r] == 0.0:
+            raise SimulationError(
+                f"zero diagonal inside D-SymGS block (local row {r})"
+            )
+        numer = float(b_chunk[r]) - s
+        x_new[r] = numer / float(diag[r])
+    return x_new
 
 
 def dsymgs_block(fcu: FixedComputeUnit, rcu: ReconfigurableComputeUnit,
@@ -91,23 +122,13 @@ def dsymgs_block(fcu: FixedComputeUnit, rcu: ReconfigurableComputeUnit,
     """
     omega = fcu.omega
     _require_square_block(body, omega)
-    x_new = np.zeros(omega, dtype=np.float64)
     for r in range(valid_rows):
-        row = body[r]
-        lower = row[:r]
-        upper = row[r + 1:]
-        nnz = float(np.count_nonzero(row))
+        nnz = float(np.count_nonzero(body[r]))
         fcu.counters.add("alu_op", nnz)
         fcu.counters.add("re_op", max(0.0, nnz - 1.0) + 1.0)
-        dot = float(lower @ x_new[:r]) + float(upper @ x_old_chunk[r + 1:])
-        s = float(acc[r]) + dot
-        if diag[r] == 0.0:
-            raise SimulationError(
-                f"zero diagonal inside D-SymGS block (local row {r})"
-            )
-        numer = rcu.pe("sub", float(b_chunk[r]), s)
-        x_new[r] = rcu.pe("div", numer, float(diag[r]))
-    return x_new
+        rcu.counters.add("pe_op", 2.0)  # the sub and the div per row
+    return dsymgs_solve(body, diag, b_chunk, x_old_chunk, acc,
+                        valid_rows, omega)
 
 
 def dbfs_block(fcu: FixedComputeUnit, block: np.ndarray,

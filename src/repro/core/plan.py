@@ -1,0 +1,498 @@
+"""Compiled per-pass execution plans: the accelerator hot loop, batched.
+
+The interpreter in :mod:`repro.core.accelerator` walks the programmed
+configuration table block by block, touching the cache model, the event
+counters and the memory model once per ω×ω block.  That is faithful to
+the paper's narrative but wall-clock dominated by Python overhead — the
+opposite of the streaming design point ALRESCHA argues for.  This module
+lowers a programmed pass *once* into batched numpy arrays and replays it
+with a handful of vectorized calls.
+
+What is lowered (per pass kind)
+-------------------------------
+* the ω×ω blocks of every streaming-class table entry, stacked into one
+  ``[m, ω, ω]`` tensor in execution order;
+* gather indices ``[m, ω]`` resolving each entry's operand chunk
+  (``inx_in`` plus lane, column-reversed for upper-triangle blocks) into
+  a zero-padded operand vector — the plan analogue of the RCU's
+  zero-filling :meth:`~repro.core.rcu.ReconfigurableComputeUnit.read_chunk`;
+* per-block stream/compute cycle vectors (:class:`PassArtifacts`);
+* per-block-row segment boundaries, which both scatter the row outputs
+  and, for SymGS, sequence the GEMV → D-SymGS dependency.
+
+Why timing stays identical
+--------------------------
+Every quantity in a :class:`~repro.core.report.SimReport` — cycles,
+counters, energy, bytes — depends only on the block structure fixed at
+``program()`` time, never on operand *values* (block nnz decides ALU/RE
+activity, the table decides cache/stack/memory traffic).  Compilation
+therefore replays the legacy interpreter once with neutral (zero)
+operands and captures its report as a template; each plan run returns a
+:meth:`~repro.core.report.SimReport.clone` of it.  This makes report
+identity hold by construction — including the sequence-dependent LRU
+cache counters — and the functional results are computed with
+operation-for-operation identical numpy expressions, so kernel outputs
+are bit-identical too (property-tested against the legacy path).
+
+Compilation cross-checks the lowered artifacts against the captured
+template (compute-cycle totals, memory request counts) and refuses to
+produce a plan that disagrees with the interpreter.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.core.config import DataPathType, KernelType, OperandPort
+from repro.core.datapaths import dsymgs_solve
+from repro.core.report import SimReport
+
+#: Pass kinds served by :class:`CompiledStreamingPass` (independent
+#: block rows; one batched gather/compute/scatter per pass).
+STREAMING_KINDS = ("spmv", "bfs", "bfs-parents", "sssp", "pagerank")
+
+#: All pass kinds the compiler understands.
+PLAN_KINDS = STREAMING_KINDS + ("symgs",)
+
+
+@dataclass(frozen=True)
+class PassArtifacts:
+    """Lowered per-block vectors and segment boundaries of one pass.
+
+    These are the honest compile outputs (beyond the stacked blocks and
+    the report template): per-block stream and compute cycle vectors in
+    execution order, the block-row segmentation, and the one-shot
+    payload accounting for the whole stream.
+    """
+
+    #: Memory-side cycles per streamed block, execution order.
+    stream_cycles_per_block: np.ndarray
+    #: Engine-side cycles per block, execution order.
+    compute_cycles_per_block: np.ndarray
+    #: Offset of each block row's first block in the stacked tensors.
+    seg_start: np.ndarray
+    #: Number of streaming blocks per block row.
+    seg_len: np.ndarray
+    #: Block-row index of each segment (scatter target).
+    out_rows: np.ndarray
+    #: Cycles to stream the whole payload as one contiguous block run
+    #: (:meth:`~repro.sim.memory.StreamingMemory.stream_block_run`).
+    payload_stream_cycles: float
+
+
+def _padded_length(n: int, omega: int) -> Tuple[int, int]:
+    """(number of block rows, padded vector length) for size ``n``."""
+    nbr = -(-n // omega)
+    return nbr, nbr * omega
+
+
+def _time_groups(seg_len: np.ndarray,
+                 seg_start: np.ndarray) -> List[Tuple[np.ndarray, np.ndarray]]:
+    """Precompute, for each within-row block position ``t``, the rows
+    still live and the flat index of their ``t``-th block.
+
+    Replaying these groups in order applies every row's partials in
+    exactly the interpreter's per-row sequence (position 0 first), so
+    floating-point accumulation order — and hence the bit pattern of the
+    result — matches the legacy path.
+    """
+    groups: List[Tuple[np.ndarray, np.ndarray]] = []
+    t = 0
+    while True:
+        live = np.nonzero(seg_len > t)[0]
+        if live.size == 0:
+            break
+        groups.append((live, seg_start[live] + t))
+        t += 1
+    return groups
+
+
+def _check_operand(name: str, vec: np.ndarray, n: int) -> None:
+    if vec.shape != (n,):
+        raise SimulationError(
+            f"operand {name!r} must have shape ({n},), got {vec.shape}"
+        )
+
+
+def _verify_against_template(kind: str, artifacts: PassArtifacts,
+                             template: SimReport,
+                             n_requests: int) -> None:
+    """Refuse to emit a plan whose lowering disagrees with the
+    interpreter's accounting."""
+    compute_total = float(artifacts.compute_cycles_per_block.sum())
+    template_compute = float(sum(template.datapath_cycles.values()))
+    if not math.isclose(compute_total, template_compute,
+                        rel_tol=1e-9, abs_tol=1e-6):
+        raise SimulationError(
+            f"{kind} plan lowering disagrees with the interpreter: "
+            f"compute {compute_total} vs {template_compute} cycles"
+        )
+    template_requests = template.counters.get("dram_requests")
+    if template_requests != float(n_requests):
+        raise SimulationError(
+            f"{kind} plan lowering disagrees with the interpreter: "
+            f"{n_requests} block transfers vs {template_requests} "
+            f"memory requests"
+        )
+
+
+class CompiledStreamingPass:
+    """A compiled SpMV / D-BFS / D-SSSP / D-PR pass.
+
+    Executes as: one gather of operand chunks, one batched block
+    compute, a short live-row accumulation loop (longest block row many
+    steps, each fully vectorized across rows), one scatter — then clones
+    the report template.
+    """
+
+    def __init__(self, kind: str, n: int, omega: int,
+                 blocks: np.ndarray, gather: np.ndarray,
+                 src_base: np.ndarray, artifacts: PassArtifacts,
+                 template: SimReport) -> None:
+        self.kind = kind
+        self.n = n
+        self.omega = omega
+        self.nbr, self.npad = _padded_length(n, omega)
+        self.blocks = blocks
+        self.masks = (blocks != 0.0) if kind != "spmv" else None
+        self.gather = gather
+        self.src_base = src_base
+        self.artifacts = artifacts
+        self.template = template
+        self._tgroups = _time_groups(artifacts.seg_len, artifacts.seg_start)
+        self._n_rows = int(artifacts.out_rows.size)
+
+    # ------------------------------------------------------------------
+    # Shared pieces
+    # ------------------------------------------------------------------
+    def _gather_chunks(self, vec: np.ndarray) -> np.ndarray:
+        """Zero-padded operand chunks per block, reversal applied."""
+        pad = np.zeros(self.npad)
+        pad[:self.n] = vec
+        return pad[self.gather]
+
+    def _accumulate_sum(self, partial: np.ndarray) -> np.ndarray:
+        acc = np.zeros((self._n_rows, self.omega))
+        for live, idx in self._tgroups:
+            acc[live] += partial[idx]
+        return acc
+
+    def _accumulate_min(self, partial: np.ndarray) -> np.ndarray:
+        acc = np.full((self._n_rows, self.omega), np.inf)
+        for live, idx in self._tgroups:
+            acc[live] = np.minimum(acc[live], partial[idx])
+        return acc
+
+    def _scatter_assign(self, acc: np.ndarray) -> np.ndarray:
+        """Rows without blocks stay zero (the interpreter never writes
+        them)."""
+        out = np.zeros(self.npad)
+        out.reshape(self.nbr, self.omega)[self.artifacts.out_rows] = acc
+        return out[:self.n].copy()
+
+    def _scatter_min(self, acc: np.ndarray, base: np.ndarray) -> np.ndarray:
+        out = np.zeros(self.npad)
+        out[:self.n] = base
+        view = out.reshape(self.nbr, self.omega)
+        rows = self.artifacts.out_rows
+        view[rows] = np.minimum(view[rows], acc)
+        return out[:self.n].copy()
+
+    # ------------------------------------------------------------------
+    # Pass kinds
+    # ------------------------------------------------------------------
+    def run_spmv(self, x: np.ndarray) -> Tuple[np.ndarray, SimReport]:
+        _check_operand("x", x, self.n)
+        chunks = self._gather_chunks(x)
+        partial = np.matmul(self.blocks, chunks[:, :, None])[:, :, 0]
+        y = self._scatter_assign(self._accumulate_sum(partial))
+        return y, self.template.clone()
+
+    def run_minplus(self, dist: np.ndarray) -> Tuple[np.ndarray, SimReport]:
+        """D-BFS (unit cost) or D-SSSP (stored weights) relaxation."""
+        _check_operand("dist", dist, self.n)
+        chunks = self._gather_chunks(dist)
+        step = 1.0 if self.kind == "bfs" else self.blocks
+        cand = np.where(self.masks, chunks[:, None, :] + step, np.inf)
+        best = self._accumulate_min(cand.min(axis=2))
+        return self._scatter_min(best, dist), self.template.clone()
+
+    def run_parents(self, dist: np.ndarray, parent: np.ndarray
+                    ) -> Tuple[np.ndarray, np.ndarray, SimReport]:
+        if dist.shape != (self.n,) or parent.shape != (self.n,):
+            raise SimulationError(f"operands must have shape ({self.n},)")
+        chunks = self._gather_chunks(dist)
+        cand = np.where(self.masks, chunks[:, None, :] + 1.0, np.inf)
+        per_block = cand.min(axis=2)
+        lanes = np.where(np.isfinite(per_block), cand.argmin(axis=2), -1)
+        src = self.src_base[:, None] + lanes
+        best = np.full((self._n_rows, self.omega), np.inf)
+        best_src = np.full((self._n_rows, self.omega), -1, dtype=np.int64)
+        for live, idx in self._tgroups:
+            cand_t = per_block[idx]
+            improved = cand_t < best[live]
+            best[live] = np.where(improved, cand_t, best[live])
+            best_src[live] = np.where(improved & (lanes[idx] >= 0),
+                                      src[idx], best_src[live])
+        dist_pad = np.zeros(self.npad)
+        dist_pad[:self.n] = dist
+        parent_pad = np.zeros(self.npad, dtype=np.int64)
+        parent_pad[:self.n] = parent
+        dview = dist_pad.reshape(self.nbr, self.omega)
+        pview = parent_pad.reshape(self.nbr, self.omega)
+        rows = self.artifacts.out_rows
+        take = best < dview[rows]
+        dview[rows] = np.where(take, best, dview[rows])
+        pview[rows] = np.where(take, best_src, pview[rows])
+        return (dist_pad[:self.n].copy(), parent_pad[:self.n].copy(),
+                self.template.clone())
+
+    def run_pagerank(self, rank: np.ndarray, outdeg: np.ndarray
+                     ) -> Tuple[np.ndarray, SimReport]:
+        _check_operand("rank", rank, self.n)
+        _check_operand("outdeg", outdeg, self.n)
+        rank_c = self._gather_chunks(rank)
+        deg_c = self._gather_chunks(outdeg)
+        safe_deg = np.where(deg_c > 0.0, deg_c, 1.0)
+        contrib = np.where(deg_c > 0.0, rank_c / safe_deg, 0.0)
+        partial = np.where(self.masks, contrib[:, None, :], 0.0).sum(axis=2)
+        y = self._scatter_assign(self._accumulate_sum(partial))
+        return y, self.template.clone()
+
+
+@dataclass(frozen=True)
+class _SymgsRow:
+    """One block row of a compiled SymGS sweep."""
+
+    seg_start: int
+    seg_len: int
+    start: int
+    valid: int
+    #: Diagonal block body (main diagonal zeroed); None for rows
+    #: without a D-SymGS entry.
+    body: Optional[np.ndarray]
+
+
+class CompiledSymgsPass:
+    """A compiled forward SymGS sweep.
+
+    Block rows are inherently sequential — the D-SymGS of row *i* waits
+    for the row's GEMV partials and later rows read its output — so the
+    plan keeps that loop, but each row is one gather + one batched
+    matmul + the shared :func:`~repro.core.datapaths.dsymgs_solve`
+    recurrence, with no cache/counter machinery on the hot path.
+    Partials travel through a LIFO just like the RCU link stack.
+    """
+
+    def __init__(self, n: int, omega: int, blocks: np.ndarray,
+                 gather: np.ndarray, rows: List[_SymgsRow],
+                 diag: np.ndarray, artifacts: PassArtifacts,
+                 template: SimReport) -> None:
+        self.n = n
+        self.omega = omega
+        self.nbr, self.npad = _padded_length(n, omega)
+        self.blocks = blocks
+        self.gather = gather
+        self.rows = rows
+        self.artifacts = artifacts
+        self.template = template
+        self._diag_pad = np.zeros(self.npad)
+        self._diag_pad[:n] = diag
+
+    def run(self, b: np.ndarray, x_prev: np.ndarray
+            ) -> Tuple[np.ndarray, SimReport]:
+        n, w, npad = self.n, self.omega, self.npad
+        if b.shape != (n,) or x_prev.shape != (n,):
+            raise SimulationError(
+                f"operand vectors must have shape ({n},)"
+            )
+        # Plane 0 is x^t (updated in place), plane 1 the read-only
+        # x^{t-1}; gather indices address the flattened pair so each
+        # entry's operand port resolves with no per-block branching.
+        state = np.zeros((2, npad))
+        state[0, :n] = x_prev
+        state[1, :n] = x_prev
+        flat = state.reshape(-1)
+        b_pad = np.zeros(npad)
+        b_pad[:n] = b
+        stack: List[np.ndarray] = []
+        for row in self.rows:
+            if row.seg_len:
+                lo = row.seg_start
+                hi = lo + row.seg_len
+                chunks = flat[self.gather[lo:hi]]
+                partial = np.matmul(self.blocks[lo:hi],
+                                    chunks[:, :, None])[:, :, 0]
+                stack.extend(partial)
+            if row.body is not None:
+                acc = np.zeros(w)
+                while stack:
+                    acc += stack.pop()
+                sl = slice(row.start, row.start + w)
+                x_new = dsymgs_solve(row.body, self._diag_pad[sl],
+                                     b_pad[sl], state[1, sl], acc,
+                                     row.valid, w)
+                state[0, row.start:row.start + row.valid] = \
+                    x_new[:row.valid]
+        return state[0, :n].copy(), self.template.clone()
+
+
+# ---------------------------------------------------------------------
+# Compilation
+# ---------------------------------------------------------------------
+def compile_pass(acc, kind: str):
+    """Lower the programmed pass ``kind`` of accelerator ``acc``.
+
+    Returns a :class:`CompiledStreamingPass` or
+    :class:`CompiledSymgsPass`.  Part of the accelerator's internals —
+    reach it through ``Alrescha`` runs (``config.use_plan``) or
+    :meth:`~repro.core.accelerator.Alrescha.compile_plans`.
+    """
+    if kind == "symgs":
+        return _compile_symgs(acc)
+    if kind in STREAMING_KINDS:
+        return _compile_streaming(acc, kind)
+    raise SimulationError(f"unknown pass kind {kind!r}")
+
+
+def _capture_template(acc, kind: str) -> SimReport:
+    """Replay the legacy interpreter once with neutral operands and keep
+    its report (see the module docstring for why this is exact)."""
+    zeros = np.zeros(acc.n)
+    if kind == "spmv":
+        return acc._legacy_run_spmv(zeros)[1]
+    if kind == "bfs":
+        return acc._legacy_run_bfs_pass(zeros)[1]
+    if kind == "bfs-parents":
+        return acc._legacy_run_bfs_pass_parents(
+            zeros, np.zeros(acc.n, dtype=np.int64))[2]
+    if kind == "sssp":
+        return acc._legacy_run_sssp_pass(zeros)[1]
+    if kind == "pagerank":
+        return acc._legacy_run_pr_pass(zeros, zeros)[1]
+    return acc._legacy_run_symgs_sweep(zeros, zeros)[1]
+
+
+def _compile_streaming(acc, kind: str) -> CompiledStreamingPass:
+    n, w = acc.n, acc.config.omega
+    timing = acc.config.timing()
+    spb = timing.stream_cycles_per_block()
+    lanes = np.arange(w)
+    blocks, gather, src_base = [], [], []
+    seg_len, out_rows = [], []
+    compute = []
+    for group in acc._rows:
+        if not group.streaming:
+            continue
+        seg_len.append(len(group.streaming))
+        out_rows.append(group.block_row)
+        for op in group.streaming:
+            blocks.append(op.values)
+            gather.append(op.inx_in
+                          + (lanes[::-1] if op.reversed_cols else lanes))
+            src_base.append(op.inx_in)
+            compute.append(timing.compute_cycles_per_block(op.dp))
+    m = len(blocks)
+    seg_len_arr = np.asarray(seg_len, dtype=np.int64)
+    seg_start = np.zeros(len(seg_len), dtype=np.int64)
+    if len(seg_len) > 1:
+        seg_start[1:] = np.cumsum(seg_len_arr)[:-1]
+    payload = acc.config.make_memory().stream_block_run(
+        m, timing.block_bytes)
+    artifacts = PassArtifacts(
+        stream_cycles_per_block=np.full(m, spb),
+        compute_cycles_per_block=np.asarray(compute),
+        seg_start=seg_start,
+        seg_len=seg_len_arr,
+        out_rows=np.asarray(out_rows, dtype=np.int64),
+        payload_stream_cycles=payload,
+    )
+    template = _capture_template(acc, kind)
+    _verify_against_template(kind, artifacts, template, n_requests=m)
+    return CompiledStreamingPass(
+        kind, n, w,
+        blocks=(np.stack(blocks) if m else np.zeros((0, w, w))),
+        gather=(np.stack(gather) if m else np.zeros((0, w), dtype=np.int64)),
+        src_base=np.asarray(src_base, dtype=np.int64),
+        artifacts=artifacts, template=template,
+    )
+
+
+def _compile_symgs(acc) -> CompiledSymgsPass:
+    n, w = acc.n, acc.config.omega
+    diag = acc.conversion.matrix.diagonal
+    if diag is None:
+        raise SimulationError("programmed matrix lacks SymGS layout")
+    timing = acc.config.timing()
+    spb = timing.stream_cycles_per_block()
+    _nbr, npad = _padded_length(n, w)
+    lanes = np.arange(w)
+    blocks, gather = [], []
+    rows: List[_SymgsRow] = []
+    seg_len, out_rows = [], []
+    stream_vec, compute_vec = [], []
+    n_requests = 0
+    for group in acc._rows:
+        seg_start = len(blocks)
+        for op in group.streaming:
+            blocks.append(op.values)
+            plane = 0 if op.port is OperandPort.PORT1 else 1
+            idx = op.inx_in + (lanes[::-1] if op.reversed_cols else lanes)
+            gather.append(plane * npad + idx)
+            stream_vec.append(spb)
+            compute_vec.append(timing.compute_cycles_per_block(op.dp))
+            n_requests += 1
+        body = None
+        start = group.block_row * w
+        valid = max(0, min(w, n - start))
+        if group.diagonal is not None:
+            body = group.diagonal.values
+            refetch = (not acc.conversion.reordered) and group.streaming
+            stream_vec.append(2.0 * spb if refetch else spb)
+            n_requests += 2 if refetch else 1
+            compute_vec.append(
+                timing.compute_cycles_per_block(DataPathType.D_SYMGS))
+        rows.append(_SymgsRow(seg_start=seg_start,
+                              seg_len=len(blocks) - seg_start,
+                              start=start, valid=valid, body=body))
+        seg_len.append(len(blocks) - seg_start)
+        out_rows.append(group.block_row)
+    m = len(blocks)
+    seg_len_arr = np.asarray(seg_len, dtype=np.int64)
+    seg_start_arr = np.zeros(len(seg_len), dtype=np.int64)
+    if len(seg_len) > 1:
+        seg_start_arr[1:] = np.cumsum(seg_len_arr)[:-1]
+    payload = acc.config.make_memory().stream_block_run(
+        n_requests, timing.block_bytes)
+    artifacts = PassArtifacts(
+        stream_cycles_per_block=np.asarray(stream_vec),
+        compute_cycles_per_block=np.asarray(compute_vec),
+        seg_start=seg_start_arr,
+        seg_len=seg_len_arr,
+        out_rows=np.asarray(out_rows, dtype=np.int64),
+        payload_stream_cycles=payload,
+    )
+    template = _capture_template(acc, "symgs")
+    _verify_against_template("symgs", artifacts, template, n_requests)
+    return CompiledSymgsPass(
+        n, w,
+        blocks=(np.stack(blocks) if m else np.zeros((0, w, w))),
+        gather=(np.stack(gather) if m else np.zeros((0, w), dtype=np.int64)),
+        rows=rows, diag=diag, artifacts=artifacts, template=template,
+    )
+
+
+# KernelType is imported for the kernel→plan-kind map used by
+# Alrescha.compile_plans().
+KERNEL_PLAN_KINDS = {
+    KernelType.SPMV: ("spmv",),
+    KernelType.SYMGS: ("symgs",),
+    KernelType.BFS: ("bfs",),
+    KernelType.SSSP: ("sssp",),
+    KernelType.PAGERANK: ("pagerank",),
+}

@@ -7,7 +7,7 @@ iterative algorithm into a whole-run report.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, Iterable, Optional
 
 from repro.sim.stats import CounterSet
@@ -71,6 +71,18 @@ class SimReport:
         if self.cycles <= 0:
             return 0.0
         return min(1.0, self.cache_busy_cycles / self.cycles)
+
+    def clone(self) -> "SimReport":
+        """An independent copy of this report.
+
+        Because every timing/energy/counter quantity of a pass depends
+        only on the programmed block structure — never on operand values
+        — a compiled plan captures one report at compile time and clones
+        it per run.  The mutable members (counters, data-path cycles) are
+        copied so callers can annotate a clone freely.
+        """
+        return replace(self, counters=self.counters.copy(),
+                       datapath_cycles=dict(self.datapath_cycles))
 
     def scaled(self, factor: float) -> "SimReport":
         """Extrapolate this report to ``factor`` identical passes."""

@@ -14,6 +14,7 @@ arrives in 0.4 ns through 32-bit 5 Gbps links (§5.2).
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 from repro.errors import SimulationError
@@ -69,26 +70,50 @@ class StreamingMemory:
         """Peak bytes deliverable per consumer clock cycle."""
         return self.bandwidth_bytes_per_s / self.frequency_hz
 
+    def _padded_bytes(self, nbytes: float) -> float:
+        bursts = -(-int(math.ceil(nbytes)) // self.burst_bytes)
+        return float(bursts * self.burst_bytes)
+
     def stream_cycles(self, nbytes: float, sequential: bool = True) -> float:
         """Cycles needed to transfer ``nbytes``.
 
-        Sequential streams are charged the exact byte count (the stream is
-        long-running, so burst padding amortises away); random accesses are
-        rounded up to whole bursts per request.
+        Every request is rounded up to whole bursts — the channel's
+        transfer granularity.  Callers moving a long contiguous stream
+        should therefore issue it as one request (or use
+        :meth:`stream_block_run`) so the padding is paid at most once;
+        ``sequential=False`` additionally counts the request as a random
+        access.
         """
         if nbytes < 0:
             raise SimulationError(f"cannot stream {nbytes} bytes")
         if nbytes == 0:
             return 0.0
-        if sequential:
-            effective = float(nbytes)
-        else:
-            bursts = -(-int(nbytes) // self.burst_bytes)  # ceil division
-            effective = float(bursts * self.burst_bytes)
+        effective = self._padded_bytes(nbytes)
         self.counters.add("dram_bytes", effective)
         self.counters.add("dram_requests", 1.0)
         if not sequential:
             self.counters.add("dram_random_requests", 1.0)
+        return effective / self.bytes_per_cycle
+
+    def stream_block_run(self, n_blocks: int, block_bytes: float) -> float:
+        """Charge a contiguous run of ``n_blocks`` equal-size transfers.
+
+        Counter-for-counter equivalent to ``n_blocks`` sequential
+        :meth:`stream_cycles` calls of ``block_bytes`` each, in O(1).
+        The compiled plan layer (:mod:`repro.core.plan`) accounts a whole
+        pass's payload stream with one call to this method.
+        """
+        if n_blocks < 0:
+            raise SimulationError(f"cannot stream {n_blocks} blocks")
+        if block_bytes < 0:
+            raise SimulationError(f"cannot stream {block_bytes} bytes")
+        if n_blocks == 0 or block_bytes == 0:
+            return 0.0
+        effective = self._padded_bytes(block_bytes) * n_blocks
+        self.counters.add_many({
+            "dram_bytes": effective,
+            "dram_requests": float(n_blocks),
+        })
         return effective / self.bytes_per_cycle
 
     def stream_doubles(self, count: float, sequential: bool = True) -> float:

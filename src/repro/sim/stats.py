@@ -29,6 +29,21 @@ class CounterSet:
         """Accumulate ``amount`` into the counter ``name``."""
         self._counts[name] = self._counts.get(name, 0.0) + amount
 
+    def add_many(self, events: Mapping[str, float]) -> None:
+        """Accumulate a whole mapping of event counts in one call.
+
+        The bulk form of :meth:`add`, used where a component charges many
+        events at once (e.g. a compiled pass plan accounting an entire
+        block run) instead of once per simulated step.
+        """
+        counts = self._counts
+        for name, value in events.items():
+            counts[name] = counts.get(name, 0.0) + value
+
+    def copy(self) -> "CounterSet":
+        """An independent copy (cloning captured report templates)."""
+        return CounterSet(self._counts)
+
     def get(self, name: str, default: float = 0.0) -> float:
         """Return the current value of ``name`` (``default`` if unseen)."""
         return self._counts.get(name, default)

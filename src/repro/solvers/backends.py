@@ -72,6 +72,13 @@ class AcceleratorBackend:
             reversed_csr = csr[perm][:, perm].tocsr()
             self._symgs_rev_acc = Alrescha.from_matrix(
                 KernelType.SYMGS, reversed_csr, config=self.config)
+        if self.config.use_plan:
+            # Compile the pass plans eagerly so the one-off lowering cost
+            # is paid at backend construction, not inside the solver loop.
+            self._spmv_acc.compile_plans()
+            self._symgs_acc.compile_plans()
+            if self._symgs_rev_acc is not None:
+                self._symgs_rev_acc.compile_plans()
         self._reports: List[SimReport] = []
         self._last_kernel: Optional[str] = None
         self.kernel_switches = 0

@@ -89,10 +89,20 @@ class TestSurveyAndExperiment:
         assert "gpu" in out
         assert "alrescha" in out
 
-    def test_unknown_dataset_raises(self):
-        from repro.errors import DatasetError
-        with pytest.raises(DatasetError):
-            main(["info", "not-a-dataset"])
+    def test_unknown_dataset_is_reported_not_raised(self, capsys):
+        # Regression: this used to escape as a raw DatasetError traceback.
+        assert main(["info", "not-a-dataset"]) == 2
+        err = capsys.readouterr().err
+        assert err.count("\n") == 1
+        assert "error:" in err
+        assert "not-a-dataset" in err
+        assert "stencil27" in err  # the known-dataset list is shown
+
+    def test_bad_scale_is_reported_not_raised(self, capsys):
+        assert main(["info", "stencil27", "--scale", "-1"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "scale" in err
 
     def test_unknown_command_exits(self):
         with pytest.raises(SystemExit):

@@ -49,28 +49,33 @@ class TestCorruptedPrograms:
 
 
 class TestSingularSystems:
-    def test_zero_diagonal_detected_at_execution(self):
+    def test_zero_diagonal_detected_at_program_time(self):
+        """Regression: a zero pivot used to slip through ``program()``
+        and only surface as a SimulationError mid-sweep."""
         a = np.eye(16)
         a[5, 5] = 0.0
         a[5, 6] = 1.0  # keep the row non-empty
         a[6, 5] = 1.0
-        acc = Alrescha.from_matrix(KernelType.SYMGS, a)
-        with pytest.raises(SimulationError):
-            acc.run_symgs_sweep(np.ones(16), np.zeros(16))
+        with pytest.raises(ConfigError, match="row 5"):
+            Alrescha.from_matrix(KernelType.SYMGS, a)
 
-    def test_empty_block_row_passes_through(self):
-        """A fully empty row of blocks leaves its x chunk untouched
-        rather than crashing (the system is singular; the caller
-        decides what that means)."""
+    def test_nonfinite_diagonal_detected_at_program_time(self):
+        a = np.eye(16)
+        a[7, 7] = np.nan
+        with pytest.raises(ConfigError, match="row 7"):
+            Alrescha.from_matrix(KernelType.SYMGS, a)
+
+    def test_missing_pivot_in_live_block_detected_at_program_time(self):
+        """A row whose pivot is zero inside an otherwise live diagonal
+        block (the system is singular; D-SymGS cannot divide by it)."""
         a = np.eye(16)
         a[3, :] = 0.0
         a[:, 3] = 0.0
         a[3, 3] = 0.0
         # Whole block row 0 is not empty (other diag entries), so only
         # row 3 inside the diagonal block lacks a pivot.
-        acc = Alrescha.from_matrix(KernelType.SYMGS, a)
-        with pytest.raises(SimulationError):
-            acc.run_symgs_sweep(np.ones(16), np.zeros(16))
+        with pytest.raises(ConfigError, match="row 3"):
+            Alrescha.from_matrix(KernelType.SYMGS, a)
 
 
 class TestPoisonedValues:

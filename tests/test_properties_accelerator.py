@@ -107,3 +107,54 @@ def test_pr_pass_conserves_nonnegativity(adj):
     assert (contrib >= 0).all()
     # Mass never increases: sum(contrib) <= sum(rank over non-dangling).
     assert contrib.sum() <= rank[outdeg > 0].sum() + 1e-9
+
+
+def _assert_reports_identical(a, b):
+    for name in ("kernel", "cycles", "useful_bytes", "streamed_bytes",
+                 "sequential_cycles", "cache_busy_cycles",
+                 "exposed_reconfig_cycles", "n_entries", "n_switches",
+                 "energy_j"):
+        assert getattr(a, name) == getattr(b, name), name
+    assert a.counters.as_dict() == b.counters.as_dict()
+    assert a.datapath_cycles == b.datapath_cycles
+
+
+@settings(max_examples=25, deadline=None)
+@given(spd_systems())
+def test_plan_path_equals_legacy_spmv(system):
+    """The compiled plan is a pure lowering: bit-identical outputs and
+    field-identical reports versus the per-block interpreter."""
+    a, b, _x0 = system
+    acc = Alrescha.from_matrix(KernelType.SPMV, a)
+    y_plan, rep_plan = acc.run_spmv(b)
+    acc.config.use_plan = False
+    y_leg, rep_leg = acc.run_spmv(b)
+    np.testing.assert_array_equal(y_plan, y_leg)
+    _assert_reports_identical(rep_plan, rep_leg)
+
+
+@settings(max_examples=25, deadline=None)
+@given(spd_systems())
+def test_plan_path_equals_legacy_symgs(system):
+    a, b, x0 = system
+    acc = Alrescha.from_matrix(KernelType.SYMGS, a)
+    x_plan, rep_plan = acc.run_symgs_sweep(b, x0)
+    acc.config.use_plan = False
+    x_leg, rep_leg = acc.run_symgs_sweep(b, x0)
+    np.testing.assert_array_equal(x_plan, x_leg)
+    _assert_reports_identical(rep_plan, rep_leg)
+
+
+@settings(max_examples=20, deadline=None)
+@given(digraphs())
+def test_plan_path_equals_legacy_graph_passes(adj):
+    at = adj.T.copy()
+    n = adj.shape[0]
+    dist = np.full(n, np.inf)
+    dist[0] = 0.0
+    acc = Alrescha.from_matrix(KernelType.SSSP, at)
+    d_plan, rep_plan = acc.run_sssp_pass(dist)
+    acc.config.use_plan = False
+    d_leg, rep_leg = acc.run_sssp_pass(dist)
+    np.testing.assert_array_equal(d_plan, d_leg)
+    _assert_reports_identical(rep_plan, rep_leg)

@@ -19,7 +19,8 @@ class TestBandwidth:
 
     def test_stream_doubles(self):
         mem = StreamingMemory()
-        assert mem.stream_doubles(14.4) == pytest.approx(1.0)
+        # 14.4 doubles = 115.2 B, padded to two 64 B bursts = 128 B.
+        assert mem.stream_doubles(14.4) == pytest.approx(128.0 / 115.2)
 
     def test_zero_bytes_free(self):
         mem = StreamingMemory()
@@ -38,10 +39,25 @@ class TestBurstPadding:
         mem.stream_cycles(65, sequential=False)
         assert mem.total_bytes == pytest.approx(128.0)
 
-    def test_sequential_not_padded(self):
+    def test_sequential_pads_to_bursts(self):
+        """Regression: sequential requests used to bypass burst padding,
+        contradicting the class docstring ("rounding each request up to
+        whole bursts") — stream_cycles(200) charged exactly 200 bytes."""
         mem = StreamingMemory(burst_bytes=64)
-        mem.stream_cycles(8, sequential=True)
-        assert mem.total_bytes == pytest.approx(8.0)
+        cycles = mem.stream_cycles(200, sequential=True)
+        assert mem.total_bytes == pytest.approx(256.0)
+        assert cycles == pytest.approx(256.0 / mem.bytes_per_cycle)
+
+    def test_burst_aligned_request_unchanged(self):
+        mem = StreamingMemory(burst_bytes=64)
+        cycles = mem.stream_cycles(512, sequential=True)
+        assert mem.total_bytes == pytest.approx(512.0)
+        assert cycles == pytest.approx(512.0 / mem.bytes_per_cycle)
+
+    def test_fractional_bytes_round_up(self):
+        mem = StreamingMemory(burst_bytes=64)
+        mem.stream_cycles(64.2, sequential=True)
+        assert mem.total_bytes == pytest.approx(128.0)
 
 
 class TestCountersAndUtilization:
@@ -70,6 +86,34 @@ class TestCountersAndUtilization:
         mem.stream_cycles(100)
         mem.reset()
         assert mem.total_bytes == 0.0
+
+
+class TestBlockRun:
+    def test_matches_individual_streams(self):
+        one_by_one = StreamingMemory()
+        bulk = StreamingMemory()
+        total = sum(one_by_one.stream_cycles(512.0) for _ in range(7))
+        assert bulk.stream_block_run(7, 512.0) == pytest.approx(total)
+        assert bulk.counters.as_dict() == one_by_one.counters.as_dict()
+
+    def test_unaligned_blocks_pad_each(self):
+        one_by_one = StreamingMemory()
+        bulk = StreamingMemory()
+        total = sum(one_by_one.stream_cycles(200.0) for _ in range(3))
+        assert bulk.stream_block_run(3, 200.0) == pytest.approx(total)
+        assert bulk.counters.as_dict() == one_by_one.counters.as_dict()
+
+    def test_zero_blocks_free(self):
+        mem = StreamingMemory()
+        assert mem.stream_block_run(0, 512.0) == 0.0
+        assert mem.stream_block_run(5, 0.0) == 0.0
+        assert mem.total_bytes == 0.0
+
+    def test_negative_inputs_rejected(self):
+        with pytest.raises(SimulationError):
+            StreamingMemory().stream_block_run(-1, 512.0)
+        with pytest.raises(SimulationError):
+            StreamingMemory().stream_block_run(1, -8.0)
 
 
 class TestErrors:

@@ -69,3 +69,22 @@ class TestCounterSet:
         c = CounterSet({"a": 1.0, "b": 2.0})
         assert sorted(c) == ["a", "b"]
         assert dict(c.items()) == {"a": 1.0, "b": 2.0}
+
+    def test_add_many(self):
+        c = CounterSet({"a": 1.0})
+        c.add_many({"a": 2.0, "b": 0.5})
+        assert c["a"] == 3.0
+        assert c["b"] == 0.5
+
+    def test_add_many_empty_is_noop(self):
+        c = CounterSet({"a": 1.0})
+        c.add_many({})
+        assert c.as_dict() == {"a": 1.0}
+
+    def test_copy_is_independent(self):
+        c = CounterSet({"a": 1.0})
+        d = c.copy()
+        d.add("a", 5.0)
+        d.add("b")
+        assert c.as_dict() == {"a": 1.0}
+        assert d["a"] == 6.0 and d["b"] == 1.0
