@@ -62,15 +62,40 @@ def _print_report(report) -> None:
     print(f"  energy          : {report.energy_j * 1e6:.3f} uJ")
 
 
+def _fault_config(args):
+    """Build the AlreschaConfig for ``run`` from ``--inject-faults``.
+
+    Returns ``None`` when injection is off so every kernel keeps its
+    historical default configuration (bit-identical clean path).
+    """
+    if not args.inject_faults:
+        return None
+    from repro.core import AlreschaConfig
+    from repro.sim.faults import FaultModel
+    return AlreschaConfig(fault_model=FaultModel.parse(args.inject_faults))
+
+
+def _print_fault_counters(report) -> None:
+    injected = report.counters.get("faults_injected")
+    if not injected:
+        return
+    print(f"  faults injected : {injected:,.0f} "
+          f"({report.counters.get('faults_detected'):,.0f} detected, "
+          f"{report.counters.get('faults_corrected'):,.0f} corrected)")
+    print(f"  retry cycles    : {report.counters.get('retry_cycles'):,.0f}")
+
+
 def cmd_run(args) -> int:
     from repro.core import Alrescha, KernelType
     from repro.graph import (connected_components, run_bfs, run_pagerank,
                              run_sssp)
     from repro.solvers import AcceleratorBackend, pcg, run_hpcg
 
+    config = _fault_config(args)
     if args.kernel == "hpcg":
         dim = max(4, int(round(16 * args.scale ** (1 / 3))))
-        result = run_hpcg(dim, dim, dim, iterations=args.iterations)
+        result = run_hpcg(dim, dim, dim, iterations=args.iterations,
+                          config=config)
         print(f"HPCG {dim}^3: {result.gflops:.3f} GFLOP/s simulated "
               f"({result.iterations} iterations, "
               f"BW util {result.bandwidth_utilization:.2%})")
@@ -83,48 +108,61 @@ def cmd_run(args) -> int:
               f"adjacency as the matrix operand", file=sys.stderr)
 
     if args.kernel == "spmv":
-        acc = Alrescha.from_matrix(KernelType.SPMV, ds.matrix)
+        acc = Alrescha.from_matrix(KernelType.SPMV, ds.matrix,
+                                   config=config)
         _y, report = acc.run_spmv(rng.normal(size=ds.n))
         print(f"SpMV on {ds.name} (n={ds.n}, nnz={ds.nnz}):")
         _print_report(report)
+        _print_fault_counters(report)
     elif args.kernel == "symgs":
-        acc = Alrescha.from_matrix(KernelType.SYMGS, ds.matrix)
+        acc = Alrescha.from_matrix(KernelType.SYMGS, ds.matrix,
+                                   config=config)
         _x, report = acc.run_symgs_sweep(rng.normal(size=ds.n),
                                          np.zeros(ds.n))
         print(f"SymGS sweep on {ds.name}:")
         _print_report(report)
+        _print_fault_counters(report)
     elif args.kernel == "pcg":
-        backend = AcceleratorBackend(ds.matrix)
+        backend = AcceleratorBackend(ds.matrix, config=config)
+        # With injection on, arm the solver-side recovery too.
+        checkpoint = 5 if args.inject_faults else 0
         result = pcg(backend, rng.normal(size=ds.n), tol=1e-8,
-                     max_iter=args.iterations)
+                     max_iter=args.iterations,
+                     checkpoint_interval=checkpoint)
+        extra = (f", {result.restarts} restarts"
+                 if args.inject_faults else "")
         print(f"PCG on {ds.name}: converged={result.converged} in "
               f"{result.iterations} iterations "
               f"(residual {result.final_residual:.2e}, "
-              f"{backend.kernel_switches} kernel switches)")
+              f"{backend.kernel_switches} kernel switches{extra})")
         _print_report(result.report)
+        _print_fault_counters(result.report)
     elif args.kernel in ("bfs", "sssp"):
         runner = run_bfs if args.kernel == "bfs" else run_sssp
         adj = ds.matrix
         if args.kernel == "sssp" and not ds.weighted:
             adj = adj.copy()
             adj.data = 1.0 + (np.arange(adj.nnz) % 7).astype(float)
-        result = runner(adj, args.source)
+        result = runner(adj, args.source, config=config)
         reached = int(np.isfinite(result.values).sum())
         print(f"{args.kernel.upper()} on {ds.name} from {args.source}: "
               f"reached {reached}/{ds.n} in {result.iterations} passes")
         _print_report(result.report)
+        _print_fault_counters(result.report)
     elif args.kernel == "pagerank":
-        result = run_pagerank(ds.matrix, tol=1e-9)
+        result = run_pagerank(ds.matrix, tol=1e-9, config=config)
         top = np.argsort(result.values)[::-1][:5]
         print(f"PageRank on {ds.name}: {result.iterations} iterations, "
               f"top-5 = {list(map(int, top))}")
         _print_report(result.report)
+        _print_fault_counters(result.report)
     elif args.kernel == "cc":
-        result = connected_components(ds.matrix)
+        result = connected_components(ds.matrix, config=config)
         print(f"Connected components on {ds.name}: "
               f"{result.n_components} components "
               f"in {result.iterations} BFS passes")
         _print_report(result.report)
+        _print_fault_counters(result.report)
     else:  # pragma: no cover - argparse restricts choices
         raise SystemExit(f"unknown kernel {args.kernel}")
     return 0
@@ -219,6 +257,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--source", type=int, default=0)
     p.add_argument("--iterations", type=int, default=50)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--inject-faults", metavar="RATE[:SEED]", default=None,
+        help="inject transfer faults at the given per-block probability "
+             "(deterministic under the optional seed), e.g. 0.01:42",
+    )
     p.set_defaults(func=cmd_run)
 
     p = sub.add_parser("survey", help="Figure 12 format survey")
@@ -253,12 +296,18 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
-    from repro.errors import ConfigError, DatasetError, FormatError
+    from repro.errors import (ConfigError, CorruptionError, DatasetError,
+                              FaultError, FormatError)
 
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
         return args.func(args)
+    except (FaultError, CorruptionError) as exc:
+        # An injected fault exhausted its recovery budget: surfaced as a
+        # typed error, distinct exit code so studies can count failures.
+        print(f"fault: {exc}", file=sys.stderr)
+        return 3
     except BrokenPipeError:
         # Output piped into a pager/head that closed early: not an error.
         try:

@@ -63,7 +63,8 @@ from repro.core.report import SimReport
 from repro.core.rcu import RCUConfig, ReconfigurableComputeUnit
 from repro.sim.cache import LocalCache
 from repro.sim.energy import EnergyModel
-from repro.sim.memory import StreamingMemory
+from repro.sim.faults import FaultModel, payload_checksum
+from repro.sim.memory import DEFAULT_CAPACITY_BYTES, StreamingMemory
 
 
 @dataclass
@@ -93,6 +94,27 @@ class AlreschaConfig:
     #: per-block interpreter.  False falls back to the legacy path
     #: (the equivalence oracle).
     use_plan: bool = True
+    #: Modelled DRAM capacity; :meth:`Alrescha.program` rejects device
+    #: images whose resident set exceeds it (the model never pages).
+    memory_capacity_bytes: int = DEFAULT_CAPACITY_BYTES
+    #: Seeded stream-fault injector (:mod:`repro.sim.faults`).  None (the
+    #: default) keeps every run on the exact pre-resilience code path.
+    fault_model: Optional[FaultModel] = None
+    #: Verify each streamed payload block against the CRC recorded at
+    #: ``program()`` time.  Only consulted when a fault model is
+    #: attached; the check itself costs no cycles (inline hardware CRC).
+    verify_checksums: bool = True
+    #: Raise :class:`~repro.errors.CorruptionError` when an FCU sum
+    #: reduction emits NaN/Inf.  Off by default: poisoned inputs must
+    #: stay *visible* in the output unless the user opts into guarding.
+    guard_nonfinite: bool = False
+    #: Fraction of block rows whose compiled-plan output is spot-checked
+    #: against an independent recompute per pass (0 disables).
+    crosscheck_rows: float = 0.0
+    crosscheck_seed: int = 1
+    #: Cross-check mismatches tolerated before the accelerator degrades
+    #: plans to the legacy interpreter with checksums forced on.
+    crosscheck_threshold: int = 1
     energy_model: EnergyModel = field(default_factory=EnergyModel)
 
     @property
@@ -118,6 +140,7 @@ class AlreschaConfig:
             alu_latency=self.alu_latency,
             re_sum_latency=self.re_sum_latency,
             re_min_latency=self.re_min_latency,
+            guard_nonfinite=self.guard_nonfinite,
         )
 
     def make_rcu(self) -> ReconfigurableComputeUnit:
@@ -139,6 +162,8 @@ class AlreschaConfig:
             bandwidth_bytes_per_s=self.bandwidth_bytes_per_s,
             frequency_hz=self.frequency_hz,
             burst_bytes=self.cache_line_bytes,
+            capacity_bytes=self.memory_capacity_bytes,
+            fault_model=self.fault_model,
         )
 
 
@@ -155,6 +180,9 @@ class _Op:
     values: np.ndarray
     reversed_cols: bool
     is_diagonal: bool
+    #: CRC32 of the block payload, recorded at ``program()`` time; the
+    #: streamed copy is verified against it when faults are injected.
+    checksum: int = 0
 
 
 @dataclass
@@ -177,6 +205,16 @@ class Alrescha:
         #: Compiled pass plans, keyed by pass kind; built lazily on the
         #: first run of each kind and invalidated by :meth:`program`.
         self._plans: Dict[str, object] = {}
+        #: Set while a plan captures its report template by replaying the
+        #: legacy interpreter: the capture must see the clean channel or
+        #: the template (and plan verification) would absorb faults.
+        self._suppress_faults: bool = False
+        #: Cross-check mismatches seen so far; at
+        #: ``crosscheck_threshold`` the accelerator degrades plans to
+        #: the legacy interpreter with checksums forced on.
+        self._crosscheck_failures: int = 0
+        self._plan_degraded: bool = False
+        self._force_verify: bool = False
 
     # ------------------------------------------------------------------
     # Programming (host side, one-time per matrix+kernel)
@@ -199,6 +237,10 @@ class Alrescha:
                 f"conversion blocked at omega={conversion.omega}, "
                 f"hardware configured for {self.config.omega}"
             )
+        resident = float(conversion.matrix.payload_bytes)
+        if conversion.matrix.symgs_layout:
+            resident += conversion.matrix.shape[0] * 8.0
+        self.config.make_memory().check_capacity(resident)
         self._conversion = conversion
         block_map = {
             (b.block_row, b.block_col): b for b in conversion.matrix.stream()
@@ -222,6 +264,7 @@ class Alrescha:
                 values=sb.values,
                 reversed_cols=sb.reversed_cols,
                 is_diagonal=sb.is_diagonal,
+                checksum=payload_checksum(sb.values),
             )
             group = rows.get(entry.block_row)
             if group is None:
@@ -235,6 +278,9 @@ class Alrescha:
         self._rows = [rows[i] for i in order]
         self._table_order_switches = conversion.table.switch_count()
         self._plans.clear()
+        self._crosscheck_failures = 0
+        self._plan_degraded = False
+        self._force_verify = False
         self._validate_symgs_diagonal()
 
     def _validate_symgs_diagonal(self) -> None:
@@ -284,6 +330,72 @@ class Alrescha:
         """
         for kind in KERNEL_PLAN_KINDS.get(self.conversion.kernel, ()):
             self._plan(kind)
+
+    @property
+    def plan_degraded(self) -> bool:
+        """True once cross-check failures forced plans off for good."""
+        return self._plan_degraded
+
+    def _run_plan_checked(self, kind: str, plan_call: Callable,
+                          legacy_call: Callable):
+        """Run a pass through its plan, degrading on cross-check failure.
+
+        ``plan_call(plan)`` executes the compiled plan; ``legacy_call()``
+        executes the same pass on the per-block interpreter.  When the
+        plan's sampled cross-check reports a mismatch, the plan output
+        is *discarded* — never returned — and the pass reruns on the
+        interpreter with checksum verification forced on, charged for
+        the wasted plan cycles.  Mismatches accumulate; at
+        ``crosscheck_threshold`` the accelerator stops trusting plans
+        for the rest of the program.  On a clean run this wrapper adds
+        nothing: the plan result passes through untouched.
+        """
+        if self._plan_degraded:
+            return legacy_call()
+        result = plan_call(self._plan(kind))
+        report = result[-1]
+        mismatches = report.counters.get("crosscheck_mismatches")
+        if not mismatches:
+            return result
+        self._crosscheck_failures += int(mismatches)
+        if self._crosscheck_failures >= self.config.crosscheck_threshold:
+            self._plan_degraded = True
+        self._force_verify = True
+        try:
+            rerun = legacy_call()
+        finally:
+            self._force_verify = self._plan_degraded
+        rerun_report = rerun[-1]
+        rerun_report.cycles += report.cycles
+        rerun_report.counters.add("plan_fallbacks", 1.0)
+        rerun_report.counters.add("crosscheck_wasted_cycles", report.cycles)
+        # Fold the discarded plan run's fault accounting into the rerun
+        # so the pass's counters still reconcile with the injection log.
+        for key in ("faults_injected", "faults_detected",
+                    "faults_corrected", "faults_silent", "retry_cycles",
+                    "fault_latency_cycles", "fault_restreams",
+                    "crosscheck_mismatches", "crosscheck_rows"):
+            value = report.counters.get(key)
+            if value:
+                rerun_report.counters.add(key, value)
+        return rerun
+
+    def _stream_op(self, mem: StreamingMemory, op: _Op
+                   ) -> Tuple[np.ndarray, float]:
+        """Stream one entry's payload block, consulting the fault model.
+
+        Returns ``(delivered values, extra cycles)``.  With no fault
+        model attached — or while a plan captures its report template —
+        this is exactly the pre-resilience ``stream_cycles`` call.
+        """
+        nbytes = self.config.omega * self.config.omega \
+            * self.config.element_bytes
+        if mem.fault_model is None or self._suppress_faults:
+            mem.stream_cycles(nbytes)
+            return op.values, 0.0
+        checksum = op.checksum if (self.config.verify_checksums
+                                   or self._force_verify) else None
+        return mem.stream_payload_block(op.values, nbytes, checksum)
 
     @property
     def conversion(self) -> ConversionResult:
@@ -354,13 +466,13 @@ class Alrescha:
                         else rcu.config.reconfig_cycles)
                     fills += timing.pipeline_fill(op.dp)
                     prev_dp = op.dp
-                mem.stream_cycles(w * w * self.config.element_bytes)
-                stream_cycles += spb
+                values, fault_extra = self._stream_op(mem, op)
+                stream_cycles += spb + fault_extra
                 compute_cycles += k \
                     * timing.compute_cycles_per_block(op.dp)
                 for col in range(k):
                     chunk = rcu.read_chunk(f"x{col}", op.inx_in, w)
-                    acc[:, col] += gemv_block(fcu, op.values, chunk,
+                    acc[:, col] += gemv_block(fcu, values, chunk,
                                               op.reversed_cols)
             y[start:start + valid] = acc[:valid]
             if valid:
@@ -401,7 +513,9 @@ class Alrescha:
         self._require_kernel(KernelType.SPMV)
         x = np.asarray(x, dtype=np.float64)
         if self.config.use_plan:
-            return self._plan("spmv").run_spmv(x)
+            return self._run_plan_checked(
+                "spmv", lambda plan: plan.run_spmv(x),
+                lambda: self._legacy_run_spmv(x))
         return self._legacy_run_spmv(x)
 
     def _legacy_run_spmv(self, x: np.ndarray) -> Tuple[np.ndarray, SimReport]:
@@ -409,8 +523,8 @@ class Alrescha:
         return self._run_streaming_pass(
             kernel_name="spmv",
             operand_vectors={"x": np.asarray(x, dtype=np.float64)},
-            block_fn=lambda fcu, rcu, op, chunks: gemv_block(
-                fcu, op.values, chunks["x"], op.reversed_cols
+            block_fn=lambda fcu, rcu, op, values, chunks: gemv_block(
+                fcu, values, chunks["x"], op.reversed_cols
             ),
             row_init=lambda w: np.zeros(w),
             row_accumulate=lambda acc, part: acc + part,
@@ -428,7 +542,9 @@ class Alrescha:
         self._require_kernel(KernelType.BFS)
         dist = np.asarray(dist, dtype=np.float64)
         if self.config.use_plan:
-            return self._plan("bfs").run_minplus(dist)
+            return self._run_plan_checked(
+                "bfs", lambda plan: plan.run_minplus(dist),
+                lambda: self._legacy_run_bfs_pass(dist))
         return self._legacy_run_bfs_pass(dist)
 
     def _legacy_run_bfs_pass(self, dist: np.ndarray
@@ -437,8 +553,8 @@ class Alrescha:
         return self._run_streaming_pass(
             kernel_name="bfs",
             operand_vectors={"dist": dist},
-            block_fn=lambda fcu, rcu, op, chunks: dbfs_block(
-                fcu, op.values, chunks["dist"]
+            block_fn=lambda fcu, rcu, op, values, chunks: dbfs_block(
+                fcu, values, chunks["dist"]
             ),
             row_init=lambda w: np.full(w, np.inf),
             row_accumulate=np.minimum,
@@ -461,7 +577,9 @@ class Alrescha:
         dist = np.asarray(dist, dtype=np.float64)
         parent = np.asarray(parent, dtype=np.int64)
         if self.config.use_plan:
-            return self._plan("bfs-parents").run_parents(dist, parent)
+            return self._run_plan_checked(
+                "bfs-parents", lambda plan: plan.run_parents(dist, parent),
+                lambda: self._legacy_run_bfs_pass_parents(dist, parent))
         return self._legacy_run_bfs_pass_parents(dist, parent)
 
     def _legacy_run_bfs_pass_parents(
@@ -502,11 +620,11 @@ class Alrescha:
                         else rcu.config.reconfig_cycles)
                     fills += timing.pipeline_fill(op.dp)
                     prev_dp = op.dp
-                mem.stream_cycles(w * w * self.config.element_bytes)
-                stream_cycles += spb
+                values, fault_extra = self._stream_op(mem, op)
+                stream_cycles += spb + fault_extra
                 compute_cycles += timing.compute_cycles_per_block(op.dp)
                 chunk = rcu.read_chunk("dist", op.inx_in, w)
-                cand, lanes = dbfs_block(fcu, op.values, chunk,
+                cand, lanes = dbfs_block(fcu, values, chunk,
                                          with_argmin=True)
                 improved = cand < best
                 best = np.where(improved, cand, best)
@@ -542,7 +660,9 @@ class Alrescha:
         self._require_kernel(KernelType.SSSP)
         dist = np.asarray(dist, dtype=np.float64)
         if self.config.use_plan:
-            return self._plan("sssp").run_minplus(dist)
+            return self._run_plan_checked(
+                "sssp", lambda plan: plan.run_minplus(dist),
+                lambda: self._legacy_run_sssp_pass(dist))
         return self._legacy_run_sssp_pass(dist)
 
     def _legacy_run_sssp_pass(self, dist: np.ndarray
@@ -551,8 +671,8 @@ class Alrescha:
         return self._run_streaming_pass(
             kernel_name="sssp",
             operand_vectors={"dist": dist},
-            block_fn=lambda fcu, rcu, op, chunks: dsssp_block(
-                fcu, op.values, chunks["dist"]
+            block_fn=lambda fcu, rcu, op, values, chunks: dsssp_block(
+                fcu, values, chunks["dist"]
             ),
             row_init=lambda w: np.full(w, np.inf),
             row_accumulate=np.minimum,
@@ -573,15 +693,17 @@ class Alrescha:
         rank = np.asarray(rank, dtype=np.float64)
         outdeg = np.asarray(outdeg, dtype=np.float64)
         if self.config.use_plan:
-            return self._plan("pagerank").run_pagerank(rank, outdeg)
+            return self._run_plan_checked(
+                "pagerank", lambda plan: plan.run_pagerank(rank, outdeg),
+                lambda: self._legacy_run_pr_pass(rank, outdeg))
         return self._legacy_run_pr_pass(rank, outdeg)
 
     def _legacy_run_pr_pass(self, rank: np.ndarray, outdeg: np.ndarray
                             ) -> Tuple[np.ndarray, SimReport]:
         """Per-block interpreter for D-PR (the plan-equivalence oracle)."""
 
-        def block_fn(fcu, rcu, op, chunks):
-            return dpr_block(fcu, rcu, op.values, chunks["rank"],
+        def block_fn(fcu, rcu, op, values, chunks):
+            return dpr_block(fcu, rcu, values, chunks["rank"],
                              chunks["outdeg"])
 
         def assign(rcu, prev_chunk, acc, valid):
@@ -606,7 +728,9 @@ class Alrescha:
         b = np.asarray(b, dtype=np.float64)
         x_prev = np.asarray(x_prev, dtype=np.float64)
         if self.config.use_plan:
-            return self._plan("symgs").run(b, x_prev)
+            return self._run_plan_checked(
+                "symgs", lambda plan: plan.run(b, x_prev),
+                lambda: self._legacy_run_symgs_sweep(b, x_prev))
         return self._legacy_run_symgs_sweep(b, x_prev)
 
     def _legacy_run_symgs_sweep(self, b: np.ndarray, x_prev: np.ndarray
@@ -652,13 +776,13 @@ class Alrescha:
                         else rcu.config.reconfig_cycles)
                     fills += timing.pipeline_fill(op.dp)
                     prev_dp = op.dp
-                mem.stream_cycles(w * w * self.config.element_bytes)
-                row_stream += spb
+                values, fault_extra = self._stream_op(mem, op)
+                row_stream += spb + fault_extra
                 row_gemv_compute += timing.compute_cycles_per_block(op.dp)
                 space = ("x_curr" if op.port is OperandPort.PORT1
                          else "x_prev")
                 chunk = rcu.read_chunk(space, op.inx_in, w)
-                partial = gemv_block(fcu, op.values, chunk, op.reversed_cols)
+                partial = gemv_block(fcu, values, chunk, op.reversed_cols)
                 rcu.link.push(partial)
                 dp_cycles["gemv"] = dp_cycles.get("gemv", 0.0) \
                     + timing.compute_cycles_per_block(op.dp)
@@ -672,8 +796,8 @@ class Alrescha:
                         else rcu.config.reconfig_cycles)
                     fills += timing.pipeline_fill(op.dp)
                     prev_dp = op.dp
-                mem.stream_cycles(w * w * self.config.element_bytes)
-                row_stream += spb
+                values, fault_extra = self._stream_op(mem, op)
+                row_stream += spb + fault_extra
                 if not self.conversion.reordered and group.streaming:
                     # Ablation: without §4.1's reordering the diagonal
                     # block streamed past mid-row, before this row's
@@ -698,7 +822,7 @@ class Alrescha:
                 b_chunk = rcu.read_chunk("b", start, w)
                 d_chunk = rcu.read_chunk("diag", start, w)
                 x_old = rcu.read_chunk("x_prev", start, w)
-                x_new = dsymgs_block(fcu, rcu, op.values, d_chunk, b_chunk,
+                x_new = dsymgs_block(fcu, rcu, values, d_chunk, b_chunk,
                                      x_old, acc, valid)
                 rcu.write_chunk("x_curr", start, x_new[:valid])
                 dsymgs_compute = timing.compute_cycles_per_block(op.dp)
@@ -772,8 +896,8 @@ class Alrescha:
                         else rcu.config.reconfig_cycles)
                     fills += timing.pipeline_fill(op.dp)
                     prev_dp = op.dp
-                mem.stream_cycles(w * w * self.config.element_bytes)
-                stream_cycles += spb
+                values, fault_extra = self._stream_op(mem, op)
+                stream_cycles += spb + fault_extra
                 cpb = timing.compute_cycles_per_block(op.dp)
                 compute_cycles += cpb
                 dp_cycles[op.dp.value] = dp_cycles.get(op.dp.value, 0.0) + cpb
@@ -781,7 +905,7 @@ class Alrescha:
                     name: rcu.read_chunk(name, op.inx_in, w)
                     for name in operand_vectors
                 }
-                partial = block_fn(fcu, rcu, op, chunks)
+                partial = block_fn(fcu, rcu, op, values, chunks)
                 acc = row_accumulate(acc, partial)
             prev_chunk = output[start:start + valid]
             output[start:start + valid] = assign(rcu, prev_chunk, acc, valid)

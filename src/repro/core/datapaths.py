@@ -73,7 +73,9 @@ def gemv_block(fcu: FixedComputeUnit, block: np.ndarray,
     # scales with row occupancy.
     fcu.counters.add("re_op", max(0.0, nnz - np.count_nonzero(
         block.any(axis=1))))
-    return block @ operand
+    result = block @ operand
+    fcu.check_finite(result, "GEMV sum-reduce output")
+    return result
 
 
 def dsymgs_solve(body: np.ndarray, diag: np.ndarray, b_chunk: np.ndarray,
@@ -127,8 +129,10 @@ def dsymgs_block(fcu: FixedComputeUnit, rcu: ReconfigurableComputeUnit,
         fcu.counters.add("alu_op", nnz)
         fcu.counters.add("re_op", max(0.0, nnz - 1.0) + 1.0)
         rcu.counters.add("pe_op", 2.0)  # the sub and the div per row
-    return dsymgs_solve(body, diag, b_chunk, x_old_chunk, acc,
-                        valid_rows, omega)
+    x_new = dsymgs_solve(body, diag, b_chunk, x_old_chunk, acc,
+                         valid_rows, omega)
+    fcu.check_finite(x_new[:valid_rows], "D-SymGS solve output")
+    return x_new
 
 
 def dbfs_block(fcu: FixedComputeUnit, block: np.ndarray,

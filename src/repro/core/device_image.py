@@ -11,16 +11,24 @@ stream.
 Together with the program binary, a device image makes a converted
 kernel fully self-contained: (binary, image) round-trips through bytes
 and reprograms an accelerator that produces bit-identical results.
+
+Because the payload carries no runtime meta-data, a corrupted image is
+indistinguishable from a valid one by inspection — so images written by
+this module also record a CRC32 per payload block (plus one for the
+separately stored diagonal), and :func:`decode_image` verifies them,
+raising :class:`~repro.errors.CorruptionError` on mismatch.  Images
+without the checksum section (the pre-resilience layout) still decode.
 """
 
 from __future__ import annotations
 
 import struct
-from typing import Optional, Tuple
+import zlib
+from typing import List, Optional, Tuple
 
 import numpy as np
 
-from repro.errors import FormatError
+from repro.errors import CorruptionError, FormatError
 from repro.formats.alrescha import AlreschaMatrix, StreamBlock
 
 #: Image magic: "ALRD".
@@ -28,12 +36,15 @@ MAGIC = 0x414C5244
 
 _HEADER = ">IIIHBxH"  # magic, n_rows, n_cols, omega, flags, pad, reserved
 _FLAG_SYMGS = 0x1
+#: The image carries per-block (and diagonal) CRC32 checksums.
+_FLAG_CHECKSUMS = 0x2
 
 
 def encode_image(matrix: AlreschaMatrix) -> bytes:
     """Serialise an Alrescha-formatted matrix to the device image."""
     n_rows, n_cols = matrix.shape
     flags = _FLAG_SYMGS if matrix.symgs_layout else 0
+    flags |= _FLAG_CHECKSUMS
     header = struct.pack(_HEADER, MAGIC, n_rows, n_cols, matrix.omega,
                          flags, 0)
     parts = [header]
@@ -41,20 +52,36 @@ def encode_image(matrix: AlreschaMatrix) -> bytes:
     # per block.  The directory is *programming-time* data (it shadows
     # the configuration table) and is not streamed at runtime.
     parts.append(struct.pack(">I", matrix.n_blocks))
+    block_bytes: List[bytes] = []
     for b in matrix.stream():
         parts.append(struct.pack(">IIBB", b.block_row, b.block_col,
                                  1 if b.is_diagonal else 0,
                                  1 if b.reversed_cols else 0))
+        block_bytes.append(
+            np.ascontiguousarray(b.values, dtype=">f8").tobytes())
+    # Checksum table: one CRC32 per payload block in stream order, plus
+    # one for the diagonal in SymGS layouts.  Programming-time data,
+    # like the directory — the accelerator verifies streamed payload
+    # against it, the decoder verifies the image at rest.
+    for raw in block_bytes:
+        parts.append(struct.pack(">I", zlib.crc32(raw)))
+    diag_bytes = b""
     if matrix.symgs_layout:
-        diag = np.ascontiguousarray(matrix.diagonal, dtype=">f8")
-        parts.append(diag.tobytes())
-    payload = np.ascontiguousarray(matrix.payload(), dtype=">f8")
-    parts.append(payload.tobytes())
+        diag_bytes = np.ascontiguousarray(matrix.diagonal,
+                                          dtype=">f8").tobytes()
+        parts.append(struct.pack(">I", zlib.crc32(diag_bytes)))
+        parts.append(diag_bytes)
+    parts.extend(block_bytes)
     return b"".join(parts)
 
 
 def decode_image(data: bytes) -> AlreschaMatrix:
-    """Reconstruct the Alrescha matrix from a device image."""
+    """Reconstruct the Alrescha matrix from a device image.
+
+    Raises :class:`~repro.errors.FormatError` for structural damage
+    (bad magic, truncation) and :class:`~repro.errors.CorruptionError`
+    when a checksummed image's payload fails verification.
+    """
     header_size = struct.calcsize(_HEADER)
     if len(data) < header_size:
         raise FormatError("device image too short for header")
@@ -63,6 +90,7 @@ def decode_image(data: bytes) -> AlreschaMatrix:
     if magic != MAGIC:
         raise FormatError(f"bad device-image magic 0x{magic:08x}")
     symgs = bool(flags & _FLAG_SYMGS)
+    checksummed = bool(flags & _FLAG_CHECKSUMS)
     pos = header_size
     (n_blocks,) = struct.unpack(">I", data[pos:pos + 4])
     pos += 4
@@ -75,23 +103,46 @@ def decode_image(data: bytes) -> AlreschaMatrix:
             ">IIBB", data[pos:pos + entry_size])
         directory.append((row, col, bool(is_diag), bool(reversed_cols)))
         pos += entry_size
+    block_crcs: List[int] = []
+    diag_crc: Optional[int] = None
+    if checksummed:
+        need = 4 * n_blocks + (4 if symgs else 0)
+        if pos + need > len(data):
+            raise FormatError("device image truncated in checksum table")
+        for _ in range(n_blocks):
+            block_crcs.append(struct.unpack(">I", data[pos:pos + 4])[0])
+            pos += 4
+        if symgs:
+            diag_crc = struct.unpack(">I", data[pos:pos + 4])[0]
+            pos += 4
     diagonal: Optional[np.ndarray] = None
     if symgs:
         need = n_rows * 8
         if pos + need > len(data):
             raise FormatError("device image truncated in diagonal")
-        diagonal = np.frombuffer(
-            data[pos:pos + need], dtype=">f8").astype(np.float64)
+        raw = data[pos:pos + need]
+        if diag_crc is not None and zlib.crc32(raw) != diag_crc:
+            raise CorruptionError(
+                "device image diagonal fails its checksum")
+        diagonal = np.frombuffer(raw, dtype=">f8").astype(np.float64)
         pos += need
     slots = n_blocks * omega * omega
     need = slots * 8
     if pos + need > len(data):
         raise FormatError("device image truncated in payload")
-    payload = np.frombuffer(
-        data[pos:pos + need], dtype=">f8").astype(np.float64)
+    payload_raw = data[pos:pos + need]
+    payload = np.frombuffer(payload_raw, dtype=">f8").astype(np.float64)
+    block_slots = omega * omega
     blocks = []
     for i, (row, col, is_diag, reversed_cols) in enumerate(directory):
-        values = payload[i * omega * omega:(i + 1) * omega * omega] \
+        if checksummed:
+            raw = payload_raw[i * block_slots * 8:(i + 1) * block_slots * 8]
+            if zlib.crc32(raw) != block_crcs[i]:
+                raise CorruptionError(
+                    f"device image payload block {i} (block row {row}, "
+                    f"col {col}) fails its checksum"
+                )
+        values = payload[i * block_slots:(i + 1) * block_slots] \
             .reshape(omega, omega).copy()
         blocks.append(StreamBlock(row, col, is_diag, reversed_cols,
                                   values))
@@ -103,9 +154,10 @@ def image_size_bytes(matrix: AlreschaMatrix) -> int:
     """Size of the encoded device image."""
     size = struct.calcsize(_HEADER) + 4 \
         + matrix.n_blocks * struct.calcsize(">IIBB") \
+        + matrix.n_blocks * 4 \
         + matrix.stored_values * 8
     if matrix.symgs_layout:
-        size += matrix.shape[0] * 8
+        size += 4 + matrix.shape[0] * 8
     return size
 
 

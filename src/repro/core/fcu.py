@@ -21,7 +21,7 @@ from typing import Callable, Dict
 
 import numpy as np
 
-from repro.errors import SimulationError
+from repro.errors import CorruptionError, SimulationError
 from repro.sim.stats import CounterSet
 
 #: Table 5 latencies (cycles).
@@ -58,6 +58,12 @@ class FixedComputeUnit:
     alu_latency: int = DEFAULT_ALU_LATENCY
     re_sum_latency: int = DEFAULT_RE_SUM_LATENCY
     re_min_latency: int = DEFAULT_RE_MIN_LATENCY
+    #: Trap NaN/Inf escaping a *sum* reduction (GEMV/D-SymGS boundaries)
+    #: as :class:`~repro.errors.CorruptionError`.  Off by default —
+    #: poisoned operands must stay visible in the output unless the user
+    #: opts into guarding.  Min-plus paths are exempt: BFS/SSSP use inf
+    #: as the legitimate "unreached" distance.
+    guard_nonfinite: bool = False
     counters: CounterSet = field(default_factory=CounterSet)
 
     def __post_init__(self) -> None:
@@ -106,6 +112,24 @@ class FixedComputeUnit:
     def dot(self, a: np.ndarray, b: np.ndarray) -> float:
         """A full dot product: multiply row then sum tree."""
         return self.reduce(self.vector_op(a, b, "mul"), "sum")
+
+    def check_finite(self, values: np.ndarray, context: str) -> None:
+        """NaN/Inf guard at a sum-reduction boundary.
+
+        Only active with :attr:`guard_nonfinite`; raises
+        :class:`~repro.errors.CorruptionError` naming the first bad
+        lane so a silently corrupted operand is caught the moment it
+        reaches the reduce tree instead of poisoning the solve.
+        """
+        if not self.guard_nonfinite:
+            return
+        finite = np.isfinite(values)
+        if not np.all(finite):
+            lane = int(np.argmin(finite))
+            raise CorruptionError(
+                f"non-finite value {np.asarray(values).ravel()[lane]!r} "
+                f"at {context} (lane {lane})"
+            )
 
     # ------------------------------------------------------------------
     # Timing layer

@@ -42,6 +42,7 @@ produce a plan that disagrees with the interpreter.
 from __future__ import annotations
 
 import math
+import random
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
@@ -51,6 +52,7 @@ from repro.errors import SimulationError
 from repro.core.config import DataPathType, KernelType, OperandPort
 from repro.core.datapaths import dsymgs_solve
 from repro.core.report import SimReport
+from repro.sim.faults import charge_event
 
 #: Pass kinds served by :class:`CompiledStreamingPass` (independent
 #: block rows; one batched gather/compute/scatter per pass).
@@ -119,6 +121,27 @@ def _check_operand(name: str, vec: np.ndarray, n: int) -> None:
         )
 
 
+def _apply_fault_events(report: SimReport, extra_cycles: float,
+                        events, padded_block_bytes: float) -> None:
+    """Annotate a cloned report template with one run's fault outcome.
+
+    Mirrors the accounting :meth:`~repro.sim.memory.StreamingMemory.
+    stream_payload_block` performs on the interpreter path, so the
+    ``faults_*``/``retry_cycles`` counters and DRAM traffic reconcile
+    with the injection log regardless of execution path.  A clean run
+    (no events, no extra cycles) leaves the clone untouched.
+    """
+    if extra_cycles:
+        report.cycles += extra_cycles
+    for event in events:
+        charge_event(report.counters, event)
+        if event.restreams:
+            nbytes = padded_block_bytes * event.restreams
+            report.counters.add("dram_bytes", nbytes)
+            report.counters.add("dram_requests", float(event.restreams))
+            report.streamed_bytes += nbytes
+
+
 def _verify_against_template(kind: str, artifacts: PassArtifacts,
                              template: SimReport,
                              n_requests: int) -> None:
@@ -153,7 +176,10 @@ class CompiledStreamingPass:
     def __init__(self, kind: str, n: int, omega: int,
                  blocks: np.ndarray, gather: np.ndarray,
                  src_base: np.ndarray, artifacts: PassArtifacts,
-                 template: SimReport) -> None:
+                 template: SimReport, acc=None,
+                 checksums: Optional[List[int]] = None,
+                 restream_cycles: float = 0.0,
+                 padded_block_bytes: float = 0.0) -> None:
         self.kind = kind
         self.n = n
         self.omega = omega
@@ -164,6 +190,15 @@ class CompiledStreamingPass:
         self.src_base = src_base
         self.artifacts = artifacts
         self.template = template
+        #: Back-reference to the owning accelerator: the fault model and
+        #: resilience knobs live on its config and may change between
+        #: runs (e.g. forced verification after degradation).
+        self.acc = acc
+        #: Per-block payload CRCs in stacked order (``program()`` data).
+        self.checksums = checksums or []
+        #: Channel cost of re-fetching one block, for pricing retries.
+        self.restream_cycles = restream_cycles
+        self.padded_block_bytes = padded_block_bytes
         self._tgroups = _time_groups(artifacts.seg_len, artifacts.seg_start)
         self._n_rows = int(artifacts.out_rows.size)
 
@@ -204,30 +239,125 @@ class CompiledStreamingPass:
         return out[:self.n].copy()
 
     # ------------------------------------------------------------------
+    # Resilience (all no-ops when no fault model is attached)
+    # ------------------------------------------------------------------
+    def _deliver(self):
+        """Stream the stacked blocks through the (possibly faulty)
+        channel, in the interpreter's transfer order.
+
+        Returns ``(blocks, masks, extra_cycles, events)``.  With no
+        fault model these are the pristine compile-time arrays and the
+        call is one attribute check; a silent bitflip replaces the
+        stacked tensor with a corrupted *copy* — the compile-time
+        ``self.blocks`` stays pristine for cross-checking.
+        """
+        cfg = self.acc.config
+        fm = cfg.fault_model
+        if fm is None:
+            return self.blocks, self.masks, 0.0, []
+        verify = cfg.verify_checksums or self.acc._force_verify
+        blocks, masks = self.blocks, self.masks
+        extra, events = 0.0, []
+        for i in range(self.blocks.shape[0]):
+            src = self.blocks[i]
+            checksum = int(self.checksums[i]) if verify else None
+            vals, cycles, event = fm.deliver(
+                src, checksum, restream_cycles=self.restream_cycles)
+            extra += cycles
+            if event is not None:
+                events.append(event)
+            if vals is not src:
+                if blocks is self.blocks:
+                    blocks = self.blocks.copy()
+                blocks[i] = vals
+        if blocks is not self.blocks and self.kind != "spmv":
+            masks = blocks != 0.0
+        return blocks, masks, extra, events
+
+    def _finish_report(self, extra_cycles: float, events) -> SimReport:
+        report = self.template.clone()
+        _apply_fault_events(report, extra_cycles, events,
+                            self.padded_block_bytes)
+        return report
+
+    def _crosscheck(self, report: SimReport, acc: np.ndarray,
+                    reduce_kind: str, partial_fn) -> None:
+        """Spot-validate sampled block rows of this run against a
+        recompute from the pristine compile-time blocks.
+
+        The recompute uses operation-for-operation identical numpy
+        expressions, so on an uncorrupted run the comparison is
+        bitwise-equal by construction — a mismatch means the delivered
+        payload differed from the programmed payload (a silent fault
+        that slipped past checksum verification).  Mismatch counts land
+        in the report's ``crosscheck_mismatches`` counter, which the
+        accelerator's degradation logic watches.
+        """
+        cfg = self.acc.config
+        if cfg.crosscheck_rows <= 0.0 or self._n_rows == 0:
+            return
+        rng = random.Random(cfg.crosscheck_seed)
+        count = min(self._n_rows, max(1, int(
+            math.ceil(cfg.crosscheck_rows * self._n_rows))))
+        mismatches = 0
+        for r in rng.sample(range(self._n_rows), count):
+            lo = int(self.artifacts.seg_start[r])
+            hi = lo + int(self.artifacts.seg_len[r])
+            partial = partial_fn(lo, hi)
+            expect = (np.zeros(self.omega) if reduce_kind == "sum"
+                      else np.full(self.omega, np.inf))
+            for p in partial:
+                expect = (expect + p if reduce_kind == "sum"
+                          else np.minimum(expect, p))
+            if not np.array_equal(expect, acc[r], equal_nan=True):
+                mismatches += 1
+        report.counters.add("crosscheck_rows", float(count))
+        if mismatches:
+            report.counters.add("crosscheck_mismatches", float(mismatches))
+
+    # ------------------------------------------------------------------
     # Pass kinds
     # ------------------------------------------------------------------
     def run_spmv(self, x: np.ndarray) -> Tuple[np.ndarray, SimReport]:
         _check_operand("x", x, self.n)
+        blocks, _masks, extra, events = self._deliver()
         chunks = self._gather_chunks(x)
-        partial = np.matmul(self.blocks, chunks[:, :, None])[:, :, 0]
-        y = self._scatter_assign(self._accumulate_sum(partial))
-        return y, self.template.clone()
+        partial = np.matmul(blocks, chunks[:, :, None])[:, :, 0]
+        acc = self._accumulate_sum(partial)
+        y = self._scatter_assign(acc)
+        report = self._finish_report(extra, events)
+        self._crosscheck(
+            report, acc, "sum",
+            lambda lo, hi: np.matmul(self.blocks[lo:hi],
+                                     chunks[lo:hi, :, None])[:, :, 0])
+        return y, report
 
     def run_minplus(self, dist: np.ndarray) -> Tuple[np.ndarray, SimReport]:
         """D-BFS (unit cost) or D-SSSP (stored weights) relaxation."""
         _check_operand("dist", dist, self.n)
+        blocks, masks, extra, events = self._deliver()
         chunks = self._gather_chunks(dist)
-        step = 1.0 if self.kind == "bfs" else self.blocks
-        cand = np.where(self.masks, chunks[:, None, :] + step, np.inf)
+        step = 1.0 if self.kind == "bfs" else blocks
+        cand = np.where(masks, chunks[:, None, :] + step, np.inf)
         best = self._accumulate_min(cand.min(axis=2))
-        return self._scatter_min(best, dist), self.template.clone()
+        out = self._scatter_min(best, dist)
+        report = self._finish_report(extra, events)
+        self._crosscheck(
+            report, best, "min",
+            lambda lo, hi: np.where(
+                self.masks[lo:hi],
+                chunks[lo:hi, None, :]
+                + (1.0 if self.kind == "bfs" else self.blocks[lo:hi]),
+                np.inf).min(axis=2))
+        return out, report
 
     def run_parents(self, dist: np.ndarray, parent: np.ndarray
                     ) -> Tuple[np.ndarray, np.ndarray, SimReport]:
         if dist.shape != (self.n,) or parent.shape != (self.n,):
             raise SimulationError(f"operands must have shape ({self.n},)")
+        _blocks, masks, extra, events = self._deliver()
         chunks = self._gather_chunks(dist)
-        cand = np.where(self.masks, chunks[:, None, :] + 1.0, np.inf)
+        cand = np.where(masks, chunks[:, None, :] + 1.0, np.inf)
         per_block = cand.min(axis=2)
         lanes = np.where(np.isfinite(per_block), cand.argmin(axis=2), -1)
         src = self.src_base[:, None] + lanes
@@ -250,19 +380,27 @@ class CompiledStreamingPass:
         dview[rows] = np.where(take, best, dview[rows])
         pview[rows] = np.where(take, best_src, pview[rows])
         return (dist_pad[:self.n].copy(), parent_pad[:self.n].copy(),
-                self.template.clone())
+                self._finish_report(extra, events))
 
     def run_pagerank(self, rank: np.ndarray, outdeg: np.ndarray
                      ) -> Tuple[np.ndarray, SimReport]:
         _check_operand("rank", rank, self.n)
         _check_operand("outdeg", outdeg, self.n)
+        _blocks, masks, extra, events = self._deliver()
         rank_c = self._gather_chunks(rank)
         deg_c = self._gather_chunks(outdeg)
         safe_deg = np.where(deg_c > 0.0, deg_c, 1.0)
         contrib = np.where(deg_c > 0.0, rank_c / safe_deg, 0.0)
-        partial = np.where(self.masks, contrib[:, None, :], 0.0).sum(axis=2)
-        y = self._scatter_assign(self._accumulate_sum(partial))
-        return y, self.template.clone()
+        partial = np.where(masks, contrib[:, None, :], 0.0).sum(axis=2)
+        acc = self._accumulate_sum(partial)
+        y = self._scatter_assign(acc)
+        report = self._finish_report(extra, events)
+        self._crosscheck(
+            report, acc, "sum",
+            lambda lo, hi: np.where(self.masks[lo:hi],
+                                    contrib[lo:hi, None, :],
+                                    0.0).sum(axis=2))
+        return y, report
 
 
 @dataclass(frozen=True)
@@ -276,6 +414,8 @@ class _SymgsRow:
     #: Diagonal block body (main diagonal zeroed); None for rows
     #: without a D-SymGS entry.
     body: Optional[np.ndarray]
+    #: Programmed payload CRC of the diagonal block (0 when no body).
+    checksum: int = 0
 
 
 class CompiledSymgsPass:
@@ -292,7 +432,10 @@ class CompiledSymgsPass:
     def __init__(self, n: int, omega: int, blocks: np.ndarray,
                  gather: np.ndarray, rows: List[_SymgsRow],
                  diag: np.ndarray, artifacts: PassArtifacts,
-                 template: SimReport) -> None:
+                 template: SimReport, acc=None,
+                 checksums: Optional[List[int]] = None,
+                 restream_cycles: float = 0.0,
+                 padded_block_bytes: float = 0.0) -> None:
         self.n = n
         self.omega = omega
         self.nbr, self.npad = _padded_length(n, omega)
@@ -301,6 +444,11 @@ class CompiledSymgsPass:
         self.rows = rows
         self.artifacts = artifacts
         self.template = template
+        self.acc = acc
+        #: Per-GEMV-block payload CRCs in stacked order.
+        self.checksums = checksums or []
+        self.restream_cycles = restream_cycles
+        self.padded_block_bytes = padded_block_bytes
         self._diag_pad = np.zeros(self.npad)
         self._diag_pad[:n] = diag
 
@@ -320,26 +468,64 @@ class CompiledSymgsPass:
         flat = state.reshape(-1)
         b_pad = np.zeros(npad)
         b_pad[:n] = b
+        cfg = self.acc.config
+        fm = cfg.fault_model
+        verify = fm is not None and (cfg.verify_checksums
+                                     or self.acc._force_verify)
+        extra, events = 0.0, []
         stack: List[np.ndarray] = []
         for row in self.rows:
             if row.seg_len:
                 lo = row.seg_start
                 hi = lo + row.seg_len
+                seg_blocks = self.blocks[lo:hi]
+                if fm is not None:
+                    # Same transfer order as the interpreter: the row's
+                    # GEMV blocks first, then its diagonal block below.
+                    delivered = None
+                    for j in range(lo, hi):
+                        src = self.blocks[j]
+                        checksum = (int(self.checksums[j]) if verify
+                                    else None)
+                        vals, cycles, event = fm.deliver(
+                            src, checksum,
+                            restream_cycles=self.restream_cycles)
+                        extra += cycles
+                        if event is not None:
+                            events.append(event)
+                        if vals is not src:
+                            if delivered is None:
+                                delivered = seg_blocks.copy()
+                            delivered[j - lo] = vals
+                    if delivered is not None:
+                        seg_blocks = delivered
                 chunks = flat[self.gather[lo:hi]]
-                partial = np.matmul(self.blocks[lo:hi],
+                partial = np.matmul(seg_blocks,
                                     chunks[:, :, None])[:, :, 0]
                 stack.extend(partial)
             if row.body is not None:
+                body = row.body
+                if fm is not None:
+                    checksum = row.checksum if verify else None
+                    vals, cycles, event = fm.deliver(
+                        body, checksum,
+                        restream_cycles=self.restream_cycles)
+                    extra += cycles
+                    if event is not None:
+                        events.append(event)
+                    body = vals
                 acc = np.zeros(w)
                 while stack:
                     acc += stack.pop()
                 sl = slice(row.start, row.start + w)
-                x_new = dsymgs_solve(row.body, self._diag_pad[sl],
+                x_new = dsymgs_solve(body, self._diag_pad[sl],
                                      b_pad[sl], state[1, sl], acc,
                                      row.valid, w)
                 state[0, row.start:row.start + row.valid] = \
                     x_new[:row.valid]
-        return state[0, :n].copy(), self.template.clone()
+        report = self.template.clone()
+        _apply_fault_events(report, extra, events, self.padded_block_bytes)
+        return state[0, :n].copy(), report
 
 
 # ---------------------------------------------------------------------
@@ -362,20 +548,30 @@ def compile_pass(acc, kind: str):
 
 def _capture_template(acc, kind: str) -> SimReport:
     """Replay the legacy interpreter once with neutral operands and keep
-    its report (see the module docstring for why this is exact)."""
+    its report (see the module docstring for why this is exact).
+
+    Fault injection is suppressed for the replay: the template must
+    record the *clean* pass (faults would advance the injector's RNG,
+    contaminate the captured cycles/counters, and break the lowering
+    verification below).  Faults are charged per run instead.
+    """
     zeros = np.zeros(acc.n)
-    if kind == "spmv":
-        return acc._legacy_run_spmv(zeros)[1]
-    if kind == "bfs":
-        return acc._legacy_run_bfs_pass(zeros)[1]
-    if kind == "bfs-parents":
-        return acc._legacy_run_bfs_pass_parents(
-            zeros, np.zeros(acc.n, dtype=np.int64))[2]
-    if kind == "sssp":
-        return acc._legacy_run_sssp_pass(zeros)[1]
-    if kind == "pagerank":
-        return acc._legacy_run_pr_pass(zeros, zeros)[1]
-    return acc._legacy_run_symgs_sweep(zeros, zeros)[1]
+    acc._suppress_faults = True
+    try:
+        if kind == "spmv":
+            return acc._legacy_run_spmv(zeros)[1]
+        if kind == "bfs":
+            return acc._legacy_run_bfs_pass(zeros)[1]
+        if kind == "bfs-parents":
+            return acc._legacy_run_bfs_pass_parents(
+                zeros, np.zeros(acc.n, dtype=np.int64))[2]
+        if kind == "sssp":
+            return acc._legacy_run_sssp_pass(zeros)[1]
+        if kind == "pagerank":
+            return acc._legacy_run_pr_pass(zeros, zeros)[1]
+        return acc._legacy_run_symgs_sweep(zeros, zeros)[1]
+    finally:
+        acc._suppress_faults = False
 
 
 def _compile_streaming(acc, kind: str) -> CompiledStreamingPass:
@@ -383,7 +579,7 @@ def _compile_streaming(acc, kind: str) -> CompiledStreamingPass:
     timing = acc.config.timing()
     spb = timing.stream_cycles_per_block()
     lanes = np.arange(w)
-    blocks, gather, src_base = [], [], []
+    blocks, gather, src_base, checksums = [], [], [], []
     seg_len, out_rows = [], []
     compute = []
     for group in acc._rows:
@@ -396,14 +592,16 @@ def _compile_streaming(acc, kind: str) -> CompiledStreamingPass:
             gather.append(op.inx_in
                           + (lanes[::-1] if op.reversed_cols else lanes))
             src_base.append(op.inx_in)
+            checksums.append(op.checksum)
             compute.append(timing.compute_cycles_per_block(op.dp))
     m = len(blocks)
     seg_len_arr = np.asarray(seg_len, dtype=np.int64)
     seg_start = np.zeros(len(seg_len), dtype=np.int64)
     if len(seg_len) > 1:
         seg_start[1:] = np.cumsum(seg_len_arr)[:-1]
-    payload = acc.config.make_memory().stream_block_run(
-        m, timing.block_bytes)
+    mem = acc.config.make_memory()
+    payload = mem.stream_block_run(m, timing.block_bytes)
+    padded_block_bytes = mem._padded_bytes(timing.block_bytes)
     artifacts = PassArtifacts(
         stream_cycles_per_block=np.full(m, spb),
         compute_cycles_per_block=np.asarray(compute),
@@ -419,7 +617,10 @@ def _compile_streaming(acc, kind: str) -> CompiledStreamingPass:
         blocks=(np.stack(blocks) if m else np.zeros((0, w, w))),
         gather=(np.stack(gather) if m else np.zeros((0, w), dtype=np.int64)),
         src_base=np.asarray(src_base, dtype=np.int64),
-        artifacts=artifacts, template=template,
+        artifacts=artifacts, template=template, acc=acc,
+        checksums=checksums,
+        restream_cycles=padded_block_bytes / mem.bytes_per_cycle,
+        padded_block_bytes=padded_block_bytes,
     )
 
 
@@ -432,7 +633,7 @@ def _compile_symgs(acc) -> CompiledSymgsPass:
     spb = timing.stream_cycles_per_block()
     _nbr, npad = _padded_length(n, w)
     lanes = np.arange(w)
-    blocks, gather = [], []
+    blocks, gather, checksums = [], [], []
     rows: List[_SymgsRow] = []
     seg_len, out_rows = [], []
     stream_vec, compute_vec = [], []
@@ -444,14 +645,17 @@ def _compile_symgs(acc) -> CompiledSymgsPass:
             plane = 0 if op.port is OperandPort.PORT1 else 1
             idx = op.inx_in + (lanes[::-1] if op.reversed_cols else lanes)
             gather.append(plane * npad + idx)
+            checksums.append(op.checksum)
             stream_vec.append(spb)
             compute_vec.append(timing.compute_cycles_per_block(op.dp))
             n_requests += 1
         body = None
+        body_checksum = 0
         start = group.block_row * w
         valid = max(0, min(w, n - start))
         if group.diagonal is not None:
             body = group.diagonal.values
+            body_checksum = group.diagonal.checksum
             refetch = (not acc.conversion.reordered) and group.streaming
             stream_vec.append(2.0 * spb if refetch else spb)
             n_requests += 2 if refetch else 1
@@ -459,7 +663,8 @@ def _compile_symgs(acc) -> CompiledSymgsPass:
                 timing.compute_cycles_per_block(DataPathType.D_SYMGS))
         rows.append(_SymgsRow(seg_start=seg_start,
                               seg_len=len(blocks) - seg_start,
-                              start=start, valid=valid, body=body))
+                              start=start, valid=valid, body=body,
+                              checksum=body_checksum))
         seg_len.append(len(blocks) - seg_start)
         out_rows.append(group.block_row)
     m = len(blocks)
@@ -467,8 +672,9 @@ def _compile_symgs(acc) -> CompiledSymgsPass:
     seg_start_arr = np.zeros(len(seg_len), dtype=np.int64)
     if len(seg_len) > 1:
         seg_start_arr[1:] = np.cumsum(seg_len_arr)[:-1]
-    payload = acc.config.make_memory().stream_block_run(
-        n_requests, timing.block_bytes)
+    mem = acc.config.make_memory()
+    payload = mem.stream_block_run(n_requests, timing.block_bytes)
+    padded_block_bytes = mem._padded_bytes(timing.block_bytes)
     artifacts = PassArtifacts(
         stream_cycles_per_block=np.asarray(stream_vec),
         compute_cycles_per_block=np.asarray(compute_vec),
@@ -484,6 +690,9 @@ def _compile_symgs(acc) -> CompiledSymgsPass:
         blocks=(np.stack(blocks) if m else np.zeros((0, w, w))),
         gather=(np.stack(gather) if m else np.zeros((0, w), dtype=np.int64)),
         rows=rows, diag=diag, artifacts=artifacts, template=template,
+        acc=acc, checksums=checksums,
+        restream_cycles=padded_block_bytes / mem.bytes_per_cycle,
+        padded_block_bytes=padded_block_bytes,
     )
 
 

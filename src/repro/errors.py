@@ -24,12 +24,26 @@ class ConfigError(ReproError):
     """An accelerator configuration table or entry is invalid."""
 
 
+class CapacityError(ConfigError):
+    """A device image's resident working set exceeds memory capacity."""
+
+
 class SimulationError(ReproError):
     """The cycle-level simulation reached an inconsistent state."""
 
 
 class ReconfigurationError(SimulationError):
     """The RCU was asked to perform an illegal reconfiguration."""
+
+
+class FaultError(SimulationError):
+    """An injected stream fault could not be corrected within the
+    configured retry budget."""
+
+
+class CorruptionError(SimulationError):
+    """Payload corruption was detected (checksum, guard, or cross-check
+    mismatch) on data that had already left the memory channel."""
 
 
 class ConvergenceError(ReproError):

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.errors import ConvergenceError, ShapeError
+from repro.errors import ConfigError, ShapeError
 from repro.formats import CSRMatrix
 from repro.kernels.spmv import to_csr
 
@@ -54,7 +54,7 @@ def forward_sweep(matrix, b: np.ndarray, x: np.ndarray) -> np.ndarray:
             else:
                 acc += v * out[c]
         if diag == 0.0:
-            raise ConvergenceError(f"zero diagonal at row {j}")
+            raise ConfigError(f"zero diagonal at row {j}")
         out[j] = (b[j] - acc) / diag
     return out
 
@@ -74,7 +74,7 @@ def backward_sweep(matrix, b: np.ndarray, x: np.ndarray) -> np.ndarray:
             else:
                 acc += v * out[c]
         if diag == 0.0:
-            raise ConvergenceError(f"zero diagonal at row {j}")
+            raise ConfigError(f"zero diagonal at row {j}")
         out[j] = (b[j] - acc) / diag
     return out
 
@@ -108,7 +108,7 @@ def forward_sweep_vectorized(matrix, b: np.ndarray,
     diag[rows[on_diag]] = csr.data[on_diag]
     if np.any(diag == 0.0):
         bad = int(np.nonzero(diag == 0.0)[0][0])
-        raise ConvergenceError(f"zero diagonal at row {bad}")
+        raise ConfigError(f"zero diagonal at row {bad}")
     # Forward substitution with (L + D); sequential by construction.
     out = np.empty(n, dtype=np.float64)
     indptr, indices, data = csr.indptr, csr.indices, csr.data

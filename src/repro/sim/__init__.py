@@ -6,6 +6,13 @@ assembled from.
 """
 
 from repro.sim.buffers import Fifo, LinkStack
+from repro.sim.faults import (
+    FAULT_KINDS,
+    FaultEvent,
+    FaultModel,
+    charge_event,
+    payload_checksum,
+)
 from repro.sim.cache import (
     DEFAULT_CACHE_BYTES,
     DEFAULT_HIT_LATENCY,
@@ -25,10 +32,15 @@ __all__ = [
     "Clock",
     "CounterSet",
     "EnergyModel",
+    "FaultEvent",
+    "FaultModel",
     "Fifo",
     "LinkStack",
     "LocalCache",
     "StreamingMemory",
+    "charge_event",
+    "payload_checksum",
+    "FAULT_KINDS",
     "DEFAULT_BANDWIDTH_BYTES_PER_S",
     "DEFAULT_BURST_BYTES",
     "DEFAULT_CACHE_BYTES",

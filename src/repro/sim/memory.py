@@ -16,9 +16,13 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
+from typing import Optional, Tuple
 
-from repro.errors import SimulationError
+import numpy as np
+
+from repro.errors import CapacityError, SimulationError
 from repro.sim.clock import DEFAULT_FREQUENCY_HZ
+from repro.sim.faults import FaultModel, charge_event
 from repro.sim.stats import CounterSet
 
 #: Memory bandwidth from Table 5 (GDDR5, same budget given to every
@@ -57,6 +61,10 @@ class StreamingMemory:
     frequency_hz: float = DEFAULT_FREQUENCY_HZ
     burst_bytes: int = DEFAULT_BURST_BYTES
     capacity_bytes: int = DEFAULT_CAPACITY_BYTES
+    #: Optional seeded fault injector (:mod:`repro.sim.faults`),
+    #: consulted once per payload-block transfer.  None (the default)
+    #: keeps every method on the exact pre-fault code path.
+    fault_model: Optional[FaultModel] = None
     counters: CounterSet = field(default_factory=CounterSet)
 
     def __post_init__(self) -> None:
@@ -119,6 +127,54 @@ class StreamingMemory:
     def stream_doubles(self, count: float, sequential: bool = True) -> float:
         """Convenience wrapper: transfer ``count`` 8-byte values."""
         return self.stream_cycles(count * 8.0, sequential=sequential)
+
+    def stream_payload_block(self, values: np.ndarray, nbytes: float,
+                             checksum: Optional[int] = None
+                             ) -> Tuple[np.ndarray, float]:
+        """Charge one payload-block transfer, consulting the fault model.
+
+        Returns ``(values, extra_cycles)``: the delivered payload and
+        the cycles *beyond* the nominal :meth:`stream_cycles` cost
+        (retries, duplicated bursts, latency spikes).  With no fault
+        model attached this is exactly ``stream_cycles(nbytes)`` —
+        the clean path stays bit-identical.
+
+        ``checksum`` is the block's programmed CRC (recorded at
+        ``program()`` time); when given, in-flight corruption is
+        detected and re-streamed with bounded exponential backoff.  The
+        verification itself is free (an inline hardware CRC on the
+        burst path); only recovery costs cycles and bytes, which land
+        in the ``retry_cycles``/``fault_restreams`` counters and the
+        DRAM traffic totals.
+        """
+        self.stream_cycles(nbytes)
+        fm = self.fault_model
+        if fm is None:
+            return values, 0.0
+        padded = self._padded_bytes(nbytes)
+        values, extra, event = fm.deliver(
+            values, checksum, restream_cycles=padded / self.bytes_per_cycle)
+        if event is not None:
+            charge_event(self.counters, event)
+            if event.restreams:
+                self.counters.add("dram_bytes", padded * event.restreams)
+                self.counters.add("dram_requests", float(event.restreams))
+        return values, extra
+
+    def check_capacity(self, resident_bytes: float,
+                       context: str = "device image") -> None:
+        """Reject a resident working set larger than the modelled DRAM.
+
+        The model never simulates paging (Table 5's 12 GB is treated as
+        a hard bound), so oversubscription must fail at ``program()``
+        time rather than silently mis-modelling the stream.
+        """
+        if resident_bytes > self.capacity_bytes:
+            raise CapacityError(
+                f"{context} needs {resident_bytes:,.0f} resident bytes "
+                f"but the memory holds {self.capacity_bytes:,} "
+                f"(capacity_bytes)"
+            )
 
     @property
     def total_bytes(self) -> float:

@@ -173,6 +173,24 @@ class AcceleratorBackend:
             out[r.kernel] = out.get(r.kernel, 0.0) + r.cycles
         return out
 
+    def fault_summary(self) -> dict:
+        """Resilience counters accumulated across every kernel run.
+
+        Keys are always present (zero on clean runs) so callers can
+        reconcile against a :class:`~repro.sim.faults.FaultModel` log
+        without guarding for missing counters.
+        """
+        keys = ("faults_injected", "faults_detected", "faults_corrected",
+                "faults_silent", "retry_cycles", "fault_restreams",
+                "fault_latency_cycles", "crosscheck_rows",
+                "crosscheck_mismatches", "plan_fallbacks",
+                "crosscheck_wasted_cycles")
+        out = {key: 0.0 for key in keys}
+        for r in self._reports:
+            for key in keys:
+                out[key] += r.counters.get(key)
+        return out
+
     def reset_reports(self) -> None:
         self._reports.clear()
         self._last_kernel = None

@@ -12,14 +12,30 @@ from typing import Optional
 
 import numpy as np
 
-from repro.errors import ConvergenceError, ShapeError
+from repro.errors import (
+    ConvergenceError,
+    CorruptionError,
+    FaultError,
+    ShapeError,
+)
 from repro.kernels import dot, norm2, waxpby
 from repro.solvers.pcg import SolveResult, _charge_vector_ops
 
 
 def cg(backend, b: np.ndarray, tol: float = 1e-8, max_iter: int = 500,
-       x0: Optional[np.ndarray] = None) -> SolveResult:
-    """Plain CG on the backend's SpMV (no preconditioner)."""
+       x0: Optional[np.ndarray] = None,
+       checkpoint_interval: int = 0,
+       max_restarts: int = 2,
+       divergence_factor: float = 1e4) -> SolveResult:
+    """Plain CG on the backend's SpMV (no preconditioner).
+
+    Fault recovery mirrors :func:`~repro.solvers.pcg.pcg`:
+    ``checkpoint_interval > 0`` snapshots the iterate and rolls back on
+    detected corruption, up to ``max_restarts`` times; the default
+    keeps the historical behaviour except that a non-finite residual
+    raises :class:`~repro.errors.ConvergenceError` naming the
+    iteration.
+    """
     b = np.asarray(b, dtype=np.float64)
     n = backend.n
     if b.shape != (n,):
@@ -36,27 +52,64 @@ def cg(backend, b: np.ndarray, tol: float = 1e-8, max_iter: int = 500,
     residuals = [norm2(r) / norm_b]
     converged = residuals[-1] < tol
     iterations = 0
+    checkpointing = checkpoint_interval > 0
+    restarts = 0
+    checkpoint = x.copy()
     while not converged and iterations < max_iter:
-        iterations += 1
-        ap = backend.spmv(p)
-        pap = dot(p, ap)
-        _charge_vector_ops(backend, 2)
-        if pap <= 0.0:
-            raise ConvergenceError(
-                "p^T A p <= 0: matrix is not positive definite"
-            )
-        alpha = rr / pap
-        x = waxpby(1.0, x, alpha, p)
-        r = waxpby(1.0, r, -alpha, ap)
-        _charge_vector_ops(backend, 2)
-        residuals.append(norm2(r) / norm_b)
-        if residuals[-1] < tol:
-            converged = True
-            break
-        rr_new = dot(r, r)
-        beta = rr_new / rr
-        rr = rr_new
-        p = waxpby(1.0, r, beta, p)
-        _charge_vector_ops(backend, 2)
+        try:
+            iterations += 1
+            ap = backend.spmv(p)
+            pap = dot(p, ap)
+            _charge_vector_ops(backend, 2)
+            if pap <= 0.0:
+                raise ConvergenceError(
+                    "p^T A p <= 0: matrix is not positive definite"
+                )
+            alpha = rr / pap
+            x = waxpby(1.0, x, alpha, p)
+            r = waxpby(1.0, r, -alpha, ap)
+            _charge_vector_ops(backend, 2)
+            res = norm2(r) / norm_b
+            if not np.isfinite(res):
+                raise ConvergenceError(
+                    f"non-finite residual at iteration {iterations}"
+                )
+            if checkpointing and res > divergence_factor * residuals[-1]:
+                raise CorruptionError(
+                    f"residual diverged at iteration {iterations}: "
+                    f"{res:.3e} from {residuals[-1]:.3e}"
+                )
+            residuals.append(res)
+            if res < tol:
+                converged = True
+                break
+            rr_new = dot(r, r)
+            beta = rr_new / rr
+            rr = rr_new
+            p = waxpby(1.0, r, beta, p)
+            _charge_vector_ops(backend, 2)
+            if checkpointing and iterations % checkpoint_interval == 0:
+                checkpoint = x.copy()
+        except (FaultError, CorruptionError, ConvergenceError):
+            recovered = False
+            while checkpointing and restarts < max_restarts:
+                restarts += 1
+                x = checkpoint.copy()
+                try:
+                    r = waxpby(1.0, b, -1.0, backend.spmv(x))
+                    p = r.copy()
+                    rr = dot(r, r)
+                    _charge_vector_ops(backend, 2)
+                except (FaultError, CorruptionError):
+                    continue  # the rebuild itself faulted; spend a retry
+                res = norm2(r) / norm_b
+                if not (np.isfinite(res) and np.isfinite(rr)):
+                    continue  # rebuilt from corrupted data; try again
+                residuals.append(res)
+                recovered = True
+                break
+            if not recovered:
+                raise
     return SolveResult(x=x, iterations=iterations, converged=converged,
-                       residual_norms=residuals, report=backend.report())
+                       residual_norms=residuals, report=backend.report(),
+                       restarts=restarts)

@@ -12,30 +12,44 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.errors import ConvergenceError
+from repro.errors import ConfigError, ConvergenceError
 from repro.kernels.spmv import to_csr
 
 
 def jacobi_sweep(matrix, b: np.ndarray, x: np.ndarray,
                  damping: float = 1.0) -> np.ndarray:
-    """One (damped) Jacobi sweep; returns the updated vector."""
+    """One (damped) Jacobi sweep; returns the updated vector.
+
+    A zero pivot is a property of the programmed system, not of the
+    iteration, so it raises :class:`~repro.errors.ConfigError` — the
+    same type the accelerator's SymGS programming check uses.
+    """
     csr = to_csr(matrix)
     b = np.asarray(b, dtype=np.float64)
     x = np.asarray(x, dtype=np.float64)
     diag = csr.diagonal()
     if np.any(diag == 0.0):
         bad = int(np.nonzero(diag == 0.0)[0][0])
-        raise ConvergenceError(f"zero diagonal at row {bad}")
+        raise ConfigError(f"zero diagonal at row {bad}")
     residual = b - csr.spmv(x)
     return x + damping * residual / diag
 
 
 def jacobi(matrix, b: np.ndarray, sweeps: int = 10,
            damping: float = 2.0 / 3.0) -> np.ndarray:
-    """Run ``sweeps`` damped-Jacobi iterations from zero."""
+    """Run ``sweeps`` damped-Jacobi iterations from zero.
+
+    Raises :class:`~repro.errors.ConvergenceError` the first time an
+    iterate goes non-finite (overflowing divergence or poisoned
+    operands), naming the sweep.
+    """
     x = np.zeros_like(np.asarray(b, dtype=np.float64))
-    for _ in range(sweeps):
+    for sweep in range(sweeps):
         x = jacobi_sweep(matrix, b, x, damping)
+        if not np.all(np.isfinite(x)):
+            raise ConvergenceError(
+                f"non-finite iterate at sweep {sweep + 1}"
+            )
     return x
 
 

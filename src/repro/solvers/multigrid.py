@@ -29,7 +29,7 @@ import numpy as np
 from repro.core.accelerator import AlreschaConfig
 from repro.core.report import SimReport, combine
 from repro.datasets import stencil27
-from repro.errors import ConfigError
+from repro.errors import ConfigError, CorruptionError, FaultError
 from repro.solvers.backends import AcceleratorBackend, ReferenceBackend
 
 
@@ -88,14 +88,20 @@ class MultigridPreconditioner:
     def __init__(self, nx: int, ny: int, nz: int, n_levels: int = 3,
                  backend: str = "reference",
                  config: Optional[AlreschaConfig] = None,
-                 coarse_sweeps: int = 4) -> None:
+                 coarse_sweeps: int = 4,
+                 cycle_retries: int = 0) -> None:
         if n_levels < 1:
             raise ConfigError(f"need at least one level, got {n_levels}")
         _check_dims(nx, ny, nz, n_levels)
         if coarse_sweeps < 1:
             raise ConfigError("coarse_sweeps must be positive")
+        if cycle_retries < 0:
+            raise ConfigError("cycle_retries must be non-negative")
         self.n_levels = n_levels
         self.coarse_sweeps = coarse_sweeps
+        self.cycle_retries = cycle_retries
+        #: V-cycles rerun after a detected fault (diagnostic counter).
+        self.cycles_retried = 0
         self.levels: List[MGLevel] = []
         dims = (nx, ny, nz)
         for _ in range(n_levels):
@@ -117,8 +123,24 @@ class MultigridPreconditioner:
     # V-cycle
     # ------------------------------------------------------------------
     def apply(self, r: np.ndarray) -> np.ndarray:
-        """One V-cycle approximating ``A^{-1} r`` (from a zero guess)."""
-        return self._cycle(0, np.asarray(r, dtype=np.float64))
+        """One V-cycle approximating ``A^{-1} r`` (from a zero guess).
+
+        The V-cycle is stateless given ``r``, so recovery from a
+        detected transfer fault is simply a rerun: with
+        ``cycle_retries > 0`` a :class:`~repro.errors.FaultError` or
+        :class:`~repro.errors.CorruptionError` restarts the cycle from
+        the top, up to that many times, before the error propagates.
+        """
+        r = np.asarray(r, dtype=np.float64)
+        attempts = 0
+        while True:
+            try:
+                return self._cycle(0, r)
+            except (FaultError, CorruptionError):
+                if attempts >= self.cycle_retries:
+                    raise
+                attempts += 1
+                self.cycles_retried += 1
 
     def _cycle(self, level: int, r: np.ndarray) -> np.ndarray:
         lvl = self.levels[level]
@@ -162,9 +184,11 @@ class MultigridBackend:
 
     def __init__(self, nx: int, ny: int, nz: int, n_levels: int = 3,
                  backend: str = "reference",
-                 config: Optional[AlreschaConfig] = None) -> None:
+                 config: Optional[AlreschaConfig] = None,
+                 cycle_retries: int = 0) -> None:
         self.mg = MultigridPreconditioner(
             nx, ny, nz, n_levels=n_levels, backend=backend, config=config,
+            cycle_retries=cycle_retries,
         )
         self._fine = self.mg.levels[0].backend
         self.n = self.mg.levels[0].n

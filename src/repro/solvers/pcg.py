@@ -14,7 +14,12 @@ from typing import List, Optional
 
 import numpy as np
 
-from repro.errors import ConvergenceError, ShapeError
+from repro.errors import (
+    ConvergenceError,
+    CorruptionError,
+    FaultError,
+    ShapeError,
+)
 from repro.core.report import SimReport
 from repro.kernels import dot, norm2, waxpby
 
@@ -28,6 +33,8 @@ class SolveResult:
     converged: bool
     residual_norms: List[float] = field(default_factory=list)
     report: Optional[SimReport] = None
+    #: Checkpoint rollbacks performed (fault recovery; 0 on clean runs).
+    restarts: int = 0
 
     @property
     def final_residual(self) -> float:
@@ -36,13 +43,27 @@ class SolveResult:
 
 def pcg(backend, b: np.ndarray, tol: float = 1e-8, max_iter: int = 100,
         x0: Optional[np.ndarray] = None,
-        raise_on_stall: bool = False) -> SolveResult:
+        raise_on_stall: bool = False,
+        checkpoint_interval: int = 0,
+        max_restarts: int = 2,
+        divergence_factor: float = 1e4) -> SolveResult:
     """Run PCG with the given backend until ``||r|| / ||b|| < tol``.
 
     Parameters mirror HPCG's driver: ``max_iter`` caps the iteration
     count (the paper's algorithms are run for a fixed budget of
     iterations, so hitting the cap is not an error unless
     ``raise_on_stall`` is set).
+
+    ``checkpoint_interval > 0`` enables fault recovery: the iterate is
+    snapshotted every that many iterations, and on detected corruption —
+    a :class:`~repro.errors.FaultError`/:class:`~repro.errors.
+    CorruptionError` from the backend, a non-finite residual, or the
+    residual jumping by more than ``divergence_factor`` in one iteration
+    — the solve rolls back to the snapshot and rebuilds its state, up to
+    ``max_restarts`` times before the error propagates.  The default
+    (``0``) leaves the historical behaviour untouched, except that a
+    non-finite residual now raises :class:`~repro.errors.
+    ConvergenceError` naming the iteration instead of iterating on NaNs.
     """
     b = np.asarray(b, dtype=np.float64)
     n = backend.n
@@ -67,31 +88,71 @@ def pcg(backend, b: np.ndarray, tol: float = 1e-8, max_iter: int = 100,
     residuals = [norm2(r) / norm_b]
     converged = residuals[-1] < tol
     iterations = 0
+    checkpointing = checkpoint_interval > 0
+    restarts = 0
+    checkpoint = x.copy()
 
     while not converged and iterations < max_iter:
-        iterations += 1
-        ap = backend.spmv(p)
-        pap = dot(p, ap)
-        _charge_vector_ops(backend, 1)
-        if pap <= 0.0:
-            raise ConvergenceError(
-                "p^T A p <= 0: matrix is not positive definite"
-            )
-        alpha = rz / pap
-        x = waxpby(1.0, x, alpha, p)
-        r = waxpby(1.0, r, -alpha, ap)
-        _charge_vector_ops(backend, 2)
-        residuals.append(norm2(r) / norm_b)
-        if residuals[-1] < tol:
-            converged = True
-            break
-        z = backend.precondition(r)
-        rz_new = dot(r, z)
-        _charge_vector_ops(backend, 1)
-        beta = rz_new / rz
-        rz = rz_new
-        p = waxpby(1.0, z, beta, p)
-        _charge_vector_ops(backend, 1)
+        try:
+            iterations += 1
+            ap = backend.spmv(p)
+            pap = dot(p, ap)
+            _charge_vector_ops(backend, 1)
+            if pap <= 0.0:
+                raise ConvergenceError(
+                    "p^T A p <= 0: matrix is not positive definite"
+                )
+            alpha = rz / pap
+            x = waxpby(1.0, x, alpha, p)
+            r = waxpby(1.0, r, -alpha, ap)
+            _charge_vector_ops(backend, 2)
+            res = norm2(r) / norm_b
+            if not np.isfinite(res):
+                raise ConvergenceError(
+                    f"non-finite residual at iteration {iterations}"
+                )
+            if checkpointing and res > divergence_factor * residuals[-1]:
+                raise CorruptionError(
+                    f"residual diverged at iteration {iterations}: "
+                    f"{res:.3e} from {residuals[-1]:.3e}"
+                )
+            residuals.append(res)
+            if res < tol:
+                converged = True
+                break
+            z = backend.precondition(r)
+            rz_new = dot(r, z)
+            _charge_vector_ops(backend, 1)
+            beta = rz_new / rz
+            rz = rz_new
+            p = waxpby(1.0, z, beta, p)
+            _charge_vector_ops(backend, 1)
+            if checkpointing and iterations % checkpoint_interval == 0:
+                checkpoint = x.copy()
+        except (FaultError, CorruptionError, ConvergenceError):
+            # Detected corruption (typed error from the accelerator, a
+            # poisoned or diverged residual, spurious indefiniteness):
+            # roll back to the last snapshot and rebuild the CG state.
+            recovered = False
+            while checkpointing and restarts < max_restarts:
+                restarts += 1
+                x = checkpoint.copy()
+                try:
+                    r = waxpby(1.0, b, -1.0, backend.spmv(x))
+                    z = backend.precondition(r)
+                    p = z.copy()
+                    rz = dot(r, z)
+                    _charge_vector_ops(backend, 3)
+                except (FaultError, CorruptionError):
+                    continue  # the rebuild itself faulted; spend a retry
+                res = norm2(r) / norm_b
+                if not (np.isfinite(res) and np.isfinite(rz)):
+                    continue  # rebuilt from corrupted data; try again
+                residuals.append(res)
+                recovered = True
+                break
+            if not recovered:
+                raise
 
     if not converged and raise_on_stall:
         raise ConvergenceError(
@@ -104,6 +165,7 @@ def pcg(backend, b: np.ndarray, tol: float = 1e-8, max_iter: int = 100,
         converged=converged,
         residual_norms=residuals,
         report=backend.report(),
+        restarts=restarts,
     )
 
 

@@ -2,7 +2,11 @@
 
 Corrupted streams, mismatched tables, singular systems and poisoned
 values must surface as typed errors (or NaNs that tests can observe),
-never as quietly wrong results.
+never as quietly wrong results.  The runtime-fault half exercises the
+resilience subsystem end to end: seeded :class:`~repro.sim.faults.
+FaultModel` injection, checksum detection, bounded re-stream retries,
+cross-check fallback from the compiled plan to the interpreter, and
+counter reconciliation against the injection log.
 """
 
 import numpy as np
@@ -12,7 +16,10 @@ from repro.core import Alrescha, AlreschaConfig, KernelType, convert
 from repro.core.config import ConfigEntry, ConfigTable, DataPathType, \
     AccessOrder, OperandPort
 from repro.core.convert import ConversionResult
-from repro.errors import ConfigError, ReproError, SimulationError
+from repro.errors import (CapacityError, ConfigError, ConvergenceError,
+                          CorruptionError, FaultError, ReproError,
+                          SimulationError)
+from repro.sim.faults import FaultModel, payload_checksum
 
 
 class TestCorruptedPrograms:
@@ -111,6 +118,384 @@ class TestOperandShapeErrors:
         acc = Alrescha.from_matrix(KernelType.PAGERANK, np.abs(spd_small))
         with pytest.raises(SimulationError):
             acc.run_pr_pass(np.zeros(17), np.zeros(5))
+
+
+def _counter_reconciliation(report, fm):
+    """Assert the report's fault counters match the injection log."""
+    assert report.counters.get("faults_injected") == fm.injected
+    assert report.counters.get("faults_detected") == fm.detected
+    assert report.counters.get("faults_corrected") == fm.corrected
+    assert report.counters.get("retry_cycles") == \
+        pytest.approx(fm.total_retry_cycles)
+
+
+class TestFaultModel:
+    def test_deterministic_under_seed(self):
+        blocks = [np.full((8, 8), float(i)) for i in range(64)]
+        logs = []
+        for _ in range(2):
+            fm = FaultModel(rate=0.3, seed=7)
+            for b in blocks:
+                try:
+                    fm.deliver(b, payload_checksum(b), restream_cycles=8.0)
+                except FaultError:
+                    pass
+            logs.append([(e.index, e.kind, e.detected, e.corrected,
+                          e.retry_cycles, e.detail) for e in fm.log])
+        assert logs[0] == logs[1] and logs[0]
+
+    def test_reset_replays_the_same_sequence(self):
+        fm = FaultModel(rate=0.5, seed=3, kinds=("latency",))
+        b = np.zeros((4, 4))
+        first = [fm.deliver(b)[2] is not None for _ in range(32)]
+        fm.reset()
+        second = [fm.deliver(b)[2] is not None for _ in range(32)]
+        assert first == second
+        assert fm.transfers == 32
+
+    def test_parse(self):
+        fm = FaultModel.parse("0.01:42")
+        assert fm.rate == 0.01 and fm.seed == 42
+        assert FaultModel.parse("0.5").seed == 0
+        with pytest.raises(ConfigError):
+            FaultModel.parse("lots")
+        with pytest.raises(ConfigError):
+            FaultModel(rate=1.5)
+        with pytest.raises(ConfigError):
+            FaultModel(rate=0.1, kinds=("gamma-ray",))
+
+    def test_rate_zero_is_a_noop(self):
+        fm = FaultModel(rate=0.0, seed=1)
+        b = np.ones((8, 8))
+        vals, extra, event = fm.deliver(b, payload_checksum(b))
+        assert vals is b and extra == 0.0 and event is None
+        assert fm.injected == 0
+
+
+class TestRuntimeFaults:
+    """Seeded faults through the full stream–compute path."""
+
+    def _run_pair(self, matrix, fault_model, use_plan=False, **cfg):
+        """Run SpMV clean and faulted on identically programmed engines."""
+        x = np.arange(matrix.shape[0], dtype=np.float64)
+        clean = Alrescha.from_matrix(
+            KernelType.SPMV, matrix,
+            config=AlreschaConfig(use_plan=use_plan))
+        y_clean, rep_clean = clean.run_spmv(x)
+        acc = Alrescha.from_matrix(
+            KernelType.SPMV, matrix,
+            config=AlreschaConfig(use_plan=use_plan,
+                                  fault_model=fault_model, **cfg))
+        y, rep = acc.run_spmv(x)
+        return y_clean, rep_clean, y, rep, acc
+
+    def test_checksum_detected_bitflip_is_corrected(self, spd_small):
+        """A bitflip against the programmed CRC is re-streamed: the
+        result is bit-identical to the clean run and every counter
+        reconciles with the injection log."""
+        fm = FaultModel(rate=0.25, seed=11, kinds=("bitflip",))
+        y_clean, _, y, rep, _ = self._run_pair(spd_small, fm)
+        assert fm.injected > 0
+        assert fm.detected == fm.injected  # CRC catches every flip
+        assert fm.corrected == fm.injected
+        assert np.array_equal(y, y_clean)
+        _counter_reconciliation(rep, fm)
+        assert rep.counters.get("retry_cycles") > 0.0
+
+    def test_dropped_burst_is_retried_and_charged(self, spd_small):
+        fm = FaultModel(rate=0.2, seed=5, kinds=("drop",))
+        y_clean, rep_clean, y, rep, _ = self._run_pair(spd_small, fm)
+        assert fm.injected > 0
+        assert np.array_equal(y, y_clean)
+        _counter_reconciliation(rep, fm)
+        # Recovery is visible in time and traffic, not in values.
+        assert rep.cycles > rep_clean.cycles
+        assert rep.counters.get("fault_restreams") >= fm.injected
+        assert rep.counters.get("dram_requests") > \
+            rep_clean.counters.get("dram_requests")
+
+    def test_duplicate_burst_discarded_but_charged(self, spd_small):
+        fm = FaultModel(rate=0.3, seed=2, kinds=("duplicate",))
+        y_clean, rep_clean, y, rep, _ = self._run_pair(spd_small, fm)
+        assert fm.injected > 0
+        assert np.array_equal(y, y_clean)
+        assert rep.cycles > rep_clean.cycles
+        assert rep.counters.get("faults_corrected") == fm.injected
+
+    def test_latency_spike_changes_only_timing(self, spd_small):
+        fm = FaultModel(rate=0.3, seed=9, kinds=("latency",))
+        y_clean, rep_clean, y, rep, _ = self._run_pair(spd_small, fm)
+        assert fm.injected > 0
+        assert np.array_equal(y, y_clean)
+        assert rep.cycles == pytest.approx(
+            rep_clean.cycles
+            + rep.counters.get("fault_latency_cycles"))
+
+    def test_persistent_fault_exhausts_retries(self, spd_small):
+        fm = FaultModel(rate=1.0, seed=0, kinds=("drop",), persistent=True)
+        acc = Alrescha.from_matrix(
+            KernelType.SPMV, spd_small,
+            config=AlreschaConfig(use_plan=False, fault_model=fm))
+        with pytest.raises(FaultError, match="re-stream retries"):
+            acc.run_spmv(np.ones(17))
+        assert fm.log and not fm.log[-1].corrected
+
+    def test_silent_bitflip_without_checksums(self, spd_small):
+        """With checksum verification off, a bitflip is delivered
+        silently — logged as such, and the result really is wrong
+        (which is exactly what the cross-check layer exists for)."""
+        fm = FaultModel(rate=0.25, seed=11, kinds=("bitflip",))
+        _, _, y, rep, _ = self._run_pair(spd_small, fm,
+                                         verify_checksums=False)
+        assert fm.injected > 0
+        assert fm.detected == 0
+        assert all(e.silent for e in fm.log)
+        assert rep.counters.get("faults_silent") == fm.injected
+        assert rep.counters.get("retry_cycles") == 0.0
+
+    def test_plan_path_matches_interpreter_under_faults(self, spd_small):
+        """The compiled plan consults the same fault model in the same
+        transfer order, so a replayed seed produces the identical
+        event log and identical delivered values."""
+        x = np.arange(17, dtype=np.float64)
+        results = []
+        for use_plan in (False, True):
+            fm = FaultModel(rate=0.25, seed=13, kinds=("bitflip", "drop"))
+            acc = Alrescha.from_matrix(
+                KernelType.SPMV, spd_small,
+                config=AlreschaConfig(use_plan=use_plan, fault_model=fm))
+            y, rep = acc.run_spmv(x)
+            results.append((y, [(e.index, e.kind, e.retry_cycles)
+                                for e in fm.log],
+                            rep.counters.get("faults_injected"),
+                            rep.counters.get("retry_cycles")))
+        (y_i, log_i, n_i, rc_i), (y_p, log_p, n_p, rc_p) = results
+        assert np.array_equal(y_i, y_p)
+        assert log_i == log_p and log_i
+        assert n_i == n_p and rc_i == rc_p
+
+    def test_crosscheck_falls_back_to_interpreter(self, spd_small):
+        """A silent bitflip under the compiled plan is caught by the
+        sampled cross-check; the plan's output is discarded, the
+        interpreter reruns with forced checksum verification, and the
+        final answer is bit-identical to a clean run."""
+        x = np.arange(17, dtype=np.float64)
+        clean = Alrescha.from_matrix(
+            KernelType.SPMV, spd_small,
+            config=AlreschaConfig(use_plan=True))
+        y_clean, _ = clean.run_spmv(x)
+
+        fm = FaultModel(rate=0.25, seed=11, kinds=("bitflip",))
+        acc = Alrescha.from_matrix(
+            KernelType.SPMV, spd_small,
+            config=AlreschaConfig(use_plan=True, fault_model=fm,
+                                  verify_checksums=False,
+                                  crosscheck_rows=1.0,
+                                  crosscheck_threshold=1))
+        y, rep = acc.run_spmv(x)
+        assert rep.counters.get("crosscheck_mismatches") > 0
+        assert rep.counters.get("plan_fallbacks") == 1.0
+        assert rep.counters.get("crosscheck_wasted_cycles") > 0.0
+        assert acc.plan_degraded
+        assert np.array_equal(y, y_clean)
+        # Once degraded, later runs go straight to the (verifying)
+        # interpreter and keep producing clean answers.
+        y2, rep2 = acc.run_spmv(x)
+        assert np.array_equal(y2, y_clean)
+        assert rep2.counters.get("plan_fallbacks") == 0.0
+
+    def test_clean_crosscheck_passes_without_fallback(self, spd_small):
+        x = np.arange(17, dtype=np.float64)
+        base = Alrescha.from_matrix(KernelType.SPMV, spd_small,
+                                    config=AlreschaConfig(use_plan=True))
+        y_base, _ = base.run_spmv(x)
+        acc = Alrescha.from_matrix(
+            KernelType.SPMV, spd_small,
+            config=AlreschaConfig(use_plan=True, crosscheck_rows=0.5))
+        y, rep = acc.run_spmv(x)
+        assert np.array_equal(y, y_base)
+        assert rep.counters.get("crosscheck_rows") > 0
+        assert rep.counters.get("crosscheck_mismatches") == 0.0
+        assert not acc.plan_degraded
+
+    def test_clean_path_reports_no_fault_counters(self, spd_small):
+        """With no fault model attached (the default), no resilience
+        counter is even *present* — the clean path is untouched."""
+        acc = Alrescha.from_matrix(KernelType.SPMV, spd_small)
+        _, rep = acc.run_spmv(np.ones(17))
+        for key in ("faults_injected", "faults_detected", "retry_cycles",
+                    "crosscheck_rows", "plan_fallbacks"):
+            assert key not in rep.counters.as_dict()
+
+    def test_symgs_sweep_survives_detected_faults(self, banded_spd):
+        fm = FaultModel(rate=0.15, seed=21, kinds=("bitflip", "drop"))
+        r = np.arange(40, dtype=np.float64)
+        clean = Alrescha.from_matrix(KernelType.SYMGS, banded_spd,
+                                     config=AlreschaConfig(use_plan=False))
+        x_clean, _ = clean.run_symgs_sweep(r, np.zeros(40))
+        acc = Alrescha.from_matrix(
+            KernelType.SYMGS, banded_spd,
+            config=AlreschaConfig(use_plan=False, fault_model=fm))
+        x, rep = acc.run_symgs_sweep(r, np.zeros(40))
+        assert fm.injected > 0
+        assert np.array_equal(x, x_clean)
+        _counter_reconciliation(rep, fm)
+
+
+class TestCapacityAndImageIntegrity:
+    def test_oversized_image_rejected_at_program_time(self, spd_small):
+        with pytest.raises(CapacityError, match="capacity_bytes"):
+            Alrescha.from_matrix(
+                KernelType.SPMV, spd_small,
+                config=AlreschaConfig(memory_capacity_bytes=64))
+
+    def test_default_capacity_accepts_small_systems(self, spd_small):
+        acc = Alrescha.from_matrix(KernelType.SPMV, spd_small)
+        assert acc.conversion is not None
+
+    def test_device_image_bitflip_fails_checksum(self, spd_small):
+        from repro.core.device_image import decode_image, encode_image
+        from repro.formats.alrescha import AlreschaMatrix
+        matrix = AlreschaMatrix.from_dense(spd_small, omega=8)
+        data = bytearray(encode_image(matrix))
+        data[-5] ^= 0x10  # corrupt payload, not the header
+        with pytest.raises(CorruptionError, match="checksum"):
+            decode_image(bytes(data))
+        # The pristine image still round-trips.
+        decode_image(bytes(bytearray(encode_image(matrix))))
+
+
+class TestNonFiniteGuards:
+    def test_fcu_guard_catches_poisoned_gemv(self, spd_small):
+        """With the FCU reduction guard armed, a NaN operand surfaces
+        as CorruptionError at the reduce boundary instead of quietly
+        poisoning downstream iterations."""
+        acc = Alrescha.from_matrix(
+            KernelType.SPMV, spd_small,
+            config=AlreschaConfig(use_plan=False, guard_nonfinite=True))
+        x = np.ones(17)
+        x[3] = np.nan
+        with pytest.raises(CorruptionError, match="GEMV"):
+            acc.run_spmv(x)
+
+    def test_guard_off_by_default_keeps_nan_propagation(self, spd_small):
+        acc = Alrescha.from_matrix(KernelType.SPMV, spd_small,
+                                   config=AlreschaConfig(use_plan=False))
+        x = np.ones(17)
+        x[3] = np.nan
+        y, _ = acc.run_spmv(x)
+        assert np.isnan(y).any()
+
+    def test_jacobi_divergence_names_the_sweep(self):
+        from repro.solvers import jacobi
+        a = np.array([[1.0, 10.0], [10.0, 1.0]])
+        with np.errstate(over="ignore", invalid="ignore"):
+            with pytest.raises(ConvergenceError, match="sweep"):
+                jacobi(a, np.ones(2), sweeps=500, damping=1.0)
+
+
+class _FlakyBackend:
+    """Reference backend that raises a typed fault on chosen spmv calls."""
+
+    def __init__(self, matrix, fail_on=(), error=FaultError,
+                 poison_on=()):
+        from repro.solvers import ReferenceBackend
+        self._inner = ReferenceBackend(matrix)
+        self.n = self._inner.n
+        self._calls = 0
+        self._fail_on = set(fail_on)
+        self._poison_on = set(poison_on)
+        self._error = error
+
+    def spmv(self, x):
+        self._calls += 1
+        if self._calls in self._fail_on:
+            raise self._error(f"injected fault on spmv call {self._calls}")
+        y = self._inner.spmv(x)
+        if self._calls in self._poison_on:
+            y = y.copy()
+            y[0] = np.nan
+        return y
+
+    def precondition(self, r):
+        return self._inner.precondition(r)
+
+    def report(self):
+        return None
+
+
+class TestSolverRecovery:
+    def test_pcg_checkpoint_restart_recovers(self, spd_small):
+        from repro.solvers import pcg
+        b = np.ones(17)
+        backend = _FlakyBackend(spd_small, fail_on=(4,))
+        result = pcg(backend, b, tol=1e-10, max_iter=100,
+                     checkpoint_interval=1)
+        assert result.converged
+        assert result.restarts == 1
+        a = np.asarray(spd_small)
+        assert np.linalg.norm(a @ result.x - b) < 1e-8 * np.linalg.norm(b)
+
+    def test_pcg_without_checkpointing_propagates(self, spd_small):
+        from repro.solvers import pcg
+        backend = _FlakyBackend(spd_small, fail_on=(4,))
+        with pytest.raises(FaultError):
+            pcg(backend, np.ones(17), tol=1e-10, max_iter=100)
+
+    def test_pcg_restart_budget_exhausts(self, spd_small):
+        from repro.solvers import pcg
+        backend = _FlakyBackend(spd_small,
+                                fail_on=tuple(range(2, 40)))
+        with pytest.raises(FaultError):
+            pcg(backend, np.ones(17), tol=1e-10, max_iter=100,
+                checkpoint_interval=1, max_restarts=2)
+
+    def test_pcg_nonfinite_residual_is_typed(self, spd_small):
+        from repro.solvers import pcg
+        backend = _FlakyBackend(spd_small, poison_on=(2,))
+        with pytest.raises(ConvergenceError, match="iteration"):
+            pcg(backend, np.ones(17), tol=1e-12, max_iter=100)
+
+    def test_cg_checkpoint_restart_recovers(self, spd_small):
+        from repro.solvers import cg
+        backend = _FlakyBackend(spd_small, fail_on=(5,))
+        result = cg(backend, np.ones(17), tol=1e-10, max_iter=200,
+                    checkpoint_interval=1)
+        assert result.converged and result.restarts == 1
+
+    def test_multigrid_cycle_retry(self):
+        from repro.solvers.multigrid import MultigridPreconditioner
+        mg = MultigridPreconditioner(4, 4, 4, n_levels=2,
+                                     cycle_retries=1)
+        flaky = _FlakyBackend(mg.levels[0].matrix, fail_on=(1,))
+        mg.levels[0].backend = flaky
+        r = np.ones(mg.levels[0].n)
+        z = mg.apply(r)
+        assert np.all(np.isfinite(z))
+        assert mg.cycles_retried == 1
+
+    def test_multigrid_without_retries_propagates(self):
+        from repro.solvers.multigrid import MultigridPreconditioner
+        mg = MultigridPreconditioner(4, 4, 4, n_levels=2)
+        mg.levels[0].backend = _FlakyBackend(mg.levels[0].matrix,
+                                             fail_on=(1,))
+        with pytest.raises(FaultError):
+            mg.apply(np.ones(mg.levels[0].n))
+
+
+class TestFaultCLI:
+    def test_inject_faults_flag(self, capsys):
+        from repro.cli import main
+        assert main(["run", "spmv", "--dataset", "stencil27",
+                     "--scale", "0.05", "--inject-faults", "0.05:7"]) == 0
+        out = capsys.readouterr().out
+        assert "faults injected" in out
+
+    def test_bad_fault_spec_is_a_config_error(self, capsys):
+        from repro.cli import main
+        assert main(["run", "spmv", "--dataset", "stencil27",
+                     "--scale", "0.05", "--inject-faults", "nope"]) == 2
+        assert "RATE[:SEED]" in capsys.readouterr().err
 
 
 class TestValidationHarness:

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.errors import ConvergenceError, ShapeError
+from repro.errors import ConfigError, ConvergenceError, ShapeError
 from repro.kernels import (
     axpy,
     backward_sweep,
@@ -83,9 +83,9 @@ class TestForwardSweep:
 
     def test_zero_diagonal_rejected(self):
         a = np.array([[0.0, 1.0], [1.0, 1.0]])
-        with pytest.raises(ConvergenceError):
+        with pytest.raises(ConfigError):
             forward_sweep(a, np.ones(2), np.zeros(2))
-        with pytest.raises(ConvergenceError):
+        with pytest.raises(ConfigError):
             forward_sweep_vectorized(a, np.ones(2), np.zeros(2))
 
     def test_shape_checks(self, spd_small):

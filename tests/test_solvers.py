@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.errors import ConvergenceError, ShapeError
+from repro.errors import ConfigError, ConvergenceError, ShapeError
 from repro.solvers import (
     AcceleratorBackend,
     JacobiBackend,
@@ -139,7 +139,7 @@ class TestJacobi:
 
     def test_zero_diagonal_rejected(self):
         a = np.array([[0.0, 1.0], [1.0, 1.0]])
-        with pytest.raises(ConvergenceError):
+        with pytest.raises(ConfigError):
             jacobi_sweep(a, np.ones(2), np.zeros(2))
 
     def test_jacobi_preconditioner_weaker_than_symgs(self, system):
