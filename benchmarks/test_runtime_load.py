@@ -1,0 +1,63 @@
+"""Load/fault sweep over the multi-device serving runtime.
+
+Drives the same 200-request trace through pools of 2 and 4 devices at
+per-transfer fault rates from 0 to 0.3 and tables what the runtime's
+policies buy: as devices sicken, breakers trip and jobs shift from OK
+to DEGRADED (reference-path answers, explicitly marked) while the
+answered fraction and throughput fall *gracefully* — load is shed by
+explicit rejection at admission, and no job ever FAILs silently.
+"""
+
+from repro.analysis import render_table
+from repro.runtime import serve
+
+from conftest import run_once, save_and_print
+
+DEVICES = (2, 4)
+RATES = (0.0, 0.05, 0.1, 0.2, 0.3)
+N_REQUESTS = 200
+SEED = 7
+
+
+def test_runtime_load_sweep(benchmark, results_dir):
+    def sweep():
+        return {(d, r): serve(n_requests=N_REQUESTS, n_devices=d,
+                              fault_rate=r, seed=SEED, scale=0.05)[1]
+                for d in DEVICES for r in RATES}
+
+    reports = run_once(benchmark, sweep)
+
+    rows = []
+    for d in DEVICES:
+        for r in RATES:
+            rep = reports[(d, r)]
+            rows.append([
+                d, f"{r:.2f}", rep.admitted, rep.ok, rep.degraded,
+                rep.timeout, rep.rejected, rep.failed, rep.breaker_trips,
+                f"{rep.answered / rep.requests:.2f}",
+                f"{rep.throughput_per_mcycle:.0f}",
+                f"{rep.latency_p99_cycles:,.0f}",
+            ])
+    save_and_print(results_dir, "runtime_load", render_table(
+        ["devices", "fault rate", "admit", "ok", "degr", "t/o", "rej",
+         "fail", "trips", "answered", "jobs/Mcy", "p99 cy"],
+        rows,
+        title=f"Serving runtime under load ({N_REQUESTS} requests, "
+              f"seed {SEED})"))
+
+    for d in DEVICES:
+        clean = reports[(d, 0.0)]
+        worst = reports[(d, max(RATES))]
+        # The whole point of the runtime: degrade, never lie or drop.
+        assert all(reports[(d, r)].failed == 0 for r in RATES)
+        # More faults may slow and shed jobs, but not collapse: the
+        # sickest pool still answers most of what the clean pool does.
+        assert worst.answered >= 0.5 * clean.answered
+        assert worst.throughput_per_mcycle >= \
+            0.2 * clean.throughput_per_mcycle
+        # Sustained faults at the top rate must actually trip breakers.
+        assert worst.breaker_trips >= 1
+        # Monotone-ish shed: rejections never decrease by much as the
+        # fault rate climbs (explicit backpressure, not queue collapse).
+        rej = [reports[(d, r)].rejected for r in RATES]
+        assert rej[-1] >= rej[0]

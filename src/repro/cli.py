@@ -10,6 +10,13 @@ Commands
 * ``survey NAME [--scale S]`` — Figure 12 meta-data survey.
 * ``experiment FIG [--scale S]`` — regenerate one paper figure
   (fig3, fig6, fig15, fig16, fig17, fig18, fig19).
+* ``serve --requests N --devices D --fault-rate R --seed S`` — run a
+  seeded workload trace through the multi-device serving runtime and
+  print its :class:`~repro.runtime.PoolReport`.
+
+Exit codes: 0 success; 1 validation failure (``validate``); 2 invalid
+input (dataset/format/config errors); 3 unrecovered injected fault;
+4 ``serve`` finished with at least one ``FAILED`` job.
 """
 
 from __future__ import annotations
@@ -203,6 +210,26 @@ def cmd_compile(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    """Serve a seeded trace over the device pool (exit 4 on FAILED)."""
+    from repro.runtime import SchedulerConfig, serve
+
+    sched = SchedulerConfig(queue_depth=args.queue_depth)
+    results, report = serve(
+        n_requests=args.requests, n_devices=args.devices,
+        fault_rate=args.fault_rate, seed=args.seed, scale=args.scale,
+        scheduler_config=sched)
+    print(f"served {args.requests} requests over {args.devices} "
+          f"device(s), fault rate {args.fault_rate:g}, seed {args.seed}:")
+    print(report.render())
+    if report.failed:
+        failures = [r for r in results if r.status.value == "failed"]
+        for r in failures[:5]:
+            print(f"job {r.job_id} FAILED: {r.error}", file=sys.stderr)
+        return 4
+    return 0
+
+
 def cmd_experiment(args) -> int:
     from repro import analysis
 
@@ -286,6 +313,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--scale", type=float, default=0.1)
     p.add_argument("--output", "-o", default="kernel")
     p.set_defaults(func=cmd_compile)
+
+    p = sub.add_parser(
+        "serve",
+        help="run a workload trace through the multi-device runtime",
+    )
+    p.add_argument("--requests", type=int, default=100)
+    p.add_argument("--devices", type=int, default=4)
+    p.add_argument("--fault-rate", type=float, default=0.0)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--scale", type=float, default=0.05)
+    p.add_argument("--queue-depth", type=int, default=32)
+    p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("experiment", help="regenerate one paper figure")
     p.add_argument("figure", choices=["fig3", "fig6", "fig15", "fig16",

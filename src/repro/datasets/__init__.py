@@ -11,7 +11,12 @@ from repro.datasets.graphs import (
     rmat,
     road_grid,
 )
-from repro.datasets.registry import Dataset, list_datasets, load_dataset
+from repro.datasets.registry import (
+    Dataset,
+    clear_dataset_cache,
+    list_datasets,
+    load_dataset,
+)
 from repro.datasets.scientific import (
     banded,
     circuit_like,
@@ -28,6 +33,7 @@ __all__ = [
     "Dataset",
     "banded",
     "circuit_like",
+    "clear_dataset_cache",
     "clustered_power_law",
     "list_datasets",
     "load_dataset",

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 import scipy.sparse as sp
 
@@ -158,22 +158,63 @@ def list_datasets(kind: Optional[str] = None) -> List[str]:
             if kind is None or spec[1] == kind]
 
 
+#: Keyed dataset cache: ``(name, scale) -> Dataset``.  Generation is the
+#: dominant cost of repeated loads (the serving runtime programs the
+#: same dataset onto every device of a pool), so instances are reused.
+#: Cached matrices are frozen read-only — callers share one instance,
+#: and a job that tried to scribble on its operand would corrupt every
+#: other job's answer; the write flag turns that bug into a loud
+#: ``ValueError`` at the offending statement.
+_DATASET_CACHE: "Dict[Tuple[str, float], Dataset]" = {}
+
+#: Bound on cached instances (FIFO eviction); generous for the registry
+#: size times the handful of scales tests and benchmarks use.
+_DATASET_CACHE_MAX = 64
+
+
+def clear_dataset_cache() -> None:
+    """Drop every cached dataset instance (tests, memory pressure)."""
+    _DATASET_CACHE.clear()
+
+
+def _freeze(matrix: sp.csr_matrix) -> sp.csr_matrix:
+    """Mark a CSR matrix's buffers read-only (shared-cache safety)."""
+    for attr in ("data", "indices", "indptr"):
+        getattr(matrix, attr).flags.writeable = False
+    return matrix
+
+
 def load_dataset(name: str, scale: float = 1.0) -> Dataset:
-    """Instantiate a registered dataset at the requested scale."""
+    """Instantiate a registered dataset at the requested scale.
+
+    Results are cached by ``(name, scale)`` and shared: the returned
+    :class:`Dataset` is frozen and its matrix buffers are read-only.
+    Callers that need to mutate (e.g. reweighting a graph) must
+    ``matrix.copy()`` first.  :func:`clear_dataset_cache` empties the
+    cache.
+    """
     if name not in _REGISTRY:
         raise DatasetError(
             f"unknown dataset {name!r}; known: {sorted(_REGISTRY)}"
         )
     if scale <= 0:
         raise DatasetError(f"scale must be positive, got {scale}")
+    key = (name, float(scale))
+    cached = _DATASET_CACHE.get(key)
+    if cached is not None:
+        return cached
     spec = _REGISTRY[name]
     kind = spec[1]
-    matrix = spec[3](scale)
+    matrix = _freeze(spec[3](scale))
     weighted = spec[4] if kind == "graph" else False
-    return Dataset(
+    ds = Dataset(
         name=name,
         kind=kind,
         matrix=matrix,
         description=spec[2],
         params={"scale": scale, "weighted": weighted},
     )
+    if len(_DATASET_CACHE) >= _DATASET_CACHE_MAX:
+        _DATASET_CACHE.pop(next(iter(_DATASET_CACHE)))
+    _DATASET_CACHE[key] = ds
+    return ds

@@ -46,6 +46,27 @@ class CorruptionError(SimulationError):
     mismatch) on data that had already left the memory channel."""
 
 
+class RejectedError(ReproError):
+    """The serving runtime refused to admit a job.
+
+    Raised by admission control when the bounded queue is full
+    (backpressure) or the job arrived with no cycle budget at all
+    (``deadline_cycles <= 0``).  The scheduler converts it into a
+    terminal ``REJECTED`` status; it never blocks waiting for room.
+    """
+
+
+class DeadlineError(ReproError):
+    """A job's deadline expired, measured in simulated cycles.
+
+    The serving runtime enforces each job's ``deadline_cycles`` against
+    the device pool's simulated clock (the same clock
+    :class:`~repro.core.report.SimReport` cycles accumulate on); a job
+    that cannot complete inside its budget finishes ``TIMEOUT`` instead
+    of occupying a device.
+    """
+
+
 class ConvergenceError(ReproError):
     """An iterative solver failed to converge within its budget."""
 

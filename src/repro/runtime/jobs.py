@@ -1,0 +1,153 @@
+"""Jobs: the unit of work the serving runtime admits and executes.
+
+A :class:`Job` names a kernel or solver invocation against a registered
+dataset, plus the serving metadata the scheduler needs: arrival time and
+deadline in *simulated cycles* (the same clock every
+:class:`~repro.core.report.SimReport` accumulates on), a priority class,
+and a per-job RNG seed so operand vectors are reproducible.  Jobs are
+frozen — all mutable scheduling state lives inside the scheduler.
+
+A :class:`JobResult` records one terminal outcome per job.  The status
+vocabulary is deliberately closed (:class:`JobStatus`): the runtime
+never returns a wrong or missing answer silently — a job either
+finished ``OK``, finished late (``TIMEOUT``), finished on the software
+reference path (``DEGRADED``, numerically correct), was refused
+admission (``REJECTED``), or ``FAILED`` with a recorded error.
+
+:func:`make_trace` builds a seeded workload trace — the input to
+:func:`repro.runtime.serve` and the ``repro serve`` CLI.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass
+from typing import List, Tuple
+
+#: Kernels a job may request.  ``spmv``/``symgs`` are single accelerator
+#: passes; ``pcg`` is a short full solve (SpMV + SymGS inner loop).
+JOB_KERNELS = ("spmv", "symgs", "pcg")
+
+
+class JobStatus(enum.Enum):
+    """Terminal status of a served job."""
+
+    #: Completed on an accelerator device within its deadline.
+    OK = "ok"
+    #: Completed, but after its deadline expired (answer still attached).
+    TIMEOUT = "timeout"
+    #: Completed on the :class:`~repro.solvers.ReferenceBackend`
+    #: fallback after accelerator attempts were exhausted or the pool
+    #: was unavailable.  The answer is numerically correct; only the
+    #: latency and energy story degraded.
+    DEGRADED = "degraded"
+    #: Refused by admission control (zero deadline or full queue);
+    #: never executed.
+    REJECTED = "rejected"
+    #: No answer could be produced; ``JobResult.error`` names why.
+    FAILED = "failed"
+
+
+@dataclass(frozen=True)
+class Job:
+    """One request: a kernel/solver invocation with serving metadata."""
+
+    job_id: int
+    kernel: str
+    dataset: str
+    scale: float
+    #: Simulated cycle at which the request enters the system.
+    arrival_cycle: float
+    #: Latency budget in simulated cycles; ``<= 0`` is rejected at
+    #: admission (a request with no budget cannot be served honestly).
+    deadline_cycles: float
+    #: Larger is more urgent; ties broken by submission order.
+    priority: int = 0
+    #: Seeds the operand vector (``default_rng(seed)``), so a job's
+    #: numerical answer is reproducible independent of placement.
+    seed: int = 0
+
+
+@dataclass
+class JobResult:
+    """Terminal outcome of one job."""
+
+    job_id: int
+    status: JobStatus
+    #: Device that produced the answer (-1: rejected/degraded/failed).
+    device_id: int = -1
+    #: Accelerator attempts consumed (0 for rejected jobs).
+    attempts: int = 0
+    #: Completion minus arrival, in simulated cycles (0 if rejected).
+    latency_cycles: float = 0.0
+    finish_cycle: float = 0.0
+    #: CRC32 of the answer payload (bit-reproducibility handle); 0 when
+    #: no answer was produced.
+    value_crc: int = 0
+    error: str = ""
+
+    @property
+    def answered(self) -> bool:
+        """Whether a numerically-trustworthy answer was returned."""
+        return self.status in (JobStatus.OK, JobStatus.TIMEOUT,
+                               JobStatus.DEGRADED)
+
+
+@dataclass(frozen=True)
+class TraceSpec:
+    """Parameters for :func:`make_trace` (all cycle units simulated)."""
+
+    n_requests: int
+    seed: int = 0
+    #: ``(dataset, kernel)`` pairs sampled uniformly per request.
+    workloads: Tuple[Tuple[str, str], ...] = (
+        ("stencil27", "spmv"),
+        ("stencil27", "symgs"),
+        ("af_shell", "spmv"),
+        ("af_shell", "symgs"),
+    )
+    scale: float = 0.05
+    #: Mean of the exponential inter-arrival gap.
+    mean_interarrival_cycles: float = 400.0
+    #: Deadlines drawn uniformly from this range.
+    deadline_range: Tuple[float, float] = (20_000.0, 80_000.0)
+    #: Fraction of requests that arrive with a zero deadline (they are
+    #: rejected at admission; the trace includes them so admission
+    #: control is exercised under every seed).
+    zero_deadline_prob: float = 0.02
+    #: Priority classes and their sampling weights.
+    priorities: Tuple[int, ...] = (0, 1, 2)
+    priority_weights: Tuple[float, ...] = (0.7, 0.2, 0.1)
+
+
+def make_trace(spec: TraceSpec) -> List[Job]:
+    """Generate a seeded workload trace.
+
+    Deterministic: one ``random.Random(spec.seed)`` stream drives every
+    draw, so a fixed spec reproduces the identical trace.
+    """
+    rng = random.Random(spec.seed)
+    jobs: List[Job] = []
+    cycle = 0.0
+    for i in range(spec.n_requests):
+        cycle += rng.expovariate(1.0 / spec.mean_interarrival_cycles)
+        dataset, kernel = spec.workloads[
+            rng.randrange(len(spec.workloads))]
+        if rng.random() < spec.zero_deadline_prob:
+            deadline = 0.0
+        else:
+            deadline = rng.uniform(*spec.deadline_range)
+        priority = rng.choices(spec.priorities,
+                               weights=spec.priority_weights)[0]
+        jobs.append(Job(
+            job_id=i,
+            kernel=kernel,
+            dataset=dataset,
+            scale=spec.scale,
+            arrival_cycle=cycle,
+            deadline_cycles=deadline,
+            priority=priority,
+            seed=spec.seed * 100_003 + i,
+        ))
+    return jobs

@@ -1,0 +1,153 @@
+"""Pool-level metrics: counters and simulated-latency percentiles.
+
+A :class:`PoolReport` is the serving analogue of a
+:class:`~repro.core.report.SimReport`: one value object summarising a
+whole workload trace — admission counts, terminal-status counts,
+breaker trips, per-device statistics, and latency percentiles measured
+in simulated cycles.  Every field is derived deterministically from the
+job results (nearest-rank percentiles, no interpolation surprises), so
+two runs of the same seeded trace compare equal field-for-field.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.runtime.jobs import JobResult, JobStatus
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile (deterministic, no interpolation).
+
+    ``q`` is in [0, 100].  Returns 0.0 for an empty sequence.
+    """
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = max(1, int(-(-q * len(ordered) // 100)))  # ceil without floats
+    return ordered[min(rank, len(ordered)) - 1]
+
+
+@dataclass(frozen=True)
+class DeviceStats:
+    """Per-device slice of a :class:`PoolReport`."""
+
+    device_id: int
+    jobs_run: int
+    failures: int
+    breaker_trips: int
+    breaker_state: str
+    busy_cycles: float
+    faults_injected: int
+
+
+@dataclass(frozen=True)
+class PoolReport:
+    """Outcome of serving one workload trace over a device pool."""
+
+    requests: int
+    admitted: int
+    #: Terminal-status counts; keys are JobStatus values, all present.
+    ok: int
+    timeout: int
+    degraded: int
+    rejected: int
+    failed: int
+    #: Accelerator attempts consumed, and how many were retries beyond
+    #: each job's first attempt.
+    attempts: int
+    retries: int
+    breaker_trips: int
+    #: Cycle at which the last job left the system.
+    makespan_cycles: float
+    #: Completed answers (ok+timeout+degraded) per million cycles.
+    throughput_per_mcycle: float
+    latency_p50_cycles: float
+    latency_p99_cycles: float
+    #: Highest number of jobs waiting for a device at any point.
+    queue_peak: int
+    devices: tuple = ()
+
+    @property
+    def answered(self) -> int:
+        """Jobs that received a numerically-trustworthy answer."""
+        return self.ok + self.timeout + self.degraded
+
+    def render(self) -> str:
+        """Human-readable report block for the ``serve`` CLI."""
+        lines = [
+            f"requests        : {self.requests}",
+            f"admitted        : {self.admitted} "
+            f"(rejected {self.rejected})",
+            f"ok              : {self.ok}",
+            f"degraded        : {self.degraded}",
+            f"timeout         : {self.timeout}",
+            f"failed          : {self.failed}",
+            f"attempts        : {self.attempts} "
+            f"({self.retries} retries)",
+            f"breaker trips   : {self.breaker_trips}",
+            f"queue peak      : {self.queue_peak}",
+            f"makespan        : {self.makespan_cycles:,.0f} cycles",
+            f"throughput      : {self.throughput_per_mcycle:.2f} "
+            f"jobs/Mcycle",
+            f"latency p50     : {self.latency_p50_cycles:,.0f} cycles",
+            f"latency p99     : {self.latency_p99_cycles:,.0f} cycles",
+        ]
+        for d in self.devices:
+            lines.append(
+                f"  device {d.device_id}: {d.jobs_run} jobs, "
+                f"{d.failures} failures, {d.breaker_trips} trips "
+                f"({d.breaker_state}), busy {d.busy_cycles:,.0f} cy, "
+                f"{d.faults_injected} faults")
+        return "\n".join(lines)
+
+
+def build_report(results: Sequence[JobResult], pool,
+                 queue_peak: int) -> PoolReport:
+    """Fold job results + pool state into one :class:`PoolReport`."""
+    by_status: Dict[JobStatus, int] = {s: 0 for s in JobStatus}
+    latencies: List[float] = []
+    attempts = 0
+    retries = 0
+    makespan = 0.0
+    for r in results:
+        by_status[r.status] += 1
+        attempts += r.attempts
+        retries += max(0, r.attempts - 1)
+        makespan = max(makespan, r.finish_cycle)
+        if r.answered:
+            latencies.append(r.latency_cycles)
+    answered = len(latencies)
+    throughput = (answered / (makespan / 1e6)) if makespan > 0 else 0.0
+    device_stats = tuple(
+        DeviceStats(
+            device_id=d.device_id,
+            jobs_run=d.jobs_run,
+            failures=d.health.failures,
+            breaker_trips=d.breaker.trips,
+            breaker_state=d.breaker.state,
+            busy_cycles=d.busy_cycles,
+            faults_injected=(d.fault_model.injected
+                             if d.fault_model is not None else 0),
+        )
+        for d in pool.devices
+    )
+    return PoolReport(
+        requests=len(results),
+        admitted=len(results) - by_status[JobStatus.REJECTED],
+        ok=by_status[JobStatus.OK],
+        timeout=by_status[JobStatus.TIMEOUT],
+        degraded=by_status[JobStatus.DEGRADED],
+        rejected=by_status[JobStatus.REJECTED],
+        failed=by_status[JobStatus.FAILED],
+        attempts=attempts,
+        retries=retries,
+        breaker_trips=pool.breaker_trips,
+        makespan_cycles=makespan,
+        throughput_per_mcycle=throughput,
+        latency_p50_cycles=percentile(latencies, 50.0),
+        latency_p99_cycles=percentile(latencies, 99.0),
+        queue_peak=queue_peak,
+        devices=device_stats,
+    )

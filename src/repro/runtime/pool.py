@@ -1,0 +1,351 @@
+"""Device pool: health tracking and circuit breaking per device.
+
+A :class:`DevicePool` replicates the single-accelerator substrate into
+``n_devices`` independent :class:`Device` instances.  Each device owns
+
+* its own :class:`~repro.sim.faults.FaultModel`, seeded via
+  :meth:`~repro.sim.faults.FaultModel.spawn` so fault histories are
+  independent yet reproducible from one pool seed;
+* a cache of programmed accelerators keyed by ``(dataset, scale,
+  kernel)`` — programming is a one-time cost per device, as on real
+  hardware where the image stays resident;
+* a :class:`HealthWindow` of recent job outcomes and a
+  :class:`CircuitBreaker` driven by it.
+
+The breaker is the classic closed → open → half-open machine, with one
+twist: its cooldown is charged in *simulated cycles* against the pool's
+scheduler clock, never wall time, so breaker behaviour is deterministic
+per seed and unit-testable without sleeping.
+
+The pool also owns the *golden* side: a fault-free accelerator per
+workload for nominal service-time estimates, and the reference-kernel
+execution used for graceful degradation.  Degraded answers are computed
+by the same golden kernels the test suite validates against, so a
+``DEGRADED`` result is numerically correct by construction.
+"""
+
+from __future__ import annotations
+
+import zlib
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.core import Alrescha, AlreschaConfig, KernelType
+from repro.errors import ConfigError, CorruptionError, FaultError
+from repro.runtime.jobs import JOB_KERNELS, Job
+from repro.sim.faults import FaultModel
+
+#: Breaker defaults: open once >= half the last 8 jobs failed (with at
+#: least 4 observed), cool down for 8k simulated cycles (a handful of
+#: job service times), then probe.
+DEFAULT_HEALTH_WINDOW = 8
+DEFAULT_FAILURE_THRESHOLD = 0.5
+DEFAULT_MIN_SAMPLES = 4
+DEFAULT_COOLDOWN_CYCLES = 8_000.0
+
+#: Cycle cost multiplier of the software reference path relative to the
+#: accelerator's nominal cycles (the degradation latency model).
+DEFAULT_REFERENCE_SLOWDOWN = 8.0
+
+
+def value_crc(values: np.ndarray) -> int:
+    """CRC32 of an answer vector's exact float64 bytes."""
+    return zlib.crc32(
+        np.ascontiguousarray(values, dtype=np.float64).tobytes())
+
+
+class HealthWindow:
+    """Rolling window of job outcomes on one device."""
+
+    def __init__(self, size: int = DEFAULT_HEALTH_WINDOW) -> None:
+        if size <= 0:
+            raise ConfigError(f"health window must be positive, got {size}")
+        self._window: Deque[bool] = deque(maxlen=size)
+        self.successes = 0
+        self.failures = 0
+
+    def record(self, ok: bool) -> None:
+        self._window.append(ok)
+        if ok:
+            self.successes += 1
+        else:
+            self.failures += 1
+
+    @property
+    def samples(self) -> int:
+        return len(self._window)
+
+    @property
+    def failure_rate(self) -> float:
+        """Failure fraction over the rolling window (0.0 when empty)."""
+        if not self._window:
+            return 0.0
+        return sum(1 for ok in self._window if not ok) / len(self._window)
+
+    def reset(self) -> None:
+        """Forget the window (a recovered device starts clean)."""
+        self._window.clear()
+
+
+class CircuitBreaker:
+    """Closed → open → half-open breaker on simulated cycles.
+
+    * **closed** — traffic flows; every outcome feeds the health window.
+      When the window holds ``min_samples`` or more outcomes and its
+      failure rate reaches ``failure_threshold``, the breaker opens.
+    * **open** — the device takes no traffic until ``cooldown_cycles``
+      of simulated time have elapsed since it opened.
+    * **half-open** — exactly one probe job is admitted.  Success closes
+      the breaker (window reset); failure re-opens it for a fresh
+      cooldown.
+    """
+
+    def __init__(self, health: HealthWindow,
+                 failure_threshold: float = DEFAULT_FAILURE_THRESHOLD,
+                 min_samples: int = DEFAULT_MIN_SAMPLES,
+                 cooldown_cycles: float = DEFAULT_COOLDOWN_CYCLES) -> None:
+        if not 0.0 < failure_threshold <= 1.0:
+            raise ConfigError("failure_threshold must be in (0, 1], got "
+                              f"{failure_threshold}")
+        if cooldown_cycles <= 0:
+            raise ConfigError("cooldown_cycles must be positive, got "
+                              f"{cooldown_cycles}")
+        self.health = health
+        self.failure_threshold = failure_threshold
+        self.min_samples = max(1, min_samples)
+        self.cooldown_cycles = cooldown_cycles
+        self.state = "closed"
+        self.opened_at = 0.0
+        self.trips = 0
+        self._probe_in_flight = False
+
+    # ------------------------------------------------------------------
+    def allows(self, now: float) -> bool:
+        """Whether a job may be dispatched to this device at ``now``.
+
+        Querying an open breaker past its cooldown transitions it to
+        half-open (the probe slot).
+        """
+        if self.state == "open":
+            if now >= self.opened_at + self.cooldown_cycles:
+                self.state = "half_open"
+                self._probe_in_flight = False
+        if self.state == "half_open":
+            return not self._probe_in_flight
+        return self.state == "closed"
+
+    @property
+    def reopen_at(self) -> Optional[float]:
+        """Cycle at which an open breaker becomes probeable (else None)."""
+        if self.state != "open":
+            return None
+        return self.opened_at + self.cooldown_cycles
+
+    def on_dispatch(self) -> None:
+        """A job was placed on the device (claims the half-open probe)."""
+        if self.state == "half_open":
+            self._probe_in_flight = True
+
+    def on_success(self) -> None:
+        self.health.record(True)
+        if self.state == "half_open":
+            # Probe succeeded: recovered. Start from a clean window so
+            # pre-outage history cannot immediately re-trip.
+            self.state = "closed"
+            self._probe_in_flight = False
+            self.health.reset()
+
+    def on_failure(self, now: float) -> None:
+        self.health.record(False)
+        if self.state == "half_open":
+            self._trip(now)
+            return
+        if (self.state == "closed"
+                and self.health.samples >= self.min_samples
+                and self.health.failure_rate >= self.failure_threshold):
+            self._trip(now)
+
+    def _trip(self, now: float) -> None:
+        self.state = "open"
+        self.opened_at = now
+        self.trips += 1
+        self._probe_in_flight = False
+
+
+@dataclass
+class Attempt:
+    """Outcome of one accelerator attempt (never raises to callers)."""
+
+    ok: bool
+    #: Device-occupancy cycles of the attempt (service time, or wasted
+    #: cycles of a failed attempt).
+    cycles: float
+    values: Optional[np.ndarray] = None
+    error: str = ""
+
+
+class Device:
+    """One simulated accelerator with its own fault stream and breaker."""
+
+    def __init__(self, device_id: int, fault_model: Optional[FaultModel],
+                 health_window: int = DEFAULT_HEALTH_WINDOW,
+                 failure_threshold: float = DEFAULT_FAILURE_THRESHOLD,
+                 min_samples: int = DEFAULT_MIN_SAMPLES,
+                 cooldown_cycles: float = DEFAULT_COOLDOWN_CYCLES) -> None:
+        self.device_id = device_id
+        self.fault_model = fault_model
+        self.health = HealthWindow(health_window)
+        self.breaker = CircuitBreaker(
+            self.health, failure_threshold=failure_threshold,
+            min_samples=min_samples, cooldown_cycles=cooldown_cycles)
+        #: Simulated cycle at which the device next becomes idle.
+        self.busy_until = 0.0
+        self.busy_cycles = 0.0
+        self.jobs_run = 0
+        self._executors: Dict[Tuple[str, float, str], object] = {}
+
+    # ------------------------------------------------------------------
+    def _executor(self, job: Job, pool: "DevicePool"):
+        key = (job.dataset, job.scale, job.kernel)
+        if key not in self._executors:
+            matrix = pool.matrix(job.dataset, job.scale)
+            config = AlreschaConfig(fault_model=self.fault_model)
+            if job.kernel == "spmv":
+                exe = Alrescha.from_matrix(KernelType.SPMV, matrix,
+                                           config=config)
+            elif job.kernel == "symgs":
+                exe = Alrescha.from_matrix(KernelType.SYMGS, matrix,
+                                           config=config)
+            elif job.kernel == "pcg":
+                from repro.solvers import AcceleratorBackend
+                exe = AcceleratorBackend(matrix, config=config)
+            else:
+                raise ConfigError(
+                    f"unknown job kernel {job.kernel!r}; "
+                    f"known: {JOB_KERNELS}")
+            self._executors[key] = exe
+        return self._executors[key]
+
+    def attempt(self, job: Job, pool: "DevicePool") -> Attempt:
+        """Run one accelerator attempt; faults become a failed Attempt.
+
+        A failed attempt still occupied the device: it is charged the
+        workload's nominal cycles plus every retry/backoff cycle the
+        fault model logged during the attempt.
+        """
+        exe = self._executor(job, pool)
+        operand = pool.operand(job)
+        fm = self.fault_model
+        retry_before = fm.total_retry_cycles if fm is not None else 0.0
+        self.jobs_run += 1
+        try:
+            if job.kernel == "spmv":
+                values, report = exe.run_spmv(operand)
+                cycles = report.cycles
+            elif job.kernel == "symgs":
+                values, report = exe.run_symgs_sweep(
+                    operand, np.zeros(operand.size))
+                cycles = report.cycles
+            else:  # pcg
+                from repro.solvers import pcg
+                exe.reset_reports()
+                result = pcg(exe, operand, tol=1e-6, max_iter=25,
+                             checkpoint_interval=5, max_restarts=2)
+                values = result.x
+                cycles = result.report.cycles
+        except (FaultError, CorruptionError) as exc:
+            retry_after = fm.total_retry_cycles if fm is not None else 0.0
+            wasted = pool.nominal_cycles(job) + (retry_after - retry_before)
+            return Attempt(ok=False, cycles=wasted,
+                           error=f"{type(exc).__name__}: {exc}")
+        return Attempt(ok=True, cycles=cycles, values=values)
+
+
+class DevicePool:
+    """N independently-seeded devices plus the shared golden side."""
+
+    def __init__(self, n_devices: int, fault_rate: float = 0.0,
+                 seed: int = 0,
+                 health_window: int = DEFAULT_HEALTH_WINDOW,
+                 failure_threshold: float = DEFAULT_FAILURE_THRESHOLD,
+                 min_samples: int = DEFAULT_MIN_SAMPLES,
+                 cooldown_cycles: float = DEFAULT_COOLDOWN_CYCLES) -> None:
+        if n_devices <= 0:
+            raise ConfigError(
+                f"device pool needs at least one device, got {n_devices}")
+        base = (FaultModel(rate=fault_rate, seed=seed)
+                if fault_rate > 0.0 else None)
+        self.devices = [
+            Device(i,
+                   base.spawn(i) if base is not None else None,
+                   health_window=health_window,
+                   failure_threshold=failure_threshold,
+                   min_samples=min_samples,
+                   cooldown_cycles=cooldown_cycles)
+            for i in range(n_devices)
+        ]
+        self._nominal: Dict[Tuple[str, float, str], float] = {}
+        self._golden = Device(-1, None)
+
+    def __len__(self) -> int:
+        return len(self.devices)
+
+    # ------------------------------------------------------------------
+    # Shared golden side
+    # ------------------------------------------------------------------
+    def matrix(self, dataset: str, scale: float):
+        from repro.datasets import load_dataset
+        return load_dataset(dataset, scale=scale).matrix
+
+    def operand(self, job: Job) -> np.ndarray:
+        """The job's seeded operand/right-hand-side vector."""
+        n = self.matrix(job.dataset, job.scale).shape[0]
+        return np.random.default_rng(job.seed).normal(size=n)
+
+    def nominal_cycles(self, job: Job) -> float:
+        """Fault-free service cycles for the job's workload (cached).
+
+        Cycle counts depend only on the programmed block structure,
+        never on operand values, so one golden run prices every job of
+        the same ``(dataset, scale, kernel)``.
+        """
+        key = (job.dataset, job.scale, job.kernel)
+        if key not in self._nominal:
+            att = self._golden.attempt(job, self)
+            self._nominal[key] = att.cycles
+        return self._nominal[key]
+
+    def reference_values(self, job: Job) -> np.ndarray:
+        """The golden-kernel answer used for graceful degradation."""
+        from repro.kernels import forward_sweep_vectorized
+        from repro.kernels.spmv import to_csr
+        from repro.solvers import ReferenceBackend, pcg
+
+        matrix = self.matrix(job.dataset, job.scale)
+        operand = self.operand(job)
+        if job.kernel == "spmv":
+            return to_csr(matrix).spmv(operand)
+        if job.kernel == "symgs":
+            csr = to_csr(matrix)
+            return forward_sweep_vectorized(
+                csr, operand, np.zeros(operand.size))
+        if job.kernel == "pcg":
+            result = pcg(ReferenceBackend(matrix), operand,
+                         tol=1e-6, max_iter=25)
+            return result.x
+        raise ConfigError(
+            f"unknown job kernel {job.kernel!r}; known: {JOB_KERNELS}")
+
+    # ------------------------------------------------------------------
+    # Pool-level health summary
+    # ------------------------------------------------------------------
+    @property
+    def breaker_trips(self) -> int:
+        return sum(d.breaker.trips for d in self.devices)
+
+    def open_breakers(self, now: float) -> int:
+        """Devices refusing traffic at ``now``."""
+        return sum(1 for d in self.devices if not d.breaker.allows(now))

@@ -1,0 +1,325 @@
+"""Deterministic simulated-time scheduler over a device pool.
+
+The scheduler is a small discrete-event simulation.  All time is in
+simulated cycles — the same clock :class:`~repro.core.report.SimReport`
+accumulates — so a run is bit-reproducible from its seeds and needs no
+threads, sleeps, or wall-clock reads.  Events are processed in
+deterministic order (cycle, then submission order), and every tie is
+broken by an explicit total order, never by hash or identity.
+
+Policies
+--------
+* **Admission / backpressure** — the waiting queue is bounded.  A job
+  arriving with ``deadline_cycles <= 0`` or to a full queue raises
+  :class:`~repro.errors.RejectedError` internally and finishes
+  ``REJECTED`` immediately: the runtime sheds load explicitly rather
+  than queueing unboundedly.  High-priority jobs may use a small
+  reserve beyond the base queue depth.
+* **Deadlines** — enforced against the simulated clock.  A job whose
+  deadline expires while queued is finalised ``TIMEOUT`` (via
+  :class:`~repro.errors.DeadlineError`) without occupying a device; a
+  job that completes past its deadline is also ``TIMEOUT`` (the answer
+  stays attached — it is correct, merely late).
+* **Retry-on-another-device** — a :class:`~repro.errors.FaultError` or
+  :class:`~repro.errors.CorruptionError` consumes one attempt, charges
+  the sick device the wasted cycles, feeds its breaker, and requeues
+  the job for a device it has not tried yet.
+* **Graceful degradation** — when attempts are exhausted (or every
+  breaker is open), the job runs on the golden reference kernels and
+  finishes ``DEGRADED``: numerically correct, explicitly marked, priced
+  at ``reference_slowdown`` × the workload's nominal cycles.  The
+  runtime never silently returns a wrong or missing answer; ``FAILED``
+  is reserved for jobs no path could answer (e.g. an unknown dataset).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import DeadlineError, RejectedError, ReproError
+from repro.runtime.jobs import Job, JobResult, JobStatus
+from repro.runtime.metrics import PoolReport, build_report
+from repro.runtime.pool import (
+    DEFAULT_REFERENCE_SLOWDOWN,
+    Device,
+    DevicePool,
+    value_crc,
+)
+
+
+@dataclass(frozen=True)
+class SchedulerConfig:
+    """Serving-policy knobs (cycle units are simulated cycles)."""
+
+    #: Bounded waiting-queue depth for normal-priority jobs.
+    queue_depth: int = 32
+    #: Extra queue slots only jobs with priority >= 2 may occupy.
+    high_priority_reserve: int = 8
+    #: Accelerator attempts per job before degrading to the reference.
+    max_attempts: int = 3
+    #: Latency multiplier of the reference fallback vs nominal cycles.
+    reference_slowdown: float = DEFAULT_REFERENCE_SLOWDOWN
+
+
+class _JobState:
+    """Mutable scheduling state for one admitted job."""
+
+    __slots__ = ("job", "ready", "attempts", "tried")
+
+    def __init__(self, job: Job) -> None:
+        self.job = job
+        #: Earliest cycle the job may next be dispatched.
+        self.ready = job.arrival_cycle
+        self.attempts = 0
+        self.tried: Set[int] = set()
+
+    @property
+    def deadline_at(self) -> float:
+        return self.job.arrival_cycle + self.job.deadline_cycles
+
+
+class Scheduler:
+    """Runs a trace of jobs over a :class:`DevicePool` to completion."""
+
+    def __init__(self, pool: DevicePool,
+                 config: Optional[SchedulerConfig] = None) -> None:
+        self.pool = pool
+        self.config = config or SchedulerConfig()
+        self.queue_peak = 0
+
+    # ------------------------------------------------------------------
+    # Admission control
+    # ------------------------------------------------------------------
+    def admit(self, job: Job, queue_length: int) -> None:
+        """Raise :class:`RejectedError` unless the job may be admitted."""
+        if job.deadline_cycles <= 0:
+            raise RejectedError(
+                f"job {job.job_id}: zero deadline budget is not "
+                f"serviceable")
+        capacity = self.config.queue_depth
+        if job.priority >= 2:
+            capacity += self.config.high_priority_reserve
+        if queue_length >= capacity:
+            raise RejectedError(
+                f"job {job.job_id}: queue full "
+                f"({queue_length}/{capacity})")
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+    def run(self, jobs: Sequence[Job]) -> Tuple[List[JobResult], PoolReport]:
+        """Serve every job; returns results (job order) and the report."""
+        arrivals = deque(sorted(jobs,
+                                key=lambda j: (j.arrival_cycle, j.job_id)))
+        waiting: List[_JobState] = []
+        results: Dict[int, JobResult] = {}
+        now = 0.0
+
+        while arrivals or waiting:
+            while arrivals and arrivals[0].arrival_cycle <= now:
+                self._admit_at(arrivals.popleft(), waiting, results)
+            if self._dispatch(now, waiting, results):
+                continue
+            next_now = self._next_event(now, arrivals, waiting)
+            if next_now is None:
+                # No future event can unblock the queue (should be
+                # unreachable — degradation guarantees progress); shed
+                # whatever is left rather than spin.
+                for state in list(waiting):
+                    waiting.remove(state)
+                    self._degrade(state, now, results)
+                break
+            now = next_now
+
+        ordered = [results[j.job_id] for j in
+                   sorted(jobs, key=lambda j: j.job_id)]
+        return ordered, build_report(ordered, self.pool, self.queue_peak)
+
+    # ------------------------------------------------------------------
+    def _admit_at(self, job: Job, waiting: List[_JobState],
+                  results: Dict[int, JobResult]) -> None:
+        try:
+            self.admit(job, queue_length=len(waiting))
+        except RejectedError as exc:
+            results[job.job_id] = JobResult(
+                job_id=job.job_id, status=JobStatus.REJECTED,
+                finish_cycle=job.arrival_cycle, error=str(exc))
+            return
+        waiting.append(_JobState(job))
+        self.queue_peak = max(self.queue_peak, len(waiting))
+
+    def _next_event(self, now: float, arrivals, waiting) -> Optional[float]:
+        """Earliest strictly-future event, or None if nothing is left."""
+        times: List[float] = []
+        if arrivals:
+            times.append(arrivals[0].arrival_cycle)
+        for d in self.pool.devices:
+            if d.busy_until > now:
+                times.append(d.busy_until)
+            reopen = d.breaker.reopen_at
+            if reopen is not None and reopen > now:
+                times.append(reopen)
+        for s in waiting:
+            if s.ready > now:
+                times.append(s.ready)
+            if s.deadline_at > now:
+                times.append(s.deadline_at)
+        future = [t for t in times if t > now]
+        return min(future) if future else None
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    def _dispatch(self, now: float, waiting: List[_JobState],
+                  results: Dict[int, JobResult]) -> bool:
+        """Place/finalise every job actionable at ``now``.
+
+        Returns True when any progress was made (the caller re-enters
+        before advancing the clock).
+        """
+        progressed = False
+        while True:
+            eligible = [s for s in waiting if s.ready <= now]
+            if not eligible:
+                return progressed
+            # Deterministic service order: priority desc, then FIFO.
+            eligible.sort(key=lambda s: (-s.job.priority, s.job.job_id))
+
+            # 1. Expire deadlines of queued jobs before placing work.
+            expired = [s for s in eligible if now >= s.deadline_at]
+            if expired:
+                for state in expired:
+                    waiting.remove(state)
+                    self._finalize_timeout(state, now, results)
+                progressed = True
+                continue
+
+            free = [d for d in self.pool.devices
+                    if d.busy_until <= now and d.breaker.allows(now)]
+
+            # 2. Total outage: every breaker refuses traffic — shed the
+            # head-of-line job to the reference path immediately instead
+            # of queueing against a pool that is entirely sick.
+            if not free and self.pool.open_breakers(now) == len(self.pool):
+                state = eligible[0]
+                waiting.remove(state)
+                self._degrade(state, now, results)
+                progressed = True
+                continue
+
+            # 3. Place the best job on the best untried free device.
+            placed = False
+            for state in eligible:
+                candidates = [d for d in free
+                              if d.device_id not in state.tried]
+                if not candidates:
+                    continue
+                # Least-loaded routing, id tie-break.  Deliberately
+                # health-blind: the breaker is the health gate, and
+                # biasing placement away from a shaky-but-closed device
+                # would starve its window below min_samples so it could
+                # never actually trip.
+                device = min(candidates,
+                             key=lambda d: (d.busy_cycles, d.device_id))
+                waiting.remove(state)
+                self._execute(state, device, now, waiting, results)
+                placed = True
+                progressed = True
+                break
+            if not placed:
+                return progressed
+
+    # ------------------------------------------------------------------
+    # Attempt execution and finalisation
+    # ------------------------------------------------------------------
+    def _execute(self, state: _JobState, device: Device, now: float,
+                 waiting: List[_JobState],
+                 results: Dict[int, JobResult]) -> None:
+        job = state.job
+        state.attempts += 1
+        state.tried.add(device.device_id)
+        device.breaker.on_dispatch()
+        try:
+            att = device.attempt(job, self.pool)
+        except ReproError as exc:
+            # Not a device fault — the job itself is unserviceable
+            # (unknown dataset/kernel, bad config).  No retry can help.
+            results[job.job_id] = JobResult(
+                job_id=job.job_id, status=JobStatus.FAILED,
+                device_id=device.device_id, attempts=state.attempts,
+                finish_cycle=now,
+                error=f"{type(exc).__name__}: {exc}")
+            return
+        finish = now + att.cycles
+        device.busy_until = finish
+        device.busy_cycles += att.cycles
+
+        if att.ok:
+            device.breaker.on_success()
+            latency = finish - job.arrival_cycle
+            if latency > job.deadline_cycles:
+                status, error = JobStatus.TIMEOUT, (
+                    f"completed {latency - job.deadline_cycles:.0f} "
+                    f"cycles past deadline")
+            else:
+                status, error = JobStatus.OK, ""
+            results[job.job_id] = JobResult(
+                job_id=job.job_id, status=status,
+                device_id=device.device_id, attempts=state.attempts,
+                latency_cycles=latency, finish_cycle=finish,
+                value_crc=value_crc(att.values), error=error)
+            return
+
+        # Device fault: feed the breaker, then retry elsewhere or
+        # degrade.  The breaker opens at the dispatch cycle so its
+        # cooldown is measured purely in simulated time.
+        device.breaker.on_failure(now)
+        exhausted = (state.attempts >= self.config.max_attempts
+                     or len(state.tried) >= len(self.pool))
+        if exhausted:
+            self._degrade(state, finish, results, last_error=att.error,
+                          device_id=device.device_id)
+        else:
+            state.ready = finish
+            waiting.append(state)
+            self.queue_peak = max(self.queue_peak, len(waiting))
+
+    def _finalize_timeout(self, state: _JobState, now: float,
+                          results: Dict[int, JobResult]) -> None:
+        job = state.job
+        err = DeadlineError(
+            f"job {job.job_id}: deadline of {job.deadline_cycles:.0f} "
+            f"cycles expired at cycle {now:.0f} before execution")
+        results[job.job_id] = JobResult(
+            job_id=job.job_id, status=JobStatus.TIMEOUT,
+            attempts=state.attempts,
+            latency_cycles=now - job.arrival_cycle,
+            finish_cycle=now, error=str(err))
+
+    def _degrade(self, state: _JobState, start: float,
+                 results: Dict[int, JobResult], last_error: str = "",
+                 device_id: int = -1) -> None:
+        """Answer on the reference path, explicitly marked DEGRADED."""
+        job = state.job
+        try:
+            values = self.pool.reference_values(job)
+        except Exception as exc:  # no path can answer this job
+            detail = f"{type(exc).__name__}: {exc}"
+            if last_error:
+                detail += f" (after {last_error})"
+            results[job.job_id] = JobResult(
+                job_id=job.job_id, status=JobStatus.FAILED,
+                device_id=device_id, attempts=state.attempts,
+                finish_cycle=start, error=detail)
+            return
+        cycles = (self.pool.nominal_cycles(job)
+                  * self.config.reference_slowdown)
+        finish = start + cycles
+        results[job.job_id] = JobResult(
+            job_id=job.job_id, status=JobStatus.DEGRADED,
+            device_id=-1, attempts=state.attempts,
+            latency_cycles=finish - job.arrival_cycle,
+            finish_cycle=finish, value_crc=value_crc(values),
+            error=last_error)

@@ -14,6 +14,7 @@ chose so that "the values in a cache line are used in succeeding cycles".
 
 from __future__ import annotations
 
+import zlib
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, Tuple
@@ -74,9 +75,15 @@ class LocalCache:
         return self.line_bytes // self.element_bytes
 
     def _locate(self, space: str, index: int) -> Tuple[int, Tuple[str, int]]:
-        """Map (space, element index) to (set index, line tag)."""
+        """Map (space, element index) to (set index, line tag).
+
+        The space name is folded in with a *stable* hash (CRC32), never
+        ``hash()``: per-process hash randomisation would make set
+        conflicts — and therefore every cycle count — differ from run
+        to run, breaking the simulator's bit-reproducibility contract.
+        """
         line_no = index // self.elements_per_line
-        set_idx = (hash(space) ^ line_no) % self._n_sets
+        set_idx = (zlib.crc32(space.encode()) ^ line_no) % self._n_sets
         return set_idx, (space, line_no)
 
     def _touch(self, space: str, index: int, dirty: bool) -> Tuple[float, bool]:

@@ -164,6 +164,25 @@ class FaultModel:
             ) from None
         return cls(rate=rate, seed=seed)
 
+    def spawn(self, index: int) -> "FaultModel":
+        """An independently-seeded sibling with the same parameters.
+
+        The serving runtime (:mod:`repro.runtime`) gives every device in
+        a pool its own injector so one device's fault history never
+        perturbs another's draw sequence: device ``i`` gets
+        ``spawn(i)``.  The derived seed is a fixed affine function of
+        the base seed, so a pool is reproducible from a single seed.
+        """
+        return FaultModel(
+            rate=self.rate,
+            seed=self.seed + 7919 * (index + 1),
+            kinds=self.kinds,
+            max_retries=self.max_retries,
+            backoff_cycles=self.backoff_cycles,
+            latency_spike_cycles=self.latency_spike_cycles,
+            persistent=self.persistent,
+        )
+
     def reset(self) -> None:
         """Rewind to the initial seeded state and clear the log."""
         self._rng = random.Random(self.seed)

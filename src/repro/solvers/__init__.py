@@ -1,6 +1,7 @@
 """Iterative solvers: PCG (Figure 2), plain CG, Jacobi smoothing."""
 
 from repro.solvers.backends import (
+    KNOWN_BACKENDS,
     AcceleratorBackend,
     ReferenceBackend,
     make_backend,
@@ -18,6 +19,7 @@ from repro.solvers.multigrid import (
 from repro.solvers.pcg import SolveResult, pcg
 
 __all__ = [
+    "KNOWN_BACKENDS",
     "AcceleratorBackend",
     "JacobiBackend",
     "MGLevel",

@@ -109,6 +109,28 @@ class TestSurveyAndExperiment:
             main(["frobnicate"])
 
 
+class TestServe:
+    def test_serve_clean_pool(self, capsys):
+        assert main(["serve", "--requests", "20", "--devices", "2",
+                     "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "served 20 requests over 2 device(s)" in out
+        assert "degraded" in out and "breaker trips" in out
+        assert "latency p99" in out
+
+    def test_serve_output_deterministic(self, capsys):
+        assert main(["serve", "--requests", "30", "--devices", "2",
+                     "--fault-rate", "0.1", "--seed", "7"]) == 0
+        first = capsys.readouterr().out
+        assert main(["serve", "--requests", "30", "--devices", "2",
+                     "--fault-rate", "0.1", "--seed", "7"]) == 0
+        assert capsys.readouterr().out == first
+
+    def test_serve_bad_args_exit_2(self, capsys):
+        assert main(["serve", "--requests", "5", "--devices", "0"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
 class TestCompileAndValidate:
     def test_compile_writes_artifacts(self, tmp_path, capsys):
         out = tmp_path / "k"

@@ -7,6 +7,7 @@ import scipy.sparse as sp
 from repro.datasets import (
     banded,
     circuit_like,
+    clear_dataset_cache,
     clustered_power_law,
     list_datasets,
     load_dataset,
@@ -181,3 +182,39 @@ class TestRegistry:
             ds = load_dataset(name, scale=0.05)
             assert ds.nnz > 0
             assert ds.matrix.diagonal().sum() == 0.0
+
+
+class TestDatasetCache:
+    def test_repeat_load_returns_cached_instance(self):
+        clear_dataset_cache()
+        a = load_dataset("stencil27", scale=0.07)
+        b = load_dataset("stencil27", scale=0.07)
+        assert a is b
+
+    def test_cache_keyed_by_name_and_scale(self):
+        clear_dataset_cache()
+        a = load_dataset("stencil27", scale=0.07)
+        assert load_dataset("stencil27", scale=0.08) is not a
+        assert load_dataset("chem_master", scale=0.07) is not a
+
+    def test_clear_cache_forces_regeneration(self):
+        a = load_dataset("af_shell", scale=0.1)
+        clear_dataset_cache()
+        b = load_dataset("af_shell", scale=0.1)
+        assert a is not b
+        assert (a.matrix != b.matrix).nnz == 0
+
+    def test_cached_matrix_is_read_only(self):
+        # Cached instances are shared: in-place mutation would corrupt
+        # every later caller, so the buffers are frozen.
+        ds = load_dataset("stencil27", scale=0.05)
+        with pytest.raises(ValueError):
+            ds.matrix.data[0] = 123.0
+        with pytest.raises(ValueError):
+            ds.matrix.indices[0] = 0
+
+    def test_copy_is_writeable(self):
+        ds = load_dataset("stencil27", scale=0.05)
+        m = ds.matrix.copy()
+        m.data[0] = 123.0  # the documented mutation path
+        assert m.data[0] == 123.0

@@ -1,0 +1,147 @@
+"""Breaker state machine, health window, and device pool plumbing."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.runtime import CircuitBreaker, DevicePool, HealthWindow
+from repro.sim.faults import FaultModel
+
+
+def make_breaker(**kwargs):
+    kwargs.setdefault("failure_threshold", 0.5)
+    kwargs.setdefault("min_samples", 4)
+    kwargs.setdefault("cooldown_cycles", 1000.0)
+    return CircuitBreaker(HealthWindow(8), **kwargs)
+
+
+class TestHealthWindow:
+    def test_rolling_failure_rate(self):
+        h = HealthWindow(4)
+        assert h.failure_rate == 0.0
+        for ok in (True, False, False, True):
+            h.record(ok)
+        assert h.failure_rate == 0.5
+        # Window rolls: the two oldest outcomes fall out.
+        h.record(False)
+        h.record(False)
+        assert h.failure_rate == 0.75
+        assert h.samples == 4
+        # Lifetime totals keep counting past the window.
+        assert h.successes == 2
+        assert h.failures == 4
+
+    def test_reset_clears_window_not_totals(self):
+        h = HealthWindow(4)
+        h.record(False)
+        h.reset()
+        assert h.samples == 0
+        assert h.failure_rate == 0.0
+        assert h.failures == 1
+
+    def test_zero_window_rejected(self):
+        with pytest.raises(ConfigError):
+            HealthWindow(0)
+
+
+class TestCircuitBreaker:
+    def test_closed_until_threshold(self):
+        b = make_breaker()
+        # Three failures: below min_samples, stays closed.
+        for _ in range(3):
+            b.on_failure(now=0.0)
+        assert b.state == "closed"
+        assert b.allows(0.0)
+        # Fourth failure reaches min_samples at 100% failure: opens.
+        b.on_failure(now=50.0)
+        assert b.state == "open"
+        assert b.trips == 1
+        assert not b.allows(51.0)
+
+    def test_below_threshold_never_opens(self):
+        b = make_breaker()
+        for i in range(20):
+            b.on_success()
+            if i % 3 == 0:  # 1-in-3 failures < 0.5 threshold
+                b.on_failure(now=float(i))
+        assert b.state == "closed"
+        assert b.trips == 0
+
+    def test_cooldown_measured_in_cycles(self):
+        b = make_breaker(cooldown_cycles=1000.0)
+        for _ in range(4):
+            b.on_failure(now=200.0)
+        assert b.state == "open"
+        assert b.reopen_at == 1200.0
+        assert not b.allows(1199.9)
+        assert b.state == "open"
+        # Querying at/after the reopen cycle transitions to half-open.
+        assert b.allows(1200.0)
+        assert b.state == "half_open"
+
+    def test_half_open_single_probe(self):
+        b = make_breaker()
+        for _ in range(4):
+            b.on_failure(now=0.0)
+        assert b.allows(1000.0)
+        b.on_dispatch()  # probe claimed
+        assert not b.allows(1000.0)  # second job must wait
+
+    def test_probe_success_closes_and_resets_window(self):
+        b = make_breaker()
+        for _ in range(4):
+            b.on_failure(now=0.0)
+        b.allows(1000.0)
+        b.on_dispatch()
+        b.on_success()
+        assert b.state == "closed"
+        # The pre-outage failures were forgotten: one new failure must
+        # not immediately re-trip.
+        b.on_failure(now=1100.0)
+        assert b.state == "closed"
+        assert b.trips == 1
+
+    def test_probe_failure_reopens_with_fresh_cooldown(self):
+        b = make_breaker(cooldown_cycles=1000.0)
+        for _ in range(4):
+            b.on_failure(now=0.0)
+        b.allows(1000.0)
+        b.on_dispatch()
+        b.on_failure(now=1000.0)
+        assert b.state == "open"
+        assert b.trips == 2
+        assert b.reopen_at == 2000.0
+        assert not b.allows(1500.0)
+        assert b.allows(2000.0)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigError):
+            make_breaker(failure_threshold=0.0)
+        with pytest.raises(ConfigError):
+            make_breaker(cooldown_cycles=0.0)
+
+
+class TestFaultModelSpawn:
+    def test_spawn_is_independent_and_deterministic(self):
+        base = FaultModel(rate=0.5, seed=3, max_retries=7)
+        a1, a2 = base.spawn(0), base.spawn(0)
+        b = base.spawn(1)
+        assert a1.seed == a2.seed != b.seed != base.seed
+        assert a1.max_retries == 7
+        draws_a = [a1._rng.random() for _ in range(5)]
+        assert draws_a == [a2._rng.random() for _ in range(5)]
+        assert draws_a != [b._rng.random() for _ in range(5)]
+
+
+class TestDevicePool:
+    def test_devices_get_distinct_fault_seeds(self):
+        pool = DevicePool(3, fault_rate=0.2, seed=11)
+        seeds = {d.fault_model.seed for d in pool.devices}
+        assert len(seeds) == 3
+
+    def test_zero_rate_means_no_fault_models(self):
+        pool = DevicePool(2, fault_rate=0.0, seed=1)
+        assert all(d.fault_model is None for d in pool.devices)
+
+    def test_needs_a_device(self):
+        with pytest.raises(ConfigError):
+            DevicePool(0)

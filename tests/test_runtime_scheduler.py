@@ -1,0 +1,192 @@
+"""Scheduler policies: admission, deadlines, retries, degradation."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import load_dataset
+from repro.errors import RejectedError
+from repro.kernels.spmv import to_csr
+from repro.runtime import (
+    DevicePool,
+    Job,
+    JobStatus,
+    Scheduler,
+    SchedulerConfig,
+    serve,
+    value_crc,
+)
+from repro.sim.faults import FaultModel
+
+SCALE = 0.05
+
+
+def job(job_id, arrival=0.0, deadline=50_000.0, priority=0,
+        kernel="spmv", dataset="stencil27"):
+    return Job(job_id=job_id, kernel=kernel, dataset=dataset,
+               scale=SCALE, arrival_cycle=arrival,
+               deadline_cycles=deadline, priority=priority,
+               seed=1000 + job_id)
+
+
+def run(jobs, n_devices=2, fault_rate=0.0, seed=0, **sched_kwargs):
+    pool = DevicePool(n_devices, fault_rate=fault_rate, seed=seed)
+    scheduler = Scheduler(pool, SchedulerConfig(**sched_kwargs))
+    return scheduler.run(jobs)
+
+
+class TestAdmission:
+    def test_zero_deadline_rejected_not_executed(self):
+        results, report = run([job(0, deadline=0.0), job(1)])
+        assert results[0].status is JobStatus.REJECTED
+        assert results[0].attempts == 0
+        assert "deadline" in results[0].error
+        assert results[1].status is JobStatus.OK
+        assert report.rejected == 1
+
+    def test_queue_full_rejects_instead_of_blocking(self):
+        # 8 simultaneous arrivals into a queue of 3 over 1 device: the
+        # overflow is rejected immediately, never queued.
+        jobs = [job(i, arrival=0.0) for i in range(8)]
+        results, report = run(jobs, n_devices=1, queue_depth=3,
+                              high_priority_reserve=0)
+        rejected = [r for r in results if r.status is JobStatus.REJECTED]
+        assert len(rejected) == 5
+        assert all("queue full" in r.error for r in rejected)
+        assert report.admitted == 3
+
+    def test_high_priority_reserve(self):
+        # Queue saturated by normal jobs; a priority-2 job still fits
+        # in the reserve slot, a second priority-0 job does not.
+        jobs = [job(i, arrival=0.0) for i in range(3)]
+        jobs.append(job(3, arrival=0.0, priority=2))
+        jobs.append(job(4, arrival=0.0, priority=0))
+        results, _ = run(jobs, n_devices=1, queue_depth=3,
+                         high_priority_reserve=1)
+        assert results[3].status is not JobStatus.REJECTED
+        assert results[4].status is JobStatus.REJECTED
+
+    def test_admit_raises_rejected_error(self):
+        pool = DevicePool(1)
+        sched = Scheduler(pool, SchedulerConfig(queue_depth=2))
+        with pytest.raises(RejectedError, match="queue full"):
+            sched.admit(job(0), queue_length=2)
+        with pytest.raises(RejectedError, match="deadline"):
+            sched.admit(job(1, deadline=0.0), queue_length=0)
+
+
+class TestDeadlines:
+    def test_queued_job_times_out_at_deadline(self):
+        # Two jobs, one device: the second waits behind the first and
+        # its 1-cycle deadline expires in the queue.
+        results, report = run([job(0), job(1, deadline=1.0)], n_devices=1)
+        assert results[0].status is JobStatus.OK
+        assert results[1].status is JobStatus.TIMEOUT
+        assert results[1].value_crc == 0  # never executed
+        assert "deadline" in results[1].error
+        assert report.timeout == 1
+
+    def test_late_completion_is_timeout_with_answer(self):
+        # Deadline shorter than the service time: the job runs but
+        # finishes late; the (correct) answer stays attached.
+        results, _ = run([job(0, deadline=10.0)], n_devices=1)
+        assert results[0].status is JobStatus.TIMEOUT
+        assert results[0].value_crc != 0
+        assert results[0].latency_cycles > 10.0
+
+    def test_priority_order_under_contention(self):
+        # Same arrival cycle, one device: the priority-2 job must be
+        # placed first even though it was submitted last.
+        jobs = [job(0), job(1), job(2, priority=2)]
+        results, _ = run(jobs, n_devices=1)
+        finish = {r.job_id: r.finish_cycle for r in results}
+        assert finish[2] < finish[0] < finish[1]
+
+
+class TestRetryAndDegradation:
+    def test_retry_on_another_device(self):
+        # Device 0 is persistently sick; device 1 is clean.  Every job
+        # first placed on device 0 fails there and must succeed on
+        # device 1 within its retry budget.
+        pool = DevicePool(2, fault_rate=0.0, seed=0)
+        pool.devices[0].fault_model = FaultModel(
+            rate=1.0, seed=5, persistent=True)
+        scheduler = Scheduler(pool, SchedulerConfig())
+        jobs = [job(i, arrival=i * 3000.0) for i in range(6)]
+        results, report = scheduler.run(jobs)
+        assert all(r.status in (JobStatus.OK, JobStatus.DEGRADED)
+                   for r in results)
+        retried = [r for r in results if r.attempts > 1]
+        assert retried, "device 0 failures must trigger retries"
+        assert all(r.device_id == 1 for r in retried
+                   if r.status is JobStatus.OK)
+        assert pool.devices[0].health.failures > 0
+        assert report.retries > 0
+
+    def test_sick_device_breaker_opens(self):
+        pool = DevicePool(2, fault_rate=0.0, seed=0)
+        pool.devices[0].fault_model = FaultModel(
+            rate=1.0, seed=5, persistent=True)
+        scheduler = Scheduler(pool, SchedulerConfig())
+        jobs = [job(i, arrival=i * 3000.0) for i in range(12)]
+        _, report = scheduler.run(jobs)
+        assert pool.devices[0].breaker.trips >= 1
+        assert report.breaker_trips >= 1
+
+    def test_all_devices_sick_degrades_never_fails(self):
+        # rate=1.0 everywhere: every accelerator attempt dies, so every
+        # admitted job must come back DEGRADED — explicitly marked,
+        # numerically correct — and none may FAIL.
+        jobs = [job(i, arrival=i * 8000.0, deadline=200_000.0)
+                for i in range(5)]
+        results, report = run(jobs, n_devices=2, fault_rate=1.0, seed=3)
+        assert report.failed == 0
+        degraded = [r for r in results if r.status is JobStatus.DEGRADED]
+        assert degraded, "sick pool must shed to the reference path"
+        ds = load_dataset("stencil27", scale=SCALE)
+        csr = to_csr(ds.matrix)
+        for r in degraded:
+            j = jobs[r.job_id]
+            x = np.random.default_rng(j.seed).normal(size=ds.n)
+            assert r.value_crc == value_crc(csr.spmv(x))
+
+    def test_unknown_dataset_fails_loudly(self):
+        results, report = run([job(0, dataset="no-such-matrix")])
+        assert results[0].status is JobStatus.FAILED
+        assert "no-such-matrix" in results[0].error
+        assert report.failed == 1
+
+
+class TestKernels:
+    @pytest.mark.parametrize("kernel", ["symgs", "pcg"])
+    def test_other_kernels_serve_ok(self, kernel):
+        results, report = run(
+            [job(0, kernel=kernel, deadline=1e9)], n_devices=1)
+        assert results[0].status is JobStatus.OK
+        assert results[0].value_crc != 0
+
+
+class TestServeEntryPoint:
+    def test_acceptance_sweep(self):
+        # The ISSUE's acceptance scenario at moderate rate: clean
+        # finish, deterministic across two fresh runs.
+        res_a, rep_a = serve(n_requests=60, n_devices=4,
+                             fault_rate=0.05, seed=7)
+        res_b, rep_b = serve(n_requests=60, n_devices=4,
+                             fault_rate=0.05, seed=7)
+        assert rep_a == rep_b
+        assert res_a == res_b
+        assert rep_a.failed == 0
+
+    def test_high_fault_rate_trips_breakers_and_degrades(self):
+        results, report = serve(n_requests=200, n_devices=4,
+                                fault_rate=0.3, seed=7)
+        assert report.breaker_trips >= 1
+        assert report.degraded >= 1
+        assert report.failed == 0
+        # Zero-deadline arrivals exist in this trace and were rejected
+        # at admission, not executed.
+        rejected = [r for r in results
+                    if r.status is JobStatus.REJECTED and "deadline"
+                    in r.error]
+        assert rejected
+        assert all(r.attempts == 0 for r in rejected)

@@ -105,7 +105,10 @@ class TestPCGAccelerated:
         assert isinstance(make_backend(banded_spd), ReferenceBackend)
         assert isinstance(make_backend(banded_spd, "alrescha"),
                           AcceleratorBackend)
-        with pytest.raises(ValueError):
+
+    def test_make_backend_unknown_is_config_error(self, banded_spd):
+        from repro.errors import ConfigError
+        with pytest.raises(ConfigError, match="reference.*alrescha"):
             make_backend(banded_spd, "tpu")
 
 
