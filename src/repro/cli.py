@@ -13,9 +13,15 @@ Commands
 * ``serve --requests N --devices D --fault-rate R --seed S`` — run a
   seeded workload trace through the multi-device serving runtime and
   print its :class:`~repro.runtime.PoolReport`.
+* ``trace KERNEL [--out FILE] [--check]`` — record a cycle-attributed
+  span trace of one kernel run, print the per-phase attribution table,
+  optionally export Chrome/Perfetto JSON and run the invariant checks.
+  ``run`` and ``serve`` also accept ``--trace FILE`` to export a trace
+  of their normal execution.
 
-Exit codes: 0 success; 1 validation failure (``validate``); 2 invalid
-input (dataset/format/config errors); 3 unrecovered injected fault;
+Exit codes: 0 success; 1 validation failure (``validate``) or trace
+invariant violation (``trace --check``); 2 invalid input
+(dataset/format/config errors); 3 unrecovered injected fault;
 4 ``serve`` finished with at least one ``FAILED`` job.
 """
 
@@ -69,17 +75,33 @@ def _print_report(report) -> None:
     print(f"  energy          : {report.energy_j * 1e6:.3f} uJ")
 
 
-def _fault_config(args):
-    """Build the AlreschaConfig for ``run`` from ``--inject-faults``.
+def _run_config(args):
+    """``(config, tracer)`` for ``run`` from ``--inject-faults``/``--trace``.
 
-    Returns ``None`` when injection is off so every kernel keeps its
-    historical default configuration (bit-identical clean path).
+    Returns ``(None, None)`` when both are off so every kernel keeps
+    its historical default configuration (bit-identical clean path);
+    the tracer never changes outputs either way.
     """
-    if not args.inject_faults:
-        return None
+    tracer = None
+    if getattr(args, "trace", None):
+        from repro.observe import Tracer
+        tracer = Tracer()
+    if not args.inject_faults and tracer is None:
+        return None, None
     from repro.core import AlreschaConfig
     from repro.sim.faults import FaultModel
-    return AlreschaConfig(fault_model=FaultModel.parse(args.inject_faults))
+    fault_model = (FaultModel.parse(args.inject_faults)
+                   if args.inject_faults else None)
+    return AlreschaConfig(fault_model=fault_model, tracer=tracer), tracer
+
+
+def _write_trace(tracer, path) -> None:
+    """Export a recorded trace as Chrome/Perfetto JSON (no-op untraced)."""
+    if tracer is None or path is None:
+        return
+    from repro.observe import write_chrome_trace
+    nbytes = write_chrome_trace(tracer, path)
+    print(f"trace written: {path} ({len(tracer)} spans, {nbytes} bytes)")
 
 
 def _print_fault_counters(report) -> None:
@@ -98,7 +120,7 @@ def cmd_run(args) -> int:
                              run_sssp)
     from repro.solvers import AcceleratorBackend, pcg, run_hpcg
 
-    config = _fault_config(args)
+    config, tracer = _run_config(args)
     if args.kernel == "hpcg":
         dim = max(4, int(round(16 * args.scale ** (1 / 3))))
         result = run_hpcg(dim, dim, dim, iterations=args.iterations,
@@ -106,6 +128,7 @@ def cmd_run(args) -> int:
         print(f"HPCG {dim}^3: {result.gflops:.3f} GFLOP/s simulated "
               f"({result.iterations} iterations, "
               f"BW util {result.bandwidth_utilization:.2%})")
+        _write_trace(tracer, args.trace)
         return 0
 
     ds = _dataset(args.dataset, args.scale)
@@ -135,7 +158,7 @@ def cmd_run(args) -> int:
         checkpoint = 5 if args.inject_faults else 0
         result = pcg(backend, rng.normal(size=ds.n), tol=1e-8,
                      max_iter=args.iterations,
-                     checkpoint_interval=checkpoint)
+                     checkpoint_interval=checkpoint, tracer=tracer)
         extra = (f", {result.restarts} restarts"
                  if args.inject_faults else "")
         print(f"PCG on {ds.name}: converged={result.converged} in "
@@ -172,6 +195,7 @@ def cmd_run(args) -> int:
         _print_fault_counters(result.report)
     else:  # pragma: no cover - argparse restricts choices
         raise SystemExit(f"unknown kernel {args.kernel}")
+    _write_trace(tracer, args.trace)
     return 0
 
 
@@ -214,19 +238,79 @@ def cmd_serve(args) -> int:
     """Serve a seeded trace over the device pool (exit 4 on FAILED)."""
     from repro.runtime import SchedulerConfig, serve
 
+    tracer = None
+    if args.trace:
+        from repro.observe import Tracer
+        tracer = Tracer()
     sched = SchedulerConfig(queue_depth=args.queue_depth)
     results, report = serve(
         n_requests=args.requests, n_devices=args.devices,
         fault_rate=args.fault_rate, seed=args.seed, scale=args.scale,
-        scheduler_config=sched)
+        scheduler_config=sched, tracer=tracer)
     print(f"served {args.requests} requests over {args.devices} "
           f"device(s), fault rate {args.fault_rate:g}, seed {args.seed}:")
     print(report.render())
+    _write_trace(tracer, args.trace)
     if report.failed:
         failures = [r for r in results if r.status.value == "failed"]
         for r in failures[:5]:
             print(f"job {r.job_id} FAILED: {r.error}", file=sys.stderr)
         return 4
+    return 0
+
+
+def cmd_trace(args) -> int:
+    """Record one traced kernel run; print the attribution table.
+
+    ``--out`` exports Chrome/Perfetto JSON; ``--check`` runs the trace
+    invariant suite and exits 1 if any violation is found (so the
+    ablation ``--no-hide-reconfig`` fails the reconfig-containment
+    check visibly).
+    """
+    from repro.core import Alrescha, AlreschaConfig, KernelType
+    from repro.observe import (
+        Tracer,
+        attribution_table,
+        check_trace,
+        write_chrome_trace,
+    )
+    from repro.solvers import AcceleratorBackend, pcg
+
+    tracer = Tracer()
+    config = AlreschaConfig(
+        tracer=tracer,
+        hide_reconfig_under_drain=not args.no_hide_reconfig)
+    ds = _dataset(args.dataset, args.scale)
+    rng = np.random.default_rng(args.seed)
+    if args.kernel == "spmv":
+        acc = Alrescha.from_matrix(KernelType.SPMV, ds.matrix,
+                                   config=config)
+        _y, report = acc.run_spmv(rng.normal(size=ds.n))
+    elif args.kernel == "symgs":
+        acc = Alrescha.from_matrix(KernelType.SYMGS, ds.matrix,
+                                   config=config)
+        _x, report = acc.run_symgs_sweep(rng.normal(size=ds.n),
+                                         np.zeros(ds.n))
+    else:  # pcg
+        backend = AcceleratorBackend(ds.matrix, config=config)
+        result = pcg(backend, rng.normal(size=ds.n), tol=1e-8,
+                     max_iter=args.iterations, tracer=tracer)
+        report = result.report
+    print(f"{args.kernel} on {ds.name} (n={ds.n}): "
+          f"{len(tracer)} spans, {report.cycles:,.0f} cycles")
+    print(attribution_table(tracer))
+    if args.out:
+        nbytes = write_chrome_trace(tracer, args.out)
+        print(f"trace written: {args.out} ({nbytes} bytes)")
+    if args.check:
+        violations = check_trace(tracer)
+        if violations:
+            for v in violations[:10]:
+                print(f"violation: {v}", file=sys.stderr)
+            print(f"trace invariants: {len(violations)} violation(s)",
+                  file=sys.stderr)
+            return 1
+        print("trace invariants: ok")
     return 0
 
 
@@ -289,6 +373,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="inject transfer faults at the given per-block probability "
              "(deterministic under the optional seed), e.g. 0.01:42",
     )
+    p.add_argument(
+        "--trace", metavar="FILE", default=None,
+        help="export a cycle-attributed Chrome/Perfetto trace to FILE",
+    )
     p.set_defaults(func=cmd_run)
 
     p = sub.add_parser("survey", help="Figure 12 format survey")
@@ -324,7 +412,31 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--scale", type=float, default=0.05)
     p.add_argument("--queue-depth", type=int, default=32)
+    p.add_argument(
+        "--trace", metavar="FILE", default=None,
+        help="export a cycle-attributed Chrome/Perfetto trace to FILE",
+    )
     p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "trace",
+        help="record a cycle-attributed span trace of one kernel run",
+    )
+    p.add_argument("kernel", choices=["spmv", "symgs", "pcg"])
+    p.add_argument("--dataset", default="stencil27")
+    p.add_argument("--scale", type=float, default=0.05)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--iterations", type=int, default=10,
+                   help="PCG iteration cap (pcg only)")
+    p.add_argument("--out", "-o", metavar="FILE", default=None,
+                   help="write Chrome/Perfetto JSON to FILE")
+    p.add_argument("--no-hide-reconfig", action="store_true",
+                   help="ablation: expose reconfiguration latency "
+                        "instead of hiding it under the drain")
+    p.add_argument("--check", action="store_true",
+                   help="run the trace invariant checks (exit 1 on "
+                        "violation)")
+    p.set_defaults(func=cmd_trace)
 
     p = sub.add_parser("experiment", help="regenerate one paper figure")
     p.add_argument("figure", choices=["fig3", "fig6", "fig15", "fig16",

@@ -60,6 +60,7 @@ from repro.core.datapaths import (
 from repro.core.fcu import DEFAULT_N_ALUS, FixedComputeUnit
 from repro.core.plan import KERNEL_PLAN_KINDS, compile_pass
 from repro.core.report import SimReport
+from repro.observe.tracer import PassTraceBuilder, Tracer
 from repro.core.rcu import RCUConfig, ReconfigurableComputeUnit
 from repro.sim.cache import LocalCache
 from repro.sim.energy import EnergyModel
@@ -115,6 +116,12 @@ class AlreschaConfig:
     #: Cross-check mismatches tolerated before the accelerator degrades
     #: plans to the legacy interpreter with checksums forced on.
     crosscheck_threshold: int = 1
+    #: Optional :class:`~repro.observe.tracer.Tracer` recording
+    #: cycle-attributed spans of every pass (engine windows, drains,
+    #: reconfigs, channel streams).  None — the default — is the
+    #: untraced path: outputs and reports stay bit-identical and each
+    #: instrumentation site costs one ``is None`` branch.
+    tracer: Optional[Tracer] = None
     energy_model: EnergyModel = field(default_factory=EnergyModel)
 
     @property
@@ -215,6 +222,18 @@ class Alrescha:
         self._crosscheck_failures: int = 0
         self._plan_degraded: bool = False
         self._force_verify: bool = False
+        #: Set while a plan captures its *span template*: the capture
+        #: tracer shadows ``config.tracer`` so template spans never leak
+        #: into the user's trace (mirrors ``_suppress_faults``).
+        self._capture_tracer: Optional[Tracer] = None
+
+    @property
+    def tracer(self) -> Optional[Tracer]:
+        """The tracer runs record into: the plan-capture tracer while a
+        template is being captured, else the configured one (if any)."""
+        if self._capture_tracer is not None:
+            return self._capture_tracer
+        return self.config.tracer
 
     # ------------------------------------------------------------------
     # Programming (host side, one-time per matrix+kernel)
@@ -442,6 +461,10 @@ class Alrescha:
         rcu = self.config.make_rcu()
         mem = self.config.make_memory()
         timing = self.config.timing()
+        tracer = self.tracer
+        mem.tracer = tracer
+        tb = (PassTraceBuilder(tracer, "spmm")
+              if tracer is not None else None)
         for col in range(k):
             rcu.load_operand(f"x{col}", x[:, col])
 
@@ -460,16 +483,25 @@ class Alrescha:
             acc = np.zeros((w, k))
             for op in group.streaming:
                 if prev_dp is not op.dp:
-                    exposed += rcu.reconfigure(
-                        op.dp,
-                        timing.drain(prev_dp) if prev_dp
-                        else rcu.config.reconfig_cycles)
-                    fills += timing.pipeline_fill(op.dp)
+                    drain = (timing.drain(prev_dp) if prev_dp
+                             else rcu.config.reconfig_cycles)
+                    step_exposed = rcu.reconfigure(op.dp, drain)
+                    exposed += step_exposed
+                    fill = timing.pipeline_fill(op.dp)
+                    fills += fill
+                    if tb is not None:
+                        tb.switch(op.dp.value,
+                                  prev_dp.value if prev_dp else None,
+                                  drain, rcu.config.reconfig_cycles,
+                                  step_exposed,
+                                  rcu.config.hide_under_drain, fill)
                     prev_dp = op.dp
                 values, fault_extra = self._stream_op(mem, op)
                 stream_cycles += spb + fault_extra
-                compute_cycles += k \
-                    * timing.compute_cycles_per_block(op.dp)
+                block_compute = k * timing.compute_cycles_per_block(op.dp)
+                compute_cycles += block_compute
+                if tb is not None:
+                    tb.block(block_compute, spb + fault_extra)
                 for col in range(k):
                     chunk = rcu.read_chunk(f"x{col}", op.inx_in, w)
                     acc[:, col] += gemv_block(fcu, values, chunk,
@@ -491,6 +523,9 @@ class Alrescha:
             extra_stream_bytes=writeback_bytes + miss_bytes,
         )
         report.useful_bytes *= 1.0  # matrix streamed once regardless of k
+        if tb is not None:
+            tb.finish(report, gap_name="stream_wait", args={
+                "extra_stream_bytes": writeback_bytes + miss_bytes})
         return y, report
 
     def run_sptrsv(self, b: np.ndarray) -> Tuple[np.ndarray, SimReport]:
@@ -594,6 +629,10 @@ class Alrescha:
         rcu = self.config.make_rcu()
         mem = self.config.make_memory()
         timing = self.config.timing()
+        tracer = self.tracer
+        mem.tracer = tracer
+        tb = (PassTraceBuilder(tracer, "bfs-parents")
+              if tracer is not None else None)
         rcu.load_operand("dist", dist)
 
         new_dist = dist.copy()
@@ -614,15 +653,25 @@ class Alrescha:
             best_parent = np.full(w, -1, dtype=np.int64)
             for op in group.streaming:
                 if prev_dp is not op.dp:
-                    exposed += rcu.reconfigure(
-                        op.dp,
-                        timing.drain(prev_dp) if prev_dp
-                        else rcu.config.reconfig_cycles)
-                    fills += timing.pipeline_fill(op.dp)
+                    drain = (timing.drain(prev_dp) if prev_dp
+                             else rcu.config.reconfig_cycles)
+                    step_exposed = rcu.reconfigure(op.dp, drain)
+                    exposed += step_exposed
+                    fill = timing.pipeline_fill(op.dp)
+                    fills += fill
+                    if tb is not None:
+                        tb.switch(op.dp.value,
+                                  prev_dp.value if prev_dp else None,
+                                  drain, rcu.config.reconfig_cycles,
+                                  step_exposed,
+                                  rcu.config.hide_under_drain, fill)
                     prev_dp = op.dp
                 values, fault_extra = self._stream_op(mem, op)
                 stream_cycles += spb + fault_extra
-                compute_cycles += timing.compute_cycles_per_block(op.dp)
+                cpb = timing.compute_cycles_per_block(op.dp)
+                compute_cycles += cpb
+                if tb is not None:
+                    tb.block(cpb, spb + fault_extra)
                 chunk = rcu.read_chunk("dist", op.inx_in, w)
                 cand, lanes = dbfs_block(fcu, values, chunk,
                                          with_argmin=True)
@@ -653,6 +702,9 @@ class Alrescha:
             {"d-bfs": compute_cycles},
             extra_stream_bytes=writeback_bytes + miss_bytes,
         )
+        if tb is not None:
+            tb.finish(report, gap_name="stream_wait", args={
+                "extra_stream_bytes": writeback_bytes + miss_bytes})
         return new_dist, new_parent, report
 
     def run_sssp_pass(self, dist: np.ndarray) -> Tuple[np.ndarray, SimReport]:
@@ -750,6 +802,10 @@ class Alrescha:
         rcu = self.config.make_rcu()
         mem = self.config.make_memory()
         timing = self.config.timing()
+        tracer = self.tracer
+        mem.tracer = tracer
+        tb = (PassTraceBuilder(tracer, "symgs")
+              if tracer is not None else None)
 
         rcu.load_operand("x_prev", x_prev)
         rcu.load_operand("x_curr", x_prev.copy())
@@ -768,13 +824,26 @@ class Alrescha:
         for group in self._rows:
             row_stream = 0.0
             row_gemv_compute = 0.0
+            # Data-path switches of this row, recorded as they are
+            # charged and laid onto the trace only once the row's
+            # windows are measured (the GEMV window's width — and hence
+            # the drain anchor — depends on the whole row's stream).
+            trans_gemv: List[Tuple[str, Optional[str], float, float, float]] = []
+            trans_diag: List[Tuple[str, Optional[str], float, float, float]] = []
+            ablation_penalty = 0.0
             for op in group.streaming:
                 if prev_dp is not op.dp:
-                    exposed += rcu.reconfigure(
-                        op.dp,
-                        timing.drain(prev_dp) if prev_dp
-                        else rcu.config.reconfig_cycles)
-                    fills += timing.pipeline_fill(op.dp)
+                    drain = (timing.drain(prev_dp) if prev_dp
+                             else rcu.config.reconfig_cycles)
+                    step_exposed = rcu.reconfigure(op.dp, drain)
+                    exposed += step_exposed
+                    fill = timing.pipeline_fill(op.dp)
+                    fills += fill
+                    if tb is not None:
+                        trans_gemv.append((
+                            op.dp.value,
+                            prev_dp.value if prev_dp else None,
+                            drain, step_exposed, fill))
                     prev_dp = op.dp
                 values, fault_extra = self._stream_op(mem, op)
                 row_stream += spb + fault_extra
@@ -790,11 +859,17 @@ class Alrescha:
             if group.diagonal is not None:
                 op = group.diagonal
                 if prev_dp is not op.dp:
-                    exposed += rcu.reconfigure(
-                        op.dp,
-                        timing.drain(prev_dp) if prev_dp
-                        else rcu.config.reconfig_cycles)
-                    fills += timing.pipeline_fill(op.dp)
+                    drain = (timing.drain(prev_dp) if prev_dp
+                             else rcu.config.reconfig_cycles)
+                    step_exposed = rcu.reconfigure(op.dp, drain)
+                    exposed += step_exposed
+                    fill = timing.pipeline_fill(op.dp)
+                    fills += fill
+                    if tb is not None:
+                        trans_diag.append((
+                            op.dp.value,
+                            prev_dp.value if prev_dp else None,
+                            drain, step_exposed, fill))
                     prev_dp = op.dp
                 values, fault_extra = self._stream_op(mem, op)
                 row_stream += spb + fault_extra
@@ -812,8 +887,10 @@ class Alrescha:
                     rcu.counters.add("config_write", 2.0)
                     rcu.counters.add("reconfig_exposed_cycles", extra)
                     exposed += extra
-                    fills += timing.pipeline_fill(op.dp) \
+                    ablation_fills = timing.pipeline_fill(op.dp) \
                         + timing.pipeline_fill(DataPathType.GEMV)
+                    fills += ablation_fills
+                    ablation_penalty = extra + ablation_fills
                 start = op.block_row * w
                 valid = max(0, min(w, n - start))
                 acc = np.zeros(w, dtype=np.float64)
@@ -832,6 +909,11 @@ class Alrescha:
             chain_cycles += row_cycles
             stream_cycles += row_stream
             seq_cycles += dsymgs_compute
+            if tb is not None:
+                self._trace_symgs_row(
+                    tb, rcu, group, trans_gemv, trans_diag,
+                    row_stream, row_gemv_compute, dsymgs_compute,
+                    ablation_penalty)
 
         # Cache refills contend for the memory channel.
         miss_bytes = rcu.cache.counters.get("cache_misses") \
@@ -843,7 +925,61 @@ class Alrescha:
             "symgs", total, seq_cycles, fills, exposed, fcu, rcu, mem,
             dp_cycles, extra_stream_bytes=miss_bytes,
         )
+        if tb is not None:
+            tb.finish(report, gap_name="cache_refill",
+                      args={"extra_stream_bytes": miss_bytes})
         return result, report
+
+    @staticmethod
+    def _trace_symgs_row(tb: PassTraceBuilder,
+                         rcu: ReconfigurableComputeUnit, group: _RowGroup,
+                         trans_gemv, trans_diag, row_stream: float,
+                         row_gemv_compute: float, dsymgs_compute: float,
+                         ablation_penalty: float) -> None:
+        """Lay one measured SymGS block-row onto the engine timeline.
+
+        The GEMV window is ``max(row stream, row GEMV compute)`` — the
+        FIFO overlap of the row's stream with its partial-sum GEMVs —
+        and the D-SymGS window follows it, exactly the per-row term of
+        the pass cost model.  Switch spans recorded during the row
+        anchor at the window boundaries: the drain of the retiring path
+        occupies the window's tail with the reconfig span inside it
+        (or after it, exposed, under the hiding ablation).
+        """
+        reconfig = rcu.config.reconfig_cycles
+        hidden = rcu.config.hide_under_drain
+        tb.row_begin(group.block_row)
+        for dpv, prevv, drain, step_exposed, fill in trans_gemv:
+            if prevv is None:
+                tb.configure(dpv)
+            else:
+                tb.reconfigure(dpv, prevv, drain, reconfig, step_exposed,
+                               hidden)
+            tb.fill(dpv, fill)
+        gemv_window = max(row_stream, row_gemv_compute)
+        if group.streaming:
+            tb.window("gemv", gemv_window, args={
+                "row": group.block_row,
+                "compute_cycles": row_gemv_compute,
+                "stream_cycles": row_stream,
+            })
+        elif gemv_window > 0.0:
+            # A row with only a diagonal block still waits for its
+            # stream; no GEMV ran, so no window is drawn.
+            tb.advance(gemv_window)
+        for dpv, prevv, drain, step_exposed, fill in trans_diag:
+            if prevv is None:
+                tb.configure(dpv)
+            else:
+                tb.reconfigure(dpv, prevv, drain, reconfig, step_exposed,
+                               hidden)
+            tb.fill(dpv, fill)
+        if ablation_penalty > 0.0:
+            tb.advance(ablation_penalty)
+        if group.diagonal is not None:
+            tb.window("d-symgs", dsymgs_compute,
+                      args={"row": group.block_row})
+        tb.row_end()
 
     # ------------------------------------------------------------------
     # Shared streaming-pass machinery (SpMV, D-BFS, D-SSSP, D-PR)
@@ -870,6 +1006,10 @@ class Alrescha:
         rcu = self.config.make_rcu()
         mem = self.config.make_memory()
         timing = self.config.timing()
+        tracer = self.tracer
+        mem.tracer = tracer
+        tb = (PassTraceBuilder(tracer, kernel_name)
+              if tracer is not None else None)
         for name, vec in operand_vectors.items():
             rcu.load_operand(name, vec)
 
@@ -890,17 +1030,26 @@ class Alrescha:
             valid = max(0, min(w, n - start))
             for op in group.streaming:
                 if prev_dp is not op.dp:
-                    exposed += rcu.reconfigure(
-                        op.dp,
-                        timing.drain(prev_dp) if prev_dp
-                        else rcu.config.reconfig_cycles)
-                    fills += timing.pipeline_fill(op.dp)
+                    drain = (timing.drain(prev_dp) if prev_dp
+                             else rcu.config.reconfig_cycles)
+                    step_exposed = rcu.reconfigure(op.dp, drain)
+                    exposed += step_exposed
+                    fill = timing.pipeline_fill(op.dp)
+                    fills += fill
+                    if tb is not None:
+                        tb.switch(op.dp.value,
+                                  prev_dp.value if prev_dp else None,
+                                  drain, rcu.config.reconfig_cycles,
+                                  step_exposed,
+                                  rcu.config.hide_under_drain, fill)
                     prev_dp = op.dp
                 values, fault_extra = self._stream_op(mem, op)
                 stream_cycles += spb + fault_extra
                 cpb = timing.compute_cycles_per_block(op.dp)
                 compute_cycles += cpb
                 dp_cycles[op.dp.value] = dp_cycles.get(op.dp.value, 0.0) + cpb
+                if tb is not None:
+                    tb.block(cpb, spb + fault_extra)
                 chunks = {
                     name: rcu.read_chunk(name, op.inx_in, w)
                     for name in operand_vectors
@@ -924,6 +1073,9 @@ class Alrescha:
             kernel_name, total, 0.0, fills, exposed, fcu, rcu, mem,
             dp_cycles, extra_stream_bytes=writeback_bytes + miss_bytes,
         )
+        if tb is not None:
+            tb.finish(report, gap_name="stream_wait", args={
+                "extra_stream_bytes": writeback_bytes + miss_bytes})
         return output, report
 
     @staticmethod

@@ -52,6 +52,7 @@ from repro.errors import SimulationError
 from repro.core.config import DataPathType, KernelType, OperandPort
 from repro.core.datapaths import dsymgs_solve
 from repro.core.report import SimReport
+from repro.observe.tracer import Span, Tracer
 from repro.sim.faults import charge_event
 
 #: Pass kinds served by :class:`CompiledStreamingPass` (independent
@@ -142,6 +143,42 @@ def _apply_fault_events(report: SimReport, extra_cycles: float,
             report.streamed_bytes += nbytes
 
 
+def _replay_spans(acc, span_template: List[Span], extra_cycles: float,
+                  events) -> None:
+    """Replay a pass's captured span template onto the user's tracer.
+
+    The span analogue of cloning the report template: pass timing
+    depends only on block structure, so the spans captured at compile
+    time are exact for every run — shifted to each track's current
+    cursor.  Per-run fault recovery, which the template cannot know,
+    is appended live: ``retry`` spans on the channel track, and the
+    replayed pass span stretched by the recovered cycles so its
+    duration still matches the (fault-adjusted) report.
+    """
+    tracer = acc.config.tracer if acc is not None else None
+    if tracer is None or not span_template:
+        return
+    offsets = {}
+    for span in span_template:
+        if span.track not in offsets:
+            offsets[span.track] = tracer.cursor(span.track)
+    base = len(tracer.spans)
+    tracer.replay(span_template, offsets)
+    if extra_cycles > 0.0:
+        for span in tracer.spans[base:]:
+            if span.cat == "pass":
+                tracer.stretch(span.span_id, extra_cycles)
+    for event in events:
+        if event.extra_cycles > 0.0:
+            tracer.extend("channel", f"retry:{event.kind}", "retry",
+                          event.extra_cycles,
+                          {"restreams": float(event.restreams)},
+                          coalesce=False)
+        else:
+            tracer.instant_event(f"fault:{event.kind}", "fault",
+                                 tracer.cursor("channel"), "channel")
+
+
 def _verify_against_template(kind: str, artifacts: PassArtifacts,
                              template: SimReport,
                              n_requests: int) -> None:
@@ -179,7 +216,8 @@ class CompiledStreamingPass:
                  template: SimReport, acc=None,
                  checksums: Optional[List[int]] = None,
                  restream_cycles: float = 0.0,
-                 padded_block_bytes: float = 0.0) -> None:
+                 padded_block_bytes: float = 0.0,
+                 span_template: Optional[List[Span]] = None) -> None:
         self.kind = kind
         self.n = n
         self.omega = omega
@@ -199,6 +237,9 @@ class CompiledStreamingPass:
         #: Channel cost of re-fetching one block, for pricing retries.
         self.restream_cycles = restream_cycles
         self.padded_block_bytes = padded_block_bytes
+        #: Spans captured alongside the report template (empty when the
+        #: owning accelerator had no tracer at compile time).
+        self.span_template = span_template or []
         self._tgroups = _time_groups(artifacts.seg_len, artifacts.seg_start)
         self._n_rows = int(artifacts.out_rows.size)
 
@@ -278,6 +319,7 @@ class CompiledStreamingPass:
         report = self.template.clone()
         _apply_fault_events(report, extra_cycles, events,
                             self.padded_block_bytes)
+        _replay_spans(self.acc, self.span_template, extra_cycles, events)
         return report
 
     def _crosscheck(self, report: SimReport, acc: np.ndarray,
@@ -435,7 +477,8 @@ class CompiledSymgsPass:
                  template: SimReport, acc=None,
                  checksums: Optional[List[int]] = None,
                  restream_cycles: float = 0.0,
-                 padded_block_bytes: float = 0.0) -> None:
+                 padded_block_bytes: float = 0.0,
+                 span_template: Optional[List[Span]] = None) -> None:
         self.n = n
         self.omega = omega
         self.nbr, self.npad = _padded_length(n, omega)
@@ -449,6 +492,9 @@ class CompiledSymgsPass:
         self.checksums = checksums or []
         self.restream_cycles = restream_cycles
         self.padded_block_bytes = padded_block_bytes
+        #: Spans captured alongside the report template (empty when the
+        #: owning accelerator had no tracer at compile time).
+        self.span_template = span_template or []
         self._diag_pad = np.zeros(self.npad)
         self._diag_pad[:n] = diag
 
@@ -525,6 +571,7 @@ class CompiledSymgsPass:
                     x_new[:row.valid]
         report = self.template.clone()
         _apply_fault_events(report, extra, events, self.padded_block_bytes)
+        _replay_spans(self.acc, self.span_template, extra, events)
         return state[0, :n].copy(), report
 
 
@@ -546,32 +593,41 @@ def compile_pass(acc, kind: str):
     raise SimulationError(f"unknown pass kind {kind!r}")
 
 
-def _capture_template(acc, kind: str) -> SimReport:
+def _capture_template(acc, kind: str) -> Tuple[SimReport, List[Span]]:
     """Replay the legacy interpreter once with neutral operands and keep
-    its report (see the module docstring for why this is exact).
+    its report — and, when the accelerator is traced, its spans (see the
+    module docstring for why this is exact).
 
     Fault injection is suppressed for the replay: the template must
     record the *clean* pass (faults would advance the injector's RNG,
     contaminate the captured cycles/counters, and break the lowering
-    verification below).  Faults are charged per run instead.
+    verification below).  Faults are charged per run instead.  The span
+    capture uses the same shadowing trick: a fresh capture tracer
+    replaces the user's for the replay, so template spans (anchored at
+    cycle 0) never leak into the user's trace.
     """
     zeros = np.zeros(acc.n)
+    capture = Tracer() if acc.config.tracer is not None else None
     acc._suppress_faults = True
+    acc._capture_tracer = capture
     try:
         if kind == "spmv":
-            return acc._legacy_run_spmv(zeros)[1]
-        if kind == "bfs":
-            return acc._legacy_run_bfs_pass(zeros)[1]
-        if kind == "bfs-parents":
-            return acc._legacy_run_bfs_pass_parents(
+            report = acc._legacy_run_spmv(zeros)[1]
+        elif kind == "bfs":
+            report = acc._legacy_run_bfs_pass(zeros)[1]
+        elif kind == "bfs-parents":
+            report = acc._legacy_run_bfs_pass_parents(
                 zeros, np.zeros(acc.n, dtype=np.int64))[2]
-        if kind == "sssp":
-            return acc._legacy_run_sssp_pass(zeros)[1]
-        if kind == "pagerank":
-            return acc._legacy_run_pr_pass(zeros, zeros)[1]
-        return acc._legacy_run_symgs_sweep(zeros, zeros)[1]
+        elif kind == "sssp":
+            report = acc._legacy_run_sssp_pass(zeros)[1]
+        elif kind == "pagerank":
+            report = acc._legacy_run_pr_pass(zeros, zeros)[1]
+        else:
+            report = acc._legacy_run_symgs_sweep(zeros, zeros)[1]
     finally:
         acc._suppress_faults = False
+        acc._capture_tracer = None
+    return report, (capture.spans if capture is not None else [])
 
 
 def _compile_streaming(acc, kind: str) -> CompiledStreamingPass:
@@ -610,7 +666,7 @@ def _compile_streaming(acc, kind: str) -> CompiledStreamingPass:
         out_rows=np.asarray(out_rows, dtype=np.int64),
         payload_stream_cycles=payload,
     )
-    template = _capture_template(acc, kind)
+    template, span_template = _capture_template(acc, kind)
     _verify_against_template(kind, artifacts, template, n_requests=m)
     return CompiledStreamingPass(
         kind, n, w,
@@ -621,6 +677,7 @@ def _compile_streaming(acc, kind: str) -> CompiledStreamingPass:
         checksums=checksums,
         restream_cycles=padded_block_bytes / mem.bytes_per_cycle,
         padded_block_bytes=padded_block_bytes,
+        span_template=span_template,
     )
 
 
@@ -683,7 +740,7 @@ def _compile_symgs(acc) -> CompiledSymgsPass:
         out_rows=np.asarray(out_rows, dtype=np.int64),
         payload_stream_cycles=payload,
     )
-    template = _capture_template(acc, "symgs")
+    template, span_template = _capture_template(acc, "symgs")
     _verify_against_template("symgs", artifacts, template, n_requests)
     return CompiledSymgsPass(
         n, w,
@@ -693,6 +750,7 @@ def _compile_symgs(acc) -> CompiledSymgsPass:
         acc=acc, checksums=checksums,
         restream_cycles=padded_block_bytes / mem.bytes_per_cycle,
         padded_block_bytes=padded_block_bytes,
+        span_template=span_template,
     )
 
 

@@ -1,0 +1,167 @@
+"""Trace-driven invariant checks.
+
+Each checker reads a recorded :class:`~repro.observe.tracer.Tracer` and
+returns a list of human-readable violation strings (empty = invariant
+holds).  They encode the paper's *temporal* claims — the ones aggregate
+counters cannot express:
+
+* :func:`check_reconfig_hidden` — every ``reconfig`` span is contained
+  in a ``reduce_drain`` span (§4.4/Fig. 10: reconfiguration hides under
+  the reduction-tree drain).  Disabling
+  ``hide_reconfig_under_drain`` makes this fail, which the test suite
+  asserts both ways.
+* :func:`check_row_ordering` — within each SymGS pass, every GEMV
+  window of a block-row ends before that row's D-SymGS window begins
+  (partial sums reach the link stack before the sequential solve
+  consumes them).
+* :func:`check_proper_nesting` — spans on one track either nest or are
+  disjoint; partial overlap would mean the layout double-books the
+  engine.
+* :func:`check_device_exclusive` — runtime job spans on one device
+  never overlap (a device serves one job at a time).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.observe.tracer import Span, Tracer
+
+#: Slack for float comparisons, in cycles.  Span endpoints are sums of
+#: small float costs, so exact equality is common but not guaranteed.
+EPS = 1e-6
+
+#: Tracks that model concurrent execution lanes rather than one engine:
+#: the ``reference`` track holds host-side degraded fallbacks, which may
+#: legitimately overlap in simulated time, so nesting is not an
+#: invariant there.
+CONCURRENT_TRACKS = ("reference",)
+
+
+def check_reconfig_hidden(tracer: Tracer) -> List[str]:
+    """Every ``reconfig`` span must lie inside a ``reduce_drain`` span
+    on its track (closed-interval containment)."""
+    violations = []
+    drains: Dict[str, List[Span]] = {}
+    for span in tracer.spans:
+        if span.cat == "reduce_drain":
+            drains.setdefault(span.track, []).append(span)
+    for span in tracer.spans:
+        if span.cat != "reconfig":
+            continue
+        if not any(d.contains(span, EPS)
+                   for d in drains.get(span.track, ())):
+            violations.append(
+                f"{span.track}: reconfig {span.name!r} "
+                f"[{span.begin:.2f}, {span.end:.2f}] is not contained "
+                f"in any reduce_drain span")
+    return violations
+
+
+def _passes(tracer: Tracer, track: str) -> List[Span]:
+    return [s for s in tracer.spans
+            if s.cat == "pass" and s.track == track]
+
+
+def check_row_ordering(tracer: Tracer) -> List[str]:
+    """Per SymGS pass and block-row: GEMV windows precede D-SymGS.
+
+    Rows are scoped to their pass span (row ids restart every sweep).
+    """
+    violations = []
+    for track in tracer.tracks():
+        for p in _passes(tracer, track):
+            if "symgs" not in p.name:
+                continue
+            gemv_end: Dict[int, float] = {}
+            dsymgs_begin: Dict[int, float] = {}
+            for s in tracer.spans:
+                if (s.track != track or s.cat != "datapath"
+                        or "row" not in s.args or not p.contains(s, EPS)):
+                    continue
+                row = int(s.args["row"])
+                if s.name == "gemv":
+                    gemv_end[row] = max(gemv_end.get(row, s.end), s.end)
+                elif s.name == "d-symgs":
+                    dsymgs_begin[row] = min(
+                        dsymgs_begin.get(row, s.begin), s.begin)
+            for row, begin in sorted(dsymgs_begin.items()):
+                end = gemv_end.get(row)
+                if end is not None and end > begin + EPS:
+                    violations.append(
+                        f"{track}: pass {p.name!r} row {row}: GEMV window "
+                        f"ends at {end:.2f} after D-SymGS begins at "
+                        f"{begin:.2f}")
+    return violations
+
+
+def check_proper_nesting(tracer: Tracer) -> List[str]:
+    """No two spans on one track may partially overlap.
+
+    For spans sorted by (begin, -end), each span must either start at or
+    after the enclosing span's end (disjoint) or end at or before it
+    (nested).
+    """
+    violations = []
+    for track in tracer.tracks():
+        if track in CONCURRENT_TRACKS:
+            continue
+        spans = sorted(
+            (s for s in tracer.spans
+             if s.track == track and not s.instant),
+            key=lambda s: (s.begin, -s.end))
+        stack: List[Span] = []
+        for span in spans:
+            while stack and span.begin >= stack[-1].end - EPS:
+                stack.pop()
+            if stack and span.end > stack[-1].end + EPS:
+                outer = stack[-1]
+                violations.append(
+                    f"{track}: {span.name!r} [{span.begin:.2f}, "
+                    f"{span.end:.2f}] partially overlaps {outer.name!r} "
+                    f"[{outer.begin:.2f}, {outer.end:.2f}]")
+                continue
+            stack.append(span)
+    return violations
+
+
+def check_device_exclusive(tracer: Tracer) -> List[str]:
+    """Runtime ``job`` spans on one ``device<N>`` track never overlap."""
+    violations = []
+    for track in tracer.tracks():
+        if not (track.startswith("device")
+                and track[len("device"):].isdigit()):
+            continue
+        jobs = sorted((s for s in tracer.spans
+                       if s.track == track and s.cat == "job"),
+                      key=lambda s: (s.begin, s.end))
+        for prev, cur in zip(jobs, jobs[1:]):
+            if cur.begin < prev.end - EPS:
+                violations.append(
+                    f"{track}: job {cur.name!r} starts at "
+                    f"{cur.begin:.2f} before job {prev.name!r} ends at "
+                    f"{prev.end:.2f}")
+    return violations
+
+
+def phase_cycle_totals(tracer: Tracer,
+                       track: str = "engine") -> Dict[str, float]:
+    """Total cycles per (cat, name) phase on a track — the quantity the
+    interpreter-vs-plan agreement property compares."""
+    totals: Dict[str, float] = {}
+    for s in tracer.spans:
+        if s.track != track or s.instant:
+            continue
+        key = f"{s.cat}:{s.name}" if s.cat == "datapath" else s.cat
+        totals[key] = totals.get(key, 0.0) + s.dur
+    return totals
+
+
+def check_trace(tracer: Tracer) -> List[str]:
+    """Run every structural invariant; returns all violations."""
+    violations: List[str] = []
+    violations.extend(check_reconfig_hidden(tracer))
+    violations.extend(check_row_ordering(tracer))
+    violations.extend(check_proper_nesting(tracer))
+    violations.extend(check_device_exclusive(tracer))
+    return violations

@@ -73,6 +73,7 @@ def serve(n_requests: int, n_devices: int = 4, fault_rate: float = 0.0,
           workloads: Optional[Tuple[Tuple[str, str], ...]] = None,
           trace: Optional[List[Job]] = None,
           scheduler_config: Optional[SchedulerConfig] = None,
+          tracer=None,
           **trace_kwargs) -> Tuple[List[JobResult], PoolReport]:
     """Serve a seeded workload trace over a fresh device pool.
 
@@ -83,6 +84,10 @@ def serve(n_requests: int, n_devices: int = 4, fault_rate: float = 0.0,
     property tests pin down.  Extra keyword arguments are forwarded to
     :class:`TraceSpec` (e.g. ``deadline_range``,
     ``mean_interarrival_cycles``).
+
+    ``tracer`` (a :class:`~repro.observe.tracer.Tracer`) records job
+    spans per ``device<N>`` track, degraded fallbacks on ``reference``
+    and shed jobs on ``scheduler``; ``None`` changes nothing.
     """
     if trace is None:
         spec_kwargs = dict(n_requests=n_requests, seed=seed, scale=scale,
@@ -90,6 +95,7 @@ def serve(n_requests: int, n_devices: int = 4, fault_rate: float = 0.0,
         if workloads is not None:
             spec_kwargs["workloads"] = workloads
         trace = make_trace(TraceSpec(**spec_kwargs))
-    pool = DevicePool(n_devices, fault_rate=fault_rate, seed=seed)
+    pool = DevicePool(n_devices, fault_rate=fault_rate, seed=seed,
+                      tracer=tracer)
     scheduler = Scheduler(pool, scheduler_config)
     return scheduler.run(trace)

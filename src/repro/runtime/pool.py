@@ -205,6 +205,9 @@ class Device:
         self.busy_until = 0.0
         self.busy_cycles = 0.0
         self.jobs_run = 0
+        #: Dispatch cycle of the first attempt (None until one runs) —
+        #: the begin of the device's trace summary span.
+        self.first_dispatch: Optional[float] = None
         self._executors: Dict[Tuple[str, float, str], object] = {}
 
     # ------------------------------------------------------------------
@@ -229,18 +232,23 @@ class Device:
             self._executors[key] = exe
         return self._executors[key]
 
-    def attempt(self, job: Job, pool: "DevicePool") -> Attempt:
+    def attempt(self, job: Job, pool: "DevicePool",
+                now: float = 0.0) -> Attempt:
         """Run one accelerator attempt; faults become a failed Attempt.
 
         A failed attempt still occupied the device: it is charged the
         workload's nominal cycles plus every retry/backoff cycle the
-        fault model logged during the attempt.
+        fault model logged during the attempt.  ``now`` is the dispatch
+        cycle on the scheduler clock, used only to place the attempt's
+        trace span — it never changes the outcome.
         """
         exe = self._executor(job, pool)
         operand = pool.operand(job)
         fm = self.fault_model
         retry_before = fm.total_retry_cycles if fm is not None else 0.0
         self.jobs_run += 1
+        if self.first_dispatch is None:
+            self.first_dispatch = now
         try:
             if job.kernel == "spmv":
                 values, report = exe.run_spmv(operand)
@@ -256,12 +264,30 @@ class Device:
                              checkpoint_interval=5, max_restarts=2)
                 values = result.x
                 cycles = result.report.cycles
+            att = Attempt(ok=True, cycles=cycles, values=values)
         except (FaultError, CorruptionError) as exc:
             retry_after = fm.total_retry_cycles if fm is not None else 0.0
             wasted = pool.nominal_cycles(job) + (retry_after - retry_before)
-            return Attempt(ok=False, cycles=wasted,
-                           error=f"{type(exc).__name__}: {exc}")
-        return Attempt(ok=True, cycles=cycles, values=values)
+            att = Attempt(ok=False, cycles=wasted,
+                          error=f"{type(exc).__name__}: {exc}")
+        self._record(job, pool, now, att)
+        return att
+
+    def _record(self, job: Job, pool: "DevicePool", now: float,
+                att: Attempt) -> None:
+        """Job span on this device's trace track.
+
+        The golden pricing device (id -1) stays untraced: its runs are
+        catalogue lookups, not scheduled work.
+        """
+        tracer = pool.tracer
+        if tracer is None or self.device_id < 0:
+            return
+        args: Dict[str, object] = {"ok": att.ok, "dataset": job.dataset}
+        if att.error:
+            args["error"] = att.error
+        tracer.add(f"{job.kernel}#{job.job_id}", "job", now,
+                   now + att.cycles, f"device{self.device_id}", args=args)
 
 
 class DevicePool:
@@ -272,10 +298,15 @@ class DevicePool:
                  health_window: int = DEFAULT_HEALTH_WINDOW,
                  failure_threshold: float = DEFAULT_FAILURE_THRESHOLD,
                  min_samples: int = DEFAULT_MIN_SAMPLES,
-                 cooldown_cycles: float = DEFAULT_COOLDOWN_CYCLES) -> None:
+                 cooldown_cycles: float = DEFAULT_COOLDOWN_CYCLES,
+                 tracer=None) -> None:
         if n_devices <= 0:
             raise ConfigError(
                 f"device pool needs at least one device, got {n_devices}")
+        #: Optional :class:`~repro.observe.tracer.Tracer` shared by the
+        #: scheduler: job spans land on ``device<N>`` tracks, degraded
+        #: fallbacks on ``reference``, shed jobs on ``scheduler``.
+        self.tracer = tracer
         base = (FaultModel(rate=fault_rate, seed=seed)
                 if fault_rate > 0.0 else None)
         self.devices = [

@@ -133,9 +133,27 @@ class Scheduler:
                 break
             now = next_now
 
+        self._trace_devices()
         ordered = [results[j.job_id] for j in
                    sorted(jobs, key=lambda j: j.job_id)]
         return ordered, build_report(ordered, self.pool, self.queue_peak)
+
+    def _trace_devices(self) -> None:
+        """Close a traced serve run: one summary span per device that
+        ran, covering first dispatch to last idle, enclosing every job
+        span on its track."""
+        tracer = self.pool.tracer
+        if tracer is None:
+            return
+        for d in self.pool.devices:
+            if d.first_dispatch is None:
+                continue
+            tracer.add(f"device{d.device_id}", "device", d.first_dispatch,
+                       max(d.busy_until, d.first_dispatch),
+                       f"device{d.device_id}",
+                       args={"jobs": float(d.jobs_run),
+                             "busy_cycles": d.busy_cycles,
+                             "breaker_trips": float(d.breaker.trips)})
 
     # ------------------------------------------------------------------
     def _admit_at(self, job: Job, waiting: List[_JobState],
@@ -146,6 +164,10 @@ class Scheduler:
             results[job.job_id] = JobResult(
                 job_id=job.job_id, status=JobStatus.REJECTED,
                 finish_cycle=job.arrival_cycle, error=str(exc))
+            if self.pool.tracer is not None:
+                self.pool.tracer.instant_event(
+                    f"reject#{job.job_id}", "reject", job.arrival_cycle,
+                    "scheduler")
             return
         waiting.append(_JobState(job))
         self.queue_peak = max(self.queue_peak, len(waiting))
@@ -242,7 +264,7 @@ class Scheduler:
         state.tried.add(device.device_id)
         device.breaker.on_dispatch()
         try:
-            att = device.attempt(job, self.pool)
+            att = device.attempt(job, self.pool, now=now)
         except ReproError as exc:
             # Not a device fault — the job itself is unserviceable
             # (unknown dataset/kernel, bad config).  No retry can help.
@@ -297,6 +319,9 @@ class Scheduler:
             attempts=state.attempts,
             latency_cycles=now - job.arrival_cycle,
             finish_cycle=now, error=str(err))
+        if self.pool.tracer is not None:
+            self.pool.tracer.instant_event(
+                f"timeout#{job.job_id}", "timeout", now, "scheduler")
 
     def _degrade(self, state: _JobState, start: float,
                  results: Dict[int, JobResult], last_error: str = "",
@@ -323,3 +348,8 @@ class Scheduler:
             latency_cycles=finish - job.arrival_cycle,
             finish_cycle=finish, value_crc=value_crc(values),
             error=last_error)
+        if self.pool.tracer is not None:
+            self.pool.tracer.add(
+                f"{job.kernel}#{job.job_id}", "degraded", start, finish,
+                "reference",
+                args={"slowdown": self.config.reference_slowdown})

@@ -66,6 +66,11 @@ class StreamingMemory:
     #: keeps every method on the exact pre-fault code path.
     fault_model: Optional[FaultModel] = None
     counters: CounterSet = field(default_factory=CounterSet)
+    #: Optional :class:`~repro.observe.tracer.Tracer`.  When set, every
+    #: transfer extends a coalesced ``stream`` span on the ``channel``
+    #: track (occupancy, not wall-aligned) and fault recovery appears as
+    #: ``retry`` spans.  None (the default) is the traced-nothing path.
+    tracer: Optional[object] = None
 
     def __post_init__(self) -> None:
         if self.bandwidth_bytes_per_s <= 0:
@@ -101,7 +106,12 @@ class StreamingMemory:
         self.counters.add("dram_requests", 1.0)
         if not sequential:
             self.counters.add("dram_random_requests", 1.0)
-        return effective / self.bytes_per_cycle
+        cycles = effective / self.bytes_per_cycle
+        if self.tracer is not None:
+            self.tracer.extend("channel", "stream", "stream", cycles,
+                               {"dram_bytes": effective,
+                                "dram_requests": 1.0})
+        return cycles
 
     def stream_block_run(self, n_blocks: int, block_bytes: float) -> float:
         """Charge a contiguous run of ``n_blocks`` equal-size transfers.
@@ -122,7 +132,12 @@ class StreamingMemory:
             "dram_bytes": effective,
             "dram_requests": float(n_blocks),
         })
-        return effective / self.bytes_per_cycle
+        cycles = effective / self.bytes_per_cycle
+        if self.tracer is not None:
+            self.tracer.extend("channel", "stream", "stream", cycles,
+                               {"dram_bytes": effective,
+                                "dram_requests": float(n_blocks)})
+        return cycles
 
     def stream_doubles(self, count: float, sequential: bool = True) -> float:
         """Convenience wrapper: transfer ``count`` 8-byte values."""
@@ -159,6 +174,16 @@ class StreamingMemory:
             if event.restreams:
                 self.counters.add("dram_bytes", padded * event.restreams)
                 self.counters.add("dram_requests", float(event.restreams))
+            if self.tracer is not None:
+                if extra > 0.0:
+                    self.tracer.extend(
+                        "channel", f"retry:{event.kind}", "retry", extra,
+                        {"restreams": float(event.restreams)},
+                        coalesce=False)
+                else:
+                    self.tracer.instant_event(
+                        f"fault:{event.kind}", "fault",
+                        self.tracer.cursor("channel"), "channel")
         return values, extra
 
     def check_capacity(self, resident_bytes: float,

@@ -81,6 +81,30 @@ class CounterSet:
         """
         return CounterSet({k: v * factor for k, v in self._counts.items()})
 
+    def diff(self, baseline: "CounterSet") -> "CounterSet":
+        """Counters accumulated since ``baseline`` (``self - baseline``).
+
+        The span tracer snapshots a live counter set when a span opens
+        and stores the delta when it closes; ``diff`` is that delta.
+        Exact zeros are dropped (a counter untouched during the span is
+        not an event of the span); negative deltas are kept — they mean
+        the set was reset mid-span, which callers should see, not have
+        papered over.
+        """
+        deltas: Dict[str, float] = {}
+        base = baseline._counts
+        for name, value in self._counts.items():
+            d = value - base.get(name, 0.0)
+            if d != 0.0:
+                deltas[name] = d
+        for name, value in base.items():
+            if name not in self._counts and value != 0.0:
+                deltas[name] = -value
+        return CounterSet(deltas)
+
+    def __sub__(self, other: "CounterSet") -> "CounterSet":
+        return self.diff(other)
+
     def as_dict(self) -> Dict[str, float]:
         """A copy of the underlying mapping, for reports and tests."""
         return dict(self._counts)

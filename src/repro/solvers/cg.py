@@ -19,14 +19,21 @@ from repro.errors import (
     ShapeError,
 )
 from repro.kernels import dot, norm2, waxpby
-from repro.solvers.pcg import SolveResult, _charge_vector_ops
+from repro.solvers.pcg import (
+    SolveResult,
+    _charge_vector_ops,
+    _iteration_begin,
+    _iteration_end,
+    _solver_instant,
+)
 
 
 def cg(backend, b: np.ndarray, tol: float = 1e-8, max_iter: int = 500,
        x0: Optional[np.ndarray] = None,
        checkpoint_interval: int = 0,
        max_restarts: int = 2,
-       divergence_factor: float = 1e4) -> SolveResult:
+       divergence_factor: float = 1e4,
+       tracer=None) -> SolveResult:
     """Plain CG on the backend's SpMV (no preconditioner).
 
     Fault recovery mirrors :func:`~repro.solvers.pcg.pcg`:
@@ -34,7 +41,8 @@ def cg(backend, b: np.ndarray, tol: float = 1e-8, max_iter: int = 500,
     detected corruption, up to ``max_restarts`` times; the default
     keeps the historical behaviour except that a non-finite residual
     raises :class:`~repro.errors.ConvergenceError` naming the
-    iteration.
+    iteration.  ``tracer`` records iteration spans on the ``solver``
+    track exactly as :func:`~repro.solvers.pcg.pcg` does.
     """
     b = np.asarray(b, dtype=np.float64)
     n = backend.n
@@ -56,6 +64,7 @@ def cg(backend, b: np.ndarray, tol: float = 1e-8, max_iter: int = 500,
     restarts = 0
     checkpoint = x.copy()
     while not converged and iterations < max_iter:
+        sid = _iteration_begin(tracer, backend, "cg_iteration", iterations)
         try:
             iterations += 1
             ap = backend.spmv(p)
@@ -90,10 +99,14 @@ def cg(backend, b: np.ndarray, tol: float = 1e-8, max_iter: int = 500,
             _charge_vector_ops(backend, 2)
             if checkpointing and iterations % checkpoint_interval == 0:
                 checkpoint = x.copy()
+                _solver_instant(tracer, backend, "checkpoint", "checkpoint",
+                                iterations)
         except (FaultError, CorruptionError, ConvergenceError):
             recovered = False
             while checkpointing and restarts < max_restarts:
                 restarts += 1
+                _solver_instant(tracer, backend, "solver_restart", "retry",
+                                iterations)
                 x = checkpoint.copy()
                 try:
                     r = waxpby(1.0, b, -1.0, backend.spmv(x))
@@ -110,6 +123,8 @@ def cg(backend, b: np.ndarray, tol: float = 1e-8, max_iter: int = 500,
                 break
             if not recovered:
                 raise
+        finally:
+            _iteration_end(tracer, backend, sid, iterations)
     return SolveResult(x=x, iterations=iterations, converged=converged,
                        residual_norms=residuals, report=backend.report(),
                        restarts=restarts)

@@ -46,13 +46,20 @@ def pcg(backend, b: np.ndarray, tol: float = 1e-8, max_iter: int = 100,
         raise_on_stall: bool = False,
         checkpoint_interval: int = 0,
         max_restarts: int = 2,
-        divergence_factor: float = 1e4) -> SolveResult:
+        divergence_factor: float = 1e4,
+        tracer=None) -> SolveResult:
     """Run PCG with the given backend until ``||r|| / ||b|| < tol``.
 
     Parameters mirror HPCG's driver: ``max_iter`` caps the iteration
     count (the paper's algorithms are run for a fixed budget of
     iterations, so hitting the cap is not an error unless
     ``raise_on_stall`` is set).
+
+    ``tracer`` (a :class:`~repro.observe.tracer.Tracer`) records each
+    outer iteration as a span on the ``solver`` track, clocked by the
+    backend's accumulated report cycles (falling back to the iteration
+    index for untimed backends), with checkpoint snapshots and rollback
+    restarts as instant markers.  ``None`` is the untraced path.
 
     ``checkpoint_interval > 0`` enables fault recovery: the iterate is
     snapshotted every that many iterations, and on detected corruption —
@@ -93,6 +100,7 @@ def pcg(backend, b: np.ndarray, tol: float = 1e-8, max_iter: int = 100,
     checkpoint = x.copy()
 
     while not converged and iterations < max_iter:
+        sid = _iteration_begin(tracer, backend, "pcg_iteration", iterations)
         try:
             iterations += 1
             ap = backend.spmv(p)
@@ -129,6 +137,8 @@ def pcg(backend, b: np.ndarray, tol: float = 1e-8, max_iter: int = 100,
             _charge_vector_ops(backend, 1)
             if checkpointing and iterations % checkpoint_interval == 0:
                 checkpoint = x.copy()
+                _solver_instant(tracer, backend, "checkpoint", "checkpoint",
+                                iterations)
         except (FaultError, CorruptionError, ConvergenceError):
             # Detected corruption (typed error from the accelerator, a
             # poisoned or diverged residual, spurious indefiniteness):
@@ -136,6 +146,8 @@ def pcg(backend, b: np.ndarray, tol: float = 1e-8, max_iter: int = 100,
             recovered = False
             while checkpointing and restarts < max_restarts:
                 restarts += 1
+                _solver_instant(tracer, backend, "solver_restart", "retry",
+                                iterations)
                 x = checkpoint.copy()
                 try:
                     r = waxpby(1.0, b, -1.0, backend.spmv(x))
@@ -153,6 +165,8 @@ def pcg(backend, b: np.ndarray, tol: float = 1e-8, max_iter: int = 100,
                 break
             if not recovered:
                 raise
+        finally:
+            _iteration_end(tracer, backend, sid, iterations)
 
     if not converged and raise_on_stall:
         raise ConvergenceError(
@@ -175,3 +189,50 @@ def _charge_vector_ops(backend, count: int) -> None:
     if charge is not None:
         for _ in range(count):
             charge()
+
+
+def _solver_clock(backend, fallback: float):
+    """``(clock, counters)`` for solver-track spans.
+
+    Timed backends are clocked by their accumulated report cycles (so
+    iteration spans line up with the engine work they triggered);
+    untimed backends fall back to the iteration index, which is still a
+    monotone clock.
+    """
+    rep = backend.report()
+    if rep is None:
+        return fallback, None
+    return rep.cycles, rep.counters
+
+
+def _iteration_begin(tracer, backend, name: str,
+                     iterations: int) -> Optional[int]:
+    """Open one outer-iteration span (``None`` when untraced)."""
+    if tracer is None:
+        return None
+    clock, counters = _solver_clock(backend, float(iterations))
+    return tracer.begin(name, "solver", clock, track="solver",
+                        args={"iteration": float(iterations + 1)},
+                        counters=counters)
+
+
+def _iteration_end(tracer, backend, span_id: Optional[int],
+                   iterations: int) -> None:
+    """Close an iteration span with the post-iteration clock/counters.
+
+    Runs from ``finally`` so convergence ``break``s and rollback
+    re-raises both leave the solver track properly closed.
+    """
+    if span_id is None:
+        return
+    clock, counters = _solver_clock(backend, float(iterations))
+    tracer.end(span_id, clock, counters=counters)
+
+
+def _solver_instant(tracer, backend, name: str, cat: str,
+                    iterations: int) -> None:
+    """Checkpoint/restart marker on the solver track (no-op untraced)."""
+    if tracer is None:
+        return
+    clock, _ = _solver_clock(backend, float(iterations))
+    tracer.instant_event(name, cat, clock, "solver")

@@ -1,0 +1,46 @@
+"""Regenerate the golden trace snapshot.
+
+The snapshot pins the exported Chrome-trace bytes of one fixed, fully
+deterministic run: a SymGS sweep of ``stencil27`` at scale 0.05 with
+seed 0 on the default configuration.  Any intentional change to span
+layout, export format or the cost model shows up as a diff here.
+
+To refresh after an intentional change::
+
+    PYTHONPATH=src python tests/data/regen_golden_trace.py
+
+and commit the updated ``golden_trace.json`` together with the change
+that caused it.
+"""
+
+from pathlib import Path
+
+GOLDEN_PATH = Path(__file__).parent / "golden_trace.json"
+
+
+def build_golden_tracer():
+    """The exact recipe the snapshot pins (also imported by the test)."""
+    import numpy as np
+
+    from repro.core import Alrescha, AlreschaConfig, KernelType
+    from repro.datasets import load_dataset
+    from repro.observe import Tracer
+
+    tracer = Tracer()
+    matrix = load_dataset("stencil27", scale=0.05).matrix
+    acc = Alrescha.from_matrix(KernelType.SYMGS, matrix,
+                               config=AlreschaConfig(tracer=tracer))
+    rhs = np.random.default_rng(0).normal(size=matrix.shape[0])
+    acc.run_symgs_sweep(rhs, np.zeros(rhs.size))
+    return tracer
+
+
+def main() -> None:
+    from repro.observe import write_chrome_trace
+
+    nbytes = write_chrome_trace(build_golden_tracer(), GOLDEN_PATH)
+    print(f"wrote {GOLDEN_PATH} ({nbytes} bytes)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -129,6 +131,71 @@ class TestServe:
     def test_serve_bad_args_exit_2(self, capsys):
         assert main(["serve", "--requests", "5", "--devices", "0"]) == 2
         assert "error:" in capsys.readouterr().err
+
+
+class TestTrace:
+    def test_trace_symgs_prints_attribution(self, capsys):
+        assert main(["trace", "symgs", "--dataset", "stencil27",
+                     "--scale", "0.05"]) == 0
+        out = capsys.readouterr().out
+        assert "datapath:gemv" in out
+        assert "engine wall" in out
+
+    def test_trace_check_passes_by_default(self, capsys):
+        assert main(["trace", "symgs", "--scale", "0.05",
+                     "--check"]) == 0
+        assert "trace invariants: ok" in capsys.readouterr().out
+
+    def test_trace_check_fails_on_ablation(self, capsys):
+        # Disabling reconfiguration hiding breaks the §4.4 containment
+        # invariant, which --check must surface as exit 1.
+        assert main(["trace", "symgs", "--scale", "0.05",
+                     "--no-hide-reconfig", "--check"]) == 1
+        err = capsys.readouterr().err
+        assert "violation" in err
+
+    def test_trace_writes_chrome_json(self, tmp_path, capsys):
+        out = tmp_path / "trace.json"
+        assert main(["trace", "symgs", "--scale", "0.05",
+                     "-o", str(out)]) == 0
+        doc = json.loads(out.read_text())
+        names = {e["args"].get("name") for e in doc["traceEvents"]
+                 if e["ph"] == "M"}
+        assert {"engine", "channel"} <= names
+
+    def test_trace_pcg_has_solver_track(self, tmp_path):
+        out = tmp_path / "pcg.json"
+        assert main(["trace", "pcg", "--scale", "0.04",
+                     "--iterations", "4", "-o", str(out)]) == 0
+        doc = json.loads(out.read_text())
+        cats = {e.get("cat") for e in doc["traceEvents"]}
+        assert "solver" in cats
+
+    def test_run_trace_flag(self, tmp_path, capsys):
+        out = tmp_path / "run.json"
+        assert main(["run", "symgs", "--dataset", "stencil27",
+                     "--scale", "0.05", "--trace", str(out)]) == 0
+        assert "trace written" in capsys.readouterr().out
+        assert json.loads(out.read_text())["traceEvents"]
+
+    def test_run_trace_does_not_change_report(self, tmp_path, capsys):
+        args = ["run", "symgs", "--dataset", "stencil27",
+                "--scale", "0.05"]
+        assert main(args) == 0
+        plain = capsys.readouterr().out
+        assert main(args + ["--trace", str(tmp_path / "t.json")]) == 0
+        traced = capsys.readouterr().out
+        assert traced.startswith(plain.rstrip("\n").rsplit(
+            "trace written", 1)[0].rstrip("\n"))
+        assert plain in traced
+
+    def test_serve_trace_flag(self, tmp_path, capsys):
+        out = tmp_path / "serve.json"
+        assert main(["serve", "--requests", "15", "--devices", "2",
+                     "--seed", "3", "--trace", str(out)]) == 0
+        doc = json.loads(out.read_text())
+        cats = {e.get("cat") for e in doc["traceEvents"]}
+        assert "job" in cats and "device" in cats
 
 
 class TestCompileAndValidate:

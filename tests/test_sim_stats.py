@@ -88,3 +88,47 @@ class TestCounterSet:
         d.add("b")
         assert c.as_dict() == {"a": 1.0}
         assert d["a"] == 6.0 and d["b"] == 1.0
+
+
+class TestCounterSetDiff:
+    def test_diff_returns_accumulated_delta(self):
+        base = CounterSet({"alu_op": 10.0, "dram_bytes": 512.0})
+        live = CounterSet({"alu_op": 15.0, "dram_bytes": 512.0,
+                           "cache_hits": 3.0})
+        delta = live.diff(base)
+        assert delta.as_dict() == {"alu_op": 5.0, "cache_hits": 3.0}
+
+    def test_diff_drops_exact_zeros(self):
+        base = CounterSet({"a": 1.0, "b": 2.0})
+        delta = CounterSet({"a": 1.0, "b": 5.0}).diff(base)
+        assert "a" not in delta
+        assert delta["b"] == 3.0
+
+    def test_diff_keeps_negative_deltas(self):
+        # A counter that shrank means the set was reset mid-span; the
+        # delta must expose that instead of clamping it away.
+        base = CounterSet({"a": 5.0, "gone": 2.0})
+        delta = CounterSet({"a": 1.0}).diff(base)
+        assert delta["a"] == -4.0
+        assert delta["gone"] == -2.0
+
+    def test_diff_of_snapshot_pattern(self):
+        # The tracer's usage: snapshot at span open, diff at close.
+        live = CounterSet({"x": 1.0})
+        snapshot = live.copy()
+        live.add("x", 2.0)
+        live.add("y", 7.0)
+        assert live.diff(snapshot).as_dict() == {"x": 2.0, "y": 7.0}
+
+    def test_sub_operator_matches_diff(self):
+        a = CounterSet({"a": 3.0})
+        b = CounterSet({"a": 1.0, "b": 1.0})
+        assert (a - b).as_dict() == a.diff(b).as_dict() == \
+            {"a": 2.0, "b": -1.0}
+
+    def test_diff_does_not_mutate_operands(self):
+        a = CounterSet({"a": 3.0})
+        b = CounterSet({"a": 1.0})
+        a.diff(b)
+        assert a.as_dict() == {"a": 3.0}
+        assert b.as_dict() == {"a": 1.0}

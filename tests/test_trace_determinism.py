@@ -1,0 +1,169 @@
+"""Determinism and snapshot tests for the tracing layer.
+
+Three contracts:
+
+* **Byte determinism** — the exported Chrome-trace JSON is a pure
+  function of (seed, config): re-running the same simulation produces
+  byte-identical output, in-process (hypothesis property) and across
+  processes with different ``PYTHONHASHSEED`` (subprocess test).
+* **Interpreter/plan agreement** — the compiled-plan executor replays
+  the span layout the interpreter would have produced: per-phase cycle
+  totals match exactly.
+* **Golden snapshot** — one pinned run's exported bytes live in
+  ``tests/data/golden_trace.json``; the regen script documents how to
+  refresh after an intentional layout change.
+"""
+
+import importlib.util
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Alrescha, AlreschaConfig, KernelType
+from repro.datasets import load_dataset
+from repro.observe import (
+    Tracer,
+    dumps_chrome_trace,
+    phase_cycle_totals,
+)
+from repro.sim.faults import FaultModel
+
+DATA_DIR = Path(__file__).parent / "data"
+REPO_ROOT = Path(__file__).parent.parent
+
+
+def _run_symgs(seed: int, hide: bool, use_plan: bool,
+               fault_rate: float) -> Tracer:
+    tracer = Tracer()
+    config = AlreschaConfig(
+        tracer=tracer,
+        hide_reconfig_under_drain=hide,
+        use_plan=use_plan,
+        fault_model=(FaultModel(rate=fault_rate, seed=seed)
+                     if fault_rate > 0.0 else None))
+    matrix = load_dataset("stencil27", scale=0.04).matrix
+    acc = Alrescha.from_matrix(KernelType.SYMGS, matrix, config=config)
+    rhs = np.random.default_rng(seed).normal(size=matrix.shape[0])
+    acc.run_symgs_sweep(rhs, np.zeros(rhs.size))
+    return tracer
+
+
+class TestByteDeterminism:
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=999),
+           hide=st.booleans(),
+           use_plan=st.booleans(),
+           faulty=st.booleans())
+    def test_same_run_same_bytes(self, seed, hide, use_plan, faulty):
+        rate = 0.05 if faulty else 0.0
+        first = dumps_chrome_trace(
+            _run_symgs(seed, hide, use_plan, rate))
+        second = dumps_chrome_trace(
+            _run_symgs(seed, hide, use_plan, rate))
+        assert first == second
+
+    def test_hashseed_invariant_across_processes(self, tmp_path):
+        """The CLI exports identical bytes under different hash seeds —
+        no dict-order or set-order dependence anywhere in the path."""
+        outputs = []
+        for hashseed in ("0", "1"):
+            out = tmp_path / f"trace_{hashseed}.json"
+            env = dict(os.environ,
+                       PYTHONHASHSEED=hashseed,
+                       PYTHONPATH=str(REPO_ROOT / "src"))
+            subprocess.run(
+                [sys.executable, "-m", "repro", "trace", "symgs",
+                 "--dataset", "stencil27", "--scale", "0.04",
+                 "--out", str(out)],
+                check=True, env=env, cwd=REPO_ROOT,
+                stdout=subprocess.DEVNULL)
+            outputs.append(out.read_bytes())
+        assert outputs[0] == outputs[1]
+
+
+class TestInterpreterPlanAgreement:
+    @settings(max_examples=6, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=99),
+           hide=st.booleans())
+    def test_phase_totals_agree(self, seed, hide):
+        interp = _run_symgs(seed, hide, use_plan=False, fault_rate=0.0)
+        planned = _run_symgs(seed, hide, use_plan=True, fault_rate=0.0)
+        ti = phase_cycle_totals(interp)
+        tp = phase_cycle_totals(planned)
+        assert set(ti) == set(tp)
+        for key in ti:
+            assert ti[key] == pytest.approx(tp[key]), key
+
+    def test_spmv_phase_totals_agree(self):
+        matrix = load_dataset("stencil27", scale=0.05).matrix
+        rhs = np.random.default_rng(0).normal(size=matrix.shape[0])
+        totals = []
+        for use_plan in (False, True):
+            tracer = Tracer()
+            acc = Alrescha.from_matrix(
+                KernelType.SPMV, matrix,
+                config=AlreschaConfig(tracer=tracer, use_plan=use_plan))
+            acc.run_spmv(rhs)
+            totals.append(phase_cycle_totals(tracer))
+        assert set(totals[0]) == set(totals[1])
+        for key in totals[0]:
+            assert totals[0][key] == pytest.approx(totals[1][key]), key
+
+
+class TestGoldenSnapshot:
+    def _regen_module(self):
+        spec = importlib.util.spec_from_file_location(
+            "regen_golden_trace", DATA_DIR / "regen_golden_trace.py")
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        return module
+
+    def test_matches_golden_trace(self):
+        regen = self._regen_module()
+        current = dumps_chrome_trace(regen.build_golden_tracer())
+        golden = (DATA_DIR / "golden_trace.json").read_text()
+        assert current == golden, (
+            "exported trace diverged from tests/data/golden_trace.json; "
+            "if the span layout or cost model changed intentionally, "
+            "refresh the snapshot with "
+            "`PYTHONPATH=src python tests/data/regen_golden_trace.py` "
+            "and commit it with the change")
+
+    def test_golden_trace_is_valid_chrome_trace(self):
+        doc = json.loads((DATA_DIR / "golden_trace.json").read_text())
+        events = doc["traceEvents"]
+        assert doc["otherData"]["clock"] == "simulated-cycles"
+        phases = {e["ph"] for e in events}
+        assert phases <= {"M", "X", "i"}
+        for e in events:
+            if e["ph"] == "X":
+                assert e["dur"] >= 0.0
+                assert "ts" in e
+
+    def test_exported_json_reconfig_containment(self):
+        """The §4.4 claim, checked from the exported document alone:
+        every reconfig event lies inside a reduce_drain event on the
+        same thread (what a Perfetto user would see)."""
+        doc = json.loads((DATA_DIR / "golden_trace.json").read_text())
+        events = doc["traceEvents"]
+        drains = [(e["tid"], e["ts"], e["ts"] + e["dur"])
+                  for e in events
+                  if e["ph"] == "X" and e["cat"] == "reduce_drain"]
+        reconfigs = [(e["tid"], e["ts"], e["ts"] + e["dur"])
+                     for e in events
+                     if e["ph"] == "X" and e["cat"] == "reconfig"]
+        assert reconfigs, "golden SymGS trace must contain reconfigs"
+        eps = 1e-6
+        for tid, begin, end in reconfigs:
+            assert any(d_tid == tid and d0 <= begin + eps
+                       and end <= d1 + eps
+                       for d_tid, d0, d1 in drains), (
+                f"reconfig [{begin}, {end}] on tid {tid} escapes every "
+                f"reduce_drain")
