@@ -242,13 +242,16 @@ def cmd_serve(args) -> int:
     if args.trace:
         from repro.observe import Tracer
         tracer = Tracer()
-    sched = SchedulerConfig(queue_depth=args.queue_depth)
+    sched = SchedulerConfig(queue_depth=args.queue_depth,
+                            max_batch=args.batch)
     results, report = serve(
         n_requests=args.requests, n_devices=args.devices,
         fault_rate=args.fault_rate, seed=args.seed, scale=args.scale,
         scheduler_config=sched, tracer=tracer)
+    batched = f", batch {args.batch}" if args.batch > 1 else ""
     print(f"served {args.requests} requests over {args.devices} "
-          f"device(s), fault rate {args.fault_rate:g}, seed {args.seed}:")
+          f"device(s), fault rate {args.fault_rate:g}, "
+          f"seed {args.seed}{batched}:")
     print(report.render())
     _write_trace(tracer, args.trace)
     if report.failed:
@@ -412,6 +415,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--scale", type=float, default=0.05)
     p.add_argument("--queue-depth", type=int, default=32)
+    p.add_argument(
+        "--batch", type=int, default=1, metavar="K",
+        help="coalesce up to K compatible queued requests into one "
+             "multi-RHS dispatch that streams the matrix payload once "
+             "(1 disables coalescing)",
+    )
     p.add_argument(
         "--trace", metavar="FILE", default=None,
         help="export a cycle-attributed Chrome/Perfetto trace to FILE",

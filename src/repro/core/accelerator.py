@@ -553,6 +553,28 @@ class Alrescha:
                 lambda: self._legacy_run_spmv(x))
         return self._legacy_run_spmv(x)
 
+    def run_spmv_batch(self, x: np.ndarray) -> Tuple[np.ndarray, SimReport]:
+        """Batched multi-RHS SpMV: plan-accelerated :meth:`run_spmm`.
+
+        Semantics and accounting are exactly :meth:`run_spmm` — the
+        programmed payload streams from memory *once* for all ``k``
+        operand columns (``dram_requests`` does not grow with ``k``;
+        FCU work does) — but the hot loop runs on the compiled plan
+        with per-width report templates.  Column ``j`` of the result is
+        bit-identical to ``run_spmv(x[:, j])`` served alone, which is
+        what lets the serving runtime fuse jobs without changing their
+        answers.  A 1-D operand is treated as one column.
+        """
+        self._require_kernel(KernelType.SPMV)
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim == 1:
+            x = x[:, None]
+        if self.config.use_plan:
+            return self._run_plan_checked(
+                "spmv", lambda plan: plan.run_spmv_batch(x),
+                lambda: self.run_spmm(x))
+        return self.run_spmm(x)
+
     def _legacy_run_spmv(self, x: np.ndarray) -> Tuple[np.ndarray, SimReport]:
         """Per-block interpreter for SpMV (the plan-equivalence oracle)."""
         return self._run_streaming_pass(
@@ -785,6 +807,31 @@ class Alrescha:
                 lambda: self._legacy_run_symgs_sweep(b, x_prev))
         return self._legacy_run_symgs_sweep(b, x_prev)
 
+    def run_symgs_batch(self, b: np.ndarray, x_prev: np.ndarray
+                        ) -> Tuple[np.ndarray, SimReport]:
+        """Batched multi-RHS forward SymGS sweeps over one payload.
+
+        ``b`` and ``x_prev`` are ``(n, k)`` panels (1-D operands are
+        treated as one column); column ``j`` of the result is
+        bit-identical to ``run_symgs_sweep(b[:, j], x_prev[:, j])``
+        served alone.  The programmed payload — GEMV blocks and
+        diagonal blocks — streams once per batch and is applied to all
+        ``k`` recurrences while resident; GEMV and D-SymGS compute
+        scale with ``k``.
+        """
+        self._require_kernel(KernelType.SYMGS)
+        b = np.asarray(b, dtype=np.float64)
+        x_prev = np.asarray(x_prev, dtype=np.float64)
+        if b.ndim == 1:
+            b = b[:, None]
+        if x_prev.ndim == 1:
+            x_prev = x_prev[:, None]
+        if self.config.use_plan:
+            return self._run_plan_checked(
+                "symgs", lambda plan: plan.run_batch(b, x_prev),
+                lambda: self._legacy_run_symgs_batch(b, x_prev))
+        return self._legacy_run_symgs_batch(b, x_prev)
+
     def _legacy_run_symgs_sweep(self, b: np.ndarray, x_prev: np.ndarray
                                 ) -> Tuple[np.ndarray, SimReport]:
         """Per-block interpreter for the SymGS sweep (the
@@ -924,6 +971,168 @@ class Alrescha:
         report = self._make_report(
             "symgs", total, seq_cycles, fills, exposed, fcu, rcu, mem,
             dp_cycles, extra_stream_bytes=miss_bytes,
+        )
+        if tb is not None:
+            tb.finish(report, gap_name="cache_refill",
+                      args={"extra_stream_bytes": miss_bytes})
+        return result, report
+
+    def _legacy_run_symgs_batch(self, b: np.ndarray, x_prev: np.ndarray
+                                ) -> Tuple[np.ndarray, SimReport]:
+        """Per-block interpreter for batched SymGS sweeps (the batch
+        plan's template/equivalence oracle).
+
+        The SymGS analogue of :meth:`run_spmm`: each payload block —
+        GEMV entries, then the row's diagonal — is streamed *once* and
+        applied to every operand column while resident, so the stream
+        term of a row is unchanged from one sweep while GEMV and
+        D-SymGS compute scale with ``k``.  Each column advances its own
+        ``x_curr`` recurrence; partials cross the RCU link stack per
+        column exactly as in the single sweep, so per-column results
+        are bit-identical to :meth:`_legacy_run_symgs_sweep`.
+        """
+        n, w = self.n, self.config.omega
+        if (b.ndim != 2 or b.shape[0] != n or b.shape[1] < 1
+                or x_prev.shape != b.shape):
+            raise SimulationError(
+                f"operand panels must be ({n}, k>=1) and equal-shaped, "
+                f"got {b.shape} and {x_prev.shape}"
+            )
+        k = b.shape[1]
+        diag = self.conversion.matrix.diagonal
+        if diag is None:
+            raise SimulationError("programmed matrix lacks SymGS layout")
+
+        fcu = self.config.make_fcu()
+        rcu = self.config.make_rcu()
+        mem = self.config.make_memory()
+        timing = self.config.timing()
+        tracer = self.tracer
+        mem.tracer = tracer
+        tb = (PassTraceBuilder(tracer, "symgs-batch")
+              if tracer is not None else None)
+
+        for col in range(k):
+            rcu.load_operand(f"x_prev{col}", x_prev[:, col])
+            rcu.load_operand(f"x_curr{col}", x_prev[:, col].copy())
+            rcu.load_operand(f"b{col}", b[:, col])
+        rcu.load_operand("diag", diag)
+
+        stream_cycles = 0.0
+        chain_cycles = 0.0
+        seq_cycles = 0.0
+        fills = 0.0
+        exposed = 0.0
+        dp_cycles: Dict[str, float] = {}
+        prev_dp: Optional[DataPathType] = None
+        spb = timing.stream_cycles_per_block()
+        # Per-column pending partials, in push order.  The physical
+        # link stack is one LIFO; the batch engine tags partials per
+        # column, each crossing the link once as in the single sweep.
+        partials: List[List[np.ndarray]] = [[] for _ in range(k)]
+
+        for group in self._rows:
+            row_stream = 0.0
+            row_gemv_compute = 0.0
+            trans_gemv: List[Tuple[str, Optional[str], float, float, float]] = []
+            trans_diag: List[Tuple[str, Optional[str], float, float, float]] = []
+            ablation_penalty = 0.0
+            for op in group.streaming:
+                if prev_dp is not op.dp:
+                    drain = (timing.drain(prev_dp) if prev_dp
+                             else rcu.config.reconfig_cycles)
+                    step_exposed = rcu.reconfigure(op.dp, drain)
+                    exposed += step_exposed
+                    fill = timing.pipeline_fill(op.dp)
+                    fills += fill
+                    if tb is not None:
+                        trans_gemv.append((
+                            op.dp.value,
+                            prev_dp.value if prev_dp else None,
+                            drain, step_exposed, fill))
+                    prev_dp = op.dp
+                values, fault_extra = self._stream_op(mem, op)
+                row_stream += spb + fault_extra
+                block_compute = k * timing.compute_cycles_per_block(op.dp)
+                row_gemv_compute += block_compute
+                dp_cycles["gemv"] = dp_cycles.get("gemv", 0.0) \
+                    + block_compute
+                space = ("x_curr" if op.port is OperandPort.PORT1
+                         else "x_prev")
+                for col in range(k):
+                    chunk = rcu.read_chunk(f"{space}{col}", op.inx_in, w)
+                    partial = gemv_block(fcu, values, chunk,
+                                         op.reversed_cols)
+                    rcu.link.push(partial)
+                    partials[col].append(rcu.link.pop())
+            dsymgs_compute = 0.0
+            if group.diagonal is not None:
+                op = group.diagonal
+                if prev_dp is not op.dp:
+                    drain = (timing.drain(prev_dp) if prev_dp
+                             else rcu.config.reconfig_cycles)
+                    step_exposed = rcu.reconfigure(op.dp, drain)
+                    exposed += step_exposed
+                    fill = timing.pipeline_fill(op.dp)
+                    fills += fill
+                    if tb is not None:
+                        trans_diag.append((
+                            op.dp.value,
+                            prev_dp.value if prev_dp else None,
+                            drain, step_exposed, fill))
+                    prev_dp = op.dp
+                values, fault_extra = self._stream_op(mem, op)
+                row_stream += spb + fault_extra
+                if not self.conversion.reordered and group.streaming:
+                    # Same ablation refetch as the single sweep —
+                    # charged once per batch, like the payload itself.
+                    mem.stream_cycles(w * w * self.config.element_bytes)
+                    row_stream += spb
+                    extra = (0.0 if rcu.config.hide_under_drain
+                             else 2.0 * rcu.config.reconfig_cycles)
+                    rcu.counters.add("switch_toggle", 2.0)
+                    rcu.counters.add("config_write", 2.0)
+                    rcu.counters.add("reconfig_exposed_cycles", extra)
+                    exposed += extra
+                    ablation_fills = timing.pipeline_fill(op.dp) \
+                        + timing.pipeline_fill(DataPathType.GEMV)
+                    fills += ablation_fills
+                    ablation_penalty = extra + ablation_fills
+                start = op.block_row * w
+                valid = max(0, min(w, n - start))
+                d_chunk = rcu.read_chunk("diag", start, w)
+                for col in range(k):
+                    acc = np.zeros(w, dtype=np.float64)
+                    for partial in reversed(partials[col]):
+                        acc += partial
+                    partials[col].clear()
+                    b_chunk = rcu.read_chunk(f"b{col}", start, w)
+                    x_old = rcu.read_chunk(f"x_prev{col}", start, w)
+                    x_new = dsymgs_block(fcu, rcu, values, d_chunk,
+                                         b_chunk, x_old, acc, valid)
+                    rcu.write_chunk(f"x_curr{col}", start, x_new[:valid])
+                dsymgs_compute = k * timing.compute_cycles_per_block(op.dp)
+                dp_cycles["d-symgs"] = dp_cycles.get("d-symgs", 0.0) \
+                    + dsymgs_compute
+            row_cycles = max(row_stream, row_gemv_compute) + dsymgs_compute
+            chain_cycles += row_cycles
+            stream_cycles += row_stream
+            seq_cycles += dsymgs_compute
+            if tb is not None:
+                self._trace_symgs_row(
+                    tb, rcu, group, trans_gemv, trans_diag,
+                    row_stream, row_gemv_compute, dsymgs_compute,
+                    ablation_penalty)
+
+        miss_bytes = rcu.cache.counters.get("cache_misses") \
+            * self.config.cache_line_bytes
+        total = chain_cycles + fills + exposed \
+            + miss_bytes / self.config.bytes_per_cycle
+        result = np.stack(
+            [rcu.operand(f"x_curr{col}") for col in range(k)], axis=1)
+        report = self._make_report(
+            "symgs-batch", total, seq_cycles, fills, exposed, fcu, rcu,
+            mem, dp_cycles, extra_stream_bytes=miss_bytes,
         )
         if tb is not None:
             tb.finish(report, gap_name="cache_refill",

@@ -44,7 +44,7 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -242,6 +242,9 @@ class CompiledStreamingPass:
         self.span_template = span_template or []
         self._tgroups = _time_groups(artifacts.seg_len, artifacts.seg_start)
         self._n_rows = int(artifacts.out_rows.size)
+        #: Per-width batch report templates, captured lazily from the
+        #: legacy batch interpreter the first time each width runs.
+        self._batch_templates: Dict[int, Tuple[SimReport, List[Span]]] = {}
 
     # ------------------------------------------------------------------
     # Shared pieces
@@ -360,6 +363,56 @@ class CompiledStreamingPass:
     # ------------------------------------------------------------------
     # Pass kinds
     # ------------------------------------------------------------------
+    def run_spmv_batch(self, x: np.ndarray
+                       ) -> Tuple[np.ndarray, SimReport]:
+        """Batched multi-RHS SpMV: one payload delivery, ``k`` columns.
+
+        The stacked blocks cross the (possibly faulty) channel *once*
+        for the whole batch — one shared fault exposure, one payload's
+        DRAM traffic — and each column is then computed with
+        expressions identical to :meth:`run_spmv` on that column alone
+        (per-column matmul, deliberately not one wide matmul whose
+        BLAS summation order could differ), so every column's answer is
+        bit-identical to solo service.  The report clones the
+        width-``k`` template captured from the legacy batch
+        interpreter (:meth:`~repro.core.accelerator.Alrescha.run_spmm`).
+        """
+        if self.kind != "spmv":
+            raise SimulationError(
+                f"pass kind {self.kind!r} does not batch")
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 2 or x.shape[0] != self.n or x.shape[1] < 1:
+            raise SimulationError(
+                f"operand must be ({self.n}, k>=1), got {x.shape}")
+        k = x.shape[1]
+        template, span_template = self._batch_template(k)
+        blocks, _masks, extra, events = self._deliver()
+        y = np.empty((self.n, k))
+        accs = []
+        for col in range(k):
+            chunks = self._gather_chunks(x[:, col])
+            partial = np.matmul(blocks, chunks[:, :, None])[:, :, 0]
+            acc = self._accumulate_sum(partial)
+            accs.append((acc, chunks))
+            y[:, col] = self._scatter_assign(acc)
+        report = template.clone()
+        _apply_fault_events(report, extra, events,
+                            self.padded_block_bytes)
+        _replay_spans(self.acc, span_template, extra, events)
+        for acc, chunks in accs:
+            self._crosscheck(
+                report, acc, "sum",
+                lambda lo, hi, c=chunks: np.matmul(
+                    self.blocks[lo:hi], c[lo:hi, :, None])[:, :, 0])
+        return y, report
+
+    def _batch_template(self, k: int) -> Tuple[SimReport, List[Span]]:
+        cached = self._batch_templates.get(k)
+        if cached is None:
+            cached = _capture_batch_template(self.acc, self.kind, k)
+            self._batch_templates[k] = cached
+        return cached
+
     def run_spmv(self, x: np.ndarray) -> Tuple[np.ndarray, SimReport]:
         _check_operand("x", x, self.n)
         blocks, _masks, extra, events = self._deliver()
@@ -497,6 +550,9 @@ class CompiledSymgsPass:
         self.span_template = span_template or []
         self._diag_pad = np.zeros(self.npad)
         self._diag_pad[:n] = diag
+        #: Per-width batch report templates, captured lazily from the
+        #: legacy batch interpreter the first time each width runs.
+        self._batch_templates: Dict[int, Tuple[SimReport, List[Span]]] = {}
 
     def run(self, b: np.ndarray, x_prev: np.ndarray
             ) -> Tuple[np.ndarray, SimReport]:
@@ -574,6 +630,104 @@ class CompiledSymgsPass:
         _replay_spans(self.acc, self.span_template, extra, events)
         return state[0, :n].copy(), report
 
+    def _batch_template(self, k: int) -> Tuple[SimReport, List[Span]]:
+        cached = self._batch_templates.get(k)
+        if cached is None:
+            cached = _capture_batch_template(self.acc, "symgs", k)
+            self._batch_templates[k] = cached
+        return cached
+
+    def run_batch(self, b: np.ndarray, x_prev: np.ndarray
+                  ) -> Tuple[np.ndarray, SimReport]:
+        """Batched forward sweeps: one payload delivery drives ``k``
+        independent column recurrences.
+
+        Each payload block crosses the channel once per batch — shared
+        fault exposure, one payload's DRAM traffic — and every column
+        then advances its own two-plane state with expressions
+        identical to :meth:`run` on that column alone, so per-column
+        answers are bit-identical to solo service.  The report clones
+        the width-``k`` template captured from
+        :meth:`~repro.core.accelerator.Alrescha._legacy_run_symgs_batch`.
+        """
+        n, w, npad = self.n, self.omega, self.npad
+        b = np.asarray(b, dtype=np.float64)
+        x_prev = np.asarray(x_prev, dtype=np.float64)
+        if (b.ndim != 2 or b.shape[0] != n or b.shape[1] < 1
+                or x_prev.shape != b.shape):
+            raise SimulationError(
+                f"operand panels must be ({n}, k>=1) and equal-shaped, "
+                f"got {b.shape} and {x_prev.shape}")
+        k = b.shape[1]
+        template, span_template = self._batch_template(k)
+        states = np.zeros((k, 2, npad))
+        states[:, 0, :n] = x_prev.T
+        states[:, 1, :n] = x_prev.T
+        flats = [states[col].reshape(-1) for col in range(k)]
+        b_pads = np.zeros((k, npad))
+        b_pads[:, :n] = b.T
+        cfg = self.acc.config
+        fm = cfg.fault_model
+        verify = fm is not None and (cfg.verify_checksums
+                                     or self.acc._force_verify)
+        extra, events = 0.0, []
+        stacks: List[List[np.ndarray]] = [[] for _ in range(k)]
+        for row in self.rows:
+            if row.seg_len:
+                lo = row.seg_start
+                hi = lo + row.seg_len
+                seg_blocks = self.blocks[lo:hi]
+                if fm is not None:
+                    delivered = None
+                    for j in range(lo, hi):
+                        src = self.blocks[j]
+                        checksum = (int(self.checksums[j]) if verify
+                                    else None)
+                        vals, cycles, event = fm.deliver(
+                            src, checksum,
+                            restream_cycles=self.restream_cycles)
+                        extra += cycles
+                        if event is not None:
+                            events.append(event)
+                        if vals is not src:
+                            if delivered is None:
+                                delivered = seg_blocks.copy()
+                            delivered[j - lo] = vals
+                    if delivered is not None:
+                        seg_blocks = delivered
+                for col in range(k):
+                    chunks = flats[col][self.gather[lo:hi]]
+                    partial = np.matmul(seg_blocks,
+                                        chunks[:, :, None])[:, :, 0]
+                    stacks[col].extend(partial)
+            if row.body is not None:
+                body = row.body
+                if fm is not None:
+                    checksum = row.checksum if verify else None
+                    vals, cycles, event = fm.deliver(
+                        body, checksum,
+                        restream_cycles=self.restream_cycles)
+                    extra += cycles
+                    if event is not None:
+                        events.append(event)
+                    body = vals
+                sl = slice(row.start, row.start + w)
+                for col in range(k):
+                    acc = np.zeros(w)
+                    stack = stacks[col]
+                    while stack:
+                        acc += stack.pop()
+                    x_new = dsymgs_solve(body, self._diag_pad[sl],
+                                         b_pads[col, sl],
+                                         states[col, 1, sl], acc,
+                                         row.valid, w)
+                    states[col, 0, row.start:row.start + row.valid] = \
+                        x_new[:row.valid]
+        report = template.clone()
+        _apply_fault_events(report, extra, events, self.padded_block_bytes)
+        _replay_spans(self.acc, span_template, extra, events)
+        return states[:, 0, :n].T.copy(), report
+
 
 # ---------------------------------------------------------------------
 # Compilation
@@ -624,6 +778,36 @@ def _capture_template(acc, kind: str) -> Tuple[SimReport, List[Span]]:
             report = acc._legacy_run_pr_pass(zeros, zeros)[1]
         else:
             report = acc._legacy_run_symgs_sweep(zeros, zeros)[1]
+    finally:
+        acc._suppress_faults = False
+        acc._capture_tracer = None
+    return report, (capture.spans if capture is not None else [])
+
+
+def _capture_batch_template(acc, kind: str,
+                            k: int) -> Tuple[SimReport, List[Span]]:
+    """Replay the legacy *batch* interpreter once with neutral ``(n,
+    k)`` operand panels and keep its report/spans.
+
+    The per-width analogue of :func:`_capture_template` — batch timing
+    and counters depend only on the programmed block structure and the
+    width ``k``, never on operand values — with the same fault
+    suppression and tracer shadowing (see there).  Templates are
+    captured lazily per width, so a program that never batches pays
+    nothing.
+    """
+    zeros = np.zeros((acc.n, k))
+    capture = Tracer() if acc.config.tracer is not None else None
+    acc._suppress_faults = True
+    acc._capture_tracer = capture
+    try:
+        if kind == "spmv":
+            report = acc.run_spmm(zeros)[1]
+        elif kind == "symgs":
+            report = acc._legacy_run_symgs_batch(zeros, zeros)[1]
+        else:
+            raise SimulationError(
+                f"pass kind {kind!r} does not batch")
     finally:
         acc._suppress_faults = False
         acc._capture_tracer = None

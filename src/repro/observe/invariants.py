@@ -126,7 +126,14 @@ def check_proper_nesting(tracer: Tracer) -> List[str]:
 
 
 def check_device_exclusive(tracer: Tracer) -> List[str]:
-    """Runtime ``job`` spans on one ``device<N>`` track never overlap."""
+    """Runtime ``job`` spans on one ``device<N>`` track never overlap —
+    except members of one fused multi-RHS batch.
+
+    Jobs served by the same batched dispatch share the device on
+    purpose (one payload stream answers all of them) and carry the same
+    ``batch`` arg on coinciding intervals; overlapping job spans from
+    different dispatches — or untagged overlap — remain violations.
+    """
     violations = []
     for track in tracer.tracks():
         if not (track.startswith("device")
@@ -137,6 +144,11 @@ def check_device_exclusive(tracer: Tracer) -> List[str]:
                       key=lambda s: (s.begin, s.end))
         for prev, cur in zip(jobs, jobs[1:]):
             if cur.begin < prev.end - EPS:
+                same_batch = ("batch" in cur.args
+                              and "batch" in prev.args
+                              and cur.args["batch"] == prev.args["batch"])
+                if same_batch:
+                    continue
                 violations.append(
                     f"{track}: job {cur.name!r} starts at "
                     f"{cur.begin:.2f} before job {prev.name!r} ends at "

@@ -73,7 +73,7 @@ def serve(n_requests: int, n_devices: int = 4, fault_rate: float = 0.0,
           workloads: Optional[Tuple[Tuple[str, str], ...]] = None,
           trace: Optional[List[Job]] = None,
           scheduler_config: Optional[SchedulerConfig] = None,
-          tracer=None,
+          tracer=None, max_batch: int = 1,
           **trace_kwargs) -> Tuple[List[JobResult], PoolReport]:
     """Serve a seeded workload trace over a fresh device pool.
 
@@ -88,6 +88,12 @@ def serve(n_requests: int, n_devices: int = 4, fault_rate: float = 0.0,
     ``tracer`` (a :class:`~repro.observe.tracer.Tracer`) records job
     spans per ``device<N>`` track, degraded fallbacks on ``reference``
     and shed jobs on ``scheduler``; ``None`` changes nothing.
+
+    ``max_batch > 1`` lets the scheduler coalesce compatible queued
+    requests into multi-RHS dispatches that stream the matrix payload
+    once per batch; ``1`` (the default) disables coalescing.  Ignored
+    when an explicit ``scheduler_config`` is supplied (set
+    :attr:`SchedulerConfig.max_batch` there instead).
     """
     if trace is None:
         spec_kwargs = dict(n_requests=n_requests, seed=seed, scale=scale,
@@ -97,5 +103,7 @@ def serve(n_requests: int, n_devices: int = 4, fault_rate: float = 0.0,
         trace = make_trace(TraceSpec(**spec_kwargs))
     pool = DevicePool(n_devices, fault_rate=fault_rate, seed=seed,
                       tracer=tracer)
+    if scheduler_config is None:
+        scheduler_config = SchedulerConfig(max_batch=max_batch)
     scheduler = Scheduler(pool, scheduler_config)
     return scheduler.run(trace)

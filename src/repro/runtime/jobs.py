@@ -85,6 +85,9 @@ class JobResult:
     #: CRC32 of the answer payload (bit-reproducibility handle); 0 when
     #: no answer was produced.
     value_crc: int = 0
+    #: Width of the fused dispatch that answered the job (1 = solo; a
+    #: job answered inside a k-wide multi-RHS batch reports k).
+    batch_size: int = 1
     error: str = ""
 
     @property

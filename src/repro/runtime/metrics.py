@@ -11,22 +11,34 @@ two runs of the same seeded trace compare equal field-for-field.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
+from fractions import Fraction
 from typing import Dict, List, Sequence
 
+from repro.errors import ConfigError
 from repro.runtime.jobs import JobResult, JobStatus
 
 
 def percentile(values: Sequence[float], q: float) -> float:
     """Nearest-rank percentile (deterministic, no interpolation).
 
-    ``q`` is in [0, 100].  Returns 0.0 for an empty sequence.
+    ``q`` must be in [0, 100] (:class:`~repro.errors.ConfigError`
+    otherwise).  Returns 0.0 for an empty sequence.  The rank is
+    ``ceil(q * n / 100)`` computed in exact rational arithmetic: a
+    float product like ``64.4 * 250`` lands a hair above the true
+    integer 161 and a float-only ceiling then overshoots the rank by
+    one.  ``Fraction(str(q))`` reads the *decimal* value the caller
+    wrote, not the binary float approximation stored for it.
     """
+    if not 0.0 <= q <= 100.0:
+        raise ConfigError(f"percentile q must be in [0, 100], got {q}")
     if not values:
         return 0.0
     ordered = sorted(values)
-    rank = max(1, int(-(-q * len(ordered) // 100)))  # ceil without floats
-    return ordered[min(rank, len(ordered)) - 1]
+    n = len(ordered)
+    rank = max(1, min(n, math.ceil(Fraction(str(q)) * n / 100)))
+    return ordered[rank - 1]
 
 
 @dataclass(frozen=True)
@@ -35,7 +47,12 @@ class DeviceStats:
 
     device_id: int
     jobs_run: int
-    failures: int
+    #: Lifetime failed attempts on the device (every failure ever
+    #: recorded, not a rolling-window slice).
+    failures_total: int
+    #: Failure fraction over the breaker's rolling health window at the
+    #: end of the run — the quantity the breaker actually trips on.
+    window_failure_rate: float
     breaker_trips: int
     breaker_state: str
     busy_cycles: float
@@ -67,6 +84,15 @@ class PoolReport:
     latency_p99_cycles: float
     #: Highest number of jobs waiting for a device at any point.
     queue_peak: int
+    #: Fused multi-RHS dispatches that produced answers (a batch of
+    #: k >= 2 jobs served by one payload stream counts once).
+    batches: int = 0
+    #: Jobs served inside those fused dispatches.
+    batched_jobs: int = 0
+    #: DRAM bytes the fused dispatches avoided versus serving each
+    #: member solo (k solo runs re-stream the programmed payload k
+    #: times; a batch streams it once).
+    stream_bytes_saved: float = 0.0
     devices: tuple = ()
 
     @property
@@ -94,17 +120,27 @@ class PoolReport:
             f"latency p50     : {self.latency_p50_cycles:,.0f} cycles",
             f"latency p99     : {self.latency_p99_cycles:,.0f} cycles",
         ]
+        if self.batches:
+            lines.append(
+                f"batches         : {self.batches} "
+                f"({self.batched_jobs} jobs fused)")
+            lines.append(
+                f"stream saved    : {self.stream_bytes_saved:,.0f} bytes")
         for d in self.devices:
             lines.append(
                 f"  device {d.device_id}: {d.jobs_run} jobs, "
-                f"{d.failures} failures, {d.breaker_trips} trips "
+                f"{d.failures_total} failures "
+                f"({d.window_failure_rate:.0%} window), "
+                f"{d.breaker_trips} trips "
                 f"({d.breaker_state}), busy {d.busy_cycles:,.0f} cy, "
                 f"{d.faults_injected} faults")
         return "\n".join(lines)
 
 
 def build_report(results: Sequence[JobResult], pool,
-                 queue_peak: int) -> PoolReport:
+                 queue_peak: int, batches: int = 0,
+                 batched_jobs: int = 0,
+                 stream_bytes_saved: float = 0.0) -> PoolReport:
     """Fold job results + pool state into one :class:`PoolReport`."""
     by_status: Dict[JobStatus, int] = {s: 0 for s in JobStatus}
     latencies: List[float] = []
@@ -124,7 +160,8 @@ def build_report(results: Sequence[JobResult], pool,
         DeviceStats(
             device_id=d.device_id,
             jobs_run=d.jobs_run,
-            failures=d.health.failures,
+            failures_total=d.health.failures,
+            window_failure_rate=d.health.failure_rate,
             breaker_trips=d.breaker.trips,
             breaker_state=d.breaker.state,
             busy_cycles=d.busy_cycles,
@@ -149,5 +186,8 @@ def build_report(results: Sequence[JobResult], pool,
         latency_p50_cycles=percentile(latencies, 50.0),
         latency_p99_cycles=percentile(latencies, 99.0),
         queue_peak=queue_peak,
+        batches=batches,
+        batched_jobs=batched_jobs,
+        stream_bytes_saved=stream_bytes_saved,
         devices=device_stats,
     )

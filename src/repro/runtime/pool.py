@@ -29,7 +29,7 @@ from __future__ import annotations
 import zlib
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, Dict, Optional, Tuple
+from typing import Deque, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -49,6 +49,12 @@ DEFAULT_COOLDOWN_CYCLES = 8_000.0
 #: Cycle cost multiplier of the software reference path relative to the
 #: accelerator's nominal cycles (the degradation latency model).
 DEFAULT_REFERENCE_SLOWDOWN = 8.0
+
+#: Kernels whose attempts may be fused into one multi-RHS dispatch.
+#: Single streaming passes amortize their payload stream across
+#: operands; ``pcg`` iterates internally with data-dependent control
+#: flow, so it always dispatches solo.
+BATCHABLE_KERNELS = ("spmv", "symgs")
 
 
 def value_crc(values: np.ndarray) -> int:
@@ -126,16 +132,16 @@ class CircuitBreaker:
     def allows(self, now: float) -> bool:
         """Whether a job may be dispatched to this device at ``now``.
 
-        Querying an open breaker past its cooldown transitions it to
-        half-open (the probe slot).
+        Pure: an open breaker past its cooldown *reports* the probe
+        slot as available, but the open → half-open transition happens
+        only in :meth:`on_dispatch` — metric and introspection queries
+        (e.g. :meth:`DevicePool.open_breakers`) never change state.
         """
-        if self.state == "open":
-            if now >= self.opened_at + self.cooldown_cycles:
-                self.state = "half_open"
-                self._probe_in_flight = False
+        if self.state == "closed":
+            return True
         if self.state == "half_open":
             return not self._probe_in_flight
-        return self.state == "closed"
+        return now >= self.opened_at + self.cooldown_cycles
 
     @property
     def reopen_at(self) -> Optional[float]:
@@ -144,10 +150,31 @@ class CircuitBreaker:
             return None
         return self.opened_at + self.cooldown_cycles
 
-    def on_dispatch(self) -> None:
-        """A job was placed on the device (claims the half-open probe)."""
+    def on_dispatch(self, now: float) -> None:
+        """A job was placed on the device at cycle ``now``.
+
+        This is the explicit transition step :meth:`allows` only
+        reports on: an open breaker past its cooldown becomes
+        half-open here, and the dispatched job claims the single
+        half-open probe slot.
+        """
+        if (self.state == "open"
+                and now >= self.opened_at + self.cooldown_cycles):
+            self.state = "half_open"
+            self._probe_in_flight = False
         if self.state == "half_open":
             self._probe_in_flight = True
+
+    def release_probe(self) -> None:
+        """Free the half-open probe slot without recording an outcome.
+
+        For dispatches that die before producing a device verdict — an
+        unserviceable job raising before the accelerator runs says
+        nothing about device health, but the probe slot it claimed must
+        not stay occupied forever.
+        """
+        if self.state == "half_open":
+            self._probe_in_flight = False
 
     def on_success(self) -> None:
         self.health.record(True)
@@ -185,6 +212,12 @@ class Attempt:
     cycles: float
     values: Optional[np.ndarray] = None
     error: str = ""
+    #: DRAM traffic the attempt charged to the memory model (0 for a
+    #: failed attempt).  For a batched attempt this is the whole
+    #: batch's traffic — the payload stream appears once, not once per
+    #: operand — which is what the scheduler's stream-savings
+    #: accounting reads off.
+    dram_bytes: float = 0.0
 
 
 class Device:
@@ -209,6 +242,9 @@ class Device:
         #: the begin of the device's trace summary span.
         self.first_dispatch: Optional[float] = None
         self._executors: Dict[Tuple[str, float, str], object] = {}
+        #: Monotonic id of batched dispatches on this device; tags the
+        #: member job spans of one fused attempt in the trace.
+        self._batch_seq = 0
 
     # ------------------------------------------------------------------
     def _executor(self, job: Job, pool: "DevicePool"):
@@ -263,14 +299,57 @@ class Device:
                 result = pcg(exe, operand, tol=1e-6, max_iter=25,
                              checkpoint_interval=5, max_restarts=2)
                 values = result.x
-                cycles = result.report.cycles
-            att = Attempt(ok=True, cycles=cycles, values=values)
+                report = result.report
+                cycles = report.cycles
+            att = Attempt(ok=True, cycles=cycles, values=values,
+                          dram_bytes=report.counters.get("dram_bytes"))
         except (FaultError, CorruptionError) as exc:
             retry_after = fm.total_retry_cycles if fm is not None else 0.0
             wasted = pool.nominal_cycles(job) + (retry_after - retry_before)
             att = Attempt(ok=False, cycles=wasted,
                           error=f"{type(exc).__name__}: {exc}")
         self._record(job, pool, now, att)
+        return att
+
+    def attempt_batch(self, jobs: "List[Job]", pool: "DevicePool",
+                      now: float = 0.0) -> Attempt:
+        """Run one fused multi-RHS attempt over same-workload jobs.
+
+        The operand vectors stack into one ``(n, k)`` panel and the
+        accelerator's batched path streams the programmed payload
+        *once* for all of them.  ``values`` holds one answer column per
+        job, in job order.  A fault fails the whole batch — one shared
+        payload stream means one shared fault exposure — and the failed
+        attempt is charged the golden batch service time plus the retry
+        cycles the fault model logged.
+        """
+        lead = jobs[0]
+        exe = self._executor(lead, pool)
+        operands = np.stack([pool.operand(j) for j in jobs], axis=1)
+        fm = self.fault_model
+        retry_before = fm.total_retry_cycles if fm is not None else 0.0
+        self.jobs_run += len(jobs)
+        if self.first_dispatch is None:
+            self.first_dispatch = now
+        try:
+            if lead.kernel == "spmv":
+                values, report = exe.run_spmv_batch(operands)
+            elif lead.kernel == "symgs":
+                values, report = exe.run_symgs_batch(
+                    operands, np.zeros_like(operands))
+            else:
+                raise ConfigError(
+                    f"kernel {lead.kernel!r} does not support batched "
+                    f"dispatch; batchable: {BATCHABLE_KERNELS}")
+            att = Attempt(ok=True, cycles=report.cycles, values=values,
+                          dram_bytes=report.counters.get("dram_bytes"))
+        except (FaultError, CorruptionError) as exc:
+            retry_after = fm.total_retry_cycles if fm is not None else 0.0
+            wasted = (pool.nominal_batch_cycles(lead, len(jobs))
+                      + (retry_after - retry_before))
+            att = Attempt(ok=False, cycles=wasted,
+                          error=f"{type(exc).__name__}: {exc}")
+        self._record_batch(jobs, pool, now, att)
         return att
 
     def _record(self, job: Job, pool: "DevicePool", now: float,
@@ -288,6 +367,34 @@ class Device:
             args["error"] = att.error
         tracer.add(f"{job.kernel}#{job.job_id}", "job", now,
                    now + att.cycles, f"device{self.device_id}", args=args)
+
+    def _record_batch(self, jobs: "List[Job]", pool: "DevicePool",
+                      now: float, att: Attempt) -> None:
+        """One umbrella ``batch`` span plus the member ``job`` spans.
+
+        Every member occupies the device for the whole fused attempt,
+        so the job spans share one interval; the ``batch`` arg ties
+        them together, which is what lets the device-exclusivity
+        invariant accept the deliberate overlap.
+        """
+        tracer = pool.tracer
+        if tracer is None or self.device_id < 0:
+            return
+        bid = self._batch_seq
+        self._batch_seq += 1
+        end = now + att.cycles
+        track = f"device{self.device_id}"
+        tracer.add(f"batch#{self.device_id}.{bid}", "batch", now, end,
+                   track, args={"jobs": float(len(jobs)),
+                                "kernel": jobs[0].kernel, "ok": att.ok})
+        for job in jobs:
+            args: Dict[str, object] = {
+                "ok": att.ok, "dataset": job.dataset,
+                "batch": float(bid), "batch_size": float(len(jobs))}
+            if att.error:
+                args["error"] = att.error
+            tracer.add(f"{job.kernel}#{job.job_id}", "job", now, end,
+                       track, args=args)
 
 
 class DevicePool:
@@ -319,6 +426,8 @@ class DevicePool:
             for i in range(n_devices)
         ]
         self._nominal: Dict[Tuple[str, float, str], float] = {}
+        self._nominal_bytes: Dict[Tuple[str, float, str], float] = {}
+        self._nominal_batch: Dict[Tuple[str, float, str, int], float] = {}
         self._golden = Device(-1, None)
 
     def __len__(self) -> int:
@@ -347,7 +456,37 @@ class DevicePool:
         if key not in self._nominal:
             att = self._golden.attempt(job, self)
             self._nominal[key] = att.cycles
+            self._nominal_bytes[key] = att.dram_bytes
         return self._nominal[key]
+
+    def nominal_dram_bytes(self, job: Job) -> float:
+        """Fault-free DRAM traffic of one solo job attempt (cached).
+
+        The baseline the scheduler's ``stream_bytes_saved`` accounting
+        compares a fused batch against: ``k`` solo runs would each
+        stream the programmed payload.
+        """
+        key = (job.dataset, job.scale, job.kernel)
+        if key not in self._nominal_bytes:
+            self.nominal_cycles(job)
+        return self._nominal_bytes[key]
+
+    def nominal_batch_cycles(self, job: Job, k: int) -> float:
+        """Fault-free service cycles of a ``k``-wide fused batch.
+
+        Priced by one golden batched run per ``(dataset, scale,
+        kernel, k)`` and cached — like :meth:`nominal_cycles`, batch
+        timing depends only on the programmed block structure and the
+        width, never on operand values.  The scheduler uses this to
+        check deadline slack before growing a batch.
+        """
+        if k <= 1:
+            return self.nominal_cycles(job)
+        key = (job.dataset, job.scale, job.kernel, k)
+        if key not in self._nominal_batch:
+            att = self._golden.attempt_batch([job] * k, self)
+            self._nominal_batch[key] = att.cycles
+        return self._nominal_batch[key]
 
     def reference_values(self, job: Job) -> np.ndarray:
         """The golden-kernel answer used for graceful degradation."""

@@ -42,6 +42,7 @@ from repro.errors import DeadlineError, RejectedError, ReproError
 from repro.runtime.jobs import Job, JobResult, JobStatus
 from repro.runtime.metrics import PoolReport, build_report
 from repro.runtime.pool import (
+    BATCHABLE_KERNELS,
     DEFAULT_REFERENCE_SLOWDOWN,
     Device,
     DevicePool,
@@ -61,6 +62,11 @@ class SchedulerConfig:
     max_attempts: int = 3
     #: Latency multiplier of the reference fallback vs nominal cycles.
     reference_slowdown: float = DEFAULT_REFERENCE_SLOWDOWN
+    #: Most jobs one device dispatch may fuse into a multi-RHS batch
+    #: (same dataset/scale/kernel, enough deadline slack).  1 disables
+    #: coalescing entirely — the scheduler then behaves exactly as it
+    #: did before batching existed.
+    max_batch: int = 1
 
 
 class _JobState:
@@ -88,6 +94,11 @@ class Scheduler:
         self.pool = pool
         self.config = config or SchedulerConfig()
         self.queue_peak = 0
+        #: Fused dispatches that produced answers, jobs served inside
+        #: them, and DRAM bytes they avoided vs solo service.
+        self.batches = 0
+        self.batched_jobs = 0
+        self.stream_bytes_saved = 0.0
 
     # ------------------------------------------------------------------
     # Admission control
@@ -136,7 +147,10 @@ class Scheduler:
         self._trace_devices()
         ordered = [results[j.job_id] for j in
                    sorted(jobs, key=lambda j: j.job_id)]
-        return ordered, build_report(ordered, self.pool, self.queue_peak)
+        return ordered, build_report(
+            ordered, self.pool, self.queue_peak, batches=self.batches,
+            batched_jobs=self.batched_jobs,
+            stream_bytes_saved=self.stream_bytes_saved)
 
     def _trace_devices(self) -> None:
         """Close a traced serve run: one summary span per device that
@@ -210,7 +224,11 @@ class Scheduler:
             eligible.sort(key=lambda s: (-s.job.priority, s.job.job_id))
 
             # 1. Expire deadlines of queued jobs before placing work.
-            expired = [s for s in eligible if now >= s.deadline_at]
+            # Strictly past the deadline only: a job whose deadline
+            # falls exactly on the current cycle may still be placed —
+            # the completion path uses the same strict comparison, so a
+            # job finishing exactly at its deadline is OK, not TIMEOUT.
+            expired = [s for s in eligible if now > s.deadline_at]
             if expired:
                 for state in expired:
                     waiting.remove(state)
@@ -245,13 +263,59 @@ class Scheduler:
                 # never actually trip.
                 device = min(candidates,
                              key=lambda d: (d.busy_cycles, d.device_id))
-                waiting.remove(state)
-                self._execute(state, device, now, waiting, results)
+                batch = self._coalesce(state, device, eligible, now)
+                for member in batch:
+                    waiting.remove(member)
+                if len(batch) == 1:
+                    self._execute(state, device, now, waiting, results)
+                else:
+                    self._execute_batch(batch, device, now, waiting,
+                                        results)
                 placed = True
                 progressed = True
                 break
             if not placed:
                 return progressed
+
+    def _coalesce(self, lead: _JobState, device: Device,
+                  eligible: List[_JobState],
+                  now: float) -> List[_JobState]:
+        """Greedy batch formation around the job about to dispatch.
+
+        Queued jobs with the lead's exact ``(dataset, scale, kernel)``
+        fuse into one multi-RHS dispatch, scanned in the same
+        deterministic service order the lead was chosen by and bounded
+        by ``max_batch``.  Only streaming kernels batch (``pcg``
+        iterates internally).  A candidate joins only while *every*
+        member — lead included — still clears the golden service time
+        of the grown batch before its deadline: batching trades a
+        slightly longer fused attempt for the amortized stream, and a
+        deadline-tight job must not pay that trade.
+        """
+        job = lead.job
+        if self.config.max_batch <= 1 or job.kernel not in BATCHABLE_KERNELS:
+            return [lead]
+        key = (job.dataset, job.scale, job.kernel)
+        batch = [lead]
+        for cand in eligible:
+            if len(batch) >= self.config.max_batch:
+                break
+            if cand is lead:
+                continue
+            cj = cand.job
+            if (cj.dataset, cj.scale, cj.kernel) != key:
+                continue
+            if device.device_id in cand.tried:
+                continue
+            est = self.pool.nominal_batch_cycles(job, len(batch) + 1)
+            if any(now + est > s.deadline_at for s in batch):
+                # Growing the batch at all would blow a member's
+                # deadline; no later candidate can make it cheaper.
+                break
+            if now + est > cand.deadline_at:
+                continue  # too tight for this candidate alone
+            batch.append(cand)
+        return batch
 
     # ------------------------------------------------------------------
     # Attempt execution and finalisation
@@ -262,12 +326,18 @@ class Scheduler:
         job = state.job
         state.attempts += 1
         state.tried.add(device.device_id)
-        device.breaker.on_dispatch()
+        device.breaker.on_dispatch(now)
         try:
             att = device.attempt(job, self.pool, now=now)
         except ReproError as exc:
             # Not a device fault — the job itself is unserviceable
             # (unknown dataset/kernel, bad config).  No retry can help.
+            # The dispatch says nothing about device health either, so
+            # a half-open probe it claimed is released rather than
+            # resolved: leaving it in flight would wedge the breaker
+            # half-open forever and the device would never take
+            # traffic again.
+            device.breaker.release_probe()
             results[job.job_id] = JobResult(
                 job_id=job.job_id, status=JobStatus.FAILED,
                 device_id=device.device_id, attempts=state.attempts,
@@ -307,6 +377,78 @@ class Scheduler:
             state.ready = finish
             waiting.append(state)
             self.queue_peak = max(self.queue_peak, len(waiting))
+
+    def _execute_batch(self, states: List[_JobState], device: Device,
+                       now: float, waiting: List[_JobState],
+                       results: Dict[int, JobResult]) -> None:
+        """One fused multi-RHS attempt; per-job outcomes split out.
+
+        The breaker sees the batch as a single dispatch/outcome — one
+        payload stream either served everyone or faulted on everyone —
+        while results, CRCs and latencies stay per job.  On a fault
+        every member is requeued (or degraded) under its own attempt
+        budget, exactly as if it had failed a solo attempt.
+        """
+        jobs = [s.job for s in states]
+        for s in states:
+            s.attempts += 1
+            s.tried.add(device.device_id)
+        device.breaker.on_dispatch(now)
+        try:
+            att = device.attempt_batch(jobs, self.pool, now=now)
+        except ReproError as exc:
+            # Same rationale as the solo path: unserviceable work, not
+            # a device verdict — release a claimed probe.
+            device.breaker.release_probe()
+            for s in states:
+                results[s.job.job_id] = JobResult(
+                    job_id=s.job.job_id, status=JobStatus.FAILED,
+                    device_id=device.device_id, attempts=s.attempts,
+                    finish_cycle=now,
+                    error=f"{type(exc).__name__}: {exc}")
+            return
+        finish = now + att.cycles
+        device.busy_until = finish
+        device.busy_cycles += att.cycles
+
+        if att.ok:
+            device.breaker.on_success()
+            self.batches += 1
+            self.batched_jobs += len(jobs)
+            solo_bytes = self.pool.nominal_dram_bytes(jobs[0])
+            self.stream_bytes_saved += max(
+                0.0, solo_bytes * len(jobs) - att.dram_bytes)
+            for col, s in enumerate(states):
+                job = s.job
+                latency = finish - job.arrival_cycle
+                if latency > job.deadline_cycles:
+                    status, error = JobStatus.TIMEOUT, (
+                        f"completed {latency - job.deadline_cycles:.0f} "
+                        f"cycles past deadline")
+                else:
+                    status, error = JobStatus.OK, ""
+                results[job.job_id] = JobResult(
+                    job_id=job.job_id, status=status,
+                    device_id=device.device_id, attempts=s.attempts,
+                    latency_cycles=latency, finish_cycle=finish,
+                    value_crc=value_crc(att.values[:, col]),
+                    batch_size=len(jobs), error=error)
+            return
+
+        # One shared payload stream faulted on the whole batch: one
+        # breaker outcome, every member retried or degraded on its own
+        # attempt budget.
+        device.breaker.on_failure(now)
+        for s in states:
+            exhausted = (s.attempts >= self.config.max_attempts
+                         or len(s.tried) >= len(self.pool))
+            if exhausted:
+                self._degrade(s, finish, results, last_error=att.error,
+                              device_id=device.device_id)
+            else:
+                s.ready = finish
+                waiting.append(s)
+                self.queue_peak = max(self.queue_peak, len(waiting))
 
     def _finalize_timeout(self, state: _JobState, now: float,
                           results: Dict[int, JobResult]) -> None:

@@ -143,6 +143,22 @@ class StreamingMemory:
         """Convenience wrapper: transfer ``count`` 8-byte values."""
         return self.stream_cycles(count * 8.0, sequential=sequential)
 
+    def cost_cycles(self, nbytes: float) -> float:
+        """Pure cost query: cycles to move ``nbytes`` at peak bandwidth.
+
+        Burst-padded exactly like :meth:`stream_cycles` but charges
+        nothing — no counters, no trace spans.  Batched multi-RHS
+        serving uses this to convert stream bytes into cycles when
+        reporting amortization: a k-wide batch streams the matrix
+        payload once, so its per-RHS stream cost is this quantity
+        divided by k.
+        """
+        if nbytes < 0:
+            raise SimulationError(f"cannot stream {nbytes} bytes")
+        if nbytes == 0:
+            return 0.0
+        return self._padded_bytes(nbytes) / self.bytes_per_cycle
+
     def stream_payload_block(self, values: np.ndarray, nbytes: float,
                              checksum: Optional[int] = None
                              ) -> Tuple[np.ndarray, float]:

@@ -132,6 +132,25 @@ class TestServe:
         assert main(["serve", "--requests", "5", "--devices", "0"]) == 2
         assert "error:" in capsys.readouterr().err
 
+    def test_serve_batch_flag(self, capsys):
+        assert main(["serve", "--requests", "30", "--devices", "2",
+                     "--seed", "3", "--batch", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "batch 4:" in out
+        assert "batches" in out and "jobs fused" in out
+        assert "stream saved" in out
+
+    def test_serve_batch_one_output_matches_default(self, capsys):
+        # --batch 1 is the off switch: byte-identical output to not
+        # passing the flag at all (no batch header, no batch lines).
+        args = ["serve", "--requests", "30", "--devices", "2",
+                "--seed", "7"]
+        assert main(args) == 0
+        default = capsys.readouterr().out
+        assert main(args + ["--batch", "1"]) == 0
+        assert capsys.readouterr().out == default
+        assert "batches" not in default
+
 
 class TestTrace:
     def test_trace_symgs_prints_attribution(self, capsys):

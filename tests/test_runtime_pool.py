@@ -74,24 +74,51 @@ class TestCircuitBreaker:
         assert b.reopen_at == 1200.0
         assert not b.allows(1199.9)
         assert b.state == "open"
-        # Querying at/after the reopen cycle transitions to half-open.
+        # Querying at/after the reopen cycle answers True but does not
+        # transition — only dispatching does.
         assert b.allows(1200.0)
+        assert b.state == "open"
+        b.on_dispatch(1200.0)
         assert b.state == "half_open"
+
+    def test_allows_is_pure(self):
+        b = make_breaker(cooldown_cycles=1000.0)
+        for _ in range(4):
+            b.on_failure(now=0.0)
+        # Repeated queries past the reopen cycle are idempotent: no
+        # state change, no probe claimed.
+        for _ in range(3):
+            assert b.allows(1000.0)
+            assert b.state == "open"
+        b.on_dispatch(1000.0)
+        assert b.state == "half_open"
+        assert not b.allows(1000.0)  # probe in flight
 
     def test_half_open_single_probe(self):
         b = make_breaker()
         for _ in range(4):
             b.on_failure(now=0.0)
         assert b.allows(1000.0)
-        b.on_dispatch()  # probe claimed
+        b.on_dispatch(1000.0)  # open -> half_open, probe claimed
         assert not b.allows(1000.0)  # second job must wait
+
+    def test_release_probe_unclaims_without_verdict(self):
+        b = make_breaker()
+        for _ in range(4):
+            b.on_failure(now=0.0)
+        b.on_dispatch(1000.0)
+        assert not b.allows(1000.0)
+        # The dispatch died before any device verdict (e.g. a config
+        # error): releasing the probe re-opens the half-open slot.
+        b.release_probe()
+        assert b.state == "half_open"
+        assert b.allows(1000.0)
 
     def test_probe_success_closes_and_resets_window(self):
         b = make_breaker()
         for _ in range(4):
             b.on_failure(now=0.0)
-        b.allows(1000.0)
-        b.on_dispatch()
+        b.on_dispatch(1000.0)
         b.on_success()
         assert b.state == "closed"
         # The pre-outage failures were forgotten: one new failure must
@@ -104,8 +131,7 @@ class TestCircuitBreaker:
         b = make_breaker(cooldown_cycles=1000.0)
         for _ in range(4):
             b.on_failure(now=0.0)
-        b.allows(1000.0)
-        b.on_dispatch()
+        b.on_dispatch(1000.0)
         b.on_failure(now=1000.0)
         assert b.state == "open"
         assert b.trips == 2

@@ -1,17 +1,26 @@
-"""Property: the serving runtime is deterministic per seed.
+"""Properties: determinism per seed, batching transparency, percentiles.
 
 Same seed + same trace parameters ⇒ two completely fresh runs (new
 pool, new fault models, new breakers) produce identical results and a
 field-for-field identical :class:`~repro.runtime.PoolReport`.  This is
 the contract that makes the whole layer debuggable: any incident
 observed once can be replayed exactly.
+
+Batching adds a second contract: a fused multi-RHS dispatch is an
+*optimisation*, never a semantic change — per-job answers (CRCs) and
+statuses match the unbatched run, and ``max_batch=1`` is bit-identical
+to not mentioning batching at all.
 """
 
+import math
 from dataclasses import fields
+from fractions import Fraction
 
+import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.runtime import PoolReport, serve
+from repro.errors import ConfigError
+from repro.runtime import PoolReport, percentile, serve
 
 
 @settings(max_examples=8, deadline=None)
@@ -48,3 +57,87 @@ def test_different_fault_rates_share_the_trace(seed):
     zero_faulty = {r.job_id for r in res_faulty
                    if r.attempts == 0 and "deadline" in r.error}
     assert zero_clean == zero_faulty
+
+
+@settings(max_examples=6, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**16),
+    k=st.sampled_from([2, 4]),
+)
+def test_batched_serve_matches_unbatched_answers(seed, k):
+    """Coalescing is transparent: with slack deadlines and a clean
+    pool, every job's status and bit-exact answer CRC are identical
+    whether the scheduler fused dispatches or served each job solo."""
+    kwargs = dict(n_requests=12, n_devices=2, fault_rate=0.0, seed=seed,
+                  scale=0.04, deadline_range=(300_000.0, 500_000.0))
+    res_solo, _ = serve(**kwargs)
+    res_batch, rep_batch = serve(max_batch=k, **kwargs)
+    for a, b in zip(res_solo, res_batch):
+        assert a.job_id == b.job_id
+        assert a.status == b.status
+        assert a.value_crc == b.value_crc
+    fused = [r for r in res_batch if r.batch_size > 1]
+    assert rep_batch.batched_jobs == len(fused)
+
+
+@settings(max_examples=4, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**16))
+def test_max_batch_one_is_bit_identical_to_default(seed):
+    """``max_batch=1`` must leave the scheduler exactly as it was
+    before batching existed — results and report field for field."""
+    kwargs = dict(n_requests=10, n_devices=2, fault_rate=0.1, seed=seed,
+                  scale=0.04)
+    res_a, rep_a = serve(**kwargs)
+    res_b, rep_b = serve(max_batch=1, **kwargs)
+    assert res_a == res_b
+    for f in fields(PoolReport):
+        assert getattr(rep_a, f.name) == getattr(rep_b, f.name), \
+            f"PoolReport.{f.name} differs under seed {seed}"
+
+
+# ---------------------------------------------------------------------------
+# Nearest-rank percentile: exact rational rank
+# ---------------------------------------------------------------------------
+def reference_percentile(values, q):
+    """Independent nearest-rank formulation: the smallest ordered value
+    with at least ``q`` percent of the samples at or below it."""
+    ordered = sorted(values)
+    n = len(ordered)
+    target = Fraction(str(q)) * n  # compare r*100 >= q*n exactly
+    for r in range(1, n + 1):
+        if r * 100 >= target:
+            return ordered[r - 1]
+    return ordered[-1]
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    values=st.lists(st.floats(min_value=-1e9, max_value=1e9,
+                              allow_nan=False), min_size=1, max_size=200),
+    q=st.one_of(
+        st.integers(min_value=0, max_value=100).map(float),
+        st.decimals(min_value=0, max_value=100, places=2).map(float),
+    ),
+)
+def test_percentile_matches_counting_reference(values, q):
+    assert percentile(values, q) == reference_percentile(values, q)
+
+
+def test_percentile_float_product_regression():
+    # 64.4% of 250 samples is exactly rank 161, but the float product
+    # 64.4 * 250 lands at 16100.000000000002 and a float-only ceiling
+    # overshot to rank 162.  Pin the exact-arithmetic rank.
+    values = list(range(250))
+    assert math.ceil(64.4 * 250 / 100) == 162  # the float trap itself
+    assert percentile(values, 64.4) == 160  # rank 161, zero-based 160
+
+
+def test_percentile_bounds_and_validation():
+    values = [5.0, 1.0, 3.0]
+    assert percentile(values, 0.0) == 1.0  # rank clamps to 1
+    assert percentile(values, 100.0) == 5.0
+    assert percentile([], 50.0) == 0.0
+    with pytest.raises(ConfigError):
+        percentile(values, -0.1)
+    with pytest.raises(ConfigError):
+        percentile(values, 100.1)

@@ -93,6 +93,32 @@ class TestDeadlines:
         assert results[0].value_crc != 0
         assert results[0].latency_cycles > 10.0
 
+    def test_completion_exactly_at_deadline_is_ok(self):
+        # Boundary: a deadline equal to the service time is met, not
+        # missed — the completion check is strictly `>`.
+        probe, _ = run([job(0)], n_devices=1)
+        service = probe[0].latency_cycles
+        results, _ = run([job(0, deadline=service)], n_devices=1)
+        assert results[0].status is JobStatus.OK
+        assert results[0].latency_cycles == service
+
+    def test_queued_job_at_exact_deadline_still_dispatches(self):
+        # Regression: the queued-expiry check used `now >= deadline_at`
+        # while the completion check used `latency > deadline`, so a
+        # job becoming dispatchable exactly at its deadline was shed
+        # unexecuted (no answer, zero attempts).  With both on strict
+        # `>`, it dispatches at that cycle and finishes late *with* its
+        # answer attached.
+        probe, _ = run([job(0)], n_devices=1)
+        service = probe[0].latency_cycles
+        # Job 1 waits behind job 0 and its deadline lands exactly on
+        # the cycle the device frees up.
+        results, _ = run([job(0), job(1, deadline=service)], n_devices=1)
+        assert results[1].status is JobStatus.TIMEOUT
+        assert results[1].attempts == 1
+        assert results[1].value_crc != 0
+        assert results[1].finish_cycle == 2 * service
+
     def test_priority_order_under_contention(self):
         # Same arrival cycle, one device: the priority-2 job must be
         # placed first even though it was submitted last.
@@ -155,6 +181,38 @@ class TestRetryAndDegradation:
         assert "no-such-matrix" in results[0].error
         assert report.failed == 1
 
+    def test_failed_probe_dispatch_releases_the_probe_slot(self):
+        # Regression: a dispatch that dies on ReproError (unserviceable
+        # job) after claiming the half-open probe slot used to leave
+        # the probe in flight forever, bricking the device.  Brick a
+        # one-device pool, cure the hardware, then land an
+        # unserviceable job exactly when the breaker becomes probeable:
+        # the next good job must still be able to probe and recover.
+        pool = DevicePool(1, fault_rate=0.0, seed=0)
+        pool.devices[0].fault_model = FaultModel(
+            rate=1.0, seed=5, persistent=True)
+        sick = [job(i, arrival=i * 3000.0, deadline=200_000.0)
+                for i in range(5)]
+        results, _ = Scheduler(pool, SchedulerConfig()).run(sick)
+        breaker = pool.devices[0].breaker
+        assert breaker.state == "open"
+        assert all(r.status is JobStatus.DEGRADED for r in results)
+        # The fault stream dries up while the breaker cools down.
+        pool.devices[0].fault_model.rate = 0.0
+        reopen = breaker.reopen_at
+        bad = job(10, arrival=reopen, dataset="no-such-matrix",
+                  deadline=200_000.0)
+        good = job(11, arrival=reopen + 100.0, deadline=200_000.0)
+        results, report = Scheduler(pool, SchedulerConfig()).run(
+            [bad, good])
+        assert results[0].status is JobStatus.FAILED
+        # Without release_probe the good job finds the probe slot
+        # occupied forever and is shed to the reference path.
+        assert results[1].status is JobStatus.OK
+        assert results[1].device_id == 0
+        assert breaker.state == "closed"
+        assert report.degraded == 0
+
 
 class TestKernels:
     @pytest.mark.parametrize("kernel", ["symgs", "pcg"])
@@ -163,6 +221,99 @@ class TestKernels:
             [job(0, kernel=kernel, deadline=1e9)], n_devices=1)
         assert results[0].status is JobStatus.OK
         assert results[0].value_crc != 0
+
+
+class TestBatchCoalescing:
+    def test_fused_batch_matches_unbatched_answers(self):
+        jobs = [job(i, arrival=0.0, deadline=500_000.0) for i in range(4)]
+        solo_results, solo_report = run(jobs, n_devices=1)
+        results, report = run(jobs, n_devices=1, max_batch=4)
+        assert report.batches == 1
+        assert report.batched_jobs == 4
+        assert report.stream_bytes_saved > 0.0
+        for r, s in zip(results, solo_results):
+            assert r.status is JobStatus.OK
+            assert r.batch_size == 4
+            assert r.device_id == 0
+            # Bit-identical answer per job, batched or not.
+            assert r.value_crc == s.value_crc
+        # One payload stream for four jobs finishes earlier than four.
+        assert report.makespan_cycles < solo_report.makespan_cycles
+
+    def test_max_batch_one_is_identical_to_default(self):
+        jobs = [job(i, arrival=0.0, deadline=500_000.0) for i in range(6)]
+        res_off, rep_off = run(jobs, n_devices=2)
+        res_one, rep_one = run(jobs, n_devices=2, max_batch=1)
+        assert res_off == res_one
+        assert rep_off == rep_one
+        assert rep_one.batches == 0
+        assert rep_one.stream_bytes_saved == 0.0
+
+    def test_only_identical_workloads_fuse(self):
+        jobs = [job(i, deadline=500_000.0,
+                    kernel="spmv" if i % 2 == 0 else "symgs")
+                for i in range(4)]
+        results, report = run(jobs, n_devices=1, max_batch=4)
+        assert report.batches == 2
+        assert report.batched_jobs == 4
+        assert all(r.status is JobStatus.OK and r.batch_size == 2
+                   for r in results)
+
+    def test_pcg_never_batches(self):
+        jobs = [job(i, arrival=0.0, deadline=1e9, kernel="pcg")
+                for i in range(3)]
+        results, report = run(jobs, n_devices=1, max_batch=4)
+        assert report.batches == 0
+        assert all(r.status is JobStatus.OK and r.batch_size == 1
+                   for r in results)
+
+    def test_batch_fault_fails_and_retries_whole_batch(self):
+        # Device 0 is persistently sick: the fused attempt shares one
+        # payload stream, so the fault fails every member at once — one
+        # breaker outcome — and the whole batch re-fuses on device 1.
+        pool = DevicePool(2, fault_rate=0.0, seed=0)
+        pool.devices[0].fault_model = FaultModel(
+            rate=1.0, seed=5, persistent=True)
+        scheduler = Scheduler(pool, SchedulerConfig(max_batch=4))
+        jobs = [job(i, arrival=0.0, deadline=500_000.0) for i in range(4)]
+        results, report = scheduler.run(jobs)
+        for r in results:
+            assert r.status is JobStatus.OK
+            assert r.device_id == 1
+            assert r.attempts == 2
+            assert r.batch_size == 4
+        # Only answering batches count, and the fused failure fed the
+        # sick device's health exactly once.
+        assert report.batches == 1
+        assert pool.devices[0].health.failures == 1
+
+    def test_deadline_tight_candidate_stays_out(self):
+        # A mate whose deadline cannot absorb the (longer) fused
+        # service time is left solo rather than pushed past it.
+        pool = DevicePool(1, fault_rate=0.0, seed=0)
+        solo = pool.nominal_cycles(job(0))
+        fused = pool.nominal_batch_cycles(job(0), 2)
+        assert fused > solo  # k operands cost more than one
+        tight = (solo + fused) / 2.0
+        jobs = [job(0, arrival=0.0, deadline=500_000.0),
+                job(1, arrival=0.0, deadline=tight)]
+        scheduler = Scheduler(pool, SchedulerConfig(max_batch=4))
+        results, report = scheduler.run(jobs)
+        assert report.batches == 0
+        assert all(r.batch_size == 1 for r in results)
+
+    def test_batch_amortizes_stream_bytes(self):
+        # The reported saving matches k solo payload streams collapsed
+        # into one batched stream.
+        pool = DevicePool(1, fault_rate=0.0, seed=0)
+        scheduler = Scheduler(pool, SchedulerConfig(max_batch=4))
+        jobs = [job(i, arrival=0.0, deadline=500_000.0) for i in range(4)]
+        _, report = scheduler.run(jobs)
+        probe = DevicePool(1, fault_rate=0.0, seed=0)
+        solo_bytes = probe.nominal_dram_bytes(jobs[0])
+        # Far more than half of 3 extra solo streams is avoided (the
+        # batch only re-reads the small per-RHS vectors).
+        assert report.stream_bytes_saved > 1.5 * solo_bytes
 
 
 class TestServeEntryPoint:

@@ -116,6 +116,21 @@ class TestBlockRun:
             StreamingMemory().stream_block_run(1, -8.0)
 
 
+class TestCostQuery:
+    def test_cost_matches_stream_cycles_without_charging(self):
+        mem = StreamingMemory()
+        cost = mem.cost_cycles(1000.0)
+        assert mem.counters.get("dram_bytes") == 0.0
+        assert mem.counters.get("dram_requests") == 0.0
+        assert cost == mem.stream_cycles(1000.0)
+
+    def test_zero_and_negative(self):
+        mem = StreamingMemory()
+        assert mem.cost_cycles(0.0) == 0.0
+        with pytest.raises(SimulationError):
+            mem.cost_cycles(-1.0)
+
+
 class TestErrors:
     def test_negative_bytes(self):
         with pytest.raises(SimulationError):

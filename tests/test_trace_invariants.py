@@ -239,6 +239,34 @@ class TestDeviceExclusive:
         violations = check_device_exclusive(tracer)
         assert len(violations) == 1
 
+    def test_same_batch_overlap_allowed(self):
+        # Members of one fused multi-RHS dispatch share the device on
+        # purpose; the matching ``batch`` arg marks the overlap legal.
+        tracer = Tracer()
+        tracer.add("spmv#1", "job", 0.0, 100.0, "device0",
+                   args={"batch": 0.0})
+        tracer.add("spmv#2", "job", 0.0, 100.0, "device0",
+                   args={"batch": 0.0})
+        assert check_device_exclusive(tracer) == []
+
+    def test_different_batches_still_flagged(self):
+        tracer = Tracer()
+        tracer.add("spmv#1", "job", 0.0, 100.0, "device0",
+                   args={"batch": 0.0})
+        tracer.add("spmv#2", "job", 50.0, 150.0, "device0",
+                   args={"batch": 1.0})
+        assert len(check_device_exclusive(tracer)) == 1
+
+    def test_batched_serve_passes_invariants(self):
+        tracer = Tracer()
+        _, report = serve(n_requests=30, n_devices=2, seed=3,
+                          max_batch=4,
+                          deadline_range=(300_000.0, 500_000.0),
+                          tracer=tracer)
+        assert report.batches >= 1
+        assert tracer.by_cat("batch"), "fused dispatches must be traced"
+        assert check_trace(tracer) == []
+
 
 # ---------------------------------------------------------------------------
 # Span sums reconcile with the SimReport
