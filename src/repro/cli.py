@@ -236,20 +236,27 @@ def cmd_compile(args) -> int:
 
 def cmd_serve(args) -> int:
     """Serve a seeded trace over the device pool (exit 4 on FAILED)."""
-    from repro.runtime import SchedulerConfig, serve
+    from repro.runtime import SchedulerConfig, load_trace, serve
 
     tracer = None
     if args.trace:
         from repro.observe import Tracer
         tracer = Tracer()
+    workload = None
+    n_requests = args.requests
+    if args.trace_file:
+        workload = load_trace(args.trace_file)
+        n_requests = len(workload)
     sched = SchedulerConfig(queue_depth=args.queue_depth,
                             max_batch=args.batch)
     results, report = serve(
-        n_requests=args.requests, n_devices=args.devices,
+        n_requests=n_requests, n_devices=args.devices,
         fault_rate=args.fault_rate, seed=args.seed, scale=args.scale,
-        scheduler_config=sched, tracer=tracer)
+        trace=workload, scheduler_config=sched, tracer=tracer)
     batched = f", batch {args.batch}" if args.batch > 1 else ""
-    print(f"served {args.requests} requests over {args.devices} "
+    source = (f"{n_requests} replayed requests from {args.trace_file}"
+              if args.trace_file else f"{n_requests} requests")
+    print(f"served {source} over {args.devices} "
           f"device(s), fault rate {args.fault_rate:g}, "
           f"seed {args.seed}{batched}:")
     print(report.render())
@@ -424,6 +431,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--trace", metavar="FILE", default=None,
         help="export a cycle-attributed Chrome/Perfetto trace to FILE",
+    )
+    p.add_argument(
+        "--trace-file", metavar="FILE", default=None,
+        help="replay a canonical-JSON workload trace (written by "
+             "repro.runtime.dump_trace) instead of generating one; "
+             "overrides --requests",
     )
     p.set_defaults(func=cmd_serve)
 

@@ -10,6 +10,7 @@ from repro.observe.export import (
 )
 from repro.observe.invariants import (
     check_device_exclusive,
+    check_no_service_after_timeout,
     check_proper_nesting,
     check_reconfig_hidden,
     check_row_ordering,
@@ -27,6 +28,7 @@ __all__ = [
     "dumps_chrome_trace",
     "write_chrome_trace",
     "check_device_exclusive",
+    "check_no_service_after_timeout",
     "check_proper_nesting",
     "check_reconfig_hidden",
     "check_row_ordering",

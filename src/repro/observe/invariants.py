@@ -19,6 +19,10 @@ counters cannot express:
   engine.
 * :func:`check_device_exclusive` — runtime job spans on one device
   never overlap (a device serves one job at a time).
+* :func:`check_no_service_after_timeout` — once the scheduler emits a
+  ``timeout`` instant for a job (the deadline-expiry event finalised
+  it), no device may begin serving that job: a finalised job must
+  never be dispatched.
 """
 
 from __future__ import annotations
@@ -156,6 +160,38 @@ def check_device_exclusive(tracer: Tracer) -> List[str]:
     return violations
 
 
+def check_no_service_after_timeout(tracer: Tracer) -> List[str]:
+    """A timed-out job never occupies a device afterwards.
+
+    The scheduler emits a ``timeout`` instant (name ``timeout#<id>``)
+    on its track when a deadline-expiry finalises a job unexecuted.
+    With deadline expiry as a first-class event this is a hard
+    invariant: finalisation removes the job from the queue, so no
+    ``job`` span for the same id may *begin* at or after the instant.
+    (Job spans beginning before it are legitimate — the faulted
+    attempts that preceded the expiry.)
+    """
+    violations = []
+    expiries: Dict[int, float] = {}
+    for s in tracer.spans:
+        if s.cat == "timeout" and s.instant and "#" in s.name:
+            job_id = int(s.name.rsplit("#", 1)[1])
+            expiries[job_id] = min(expiries.get(job_id, s.begin), s.begin)
+    if not expiries:
+        return violations
+    for s in tracer.spans:
+        if s.cat != "job" or s.instant or "#" not in s.name:
+            continue
+        job_id = int(s.name.rsplit("#", 1)[1])
+        expired_at = expiries.get(job_id)
+        if expired_at is not None and s.begin >= expired_at - EPS:
+            violations.append(
+                f"{s.track}: job {s.name!r} begins at {s.begin:.2f} "
+                f"on or after its timeout finalisation at "
+                f"{expired_at:.2f}")
+    return violations
+
+
 def phase_cycle_totals(tracer: Tracer,
                        track: str = "engine") -> Dict[str, float]:
     """Total cycles per (cat, name) phase on a track — the quantity the
@@ -176,4 +212,5 @@ def check_trace(tracer: Tracer) -> List[str]:
     violations.extend(check_row_ordering(tracer))
     violations.extend(check_proper_nesting(tracer))
     violations.extend(check_device_exclusive(tracer))
+    violations.extend(check_no_service_after_timeout(tracer))
     return violations

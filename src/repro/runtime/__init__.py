@@ -21,12 +21,15 @@ from __future__ import annotations
 
 from typing import List, Optional, Tuple
 
+from repro.runtime.events import Event, EventKind, EventQueue
 from repro.runtime.jobs import (
     JOB_KERNELS,
     Job,
     JobResult,
     JobStatus,
     TraceSpec,
+    dump_trace,
+    load_trace,
     make_trace,
 )
 from repro.runtime.metrics import (
@@ -52,6 +55,9 @@ __all__ = [
     "Device",
     "DevicePool",
     "DeviceStats",
+    "Event",
+    "EventKind",
+    "EventQueue",
     "HealthWindow",
     "Job",
     "JobResult",
@@ -61,6 +67,8 @@ __all__ = [
     "SchedulerConfig",
     "TraceSpec",
     "build_report",
+    "dump_trace",
+    "load_trace",
     "make_trace",
     "percentile",
     "serve",
@@ -74,6 +82,7 @@ def serve(n_requests: int, n_devices: int = 4, fault_rate: float = 0.0,
           trace: Optional[List[Job]] = None,
           scheduler_config: Optional[SchedulerConfig] = None,
           tracer=None, max_batch: int = 1,
+          execution: str = "simulate",
           **trace_kwargs) -> Tuple[List[JobResult], PoolReport]:
     """Serve a seeded workload trace over a fresh device pool.
 
@@ -94,6 +103,11 @@ def serve(n_requests: int, n_devices: int = 4, fault_rate: float = 0.0,
     once per batch; ``1`` (the default) disables coalescing.  Ignored
     when an explicit ``scheduler_config`` is supplied (set
     :attr:`SchedulerConfig.max_batch` there instead).
+
+    ``execution="model"`` prices attempts from the golden nominal-cycle
+    caches instead of running kernels — identical scheduling decisions
+    and cycle arithmetic, no numerics (``value_crc`` is 0) — which is
+    what makes 100k–1M-job traces feasible (the load benchmarks).
     """
     if trace is None:
         spec_kwargs = dict(n_requests=n_requests, seed=seed, scale=scale,
@@ -102,7 +116,7 @@ def serve(n_requests: int, n_devices: int = 4, fault_rate: float = 0.0,
             spec_kwargs["workloads"] = workloads
         trace = make_trace(TraceSpec(**spec_kwargs))
     pool = DevicePool(n_devices, fault_rate=fault_rate, seed=seed,
-                      tracer=tracer)
+                      tracer=tracer, execution=execution)
     if scheduler_config is None:
         scheduler_config = SchedulerConfig(max_batch=max_batch)
     scheduler = Scheduler(pool, scheduler_config)

@@ -1,0 +1,129 @@
+"""Heap-based discrete-event engine for the serving runtime.
+
+The scheduler used to find the next interesting cycle by re-scanning
+every waiting job and every device on each step — O(queue × devices)
+per clock advance, the Python hot loop at trace scale.  This module
+replaces that scan with a single binary heap of *typed events*: every
+future state change the scheduler can react to is pushed exactly when
+it becomes known, and the main loop pops the earliest one in O(log n).
+
+Event vocabulary (:class:`EventKind`):
+
+``ARRIVAL``
+    A job enters the system at its ``arrival_cycle``.
+``DISPATCH_COMPLETE``
+    A device finishes the attempt it is running (its ``busy_until``).
+``RETRY_READY``
+    A job requeued after a device fault becomes dispatchable again.
+``BREAKER_REOPEN``
+    An open circuit breaker finishes its cooldown and may be probed.
+``DEADLINE_EXPIRY``
+    A job's deadline lands.  Deadline expiry being an *event* — not a
+    filter applied to whatever jobs happen to be scanned — is what
+    makes deadline accounting exact: a job that cannot possibly be
+    dispatched at its deadline cycle is finalised ``TIMEOUT`` *at* that
+    cycle, never at whatever later cycle the old scan happened to
+    revisit it.
+
+Total ordering
+--------------
+Events sort by ``(cycle, kind, key, seq)``:
+
+* ``cycle`` — simulated time, the primary key;
+* ``kind`` — the :class:`EventKind` integer value, so coincident
+  events of different types are processed in a fixed, documented order
+  (arrivals before completions before retries before breaker reopens
+  before deadline expiries);
+* ``key`` — ``job_id`` for job events, ``device_id`` for device
+  events: ties inside one kind break by explicit identity, never by
+  hash or insertion accident;
+* ``seq`` — the monotone push index, a last-resort stabiliser so the
+  order is total even for exact duplicates.
+
+Every component of the tuple is explicit and reproducible from the
+trace and seeds, which is what keeps a heap-cored run bit-identical to
+a rerun of itself — the property the determinism tests pin down.
+
+Staleness
+---------
+The heap is append-only: events are never removed when the state they
+describe changes (a job finishes before its deadline, a breaker trips
+again with a later cooldown).  Consumers instead *validate* an event
+against live state when it is popped and skip it if stale — the
+classic lazy-deletion discipline.  :attr:`EventQueue.stale` counts the
+skips so load tests can bound the bookkeeping overhead.
+"""
+
+from __future__ import annotations
+
+import enum
+import heapq
+from typing import List, NamedTuple, Optional
+
+
+class EventKind(enum.IntEnum):
+    """Typed events, in their coincident-cycle processing order."""
+
+    ARRIVAL = 0
+    DISPATCH_COMPLETE = 1
+    RETRY_READY = 2
+    BREAKER_REOPEN = 3
+    DEADLINE_EXPIRY = 4
+
+
+class Event(NamedTuple):
+    """One scheduled state change; sorts by ``(cycle, kind, key, seq)``."""
+
+    cycle: float
+    kind: int
+    #: ``job_id`` for job events, ``device_id`` for device events.
+    key: int
+    #: Monotone push index — the explicit last tie-break.
+    seq: int
+
+
+class EventQueue:
+    """Min-heap of :class:`Event` with deterministic total order.
+
+    ``push``/``pop`` are O(log n); ``peek`` is O(1).  The queue keeps
+    three counters for observability: :attr:`pushed`, :attr:`popped`
+    and :attr:`stale` (incremented by the consumer via
+    :meth:`mark_stale` when a popped event no longer matches live
+    state).
+    """
+
+    __slots__ = ("_heap", "_seq", "pushed", "popped", "stale")
+
+    def __init__(self) -> None:
+        self._heap: List[Event] = []
+        self._seq = 0
+        self.pushed = 0
+        self.popped = 0
+        self.stale = 0
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def push(self, cycle: float, kind: EventKind, key: int) -> Event:
+        """Schedule ``kind`` for ``key`` at ``cycle``; returns the event."""
+        event = Event(cycle, int(kind), key, self._seq)
+        self._seq += 1
+        self.pushed += 1
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> Event:
+        """Remove and return the earliest event (raises on empty)."""
+        self.popped += 1
+        return heapq.heappop(self._heap)
+
+    def peek(self) -> Optional[Event]:
+        """The earliest event without removing it (None when empty)."""
+        return self._heap[0] if self._heap else None
+
+    def mark_stale(self) -> None:
+        """Record that the consumer discarded a popped event as stale."""
+        self.stale += 1

@@ -16,13 +16,17 @@ admission (``REJECTED``), or ``FAILED`` with a recorded error.
 
 :func:`make_trace` builds a seeded workload trace — the input to
 :func:`repro.runtime.serve` and the ``repro serve`` CLI.
+:func:`dump_trace`/:func:`load_trace` round-trip a trace through
+canonical JSON so production-shaped workloads are reproducible fixtures
+(the ``repro serve --trace-file`` replay path).
 """
 
 from __future__ import annotations
 
 import enum
+import json
 import random
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 from typing import List, Tuple
 
 #: Kernels a job may request.  ``spmv``/``symgs`` are single accelerator
@@ -154,3 +158,30 @@ def make_trace(spec: TraceSpec) -> List[Job]:
             seed=spec.seed * 100_003 + i,
         ))
     return jobs
+
+
+def dump_trace(jobs: List[Job], path: str) -> int:
+    """Write a workload trace as canonical JSON; returns bytes written.
+
+    Canonical means sorted keys and a fixed separator style, so the
+    same trace always serialises to the identical bytes — trace files
+    are content-addressable fixtures, not just human-readable dumps.
+    """
+    payload = json.dumps([asdict(j) for j in jobs],
+                         sort_keys=True, separators=(",", ":"))
+    with open(path, "w") as fh:
+        fh.write(payload + "\n")
+    return len(payload) + 1
+
+
+def load_trace(path: str) -> List[Job]:
+    """Read a workload trace written by :func:`dump_trace`.
+
+    Each entry must carry exactly the :class:`Job` fields; unknown or
+    missing keys raise ``TypeError`` from the dataclass constructor —
+    a malformed trace file should fail loudly, not serve a half-parsed
+    workload.
+    """
+    with open(path) as fh:
+        payload = json.load(fh)
+    return [Job(**entry) for entry in payload]

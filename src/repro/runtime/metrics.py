@@ -93,6 +93,13 @@ class PoolReport:
     #: member solo (k solo runs re-stream the programmed payload k
     #: times; a batch streams it once).
     stream_bytes_saved: float = 0.0
+    #: Discrete events the heap-based engine consumed to drive the run
+    #: (arrivals, dispatch completions, retry readiness, breaker
+    #: reopens, deadline expiries).
+    events_processed: int = 0
+    #: Popped events discarded as stale (lazy deletion) — bookkeeping
+    #: overhead, bounded by the load benchmarks.
+    events_stale: int = 0
     devices: tuple = ()
 
     @property
@@ -119,6 +126,8 @@ class PoolReport:
             f"jobs/Mcycle",
             f"latency p50     : {self.latency_p50_cycles:,.0f} cycles",
             f"latency p99     : {self.latency_p99_cycles:,.0f} cycles",
+            f"events          : {self.events_processed} processed "
+            f"({self.events_stale} stale)",
         ]
         if self.batches:
             lines.append(
@@ -140,7 +149,9 @@ class PoolReport:
 def build_report(results: Sequence[JobResult], pool,
                  queue_peak: int, batches: int = 0,
                  batched_jobs: int = 0,
-                 stream_bytes_saved: float = 0.0) -> PoolReport:
+                 stream_bytes_saved: float = 0.0,
+                 events_processed: int = 0,
+                 events_stale: int = 0) -> PoolReport:
     """Fold job results + pool state into one :class:`PoolReport`."""
     by_status: Dict[JobStatus, int] = {s: 0 for s in JobStatus}
     latencies: List[float] = []
@@ -189,5 +200,7 @@ def build_report(results: Sequence[JobResult], pool,
         batches=batches,
         batched_jobs=batched_jobs,
         stream_bytes_saved=stream_bytes_saved,
+        events_processed=events_processed,
+        events_stale=events_stale,
         devices=device_stats,
     )

@@ -26,8 +26,9 @@ by the same golden kernels the test suite validates against, so a
 
 from __future__ import annotations
 
+import random
 import zlib
-from collections import deque
+from collections import OrderedDict, deque
 from dataclasses import dataclass, field
 from typing import Deque, Dict, List, Optional, Tuple
 
@@ -49,6 +50,22 @@ DEFAULT_COOLDOWN_CYCLES = 8_000.0
 #: Cycle cost multiplier of the software reference path relative to the
 #: accelerator's nominal cycles (the degradation latency model).
 DEFAULT_REFERENCE_SLOWDOWN = 8.0
+
+#: Bound on the pool's operand LRU cache, in vectors.  Retried and
+#: batched attempts of one job land within a handful of dispatches, so
+#: a small bound keeps the hit rate while capping memory on
+#: million-job traces.
+DEFAULT_OPERAND_CACHE = 1024
+
+#: Execution modes of a pool.  ``simulate`` runs the real accelerator
+#: per attempt (cycle- and value-exact).  ``model`` prices attempts
+#: from the golden nominal-cycle caches without running kernels or
+#: materialising answers (``values=None``, so results carry
+#: ``value_crc=0``) — the scheduler sees the same event stream at a
+#: tiny fraction of the cost, which is what the trace-scale scheduler
+#: load benchmarks need.  Faults in ``model`` mode are a seeded
+#: per-attempt Bernoulli draw at the device's fault-model rate.
+EXECUTION_MODES = ("simulate", "model")
 
 #: Kernels whose attempts may be fused into one multi-RHS dispatch.
 #: Single streaming passes amortize their payload stream across
@@ -245,6 +262,10 @@ class Device:
         #: Monotonic id of batched dispatches on this device; tags the
         #: member job spans of one fused attempt in the trace.
         self._batch_seq = 0
+        #: Seeded Bernoulli stream for ``model``-mode fault draws
+        #: (lazily created; independent of the real fault model's draw
+        #: sequence but derived from the same device seed).
+        self._model_rng: Optional[random.Random] = None
 
     # ------------------------------------------------------------------
     def _executor(self, job: Job, pool: "DevicePool"):
@@ -268,6 +289,62 @@ class Device:
             self._executors[key] = exe
         return self._executors[key]
 
+    def _model_fault(self, pool: "DevicePool") -> bool:
+        """``model``-mode fault draw: seeded Bernoulli at the device's
+        fault-model rate (no fault model ⇒ never faults)."""
+        fm = self.fault_model
+        if fm is None or fm.rate <= 0.0:
+            return False
+        if self._model_rng is None:
+            self._model_rng = random.Random(fm.seed)
+        return self._model_rng.random() < fm.rate
+
+    def _attempt_model(self, job: Job, pool: "DevicePool",
+                       now: float) -> Attempt:
+        """Price one attempt from the golden caches without running it.
+
+        The scheduler-visible contract matches :meth:`attempt` — same
+        occupancy accounting, same Attempt shape — except ``values`` is
+        None (no answer is materialised) and a modelled fault charges
+        nominal cycles plus one backoff-budget's worth of retries.
+        """
+        self.jobs_run += 1
+        if self.first_dispatch is None:
+            self.first_dispatch = now
+        cycles = pool.nominal_cycles(job)
+        if self._model_fault(pool):
+            fm = self.fault_model
+            wasted = cycles + fm.backoff_cycles * (2 ** fm.max_retries - 1)
+            att = Attempt(ok=False, cycles=wasted,
+                          error="FaultError: modelled stream fault")
+        else:
+            att = Attempt(ok=True, cycles=cycles,
+                          dram_bytes=pool.nominal_dram_bytes(job))
+        self._record(job, pool, now, att)
+        return att
+
+    def _attempt_model_batch(self, jobs: "List[Job]", pool: "DevicePool",
+                             now: float) -> Attempt:
+        """``model``-mode analogue of :meth:`attempt_batch`."""
+        lead = jobs[0]
+        self.jobs_run += len(jobs)
+        if self.first_dispatch is None:
+            self.first_dispatch = now
+        cycles = pool.nominal_batch_cycles(lead, len(jobs))
+        if self._model_fault(pool):
+            fm = self.fault_model
+            wasted = cycles + fm.backoff_cycles * (2 ** fm.max_retries - 1)
+            att = Attempt(ok=False, cycles=wasted,
+                          error="FaultError: modelled stream fault")
+        else:
+            # One payload stream for the whole batch: charge the solo
+            # payload once plus nothing per extra operand (the per-RHS
+            # vector traffic is negligible next to the payload).
+            att = Attempt(ok=True, cycles=cycles,
+                          dram_bytes=pool.nominal_dram_bytes(lead))
+        self._record_batch(jobs, pool, now, att)
+        return att
+
     def attempt(self, job: Job, pool: "DevicePool",
                 now: float = 0.0) -> Attempt:
         """Run one accelerator attempt; faults become a failed Attempt.
@@ -277,7 +354,13 @@ class Device:
         fault model logged during the attempt.  ``now`` is the dispatch
         cycle on the scheduler clock, used only to place the attempt's
         trace span — it never changes the outcome.
+
+        In a ``model``-execution pool the attempt is priced from the
+        golden caches instead of running the kernel (the golden pricing
+        device itself always simulates).
         """
+        if pool.execution == "model" and self.device_id >= 0:
+            return self._attempt_model(job, pool, now)
         exe = self._executor(job, pool)
         operand = pool.operand(job)
         fm = self.fault_model
@@ -323,6 +406,8 @@ class Device:
         attempt is charged the golden batch service time plus the retry
         cycles the fault model logged.
         """
+        if pool.execution == "model" and self.device_id >= 0:
+            return self._attempt_model_batch(jobs, pool, now)
         lead = jobs[0]
         exe = self._executor(lead, pool)
         operands = np.stack([pool.operand(j) for j in jobs], axis=1)
@@ -406,10 +491,23 @@ class DevicePool:
                  failure_threshold: float = DEFAULT_FAILURE_THRESHOLD,
                  min_samples: int = DEFAULT_MIN_SAMPLES,
                  cooldown_cycles: float = DEFAULT_COOLDOWN_CYCLES,
-                 tracer=None) -> None:
+                 tracer=None, execution: str = "simulate",
+                 operand_cache: int = DEFAULT_OPERAND_CACHE) -> None:
         if n_devices <= 0:
             raise ConfigError(
                 f"device pool needs at least one device, got {n_devices}")
+        if execution not in EXECUTION_MODES:
+            raise ConfigError(
+                f"unknown execution mode {execution!r}; "
+                f"known: {EXECUTION_MODES}")
+        if operand_cache <= 0:
+            raise ConfigError(
+                f"operand cache bound must be positive, got "
+                f"{operand_cache}")
+        #: ``simulate`` (real kernels) or ``model`` (golden-cache
+        #: pricing for scheduler load tests) — see
+        #: :data:`EXECUTION_MODES`.
+        self.execution = execution
         #: Optional :class:`~repro.observe.tracer.Tracer` shared by the
         #: scheduler: job spans land on ``device<N>`` tracks, degraded
         #: fallbacks on ``reference``, shed jobs on ``scheduler``.
@@ -428,6 +526,11 @@ class DevicePool:
         self._nominal: Dict[Tuple[str, float, str], float] = {}
         self._nominal_bytes: Dict[Tuple[str, float, str], float] = {}
         self._nominal_batch: Dict[Tuple[str, float, str, int], float] = {}
+        #: Bounded LRU of seeded operand vectors, keyed like the
+        #: nominal caches plus the job seed — see :meth:`operand`.
+        self._operands: "OrderedDict[Tuple[str, float, int], np.ndarray]" \
+            = OrderedDict()
+        self._operand_cache = operand_cache
         self._golden = Device(-1, None)
 
     def __len__(self) -> int:
@@ -441,9 +544,25 @@ class DevicePool:
         return load_dataset(dataset, scale=scale).matrix
 
     def operand(self, job: Job) -> np.ndarray:
-        """The job's seeded operand/right-hand-side vector."""
+        """The job's seeded operand/right-hand-side vector (cached).
+
+        The vector is a pure function of ``(dataset, scale, seed)``, so
+        it is drawn once and served from a bounded LRU: a retried or
+        batched attempt of the same job reuses the identical array
+        instead of redrawing the full ``(n,)`` vector per attempt.
+        Callers treat operands as read-only.
+        """
+        key = (job.dataset, job.scale, job.seed)
+        cached = self._operands.get(key)
+        if cached is not None:
+            self._operands.move_to_end(key)
+            return cached
         n = self.matrix(job.dataset, job.scale).shape[0]
-        return np.random.default_rng(job.seed).normal(size=n)
+        values = np.random.default_rng(job.seed).normal(size=n)
+        self._operands[key] = values
+        if len(self._operands) > self._operand_cache:
+            self._operands.popitem(last=False)
+        return values
 
     def nominal_cycles(self, job: Job) -> float:
         """Fault-free service cycles for the job's workload (cached).

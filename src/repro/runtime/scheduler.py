@@ -1,11 +1,17 @@
 """Deterministic simulated-time scheduler over a device pool.
 
-The scheduler is a small discrete-event simulation.  All time is in
-simulated cycles — the same clock :class:`~repro.core.report.SimReport`
+The scheduler is a discrete-event simulation cored on the heap-based
+engine of :mod:`repro.runtime.events`.  All time is in simulated
+cycles — the same clock :class:`~repro.core.report.SimReport`
 accumulates — so a run is bit-reproducible from its seeds and needs no
-threads, sleeps, or wall-clock reads.  Events are processed in
-deterministic order (cycle, then submission order), and every tie is
-broken by an explicit total order, never by hash or identity.
+threads, sleeps, or wall-clock reads.  Every future state change
+(arrival, dispatch completion, retry readiness, breaker reopen,
+deadline expiry) is a typed event pushed when it becomes known; the
+main loop pops the earliest one in O(log n) instead of re-scanning
+every queue and device per clock advance.  Coincident events are
+processed under the explicit total order ``(cycle, kind, key, seq)``
+documented in :mod:`repro.runtime.events` — every tie is broken by an
+explicit total order, never by hash or identity.
 
 Policies
 --------
@@ -19,7 +25,14 @@ Policies
   deadline expires while queued is finalised ``TIMEOUT`` (via
   :class:`~repro.errors.DeadlineError`) without occupying a device; a
   job that completes past its deadline is also ``TIMEOUT`` (the answer
-  stays attached — it is correct, merely late).
+  stays attached — it is correct, merely late).  The strict-``>``
+  boundary rule is uniform across every completion path, including the
+  degraded reference path: a job finishing *exactly* at its deadline
+  met it.  A job that cannot possibly run again before its deadline (a
+  post-fault requeue whose retry-ready cycle lies beyond it) is
+  finalised at the deadline cycle itself via a deadline-expiry event,
+  so its ``finish_cycle``/``latency_cycles`` never inflate past the
+  deadline.
 * **Retry-on-another-device** — a :class:`~repro.errors.FaultError` or
   :class:`~repro.errors.CorruptionError` consumes one attempt, charges
   the sick device the wasted cycles, feeds its breaker, and requeues
@@ -38,7 +51,13 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
-from repro.errors import DeadlineError, RejectedError, ReproError
+from repro.errors import (
+    ConfigError,
+    DeadlineError,
+    RejectedError,
+    ReproError,
+)
+from repro.runtime.events import Event, EventKind, EventQueue
 from repro.runtime.jobs import Job, JobResult, JobStatus
 from repro.runtime.metrics import PoolReport, build_report
 from repro.runtime.pool import (
@@ -99,6 +118,9 @@ class Scheduler:
         self.batches = 0
         self.batched_jobs = 0
         self.stream_bytes_saved = 0.0
+        #: The run's event heap (rebuilt per :meth:`run`); kept on the
+        #: instance so tests and load benchmarks can read its counters.
+        self.events = EventQueue()
 
     # ------------------------------------------------------------------
     # Admission control
@@ -122,19 +144,31 @@ class Scheduler:
     # ------------------------------------------------------------------
     def run(self, jobs: Sequence[Job]) -> Tuple[List[JobResult], PoolReport]:
         """Serve every job; returns results (job order) and the report."""
+        seen: Set[int] = set()
+        for j in jobs:
+            if j.job_id in seen:
+                raise ConfigError(
+                    f"duplicate job_id {j.job_id} in trace: results are "
+                    f"keyed by job id, so one of the duplicates would "
+                    f"silently overwrite the other")
+            seen.add(j.job_id)
+
         arrivals = deque(sorted(jobs,
                                 key=lambda j: (j.arrival_cycle, j.job_id)))
         waiting: List[_JobState] = []
         results: Dict[int, JobResult] = {}
+        self.events = events = EventQueue()
+        for j in arrivals:
+            events.push(j.arrival_cycle, EventKind.ARRIVAL, j.job_id)
         now = 0.0
 
+        # Mirror of the scan-based loop's first iteration: admit and
+        # dispatch anything actionable at cycle 0 before the first
+        # clock advance.
+        self._step(now, arrivals, waiting, results)
         while arrivals or waiting:
-            while arrivals and arrivals[0].arrival_cycle <= now:
-                self._admit_at(arrivals.popleft(), waiting, results)
-            if self._dispatch(now, waiting, results):
-                continue
-            next_now = self._next_event(now, arrivals, waiting)
-            if next_now is None:
+            wake = self._next_wake(now, waiting, results)
+            if wake is None:
                 # No future event can unblock the queue (should be
                 # unreachable — degradation guarantees progress); shed
                 # whatever is left rather than spin.
@@ -142,7 +176,9 @@ class Scheduler:
                     waiting.remove(state)
                     self._degrade(state, now, results)
                 break
-            now = next_now
+            now = wake.cycle
+            self._consume_at(wake, now, waiting, results)
+            self._step(now, arrivals, waiting, results)
 
         self._trace_devices()
         ordered = [results[j.job_id] for j in
@@ -150,7 +186,92 @@ class Scheduler:
         return ordered, build_report(
             ordered, self.pool, self.queue_peak, batches=self.batches,
             batched_jobs=self.batched_jobs,
-            stream_bytes_saved=self.stream_bytes_saved)
+            stream_bytes_saved=self.stream_bytes_saved,
+            events_processed=events.popped - events.stale,
+            events_stale=events.stale)
+
+    # ------------------------------------------------------------------
+    # Event loop
+    # ------------------------------------------------------------------
+    def _step(self, now: float, arrivals, waiting: List[_JobState],
+              results: Dict[int, JobResult]) -> None:
+        """One wake of the engine: admit everything due, then dispatch
+        until no further progress is possible at this cycle."""
+        while arrivals and arrivals[0].arrival_cycle <= now:
+            self._admit_at(arrivals.popleft(), waiting, results)
+        self._dispatch(now, waiting, results)
+
+    def _valid(self, event: Event, now: float,
+               results: Dict[int, JobResult]) -> bool:
+        """Whether a popped event still describes live state.
+
+        The heap is append-only (lazy deletion), so an event may
+        outlive the state change it announced: a job that finished
+        before its deadline, a breaker that was probed or re-tripped.
+        Stale events must be *skipped without waking the engine* —
+        an extra wake would run the queued-expiry check at a cycle the
+        event order does not define, shifting timeout finalisation.
+        """
+        kind = event.kind
+        if kind == EventKind.ARRIVAL:
+            return True
+        if kind == EventKind.DISPATCH_COMPLETE:
+            # Pushed at dispatch with the device's busy_until; a device
+            # is never redispatched before it completes, so each
+            # completion event matches exactly one real transition.
+            return True
+        if kind == EventKind.BREAKER_REOPEN:
+            breaker = self.pool.devices[event.key].breaker
+            return breaker.reopen_at == event.cycle
+        # RETRY_READY / DEADLINE_EXPIRY concern a job that must still
+        # be in flight (admitted, no terminal result yet).
+        return event.key not in results
+
+    def _next_wake(self, now: float, waiting: List[_JobState],
+                   results: Dict[int, JobResult]) -> Optional[Event]:
+        """Pop until the earliest strictly-future valid event."""
+        events = self.events
+        while events:
+            event = events.pop()
+            if event.cycle <= now or not self._valid(event, now, results):
+                events.mark_stale()
+                continue
+            return event
+        return None
+
+    def _consume_at(self, wake: Event, now: float,
+                    waiting: List[_JobState],
+                    results: Dict[int, JobResult]) -> None:
+        """Drain every event coincident with ``wake`` and apply the
+        ones with their own effect.
+
+        Most events only *wake* the engine — the dispatch pass that
+        follows reads live state and does the work.  The exception is
+        ``DEADLINE_EXPIRY`` for a job whose retry-ready cycle lies
+        strictly beyond its deadline: that job cannot be dispatched at
+        the deadline cycle (or ever before it), so it is finalised
+        ``TIMEOUT`` here, *at* the deadline — the scan-based engine
+        left it pending until its retry became ready and then stamped
+        the inflated cycle on it.
+        """
+        pending = [wake]
+        events = self.events
+        while events:
+            head = events.peek()
+            if head is None or head.cycle != now:
+                break
+            pending.append(events.pop())
+        for event in pending:
+            if event.kind != EventKind.DEADLINE_EXPIRY:
+                continue
+            state = next((s for s in waiting
+                          if s.job.job_id == event.key), None)
+            if state is None or state.ready <= now:
+                # Dispatchable at its deadline cycle: the strict-`>`
+                # boundary rule lets it still be placed this wake.
+                continue
+            waiting.remove(state)
+            self._finalize_timeout(state, now, results)
 
     def _trace_devices(self) -> None:
         """Close a traced serve run: one summary span per device that
@@ -183,27 +304,11 @@ class Scheduler:
                     f"reject#{job.job_id}", "reject", job.arrival_cycle,
                     "scheduler")
             return
-        waiting.append(_JobState(job))
+        state = _JobState(job)
+        waiting.append(state)
         self.queue_peak = max(self.queue_peak, len(waiting))
-
-    def _next_event(self, now: float, arrivals, waiting) -> Optional[float]:
-        """Earliest strictly-future event, or None if nothing is left."""
-        times: List[float] = []
-        if arrivals:
-            times.append(arrivals[0].arrival_cycle)
-        for d in self.pool.devices:
-            if d.busy_until > now:
-                times.append(d.busy_until)
-            reopen = d.breaker.reopen_at
-            if reopen is not None and reopen > now:
-                times.append(reopen)
-        for s in waiting:
-            if s.ready > now:
-                times.append(s.ready)
-            if s.deadline_at > now:
-                times.append(s.deadline_at)
-        future = [t for t in times if t > now]
-        return min(future) if future else None
+        self.events.push(state.deadline_at, EventKind.DEADLINE_EXPIRY,
+                         job.job_id)
 
     # ------------------------------------------------------------------
     # Dispatch
@@ -347,6 +452,8 @@ class Scheduler:
         finish = now + att.cycles
         device.busy_until = finish
         device.busy_cycles += att.cycles
+        self.events.push(finish, EventKind.DISPATCH_COMPLETE,
+                         device.device_id)
 
         if att.ok:
             device.breaker.on_success()
@@ -361,22 +468,40 @@ class Scheduler:
                 job_id=job.job_id, status=status,
                 device_id=device.device_id, attempts=state.attempts,
                 latency_cycles=latency, finish_cycle=finish,
-                value_crc=value_crc(att.values), error=error)
+                value_crc=(value_crc(att.values)
+                           if att.values is not None else 0),
+                error=error)
             return
 
         # Device fault: feed the breaker, then retry elsewhere or
         # degrade.  The breaker opens at the dispatch cycle so its
         # cooldown is measured purely in simulated time.
-        device.breaker.on_failure(now)
+        self._on_attempt_failure(device, now)
         exhausted = (state.attempts >= self.config.max_attempts
                      or len(state.tried) >= len(self.pool))
         if exhausted:
             self._degrade(state, finish, results, last_error=att.error,
                           device_id=device.device_id)
         else:
-            state.ready = finish
-            waiting.append(state)
-            self.queue_peak = max(self.queue_peak, len(waiting))
+            self._requeue(state, finish, waiting)
+
+    def _on_attempt_failure(self, device: Device, now: float) -> None:
+        """Feed the breaker; if this failure tripped it, schedule the
+        cooldown-elapsed probe opportunity as an event."""
+        device.breaker.on_failure(now)
+        reopen = device.breaker.reopen_at
+        if reopen is not None:
+            self.events.push(reopen, EventKind.BREAKER_REOPEN,
+                             device.device_id)
+
+    def _requeue(self, state: _JobState, ready: float,
+                 waiting: List[_JobState]) -> None:
+        """Put a faulted job back in the queue, dispatchable at
+        ``ready`` (the cycle its failed attempt released the device)."""
+        state.ready = ready
+        waiting.append(state)
+        self.queue_peak = max(self.queue_peak, len(waiting))
+        self.events.push(ready, EventKind.RETRY_READY, state.job.job_id)
 
     def _execute_batch(self, states: List[_JobState], device: Device,
                        now: float, waiting: List[_JobState],
@@ -410,6 +535,8 @@ class Scheduler:
         finish = now + att.cycles
         device.busy_until = finish
         device.busy_cycles += att.cycles
+        self.events.push(finish, EventKind.DISPATCH_COMPLETE,
+                         device.device_id)
 
         if att.ok:
             device.breaker.on_success()
@@ -431,14 +558,15 @@ class Scheduler:
                     job_id=job.job_id, status=status,
                     device_id=device.device_id, attempts=s.attempts,
                     latency_cycles=latency, finish_cycle=finish,
-                    value_crc=value_crc(att.values[:, col]),
+                    value_crc=(value_crc(att.values[:, col])
+                               if att.values is not None else 0),
                     batch_size=len(jobs), error=error)
             return
 
         # One shared payload stream faulted on the whole batch: one
         # breaker outcome, every member retried or degraded on its own
         # attempt budget.
-        device.breaker.on_failure(now)
+        self._on_attempt_failure(device, now)
         for s in states:
             exhausted = (s.attempts >= self.config.max_attempts
                          or len(s.tried) >= len(self.pool))
@@ -446,9 +574,7 @@ class Scheduler:
                 self._degrade(s, finish, results, last_error=att.error,
                               device_id=device.device_id)
             else:
-                s.ready = finish
-                waiting.append(s)
-                self.queue_peak = max(self.queue_peak, len(waiting))
+                self._requeue(s, finish, waiting)
 
     def _finalize_timeout(self, state: _JobState, now: float,
                           results: Dict[int, JobResult]) -> None:
@@ -468,7 +594,14 @@ class Scheduler:
     def _degrade(self, state: _JobState, start: float,
                  results: Dict[int, JobResult], last_error: str = "",
                  device_id: int = -1) -> None:
-        """Answer on the reference path, explicitly marked DEGRADED."""
+        """Answer on the reference path, explicitly marked DEGRADED.
+
+        The deadline rule is the same strict-``>`` boundary every other
+        completion path applies: a degraded answer landing past the
+        job's deadline is ``TIMEOUT`` — the reference answer stays
+        attached (correct, merely late), exactly like an accelerator
+        answer that finished late.
+        """
         job = state.job
         try:
             values = self.pool.reference_values(job)
@@ -484,12 +617,22 @@ class Scheduler:
         cycles = (self.pool.nominal_cycles(job)
                   * self.config.reference_slowdown)
         finish = start + cycles
+        latency = finish - job.arrival_cycle
+        if latency > job.deadline_cycles:
+            status = JobStatus.TIMEOUT
+            error = (f"degraded answer completed "
+                     f"{latency - job.deadline_cycles:.0f} cycles past "
+                     f"deadline")
+            if last_error:
+                error += f" (after {last_error})"
+        else:
+            status, error = JobStatus.DEGRADED, last_error
         results[job.job_id] = JobResult(
-            job_id=job.job_id, status=JobStatus.DEGRADED,
+            job_id=job.job_id, status=status,
             device_id=-1, attempts=state.attempts,
-            latency_cycles=finish - job.arrival_cycle,
+            latency_cycles=latency,
             finish_cycle=finish, value_crc=value_crc(values),
-            error=last_error)
+            error=error)
         if self.pool.tracer is not None:
             self.pool.tracer.add(
                 f"{job.kernel}#{job.job_id}", "degraded", start, finish,

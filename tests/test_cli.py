@@ -1,6 +1,7 @@
 """Tests for the command-line interface."""
 
 import json
+import pathlib
 
 import pytest
 
@@ -150,6 +151,50 @@ class TestServe:
         assert main(args + ["--batch", "1"]) == 0
         assert capsys.readouterr().out == default
         assert "batches" not in default
+
+    def test_serve_trace_file_replays_workload(self, tmp_path, capsys):
+        from repro.runtime import TraceSpec, dump_trace, make_trace
+
+        trace = make_trace(TraceSpec(n_requests=12, seed=5, scale=0.04))
+        path = tmp_path / "workload.json"
+        dump_trace(trace, str(path))
+        assert main(["serve", "--trace-file", str(path),
+                     "--devices", "2", "--seed", "5"]) == 0
+        out = capsys.readouterr().out
+        assert f"served 12 replayed requests from {path}" in out
+        # --requests is overridden by the replayed trace's length.
+        assert "requests        : 12" in out
+
+    def test_serve_trace_file_matches_generated(self, capsys):
+        # Replaying a dumped trace must reproduce the generated run's
+        # report byte-for-byte (load_trace round-trips exactly).
+        import tempfile
+
+        from repro.runtime import TraceSpec, dump_trace, make_trace
+
+        assert main(["serve", "--requests", "15", "--devices", "2",
+                     "--fault-rate", "0.1", "--seed", "7"]) == 0
+        generated = capsys.readouterr().out.splitlines()[1:]
+        with tempfile.TemporaryDirectory() as tmp:
+            path = f"{tmp}/t.json"
+            dump_trace(make_trace(TraceSpec(n_requests=15, seed=7)), path)
+            assert main(["serve", "--trace-file", path, "--devices", "2",
+                         "--fault-rate", "0.1", "--seed", "7"]) == 0
+        replayed = capsys.readouterr().out.splitlines()[1:]
+        assert replayed == generated
+
+    def test_serve_deadline_edge_fixture(self, capsys):
+        # The checked-in fixture encodes both deadline-boundary bug
+        # scenarios; both must finalise TIMEOUT (not inflate past the
+        # deadline, not report DEGRADED while late).
+        fixture = (pathlib.Path(__file__).resolve().parent.parent
+                   / "examples" / "traces" / "deadline_edge.json")
+        assert main(["serve", "--trace-file", str(fixture),
+                     "--devices", "2", "--fault-rate", "0.9",
+                     "--seed", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "timeout         : 2" in out
+        assert "failed          : 0" in out
 
 
 class TestTrace:

@@ -1,0 +1,88 @@
+"""Event heap: total ordering, counters, lazy-deletion bookkeeping."""
+
+import pytest
+
+from repro.runtime import Event, EventKind, EventQueue
+
+
+class TestTotalOrder:
+    def test_cycle_is_the_primary_key(self):
+        q = EventQueue()
+        q.push(20.0, EventKind.ARRIVAL, 1)
+        q.push(10.0, EventKind.DEADLINE_EXPIRY, 2)
+        q.push(15.0, EventKind.DISPATCH_COMPLETE, 0)
+        assert [e.cycle for e in (q.pop(), q.pop(), q.pop())] \
+            == [10.0, 15.0, 20.0]
+
+    def test_kind_breaks_cycle_ties_in_declared_order(self):
+        # Coincident events process as: arrival, dispatch-complete,
+        # retry-ready, breaker-reopen, deadline-expiry.
+        q = EventQueue()
+        kinds = [EventKind.DEADLINE_EXPIRY, EventKind.ARRIVAL,
+                 EventKind.BREAKER_REOPEN, EventKind.RETRY_READY,
+                 EventKind.DISPATCH_COMPLETE]
+        for k in kinds:
+            q.push(5.0, k, 0)
+        popped = [q.pop().kind for _ in range(len(kinds))]
+        assert popped == sorted(int(k) for k in kinds)
+
+    def test_key_breaks_kind_ties(self):
+        q = EventQueue()
+        for key in (7, 3, 5):
+            q.push(5.0, EventKind.RETRY_READY, key)
+        assert [q.pop().key for _ in range(3)] == [3, 5, 7]
+
+    def test_seq_makes_exact_duplicates_fifo(self):
+        q = EventQueue()
+        first = q.push(5.0, EventKind.ARRIVAL, 1)
+        second = q.push(5.0, EventKind.ARRIVAL, 1)
+        assert first.seq < second.seq
+        assert q.pop() is not second
+        assert q.pop() is second
+
+    def test_event_tuple_shape(self):
+        e = Event(1.0, int(EventKind.ARRIVAL), 3, 0)
+        assert (e.cycle, e.kind, e.key, e.seq) == (1.0, 0, 3, 0)
+
+
+class TestQueueMechanics:
+    def test_len_bool_peek(self):
+        q = EventQueue()
+        assert not q and len(q) == 0
+        assert q.peek() is None
+        q.push(1.0, EventKind.ARRIVAL, 0)
+        assert q and len(q) == 1
+        assert q.peek().cycle == 1.0
+        assert len(q) == 1  # peek does not consume
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            EventQueue().pop()
+
+    def test_counters(self):
+        q = EventQueue()
+        q.push(1.0, EventKind.ARRIVAL, 0)
+        q.push(2.0, EventKind.ARRIVAL, 1)
+        q.pop()
+        q.mark_stale()
+        assert (q.pushed, q.popped, q.stale) == (2, 1, 1)
+
+    def test_identical_push_sequence_pops_identically(self):
+        # The order is a pure function of the pushed tuples — two
+        # queues fed the same sequence drain in the same order, which
+        # is what makes a heap-cored run replayable.
+        seq = [(3.0, EventKind.DEADLINE_EXPIRY, 2),
+               (1.0, EventKind.ARRIVAL, 9),
+               (3.0, EventKind.ARRIVAL, 4),
+               (2.0, EventKind.BREAKER_REOPEN, 0),
+               (3.0, EventKind.ARRIVAL, 1)]
+        a, b = EventQueue(), EventQueue()
+        for item in seq:
+            a.push(*item)
+            b.push(*item)
+        drained_a = [a.pop() for _ in range(len(seq))]
+        drained_b = [b.pop() for _ in range(len(seq))]
+        assert drained_a == drained_b
+        assert [(e.cycle, e.kind, e.key) for e in drained_a] == [
+            (1.0, 0, 9), (2.0, 3, 0), (3.0, 0, 1), (3.0, 0, 4),
+            (3.0, 4, 2)]

@@ -171,3 +171,109 @@ class TestDevicePool:
     def test_needs_a_device(self):
         with pytest.raises(ConfigError):
             DevicePool(0)
+
+
+class TestOperandCache:
+    def job(self, job_id=0, seed=123):
+        from repro.runtime import Job
+        return Job(job_id=job_id, kernel="spmv", dataset="stencil27",
+                   scale=0.05, arrival_cycle=0.0,
+                   deadline_cycles=50_000.0, seed=seed)
+
+    def test_same_job_returns_identical_array_object(self):
+        # Perf regression guard: every attempt used to redraw the full
+        # (n,) RNG vector; now it is served from the pool's LRU.
+        pool = DevicePool(1)
+        a = pool.operand(self.job())
+        b = pool.operand(self.job())
+        assert a is b
+
+    def test_distinct_seeds_distinct_vectors(self):
+        pool = DevicePool(1)
+        a = pool.operand(self.job(seed=1))
+        b = pool.operand(self.job(seed=2))
+        assert a is not b
+        assert (a != b).any()
+
+    def test_cache_bound_evicts_lru(self):
+        pool = DevicePool(1, operand_cache=2)
+        first = pool.operand(self.job(seed=1))
+        pool.operand(self.job(seed=2))
+        pool.operand(self.job(seed=3))  # evicts seed=1
+        again = pool.operand(self.job(seed=1))
+        assert again is not first
+        assert (again == first).all()  # same values, fresh draw
+
+    def test_cache_bound_validated(self):
+        with pytest.raises(ConfigError):
+            DevicePool(1, operand_cache=0)
+
+    def test_retried_job_reuses_operand_and_crc_is_unchanged(self):
+        # A job that faults on device 0 and retries on device 1 must
+        # stream the *identical* operand array on both attempts, and
+        # the caching must not change the served answer bit-for-bit.
+        from repro.runtime import Job, JobStatus, Scheduler, SchedulerConfig
+
+        def one_job():
+            return [Job(job_id=0, kernel="spmv", dataset="stencil27",
+                        scale=0.05, arrival_cycle=0.0,
+                        deadline_cycles=200_000.0, seed=77)]
+
+        clean_pool = DevicePool(2, fault_rate=0.0, seed=0)
+        clean, _ = Scheduler(clean_pool, SchedulerConfig()).run(one_job())
+        assert clean[0].status is JobStatus.OK
+
+        pool = DevicePool(2, fault_rate=0.0, seed=0)
+        pool.devices[0].fault_model = FaultModel(
+            rate=1.0, seed=5, persistent=True)
+        served = []
+        orig = pool.operand
+        pool.operand = lambda job: served.append(orig(job)) or served[-1]
+        results, _ = Scheduler(pool, SchedulerConfig()).run(one_job())
+        assert results[0].status is JobStatus.OK
+        assert results[0].attempts == 2
+        assert len(served) >= 2
+        assert all(v is served[0] for v in served)
+        assert results[0].value_crc == clean[0].value_crc
+
+
+class TestModelExecution:
+    def job(self, job_id=0):
+        from repro.runtime import Job
+        return Job(job_id=job_id, kernel="spmv", dataset="stencil27",
+                   scale=0.05, arrival_cycle=0.0,
+                   deadline_cycles=50_000.0, seed=job_id)
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ConfigError):
+            DevicePool(1, execution="telepathy")
+
+    def test_model_attempt_prices_from_golden_cache(self):
+        pool = DevicePool(1, execution="model")
+        att = pool.devices[0].attempt(self.job(), pool)
+        assert att.ok
+        assert att.values is None  # no answer materialised
+        assert att.cycles == pool.nominal_cycles(self.job())
+        assert att.dram_bytes == pool.nominal_dram_bytes(self.job())
+
+    def test_model_and_simulate_agree_on_cycles(self):
+        # The model mode is a pricing shortcut, not a different cost
+        # model: a fault-free solo attempt costs exactly the golden
+        # nominal cycles in both modes.
+        sim = DevicePool(1, execution="simulate")
+        mod = DevicePool(1, execution="model")
+        att_sim = sim.devices[0].attempt(self.job(), sim)
+        att_mod = mod.devices[0].attempt(self.job(), mod)
+        assert att_mod.cycles == att_sim.cycles
+
+    def test_model_mode_faults_feed_breakers(self):
+        from dataclasses import replace
+
+        from repro.runtime import Scheduler, SchedulerConfig
+        pool = DevicePool(2, fault_rate=1.0, seed=3, execution="model")
+        jobs = [replace(self.job(i), arrival_cycle=i * 8000.0,
+                        deadline_cycles=500_000.0) for i in range(6)]
+        results, report = Scheduler(pool, SchedulerConfig()).run(jobs)
+        assert report.failed == 0
+        assert report.degraded + report.timeout == len(jobs)
+        assert pool.devices[0].health.failures > 0

@@ -341,3 +341,122 @@ class TestServeEntryPoint:
                     in r.error]
         assert rejected
         assert all(r.attempts == 0 for r in rejected)
+
+
+class TestDeadlineAccountingRegressions:
+    """Fail-before/pass-after pins on the event-engine bug fixes."""
+
+    def test_requeued_job_finalized_at_deadline_cycle(self):
+        # Fault-then-wait: the job faults on device 0 and is requeued
+        # with ready = finish, but its deadline expires *before* the
+        # retry becomes ready.  The scan-based engine only revisited it
+        # when ready arrived, stamping finish_cycle/latency past the
+        # deadline; the deadline-expiry event finalises it at the
+        # deadline cycle itself.
+        pool = DevicePool(2, fault_rate=0.0, seed=0)
+        pool.devices[0].fault_model = FaultModel(
+            rate=1.0, seed=5, persistent=True)
+        nominal = pool.nominal_cycles(job(0))
+        deadline = nominal + 100.0  # expires inside the wasted attempt
+        results, report = Scheduler(pool, SchedulerConfig()).run(
+            [job(0, arrival=0.0, deadline=deadline)])
+        r = results[0]
+        assert r.status is JobStatus.TIMEOUT
+        assert r.attempts == 1  # the faulted attempt was consumed
+        assert r.value_crc == 0  # no answer was ever produced
+        assert r.finish_cycle == deadline  # not the retry-ready cycle
+        assert r.latency_cycles == deadline
+        assert report.makespan_cycles == deadline
+
+    def test_requeued_job_with_slack_still_retries(self):
+        # Control for the fix: a requeued job whose deadline has slack
+        # past the retry-ready cycle must still be retried, not expired.
+        pool = DevicePool(2, fault_rate=0.0, seed=0)
+        pool.devices[0].fault_model = FaultModel(
+            rate=1.0, seed=5, persistent=True)
+        results, _ = Scheduler(pool, SchedulerConfig()).run(
+            [job(0, arrival=0.0, deadline=200_000.0)])
+        assert results[0].status is JobStatus.OK
+        assert results[0].attempts == 2
+        assert results[0].device_id == 1
+
+    def _degraded_latency(self):
+        """Latency of a degraded one-device run with ample deadline."""
+        pool = DevicePool(1, fault_rate=0.0, seed=0)
+        pool.devices[0].fault_model = FaultModel(
+            rate=1.0, seed=5, persistent=True)
+        results, _ = Scheduler(pool, SchedulerConfig()).run(
+            [job(0, deadline=10_000_000.0)])
+        assert results[0].status is JobStatus.DEGRADED
+        return results[0].latency_cycles, results[0].value_crc
+
+    def test_degraded_past_deadline_is_timeout_with_answer(self):
+        # The degraded path used to be exempt from deadline accounting:
+        # a reference answer landing past the deadline reported
+        # DEGRADED.  It is TIMEOUT like every other late completion —
+        # with the (correct) reference answer still attached.
+        lat, crc = self._degraded_latency()
+        pool = DevicePool(1, fault_rate=0.0, seed=0)
+        pool.devices[0].fault_model = FaultModel(
+            rate=1.0, seed=5, persistent=True)
+        results, report = Scheduler(pool, SchedulerConfig()).run(
+            [job(0, deadline=lat - 1.0)])
+        r = results[0]
+        assert r.status is JobStatus.TIMEOUT
+        assert r.value_crc == crc  # late answer kept
+        assert r.latency_cycles == lat
+        assert "past deadline" in r.error
+        assert report.timeout == 1 and report.degraded == 0
+
+    def test_degraded_exactly_at_deadline_is_degraded(self):
+        # Boundary control: the strict-`>` rule every completion path
+        # shares — finishing exactly at the deadline met it.
+        lat, crc = self._degraded_latency()
+        pool = DevicePool(1, fault_rate=0.0, seed=0)
+        pool.devices[0].fault_model = FaultModel(
+            rate=1.0, seed=5, persistent=True)
+        results, report = Scheduler(pool, SchedulerConfig()).run(
+            [job(0, deadline=lat)])
+        assert results[0].status is JobStatus.DEGRADED
+        assert results[0].value_crc == crc
+        assert report.degraded == 1 and report.timeout == 0
+
+
+class TestDuplicateJobIds:
+    def test_duplicate_ids_raise_config_error(self):
+        # Results are keyed by job_id: duplicates used to silently
+        # overwrite one result and double-report the other.
+        from repro.errors import ConfigError
+        pool = DevicePool(1)
+        jobs = [job(0), job(1), job(1, arrival=50.0)]
+        with pytest.raises(ConfigError, match=r"duplicate job_id 1"):
+            Scheduler(pool, SchedulerConfig()).run(jobs)
+
+    def test_unique_ids_unaffected(self):
+        results, _ = run([job(0), job(1)], n_devices=1)
+        assert [r.job_id for r in results] == [0, 1]
+
+
+class TestEventEngine:
+    def test_event_counters_populate_report(self):
+        results, report = run([job(i, arrival=i * 2000.0)
+                               for i in range(5)], n_devices=2)
+        # At least one arrival per job plus a completion per dispatch.
+        assert report.events_processed >= 5
+        assert report.events_stale >= 0
+
+    def test_rerun_is_field_identical_including_event_counts(self):
+        jobs = [job(i, arrival=i * 1500.0) for i in range(8)]
+        _, rep_a = run(jobs, n_devices=2, fault_rate=0.2, seed=9)
+        _, rep_b = run(jobs, n_devices=2, fault_rate=0.2, seed=9)
+        assert rep_a == rep_b
+
+    def test_deadline_expiry_consumed_for_queued_jobs(self):
+        # A queued-but-ready job is still finalised by the dispatch
+        # path under the strict-`>` rule (never early, at its deadline
+        # cycle), and the engine's heap drains completely.
+        results, report = run([job(0), job(1, deadline=1.0)],
+                              n_devices=1)
+        assert results[1].status is JobStatus.TIMEOUT
+        assert results[1].finish_cycle > 1.0  # next wake after expiry
+        assert report.events_processed > 0

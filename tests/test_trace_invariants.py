@@ -22,6 +22,7 @@ from repro.observe import (
     attribution_rows,
     attribution_table,
     check_device_exclusive,
+    check_no_service_after_timeout,
     check_proper_nesting,
     check_reconfig_hidden,
     check_row_ordering,
@@ -265,6 +266,59 @@ class TestDeviceExclusive:
                           tracer=tracer)
         assert report.batches >= 1
         assert tracer.by_cat("batch"), "fused dispatches must be traced"
+        assert check_trace(tracer) == []
+
+
+# ---------------------------------------------------------------------------
+# Runtime: a finalised (timed-out) job never re-enters service
+# ---------------------------------------------------------------------------
+class TestNoServiceAfterTimeout:
+    def test_checker_flags_dispatch_after_finalisation(self):
+        tracer = Tracer()
+        tracer.instant_event("timeout#3", "timeout", 100.0, "scheduler")
+        tracer.add("spmv#3", "job", 150.0, 250.0, "device0")
+        violations = check_no_service_after_timeout(tracer)
+        assert len(violations) == 1
+        assert "spmv#3" in violations[0]
+        assert "100.00" in violations[0]
+
+    def test_dispatch_at_finalisation_cycle_also_flagged(self):
+        # The deadline-expiry event sorts after every same-cycle
+        # dispatch, so a job span *beginning* at the finalisation cycle
+        # means the engine dispatched a job it had already finalised.
+        tracer = Tracer()
+        tracer.instant_event("timeout#3", "timeout", 100.0, "scheduler")
+        tracer.add("spmv#3", "job", 100.0, 250.0, "device0")
+        assert len(check_no_service_after_timeout(tracer)) == 1
+
+    def test_attempts_before_finalisation_are_legal(self):
+        # Faulted attempts precede the expiry; only post-finalisation
+        # service is a violation.
+        tracer = Tracer()
+        tracer.add("spmv#3", "job", 0.0, 90.0, "device0")
+        tracer.instant_event("timeout#3", "timeout", 100.0, "scheduler")
+        assert check_no_service_after_timeout(tracer) == []
+
+    def test_other_jobs_unaffected(self):
+        tracer = Tracer()
+        tracer.instant_event("timeout#3", "timeout", 100.0, "scheduler")
+        tracer.add("spmv#4", "job", 150.0, 250.0, "device0")
+        assert check_no_service_after_timeout(tracer) == []
+
+    def test_traced_serve_with_expiries_is_clean(self):
+        # Tight deadlines on one device force queued jobs to expire
+        # unexecuted; the real engine must never serve them afterwards.
+        tracer = Tracer()
+        results, report = serve(
+            n_requests=40, n_devices=1, seed=2, scale=0.04,
+            deadline_range=(400.0, 1_500.0),
+            mean_interarrival_cycles=150.0, tracer=tracer)
+        unexecuted = [r for r in results
+                      if r.status.value == "timeout" and r.attempts == 0]
+        assert unexecuted, "tight deadlines must expire queued jobs"
+        instants = [s for s in tracer.spans if s.cat == "timeout"]
+        assert len(instants) == len(unexecuted)
+        assert check_no_service_after_timeout(tracer) == []
         assert check_trace(tracer) == []
 
 
