@@ -12,7 +12,10 @@ Commands
   (fig3, fig6, fig15, fig16, fig17, fig18, fig19).
 * ``serve --requests N --devices D --fault-rate R --seed S`` — run a
   seeded workload trace through the multi-device serving runtime and
-  print its :class:`~repro.runtime.PoolReport`.
+  print its :class:`~repro.runtime.PoolReport`.  ``--chaos RATE[:SEED[:KINDS]]``
+  adds seeded device crashes/hangs, ``--hedge MULT`` enables hedged
+  dispatch, ``--report-json FILE`` writes the canonical report, and
+  ``--check`` replays the run's trace through the serving invariants.
 * ``trace KERNEL [--out FILE] [--check]`` — record a cycle-attributed
   span trace of one kernel run, print the per-phase attribution table,
   optionally export Chrome/Perfetto JSON and run the invariant checks.
@@ -20,8 +23,8 @@ Commands
   of their normal execution.
 
 Exit codes: 0 success; 1 validation failure (``validate``) or trace
-invariant violation (``trace --check``); 2 invalid input
-(dataset/format/config errors); 3 unrecovered injected fault;
+invariant violation (``trace --check``, ``serve --check``); 2 invalid
+input (dataset/format/config errors); 3 unrecovered injected fault;
 4 ``serve`` finished with at least one ``FAILED`` job.
 """
 
@@ -235,11 +238,17 @@ def cmd_compile(args) -> int:
 
 
 def cmd_serve(args) -> int:
-    """Serve a seeded trace over the device pool (exit 4 on FAILED)."""
+    """Serve a seeded trace over the device pool.
+
+    Exit 4 when any job FAILED; exit 1 when ``--check`` found trace
+    invariant violations.
+    """
     from repro.runtime import SchedulerConfig, load_trace, serve
+    from repro.runtime.metrics import report_json
+    from repro.sim.chaos import ChaosModel
 
     tracer = None
-    if args.trace:
+    if args.trace or args.check:
         from repro.observe import Tracer
         tracer = Tracer()
     workload = None
@@ -247,25 +256,46 @@ def cmd_serve(args) -> int:
     if args.trace_file:
         workload = load_trace(args.trace_file)
         n_requests = len(workload)
+    chaos = ChaosModel.parse(args.chaos) if args.chaos else None
     sched = SchedulerConfig(queue_depth=args.queue_depth,
-                            max_batch=args.batch)
+                            max_batch=args.batch,
+                            hedge_after=args.hedge)
     results, report = serve(
         n_requests=n_requests, n_devices=args.devices,
         fault_rate=args.fault_rate, seed=args.seed, scale=args.scale,
-        trace=workload, scheduler_config=sched, tracer=tracer)
+        trace=workload, scheduler_config=sched, tracer=tracer,
+        chaos=chaos)
     batched = f", batch {args.batch}" if args.batch > 1 else ""
+    stormy = f", chaos {args.chaos}" if args.chaos else ""
+    hedged = f", hedge x{args.hedge:g}" if args.hedge else ""
     source = (f"{n_requests} replayed requests from {args.trace_file}"
               if args.trace_file else f"{n_requests} requests")
     print(f"served {source} over {args.devices} "
           f"device(s), fault rate {args.fault_rate:g}, "
-          f"seed {args.seed}{batched}:")
+          f"seed {args.seed}{batched}{stormy}{hedged}:")
     print(report.render())
     _write_trace(tracer, args.trace)
+    if args.report_json:
+        payload = report_json(report)
+        with open(args.report_json, "w") as fh:
+            fh.write(payload)
+        print(f"report written: {args.report_json} "
+              f"({len(payload)} bytes)")
     if report.failed:
         failures = [r for r in results if r.status.value == "failed"]
         for r in failures[:5]:
             print(f"job {r.job_id} FAILED: {r.error}", file=sys.stderr)
         return 4
+    if args.check:
+        from repro.observe import check_trace
+        violations = check_trace(tracer)
+        if violations:
+            for v in violations[:10]:
+                print(f"violation: {v}", file=sys.stderr)
+            print(f"trace invariants: {len(violations)} violation(s)",
+                  file=sys.stderr)
+            return 1
+        print("trace invariants: ok")
     return 0
 
 
@@ -379,7 +409,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--iterations", type=int, default=50)
     p.add_argument("--seed", type=int, default=0)
     p.add_argument(
-        "--inject-faults", metavar="RATE[:SEED]", default=None,
+        "--inject-faults", metavar="RATE[:SEED[:KINDS]]", default=None,
         help="inject transfer faults at the given per-block probability "
              "(deterministic under the optional seed), e.g. 0.01:42",
     )
@@ -437,6 +467,28 @@ def build_parser() -> argparse.ArgumentParser:
         help="replay a canonical-JSON workload trace (written by "
              "repro.runtime.dump_trace) instead of generating one; "
              "overrides --requests",
+    )
+    p.add_argument(
+        "--chaos", metavar="RATE[:SEED[:KINDS]]", default=None,
+        help="inject seeded device-lifecycle chaos (crashes and hangs) "
+             "at the given intensity in [0, 1], e.g. 0.2:7; jobs are "
+             "salvaged, crashed devices quarantined then probed",
+    )
+    p.add_argument(
+        "--hedge", type=float, default=None, metavar="MULT",
+        help="hedged dispatch: once an attempt has run MULT x its "
+             "nominal estimate, launch a speculative duplicate on a "
+             "second healthy device (first verified answer wins)",
+    )
+    p.add_argument(
+        "--report-json", metavar="FILE", default=None,
+        help="write the PoolReport as canonical JSON to FILE "
+             "(byte-stable across identical runs)",
+    )
+    p.add_argument(
+        "--check", action="store_true",
+        help="record a trace and run the serving invariant checks "
+             "(exit 1 on violation)",
     )
     p.set_defaults(func=cmd_serve)
 

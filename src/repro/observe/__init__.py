@@ -10,7 +10,9 @@ from repro.observe.export import (
 )
 from repro.observe.invariants import (
     check_device_exclusive,
+    check_hedge_cancellation,
     check_no_service_after_timeout,
+    check_no_service_in_downtime,
     check_proper_nesting,
     check_reconfig_hidden,
     check_row_ordering,
@@ -28,7 +30,9 @@ __all__ = [
     "dumps_chrome_trace",
     "write_chrome_trace",
     "check_device_exclusive",
+    "check_hedge_cancellation",
     "check_no_service_after_timeout",
+    "check_no_service_in_downtime",
     "check_proper_nesting",
     "check_reconfig_hidden",
     "check_row_ordering",

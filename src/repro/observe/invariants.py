@@ -23,6 +23,16 @@ counters cannot express:
   ``timeout`` instant for a job (the deadline-expiry event finalised
   it), no device may begin serving that job: a finalised job must
   never be dispatched.
+* :func:`check_no_service_in_downtime` — no completed ``job`` span
+  overlaps a crash interval of its device, and none *begins* inside a
+  crash or hang interval: a down device serves nothing, a hung device
+  accepts nothing new (its pre-hang work may legitimately stretch
+  across the stall).
+* :func:`check_hedge_cancellation` — every ``hedge_cancelled`` span
+  must be explained by a winning ``job`` span for the same job ending
+  at the cancellation cycle on a *different* device: a cancelled
+  attempt never finalises a job, and cancellation happens only because
+  the twin won.
 """
 
 from __future__ import annotations
@@ -36,10 +46,11 @@ from repro.observe.tracer import Span, Tracer
 EPS = 1e-6
 
 #: Tracks that model concurrent execution lanes rather than one engine:
-#: the ``reference`` track holds host-side degraded fallbacks, which may
-#: legitimately overlap in simulated time, so nesting is not an
-#: invariant there.
-CONCURRENT_TRACKS = ("reference",)
+#: the ``reference`` track holds host-side degraded fallbacks, and the
+#: ``chaos`` track holds device-lifecycle incidents across the whole
+#: pool — both may legitimately overlap in simulated time, so nesting
+#: is not an invariant there.
+CONCURRENT_TRACKS = ("reference", "chaos")
 
 
 def check_reconfig_hidden(tracer: Tracer) -> List[str]:
@@ -192,6 +203,77 @@ def check_no_service_after_timeout(tracer: Tracer) -> List[str]:
     return violations
 
 
+def check_no_service_in_downtime(tracer: Tracer) -> List[str]:
+    """No job is served while its device is down (or placed mid-hang).
+
+    Downtime is read off the ``chaos`` track: ``crash`` and ``hang``
+    spans carry a ``device`` arg naming the struck device.  A ``job``
+    span on that device's track must not overlap a crash interval at
+    all — voided work is spanned under the ``voided`` category, which
+    ends exactly at the crash cycle — and must not *begin* strictly
+    inside any incident interval (nothing dispatches onto a dead or
+    stalled device).  A job span merely *stretching across* a hang is
+    the legitimate slowed-not-lost case.
+    """
+    violations = []
+    incidents: Dict[int, List[Span]] = {}
+    for s in tracer.spans:
+        if s.track == "chaos" and s.cat in ("crash", "hang"):
+            incidents.setdefault(int(s.args["device"]), []).append(s)
+    if not incidents:
+        return violations
+    for s in tracer.spans:
+        if s.cat != "job" or s.instant:
+            continue
+        if not (s.track.startswith("device")
+                and s.track[len("device"):].isdigit()):
+            continue
+        device = int(s.track[len("device"):])
+        for inc in incidents.get(device, ()):
+            if (inc.cat == "crash" and s.begin < inc.end - EPS
+                    and s.end > inc.begin + EPS):
+                violations.append(
+                    f"{s.track}: job {s.name!r} [{s.begin:.2f}, "
+                    f"{s.end:.2f}] overlaps crash interval "
+                    f"[{inc.begin:.2f}, {inc.end:.2f}]")
+            elif (inc.begin + EPS < s.begin < inc.end - EPS):
+                violations.append(
+                    f"{s.track}: job {s.name!r} begins at "
+                    f"{s.begin:.2f} inside {inc.cat} interval "
+                    f"[{inc.begin:.2f}, {inc.end:.2f}]")
+    return violations
+
+
+def check_hedge_cancellation(tracer: Tracer) -> List[str]:
+    """Every cancelled hedge attempt lost to a real winner elsewhere.
+
+    A ``hedge_cancelled`` span for job ``<id>`` must coincide, at its
+    end, with a successful ``job`` span for the same id on a
+    *different* track (the race winner).  A cancelled attempt with no
+    winner — or one "won" on the same device — would mean the
+    scheduler threw away work without an answer, or cancelled the very
+    attempt that produced one.
+    """
+    violations = []
+    winners: Dict[int, List[Span]] = {}
+    for s in tracer.spans:
+        if (s.cat == "job" and not s.instant and "#" in s.name
+                and s.args.get("ok") is True):
+            winners.setdefault(
+                int(s.name.rsplit("#", 1)[1]), []).append(s)
+    for s in tracer.spans:
+        if s.cat != "hedge_cancelled" or s.instant or "#" not in s.name:
+            continue
+        job_id = int(s.name.rsplit("#", 1)[1])
+        if not any(abs(w.end - s.end) <= EPS and w.track != s.track
+                   for w in winners.get(job_id, ())):
+            violations.append(
+                f"{s.track}: hedge attempt {s.name!r} cancelled at "
+                f"{s.end:.2f} without a winning job span ending there "
+                f"on another device")
+    return violations
+
+
 def phase_cycle_totals(tracer: Tracer,
                        track: str = "engine") -> Dict[str, float]:
     """Total cycles per (cat, name) phase on a track — the quantity the
@@ -213,4 +295,6 @@ def check_trace(tracer: Tracer) -> List[str]:
     violations.extend(check_proper_nesting(tracer))
     violations.extend(check_device_exclusive(tracer))
     violations.extend(check_no_service_after_timeout(tracer))
+    violations.extend(check_no_service_in_downtime(tracer))
+    violations.extend(check_hedge_cancellation(tracer))
     return violations

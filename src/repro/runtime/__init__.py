@@ -47,10 +47,12 @@ from repro.runtime.pool import (
     value_crc,
 )
 from repro.runtime.scheduler import Scheduler, SchedulerConfig
+from repro.sim.chaos import ChaosModel, Incident
 
 __all__ = [
     "JOB_KERNELS",
     "Attempt",
+    "ChaosModel",
     "CircuitBreaker",
     "Device",
     "DevicePool",
@@ -59,6 +61,7 @@ __all__ = [
     "EventKind",
     "EventQueue",
     "HealthWindow",
+    "Incident",
     "Job",
     "JobResult",
     "JobStatus",
@@ -83,6 +86,8 @@ def serve(n_requests: int, n_devices: int = 4, fault_rate: float = 0.0,
           scheduler_config: Optional[SchedulerConfig] = None,
           tracer=None, max_batch: int = 1,
           execution: str = "simulate",
+          chaos: Optional[ChaosModel] = None,
+          hedge_after: Optional[float] = None,
           **trace_kwargs) -> Tuple[List[JobResult], PoolReport]:
     """Serve a seeded workload trace over a fresh device pool.
 
@@ -108,6 +113,17 @@ def serve(n_requests: int, n_devices: int = 4, fault_rate: float = 0.0,
     caches instead of running kernels — identical scheduling decisions
     and cycle arithmetic, no numerics (``value_crc`` is 0) — which is
     what makes 100k–1M-job traces feasible (the load benchmarks).
+
+    ``chaos`` (a :class:`~repro.sim.chaos.ChaosModel`) attaches the
+    device-lifecycle chaos layer: seeded crashes and hangs per device,
+    survived via salvage/retry, breaker quarantine and verified
+    recovery.  ``hedge_after`` enables hedged dispatch at that multiple
+    of the nominal estimate.  Both default off, and off means *inert*:
+    the scheduler runs its exact historical eager path and the report
+    is field-identical to one from before the chaos layer existed.
+    Ignored when an explicit ``scheduler_config`` is supplied (set
+    :attr:`SchedulerConfig.hedge_after` there instead; ``chaos`` still
+    applies — it is pool state, not scheduler policy).
     """
     if trace is None:
         spec_kwargs = dict(n_requests=n_requests, seed=seed, scale=scale,
@@ -116,8 +132,9 @@ def serve(n_requests: int, n_devices: int = 4, fault_rate: float = 0.0,
             spec_kwargs["workloads"] = workloads
         trace = make_trace(TraceSpec(**spec_kwargs))
     pool = DevicePool(n_devices, fault_rate=fault_rate, seed=seed,
-                      tracer=tracer, execution=execution)
+                      tracer=tracer, execution=execution, chaos=chaos)
     if scheduler_config is None:
-        scheduler_config = SchedulerConfig(max_batch=max_batch)
+        scheduler_config = SchedulerConfig(max_batch=max_batch,
+                                           hedge_after=hedge_after)
     scheduler = Scheduler(pool, scheduler_config)
     return scheduler.run(trace)

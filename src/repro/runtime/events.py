@@ -24,6 +24,19 @@ Event vocabulary (:class:`EventKind`):
     dispatched at its deadline cycle is finalised ``TIMEOUT`` *at* that
     cycle, never at whatever later cycle the old scan happened to
     revisit it.
+``DEVICE_CRASH`` / ``DEVICE_HANG`` / ``DEVICE_RECOVER``
+    Device-lifecycle incidents drawn by a seeded
+    :class:`~repro.sim.chaos.ChaosModel`: a crash takes the device
+    down (in-flight work lost, breaker quarantined), a hang stalls it
+    (in-flight work slowed), and a recover ends either.  Lifecycle
+    events sort *after* every job event at the same cycle, so a job
+    completing exactly when its device dies still completed.
+``HEDGE_TIMER``
+    A dispatched job's attempt has run for a configured multiple of
+    its nominal estimate without completing; the scheduler may launch
+    a speculative duplicate on a second healthy device.  Lazily
+    deleted like every other event: if the attempt finished first,
+    the popped timer is stale and counted, never acted on.
 
 Total ordering
 --------------
@@ -69,6 +82,10 @@ class EventKind(enum.IntEnum):
     RETRY_READY = 2
     BREAKER_REOPEN = 3
     DEADLINE_EXPIRY = 4
+    DEVICE_CRASH = 5
+    DEVICE_HANG = 6
+    DEVICE_RECOVER = 7
+    HEDGE_TIMER = 8
 
 
 class Event(NamedTuple):

@@ -93,6 +93,9 @@ class JobResult:
     #: job answered inside a k-wide multi-RHS batch reports k).
     batch_size: int = 1
     error: str = ""
+    #: True when a speculative hedge duplicate produced the answer
+    #: (the original attempt lost the race or its device died).
+    hedged: bool = False
 
     @property
     def answered(self) -> bool:

@@ -11,8 +11,9 @@ two runs of the same seeded trace compare equal field-for-field.
 
 from __future__ import annotations
 
+import json
 import math
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 from fractions import Fraction
 from typing import Dict, List, Sequence
 
@@ -57,6 +58,11 @@ class DeviceStats:
     breaker_state: str
     busy_cycles: float
     faults_injected: int
+    #: Cycles the device spent crashed or hung (0.0 without chaos).
+    downtime_cycles: float = 0.0
+    #: Lifecycle incidents the device suffered (0 without chaos).
+    crashes: int = 0
+    hangs: int = 0
 
 
 @dataclass(frozen=True)
@@ -100,6 +106,17 @@ class PoolReport:
     #: Popped events discarded as stale (lazy deletion) — bookkeeping
     #: overhead, bounded by the load benchmarks.
     events_stale: int = 0
+    #: Speculative duplicates launched by hedged dispatch, and how many
+    #: of them won the race (produced the accepted answer).
+    hedges_launched: int = 0
+    hedges_won: int = 0
+    #: Device-lifecycle incidents applied during the run (chaos layer).
+    #: ``recoveries <= crashes + hangs``: an applied incident recovers
+    #: once, but one still open when the last job finishes never
+    #: consumes its ``DEVICE_RECOVER``.
+    crashes: int = 0
+    hangs: int = 0
+    recoveries: int = 0
     devices: tuple = ()
 
     @property
@@ -135,15 +152,39 @@ class PoolReport:
                 f"({self.batched_jobs} jobs fused)")
             lines.append(
                 f"stream saved    : {self.stream_bytes_saved:,.0f} bytes")
-        for d in self.devices:
+        # Chaos/hedge lines appear only when the features fired, so a
+        # chaos-free report renders byte-identically to before the
+        # chaos layer existed.
+        if self.hedges_launched:
             lines.append(
+                f"hedges          : {self.hedges_launched} launched "
+                f"({self.hedges_won} won)")
+        if self.crashes or self.hangs:
+            lines.append(
+                f"chaos           : {self.crashes} crashes, "
+                f"{self.hangs} hangs, {self.recoveries} recoveries")
+        for d in self.devices:
+            line = (
                 f"  device {d.device_id}: {d.jobs_run} jobs, "
                 f"{d.failures_total} failures "
                 f"({d.window_failure_rate:.0%} window), "
                 f"{d.breaker_trips} trips "
                 f"({d.breaker_state}), busy {d.busy_cycles:,.0f} cy, "
                 f"{d.faults_injected} faults")
+            if d.crashes or d.hangs:
+                line += (f", down {d.downtime_cycles:,.0f} cy "
+                         f"({d.crashes} crashes, {d.hangs} hangs)")
+            lines.append(line)
         return "\n".join(lines)
+
+
+def report_json(report: PoolReport) -> str:
+    """Canonical JSON encoding of a report (sorted keys, fixed
+    separators), so byte-equality of two encodings is field-equality
+    of the reports — the ``repro serve --report-json`` contract the
+    CI determinism smoke diffs on."""
+    return json.dumps(asdict(report), sort_keys=True,
+                      separators=(",", ":")) + "\n"
 
 
 def build_report(results: Sequence[JobResult], pool,
@@ -151,7 +192,12 @@ def build_report(results: Sequence[JobResult], pool,
                  batched_jobs: int = 0,
                  stream_bytes_saved: float = 0.0,
                  events_processed: int = 0,
-                 events_stale: int = 0) -> PoolReport:
+                 events_stale: int = 0,
+                 hedges_launched: int = 0,
+                 hedges_won: int = 0,
+                 crashes: int = 0,
+                 hangs: int = 0,
+                 recoveries: int = 0) -> PoolReport:
     """Fold job results + pool state into one :class:`PoolReport`."""
     by_status: Dict[JobStatus, int] = {s: 0 for s in JobStatus}
     latencies: List[float] = []
@@ -178,6 +224,9 @@ def build_report(results: Sequence[JobResult], pool,
             busy_cycles=d.busy_cycles,
             faults_injected=(d.fault_model.injected
                              if d.fault_model is not None else 0),
+            downtime_cycles=d.downtime_cycles,
+            crashes=d.crashes,
+            hangs=d.hangs,
         )
         for d in pool.devices
     )
@@ -202,5 +251,10 @@ def build_report(results: Sequence[JobResult], pool,
         stream_bytes_saved=stream_bytes_saved,
         events_processed=events_processed,
         events_stale=events_stale,
+        hedges_launched=hedges_launched,
+        hedges_won=hedges_won,
+        crashes=crashes,
+        hangs=hangs,
+        recoveries=recoveries,
         devices=device_stats,
     )

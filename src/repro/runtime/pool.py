@@ -37,6 +37,7 @@ import numpy as np
 from repro.core import Alrescha, AlreschaConfig, KernelType
 from repro.errors import ConfigError, CorruptionError, FaultError
 from repro.runtime.jobs import JOB_KERNELS, Job
+from repro.sim.chaos import ChaosModel
 from repro.sim.faults import FaultModel
 
 #: Breaker defaults: open once >= half the last 8 jobs failed (with at
@@ -92,6 +93,16 @@ class HealthWindow:
 
     def record(self, ok: bool) -> None:
         self._window.append(ok)
+        self.tally(ok)
+
+    def tally(self, ok: bool) -> None:
+        """Bump the lifetime totals without touching the rolling window.
+
+        For outcomes that must not influence the trip decision — e.g. a
+        verdict landing while the breaker is open (no dispatched
+        traffic should exist then, so a stray one must not pre-poison
+        the fresh-start window the next probe inherits).
+        """
         if ok:
             self.successes += 1
         else:
@@ -136,14 +147,24 @@ class CircuitBreaker:
         if cooldown_cycles <= 0:
             raise ConfigError("cooldown_cycles must be positive, got "
                               f"{cooldown_cycles}")
+        if min_samples < 1:
+            # Used to be silently clamped to 1, which hid a
+            # misconfiguration: a breaker that trips on a single
+            # failure is almost never what min_samples=0 meant.
+            raise ConfigError(
+                f"min_samples must be >= 1, got {min_samples}")
         self.health = health
         self.failure_threshold = failure_threshold
-        self.min_samples = max(1, min_samples)
+        self.min_samples = min_samples
         self.cooldown_cycles = cooldown_cycles
         self.state = "closed"
         self.opened_at = 0.0
         self.trips = 0
         self._probe_in_flight = False
+        #: Force-open hold (device crashed): while set, the breaker
+        #: refuses traffic regardless of elapsed cooldown — only
+        #: :meth:`end_quarantine` (device recovery) releases it.
+        self.quarantined = False
 
     # ------------------------------------------------------------------
     def allows(self, now: float) -> bool:
@@ -154,6 +175,8 @@ class CircuitBreaker:
         only in :meth:`on_dispatch` — metric and introspection queries
         (e.g. :meth:`DevicePool.open_breakers`) never change state.
         """
+        if self.quarantined:
+            return False
         if self.state == "closed":
             return True
         if self.state == "half_open":
@@ -162,10 +185,41 @@ class CircuitBreaker:
 
     @property
     def reopen_at(self) -> Optional[float]:
-        """Cycle at which an open breaker becomes probeable (else None)."""
-        if self.state != "open":
+        """Cycle at which an open breaker becomes probeable (else None).
+
+        ``None`` while quarantined: a crashed device's reopen cycle is
+        its recovery, which only :meth:`end_quarantine` knows.
+        """
+        if self.state != "open" or self.quarantined:
             return None
         return self.opened_at + self.cooldown_cycles
+
+    def force_open(self, now: float) -> None:
+        """Quarantine: hold the breaker open until :meth:`end_quarantine`.
+
+        Used when the *device* is known down (lifecycle crash) rather
+        than inferred sick from outcomes: no cooldown clock applies and
+        no probe is admitted while the hold lasts.  Not counted as a
+        trip — crashes are tallied separately.
+        """
+        self.state = "open"
+        self.opened_at = now
+        self._probe_in_flight = False
+        self.quarantined = True
+
+    def end_quarantine(self, now: float) -> None:
+        """Release a quarantine hold: the device recovered at ``now``.
+
+        The breaker stays *open* but immediately probeable — the next
+        dispatch transitions it half-open and the probe's outcome
+        decides recovery, exactly like a cooldown that elapsed at the
+        recovery cycle.
+        """
+        if not self.quarantined:
+            return
+        self.quarantined = False
+        self.state = "open"
+        self.opened_at = now - self.cooldown_cycles
 
     def on_dispatch(self, now: float) -> None:
         """A job was placed on the device at cycle ``now``.
@@ -194,6 +248,15 @@ class CircuitBreaker:
             self._probe_in_flight = False
 
     def on_success(self) -> None:
+        if self.state == "open":
+            # An open breaker admits no traffic, so a verdict landing
+            # now is a straggler (e.g. a quarantined device's voided
+            # work resolving late).  Count it in the lifetime totals
+            # but keep it out of the rolling window: the window must
+            # reflect only outcomes of admitted dispatches, or the
+            # fresh start a successful probe grants is pre-poisoned.
+            self.health.tally(True)
+            return
         self.health.record(True)
         if self.state == "half_open":
             # Probe succeeded: recovered. Start from a clean window so
@@ -203,6 +266,13 @@ class CircuitBreaker:
             self.health.reset()
 
     def on_failure(self, now: float) -> None:
+        if self.state == "open":
+            # Same straggler rule as on_success: lifetime totals only,
+            # and never extend the cooldown — re-stamping opened_at
+            # from a verdict no dispatch produced would push the probe
+            # opportunity out indefinitely.
+            self.health.tally(False)
+            return
         self.health.record(False)
         if self.state == "half_open":
             self._trip(now)
@@ -255,6 +325,24 @@ class Device:
         self.busy_until = 0.0
         self.busy_cycles = 0.0
         self.jobs_run = 0
+        # ---- lifecycle state (driven by the scheduler's chaos events)
+        #: False while crashed (between DEVICE_CRASH and DEVICE_RECOVER).
+        self.up = True
+        #: Cycle a current hang clears (0.0 when not hanging).
+        self.hang_until = 0.0
+        #: Cycle the current crash began (meaningful while ``not up``).
+        self.down_since = 0.0
+        #: Total cycles spent crashed or hung, for :class:`DeviceStats`.
+        self.downtime_cycles = 0.0
+        self.crashes = 0
+        self.hangs = 0
+        self.recoveries = 0
+        #: Per-device :class:`~repro.sim.chaos.ChaosModel` sibling
+        #: (None when the pool has no chaos configured).
+        self.chaos = None
+        #: The scheduler's in-flight record while an attempt is being
+        #: deferred to its DISPATCH_COMPLETE (lifecycle mode only).
+        self.inflight = None
         #: Dispatch cycle of the first attempt (None until one runs) —
         #: the begin of the device's trace summary span.
         self.first_dispatch: Optional[float] = None
@@ -266,6 +354,18 @@ class Device:
         #: (lazily created; independent of the real fault model's draw
         #: sequence but derived from the same device seed).
         self._model_rng: Optional[random.Random] = None
+
+    # ------------------------------------------------------------------
+    def available(self, now: float) -> bool:
+        """Whether the device may accept a dispatch at ``now``.
+
+        Combines the lifecycle state the chaos events drive (crashed or
+        mid-hang devices refuse) with the breaker's verdict.  Busyness
+        is deliberately *not* part of this: the scheduler separates
+        "who is free" from "who is healthy".
+        """
+        return (self.up and now >= self.hang_until
+                and self.breaker.allows(now))
 
     # ------------------------------------------------------------------
     def _executor(self, job: Job, pool: "DevicePool"):
@@ -300,7 +400,7 @@ class Device:
         return self._model_rng.random() < fm.rate
 
     def _attempt_model(self, job: Job, pool: "DevicePool",
-                       now: float) -> Attempt:
+                       now: float, record: bool = True) -> Attempt:
         """Price one attempt from the golden caches without running it.
 
         The scheduler-visible contract matches :meth:`attempt` — same
@@ -320,11 +420,12 @@ class Device:
         else:
             att = Attempt(ok=True, cycles=cycles,
                           dram_bytes=pool.nominal_dram_bytes(job))
-        self._record(job, pool, now, att)
+        if record:
+            self._record(job, pool, now, att)
         return att
 
     def _attempt_model_batch(self, jobs: "List[Job]", pool: "DevicePool",
-                             now: float) -> Attempt:
+                             now: float, record: bool = True) -> Attempt:
         """``model``-mode analogue of :meth:`attempt_batch`."""
         lead = jobs[0]
         self.jobs_run += len(jobs)
@@ -342,11 +443,12 @@ class Device:
             # vector traffic is negligible next to the payload).
             att = Attempt(ok=True, cycles=cycles,
                           dram_bytes=pool.nominal_dram_bytes(lead))
-        self._record_batch(jobs, pool, now, att)
+        if record:
+            self._record_batch(jobs, pool, now, att)
         return att
 
     def attempt(self, job: Job, pool: "DevicePool",
-                now: float = 0.0) -> Attempt:
+                now: float = 0.0, record: bool = True) -> Attempt:
         """Run one accelerator attempt; faults become a failed Attempt.
 
         A failed attempt still occupied the device: it is charged the
@@ -358,9 +460,14 @@ class Device:
         In a ``model``-execution pool the attempt is priced from the
         golden caches instead of running the kernel (the golden pricing
         device itself always simulates).
+
+        ``record=False`` suppresses the dispatch-time trace span; the
+        scheduler's lifecycle mode uses it and records the span itself
+        once the attempt's true extent is known (a hang may stretch it,
+        a crash or hedge cancellation may cut it short).
         """
         if pool.execution == "model" and self.device_id >= 0:
-            return self._attempt_model(job, pool, now)
+            return self._attempt_model(job, pool, now, record=record)
         exe = self._executor(job, pool)
         operand = pool.operand(job)
         fm = self.fault_model
@@ -391,11 +498,12 @@ class Device:
             wasted = pool.nominal_cycles(job) + (retry_after - retry_before)
             att = Attempt(ok=False, cycles=wasted,
                           error=f"{type(exc).__name__}: {exc}")
-        self._record(job, pool, now, att)
+        if record:
+            self._record(job, pool, now, att)
         return att
 
     def attempt_batch(self, jobs: "List[Job]", pool: "DevicePool",
-                      now: float = 0.0) -> Attempt:
+                      now: float = 0.0, record: bool = True) -> Attempt:
         """Run one fused multi-RHS attempt over same-workload jobs.
 
         The operand vectors stack into one ``(n, k)`` panel and the
@@ -404,10 +512,12 @@ class Device:
         job, in job order.  A fault fails the whole batch — one shared
         payload stream means one shared fault exposure — and the failed
         attempt is charged the golden batch service time plus the retry
-        cycles the fault model logged.
+        cycles the fault model logged.  ``record=False`` defers the
+        trace spans to the caller, as in :meth:`attempt`.
         """
         if pool.execution == "model" and self.device_id >= 0:
-            return self._attempt_model_batch(jobs, pool, now)
+            return self._attempt_model_batch(jobs, pool, now,
+                                             record=record)
         lead = jobs[0]
         exe = self._executor(lead, pool)
         operands = np.stack([pool.operand(j) for j in jobs], axis=1)
@@ -434,8 +544,44 @@ class Device:
                       + (retry_after - retry_before))
             att = Attempt(ok=False, cycles=wasted,
                           error=f"{type(exc).__name__}: {exc}")
-        self._record_batch(jobs, pool, now, att)
+        if record:
+            self._record_batch(jobs, pool, now, att)
         return att
+
+    def record_flight(self, jobs: "List[Job]", pool: "DevicePool",
+                      begin: float, end: float, ok: bool,
+                      error: str = "", cat: str = "job") -> None:
+        """Record a deferred attempt's spans at its *true* interval.
+
+        Lifecycle mode dispatches with ``record=False`` and calls this
+        when the attempt's fate is known: ``cat="job"`` for attempts
+        that ran to completion (hang-stretched ends included),
+        ``"voided"`` for work a crash destroyed, ``"hedge_cancelled"``
+        for a speculative duplicate that lost the race.  Only ``"job"``
+        spans participate in the device-exclusivity invariant, so the
+        truncated non-job categories may share their interval freely.
+        """
+        tracer = pool.tracer
+        if tracer is None or self.device_id < 0 or end <= begin:
+            return
+        track = f"device{self.device_id}"
+        bid = None
+        if len(jobs) > 1 and cat == "job":
+            bid = self._batch_seq
+            self._batch_seq += 1
+            tracer.add(f"batch#{self.device_id}.{bid}", "batch",
+                       begin, end, track,
+                       args={"jobs": float(len(jobs)),
+                             "kernel": jobs[0].kernel, "ok": ok})
+        for job in jobs:
+            args: Dict[str, object] = {"ok": ok, "dataset": job.dataset}
+            if bid is not None:
+                args["batch"] = float(bid)
+                args["batch_size"] = float(len(jobs))
+            if error:
+                args["error"] = error
+            tracer.add(f"{job.kernel}#{job.job_id}", cat, begin, end,
+                       track, args=args)
 
     def _record(self, job: Job, pool: "DevicePool", now: float,
                 att: Attempt) -> None:
@@ -492,7 +638,8 @@ class DevicePool:
                  min_samples: int = DEFAULT_MIN_SAMPLES,
                  cooldown_cycles: float = DEFAULT_COOLDOWN_CYCLES,
                  tracer=None, execution: str = "simulate",
-                 operand_cache: int = DEFAULT_OPERAND_CACHE) -> None:
+                 operand_cache: int = DEFAULT_OPERAND_CACHE,
+                 chaos: Optional["ChaosModel"] = None) -> None:
         if n_devices <= 0:
             raise ConfigError(
                 f"device pool needs at least one device, got {n_devices}")
@@ -523,6 +670,13 @@ class DevicePool:
                    cooldown_cycles=cooldown_cycles)
             for i in range(n_devices)
         ]
+        #: The base lifecycle chaos model (None when not configured);
+        #: each device carries an independently-seeded spawn.
+        self.chaos = chaos if chaos is not None and chaos.rate > 0.0 \
+            else None
+        if self.chaos is not None:
+            for i, device in enumerate(self.devices):
+                device.chaos = self.chaos.spawn(i)
         self._nominal: Dict[Tuple[str, float, str], float] = {}
         self._nominal_bytes: Dict[Tuple[str, float, str], float] = {}
         self._nominal_batch: Dict[Tuple[str, float, str, int], float] = {}
@@ -638,3 +792,14 @@ class DevicePool:
     def open_breakers(self, now: float) -> int:
         """Devices refusing traffic at ``now``."""
         return sum(1 for d in self.devices if not d.breaker.allows(now))
+
+    def refusing(self, now: float) -> int:
+        """Devices out of service at ``now``: crashed or breaker-closed.
+
+        The total-outage degradation check in the scheduler.  A hanging
+        device is *busy*, not out of service — its queued work will
+        still run — so hangs do not count here; chaos-free this is
+        exactly :meth:`open_breakers`.
+        """
+        return sum(1 for d in self.devices
+                   if not d.up or not d.breaker.allows(now))

@@ -43,6 +43,34 @@ Policies
   at ``reference_slowdown`` × the workload's nominal cycles.  The
   runtime never silently returns a wrong or missing answer; ``FAILED``
   is reserved for jobs no path could answer (e.g. an unknown dataset).
+* **Chaos survival** — when the pool carries a
+  :class:`~repro.sim.chaos.ChaosModel`, devices crash and hang as
+  typed events.  A crash voids the device's in-flight attempt (the
+  attempt is uncharged — cycles trimmed, the attempt-budget slot
+  refunded — and the job requeues for another device), quarantines the
+  breaker until the paired ``DEVICE_RECOVER``, and then probes it
+  half-open.  A hang stretches the in-flight attempt by the stall and
+  blocks new placements until it clears.  Infrastructure loss alone
+  never produces ``FAILED``.
+* **Hedged dispatch** — with ``hedge_after`` set, a solo attempt that
+  has run ``hedge_after ×`` its golden nominal estimate without
+  completing may spawn one speculative duplicate on a healthy untried
+  device.  First verified answer wins; the loser is cancelled through
+  lazy event deletion, its device time trimmed to the cycles actually
+  occupied, and both attempts stay honestly counted (``attempts``,
+  ``hedges_launched``/``hedges_won``).
+
+Execution modes of the loop itself
+----------------------------------
+Chaos-free and hedge-free, attempts finalise *eagerly at dispatch* —
+the historical code path, bit-identical to the scheduler before the
+chaos layer existed (the fingerprint corpus pins this).  With chaos or
+hedging configured the loop runs in *lifecycle* mode: an attempt's
+outcome is deferred to its ``DISPATCH_COMPLETE`` event so that crashes,
+hangs and hedge races can intervene mid-flight.  Deferred completion
+events validate by object identity against the device's single
+in-flight record — a postponed or cancelled attempt leaves its old
+event to die stale in the heap.
 """
 
 from __future__ import annotations
@@ -86,12 +114,20 @@ class SchedulerConfig:
     #: coalescing entirely — the scheduler then behaves exactly as it
     #: did before batching existed.
     max_batch: int = 1
+    #: Hedged-dispatch threshold: once a solo attempt has been in
+    #: flight for ``hedge_after ×`` the workload's golden nominal
+    #: cycles, launch one speculative duplicate on a healthy untried
+    #: device.  ``None`` disables hedging (and, absent chaos, keeps
+    #: the scheduler on its eager dispatch-time path).  Batched
+    #: dispatches never hedge.
+    hedge_after: Optional[float] = None
 
 
 class _JobState:
     """Mutable scheduling state for one admitted job."""
 
-    __slots__ = ("job", "ready", "attempts", "tried")
+    __slots__ = ("job", "ready", "attempts", "tried", "flights",
+                 "hedge_event")
 
     def __init__(self, job: Job) -> None:
         self.job = job
@@ -99,10 +135,45 @@ class _JobState:
         self.ready = job.arrival_cycle
         self.attempts = 0
         self.tried: Set[int] = set()
+        #: Live in-flight attempts (lifecycle mode): one normally, two
+        #: while a hedge race is on, empty while queued.
+        self.flights: List["_Flight"] = []
+        #: The job's current HEDGE_TIMER event; identity-checked on
+        #: pop, so a requeue-then-redispatch strands the old timer.
+        self.hedge_event: Optional[Event] = None
 
     @property
     def deadline_at(self) -> float:
         return self.job.arrival_cycle + self.job.deadline_cycles
+
+
+class _Flight:
+    """One deferred in-flight attempt (lifecycle mode only).
+
+    The outcome ``att`` is drawn at dispatch — device fault streams
+    stay bit-identical to eager mode — but nothing is *applied* until
+    the flight's ``DISPATCH_COMPLETE`` event is consumed, so a crash
+    can void it, a hang can stretch it, and a hedge twin can beat it.
+    """
+
+    __slots__ = ("states", "att", "device", "start", "finish", "hedge",
+                 "complete_event")
+
+    def __init__(self, states: List[_JobState], att, device,
+                 start: float, finish: float, hedge: bool,
+                 complete_event: Event) -> None:
+        self.states = states
+        self.att = att
+        self.device = device
+        self.start = start
+        #: Scheduled completion cycle; a hang pushes it out (and
+        #: replaces ``complete_event``).
+        self.finish = finish
+        #: True for a speculative hedge duplicate.
+        self.hedge = hedge
+        #: The live completion event — validity is object identity, so
+        #: superseded events die stale in the heap.
+        self.complete_event = complete_event
 
 
 class Scheduler:
@@ -112,15 +183,40 @@ class Scheduler:
                  config: Optional[SchedulerConfig] = None) -> None:
         self.pool = pool
         self.config = config or SchedulerConfig()
+        if (self.config.hedge_after is not None
+                and self.config.hedge_after <= 0):
+            raise ConfigError(
+                f"hedge_after must be positive (a multiple of the "
+                f"nominal estimate), got {self.config.hedge_after}")
         self.queue_peak = 0
         #: Fused dispatches that produced answers, jobs served inside
         #: them, and DRAM bytes they avoided vs solo service.
         self.batches = 0
         self.batched_jobs = 0
         self.stream_bytes_saved = 0.0
+        #: Hedged-dispatch and chaos counters for the report (reset
+        #: per :meth:`run`).
+        self.hedges_launched = 0
+        self.hedges_won = 0
+        self.crashes = 0
+        self.hangs = 0
+        self.recoveries = 0
         #: The run's event heap (rebuilt per :meth:`run`); kept on the
         #: instance so tests and load benchmarks can read its counters.
         self.events = EventQueue()
+        #: Whether attempts defer finalisation to DISPATCH_COMPLETE.
+        #: False runs the exact historical eager path — the chaos-free
+        #: identity guarantee depends on this staying False when
+        #: neither chaos nor hedging is configured.
+        self._lifecycle = (self.pool.chaos is not None
+                           or self.config.hedge_after is not None)
+        #: Admitted-job states by id (HEDGE_TIMER lookups).
+        self._states: Dict[int, _JobState] = {}
+        #: Each device's pending (not yet fully applied) incident.
+        self._incidents: Dict[int, object] = {}
+        #: Live deferred flights — the run loop must not exit while
+        #: any remain, even with the queues drained.
+        self._inflight = 0
 
     # ------------------------------------------------------------------
     # Admission control
@@ -158,15 +254,26 @@ class Scheduler:
         waiting: List[_JobState] = []
         results: Dict[int, JobResult] = {}
         self.events = events = EventQueue()
+        self._states = {}
+        self._incidents = {}
+        self._inflight = 0
+        self.hedges_launched = self.hedges_won = 0
+        self.crashes = self.hangs = self.recoveries = 0
         for j in arrivals:
             events.push(j.arrival_cycle, EventKind.ARRIVAL, j.job_id)
+        if self.pool.chaos is not None:
+            # Bootstrap one pending incident per device; the next one
+            # is drawn only when this one's recovery is consumed, so
+            # each device's incident history is strictly sequential.
+            for device in self.pool.devices:
+                self._schedule_incident(device, 0.0)
         now = 0.0
 
         # Mirror of the scan-based loop's first iteration: admit and
         # dispatch anything actionable at cycle 0 before the first
         # clock advance.
         self._step(now, arrivals, waiting, results)
-        while arrivals or waiting:
+        while arrivals or waiting or self._inflight:
             wake = self._next_wake(now, waiting, results)
             if wake is None:
                 # No future event can unblock the queue (should be
@@ -188,7 +295,11 @@ class Scheduler:
             batched_jobs=self.batched_jobs,
             stream_bytes_saved=self.stream_bytes_saved,
             events_processed=events.popped - events.stale,
-            events_stale=events.stale)
+            events_stale=events.stale,
+            hedges_launched=self.hedges_launched,
+            hedges_won=self.hedges_won,
+            crashes=self.crashes, hangs=self.hangs,
+            recoveries=self.recoveries)
 
     # ------------------------------------------------------------------
     # Event loop
@@ -216,13 +327,34 @@ class Scheduler:
         if kind == EventKind.ARRIVAL:
             return True
         if kind == EventKind.DISPATCH_COMPLETE:
-            # Pushed at dispatch with the device's busy_until; a device
-            # is never redispatched before it completes, so each
-            # completion event matches exactly one real transition.
-            return True
+            if not self._lifecycle:
+                # Pushed at dispatch with the device's busy_until; a
+                # device is never redispatched before it completes, so
+                # each completion event matches exactly one real
+                # transition.
+                return True
+            # Deferred completions validate by identity: a hang
+            # replaces the flight's event, a crash or hedge
+            # cancellation removes the flight entirely, and the
+            # superseded event must die stale.
+            flight = self.pool.devices[event.key].inflight
+            return (flight is not None
+                    and flight.complete_event is event)
         if kind == EventKind.BREAKER_REOPEN:
             breaker = self.pool.devices[event.key].breaker
             return breaker.reopen_at == event.cycle
+        if kind in (EventKind.DEVICE_CRASH, EventKind.DEVICE_HANG,
+                    EventKind.DEVICE_RECOVER):
+            # Each is pushed exactly once per incident and incidents
+            # per device are strictly sequential — never stale.
+            return True
+        if kind == EventKind.HEDGE_TIMER:
+            state = self._states.get(event.key)
+            return (state is not None
+                    and event.key not in results
+                    and state.hedge_event is event
+                    and len(state.flights) == 1
+                    and not state.flights[0].hedge)
         # RETRY_READY / DEADLINE_EXPIRY concern a job that must still
         # be in flight (admitted, no terminal result yet).
         return event.key not in results
@@ -253,6 +385,15 @@ class Scheduler:
         ``TIMEOUT`` here, *at* the deadline — the scan-based engine
         left it pending until its retry became ready and then stamped
         the inflated cycle on it.
+
+        In lifecycle mode the completion, chaos and hedge events also
+        carry their own effect, applied here in the documented
+        coincident order (kind, then key): a job completing the cycle
+        its device crashes completes *before* the crash voids
+        anything.  Each effectful event is re-validated immediately
+        before it applies — an earlier coincident event may have
+        cancelled it (e.g. the primary finishing at the same cycle as
+        its hedge twin) — and marked stale if so.
         """
         pending = [wake]
         events = self.events
@@ -262,16 +403,38 @@ class Scheduler:
                 break
             pending.append(events.pop())
         for event in pending:
-            if event.kind != EventKind.DEADLINE_EXPIRY:
+            kind = event.kind
+            if kind == EventKind.DEADLINE_EXPIRY:
+                state = next((s for s in waiting
+                              if s.job.job_id == event.key), None)
+                if state is None or state.ready <= now:
+                    # Dispatchable at its deadline cycle: the
+                    # strict-`>` boundary rule lets it still be placed
+                    # this wake.
+                    continue
+                waiting.remove(state)
+                self._finalize_timeout(state, now, results)
                 continue
-            state = next((s for s in waiting
-                          if s.job.job_id == event.key), None)
-            if state is None or state.ready <= now:
-                # Dispatchable at its deadline cycle: the strict-`>`
-                # boundary rule lets it still be placed this wake.
-                continue
-            waiting.remove(state)
-            self._finalize_timeout(state, now, results)
+            if not self._lifecycle:
+                continue  # every other kind is a pure wake
+            if kind == EventKind.DISPATCH_COMPLETE:
+                flight = self.pool.devices[event.key].inflight
+                if flight is not None and flight.complete_event is event:
+                    self._complete(flight, now, waiting, results)
+                elif event is not wake:
+                    events.mark_stale()
+            elif kind == EventKind.DEVICE_CRASH:
+                self._apply_crash(self.pool.devices[event.key], now,
+                                  waiting, results)
+            elif kind == EventKind.DEVICE_HANG:
+                self._apply_hang(self.pool.devices[event.key], now)
+            elif kind == EventKind.DEVICE_RECOVER:
+                self._apply_recover(self.pool.devices[event.key], now)
+            elif kind == EventKind.HEDGE_TIMER:
+                if self._valid(event, now, results):
+                    self._launch_hedge(self._states[event.key], now)
+                elif event is not wake:
+                    events.mark_stale()
 
     def _trace_devices(self) -> None:
         """Close a traced serve run: one summary span per device that
@@ -305,6 +468,7 @@ class Scheduler:
                     "scheduler")
             return
         state = _JobState(job)
+        self._states[job.job_id] = state
         waiting.append(state)
         self.queue_peak = max(self.queue_peak, len(waiting))
         self.events.push(state.deadline_at, EventKind.DEADLINE_EXPIRY,
@@ -341,13 +505,18 @@ class Scheduler:
                 progressed = True
                 continue
 
+            # ``available`` folds the lifecycle state (crashed or
+            # hanging devices refuse) into the breaker gate; chaos-free
+            # it reduces to exactly the old ``breaker.allows``.
             free = [d for d in self.pool.devices
-                    if d.busy_until <= now and d.breaker.allows(now)]
+                    if d.busy_until <= now and d.available(now)]
 
-            # 2. Total outage: every breaker refuses traffic — shed the
-            # head-of-line job to the reference path immediately instead
-            # of queueing against a pool that is entirely sick.
-            if not free and self.pool.open_breakers(now) == len(self.pool):
+            # 2. Total outage: every device is out of service (crashed
+            # or breaker-open) — shed the head-of-line job to the
+            # reference path immediately instead of queueing against a
+            # pool that is entirely sick.  A hanging device does not
+            # count: its queued work will still run.
+            if not free and self.pool.refusing(now) == len(self.pool):
                 state = eligible[0]
                 waiting.remove(state)
                 self._degrade(state, now, results)
@@ -433,7 +602,8 @@ class Scheduler:
         state.tried.add(device.device_id)
         device.breaker.on_dispatch(now)
         try:
-            att = device.attempt(job, self.pool, now=now)
+            att = device.attempt(job, self.pool, now=now,
+                                 record=not self._lifecycle)
         except ReproError as exc:
             # Not a device fault — the job itself is unserviceable
             # (unknown dataset/kernel, bad config).  No retry can help.
@@ -452,8 +622,20 @@ class Scheduler:
         finish = now + att.cycles
         device.busy_until = finish
         device.busy_cycles += att.cycles
-        self.events.push(finish, EventKind.DISPATCH_COMPLETE,
-                         device.device_id)
+        event = self.events.push(finish, EventKind.DISPATCH_COMPLETE,
+                                 device.device_id)
+        if self._lifecycle:
+            # Defer everything — breaker verdict, result, spans — to
+            # the completion event, so chaos and hedging can intervene
+            # while the attempt is in flight.
+            self._register_flight([state], att, device, now, finish,
+                                  hedge=False, event=event)
+            if self.config.hedge_after is not None and len(self.pool) > 1:
+                hedge_at = (now + self.config.hedge_after
+                            * self.pool.nominal_cycles(job))
+                state.hedge_event = self.events.push(
+                    hedge_at, EventKind.HEDGE_TIMER, job.job_id)
+            return
 
         if att.ok:
             device.breaker.on_success()
@@ -520,7 +702,8 @@ class Scheduler:
             s.tried.add(device.device_id)
         device.breaker.on_dispatch(now)
         try:
-            att = device.attempt_batch(jobs, self.pool, now=now)
+            att = device.attempt_batch(jobs, self.pool, now=now,
+                                       record=not self._lifecycle)
         except ReproError as exc:
             # Same rationale as the solo path: unserviceable work, not
             # a device verdict — release a claimed probe.
@@ -535,8 +718,15 @@ class Scheduler:
         finish = now + att.cycles
         device.busy_until = finish
         device.busy_cycles += att.cycles
-        self.events.push(finish, EventKind.DISPATCH_COMPLETE,
-                         device.device_id)
+        event = self.events.push(finish, EventKind.DISPATCH_COMPLETE,
+                                 device.device_id)
+        if self._lifecycle:
+            # Batched flights never hedge — one speculative duplicate
+            # of a k-wide panel would double the panel's stream cost
+            # for one straggler's tail.
+            self._register_flight(list(states), att, device, now,
+                                  finish, hedge=False, event=event)
+            return
 
         if att.ok:
             device.breaker.on_success()
@@ -575,6 +765,270 @@ class Scheduler:
                               device_id=device.device_id)
             else:
                 self._requeue(s, finish, waiting)
+
+    # ------------------------------------------------------------------
+    # Lifecycle mode: deferred flights, hedging, chaos
+    # ------------------------------------------------------------------
+    def _register_flight(self, states: List[_JobState], att,
+                         device: Device, start: float, finish: float,
+                         hedge: bool, event: Event) -> None:
+        flight = _Flight(states, att, device, start, finish, hedge,
+                         event)
+        device.inflight = flight
+        for s in states:
+            s.flights.append(flight)
+        self._inflight += 1
+
+    def _complete(self, flight: _Flight, now: float,
+                  waiting: List[_JobState],
+                  results: Dict[int, JobResult]) -> None:
+        """Apply a deferred attempt's outcome at its completion cycle.
+
+        The breaker is fed *here* — at the cycle the verdict exists —
+        and the trace spans are recorded at the flight's true interval
+        (a hang may have stretched it).  On success any hedge twin
+        still in flight is cancelled; on failure a live twin keeps the
+        job's fate open and nothing is requeued yet.
+        """
+        device = flight.device
+        states = flight.states
+        jobs = [s.job for s in states]
+        att = flight.att
+        device.inflight = None
+        self._inflight -= 1
+        for s in states:
+            s.flights.remove(flight)
+
+        if att.ok:
+            device.record_flight(jobs, self.pool, flight.start, now,
+                                 ok=True)
+            device.breaker.on_success()
+            if flight.hedge:
+                self.hedges_won += 1
+            if len(states) > 1:
+                self.batches += 1
+                self.batched_jobs += len(jobs)
+                solo_bytes = self.pool.nominal_dram_bytes(jobs[0])
+                self.stream_bytes_saved += max(
+                    0.0, solo_bytes * len(jobs) - att.dram_bytes)
+            for col, s in enumerate(states):
+                job = s.job
+                latency = now - job.arrival_cycle
+                if latency > job.deadline_cycles:
+                    status, error = JobStatus.TIMEOUT, (
+                        f"completed "
+                        f"{latency - job.deadline_cycles:.0f} "
+                        f"cycles past deadline")
+                else:
+                    status, error = JobStatus.OK, ""
+                if att.values is None:
+                    crc = 0
+                elif len(states) > 1:
+                    crc = value_crc(att.values[:, col])
+                else:
+                    crc = value_crc(att.values)
+                results[job.job_id] = JobResult(
+                    job_id=job.job_id, status=status,
+                    device_id=device.device_id, attempts=s.attempts,
+                    latency_cycles=latency, finish_cycle=now,
+                    value_crc=crc, batch_size=len(jobs), error=error,
+                    hedged=flight.hedge)
+                # First verified answer wins: a twin still racing is
+                # cancelled, its device time trimmed to the cycles it
+                # actually burned.
+                for loser in list(s.flights):
+                    self._cancel_flight(loser, now)
+                    s.flights.remove(loser)
+            return
+
+        # Fault at completion: one breaker verdict, then each member
+        # retries, degrades — or simply waits, if its hedge twin is
+        # still racing and may yet answer.
+        device.record_flight(jobs, self.pool, flight.start, now,
+                             ok=False, error=att.error)
+        self._on_attempt_failure(device, now)
+        for s in states:
+            if s.flights:
+                continue
+            exhausted = (s.attempts >= self.config.max_attempts
+                         or len(s.tried) >= len(self.pool))
+            if exhausted:
+                self._degrade(s, now, results, last_error=att.error,
+                              device_id=device.device_id)
+            else:
+                self._requeue(s, now, waiting)
+
+    def _cancel_flight(self, flight: _Flight, now: float) -> None:
+        """Cancel a hedge loser: trim its device to the cycles actually
+        occupied and strand its completion event (lazy deletion).
+
+        The attempt stays *counted* — it really dispatched and burned
+        ``now - start`` cycles — but produces no breaker verdict (a
+        race loss says nothing about device health, so a claimed
+        half-open probe is released, not resolved) and never touches
+        the job's result.
+        """
+        device = flight.device
+        device.busy_cycles -= flight.finish - now
+        device.busy_until = now
+        device.breaker.release_probe()
+        device.inflight = None
+        self._inflight -= 1
+        jobs = [s.job for s in flight.states]
+        device.record_flight(jobs, self.pool, flight.start, now,
+                             ok=False, error="hedge race lost",
+                             cat="hedge_cancelled")
+        if self.pool.tracer is not None:
+            for job in jobs:
+                self.pool.tracer.instant_event(
+                    f"hedge_cancel#{job.job_id}", "hedge_cancel", now,
+                    "scheduler")
+
+    def _launch_hedge(self, state: _JobState, now: float) -> None:
+        """Launch the speculative duplicate a HEDGE_TIMER asked for.
+
+        Skipped silently when no healthy, free, untried device exists —
+        the timer is consumed either way (one hedge opportunity per
+        dispatch, not a standing order).
+        """
+        state.hedge_event = None
+        job = state.job
+        free = [d for d in self.pool.devices
+                if d.busy_until <= now and d.available(now)
+                and d.device_id not in state.tried]
+        if not free:
+            return
+        device = min(free, key=lambda d: (d.busy_cycles, d.device_id))
+        state.attempts += 1
+        state.tried.add(device.device_id)
+        device.breaker.on_dispatch(now)
+        try:
+            att = device.attempt(job, self.pool, now=now, record=False)
+        except ReproError:
+            # The primary dispatched the same job fine, so this is
+            # unreachable in practice; refund the slot rather than
+            # fail a job that still has a live primary.
+            device.breaker.release_probe()
+            state.attempts -= 1
+            state.tried.discard(device.device_id)
+            return
+        finish = now + att.cycles
+        device.busy_until = finish
+        device.busy_cycles += att.cycles
+        event = self.events.push(finish, EventKind.DISPATCH_COMPLETE,
+                                 device.device_id)
+        self._register_flight([state], att, device, now, finish,
+                              hedge=True, event=event)
+        self.hedges_launched += 1
+        if self.pool.tracer is not None:
+            self.pool.tracer.instant_event(
+                f"hedge#{job.job_id}", "hedge", now, "scheduler")
+
+    def _schedule_incident(self, device: Device, now: float) -> None:
+        """Draw the device's next incident and push its onset event."""
+        if device.chaos is None:
+            return
+        inc = device.chaos.next_incident(now)
+        if inc is None:
+            return
+        self._incidents[device.device_id] = inc
+        kind = (EventKind.DEVICE_CRASH if inc.kind == "crash"
+                else EventKind.DEVICE_HANG)
+        self.events.push(inc.at, kind, device.device_id)
+
+    def _apply_crash(self, device: Device, now: float,
+                     waiting: List[_JobState],
+                     results: Dict[int, JobResult]) -> None:
+        """The device dies until its incident's recovery cycle.
+
+        In-flight work is *voided* — lost, not failed: the attempt is
+        uncharged (cycles trimmed, attempt-budget slot refunded, the
+        device removed from ``tried`` so even a one-device pool can
+        retry after recovery) and each orphaned job requeues
+        immediately unless a hedge twin is still racing for it.  The
+        breaker is quarantined, not tripped: the outage is a known
+        lifecycle fact, not an inferred health verdict.
+        """
+        inc = self._incidents[device.device_id]
+        device.up = False
+        device.down_since = now
+        device.crashes += 1
+        self.crashes += 1
+        device.downtime_cycles += inc.until - now
+        device.breaker.force_open(now)
+        self.events.push(inc.until, EventKind.DEVICE_RECOVER,
+                         device.device_id)
+        if self.pool.tracer is not None:
+            self.pool.tracer.add(
+                f"crash#{device.device_id}.{device.crashes}", "crash",
+                now, inc.until, "chaos",
+                args={"device": float(device.device_id)})
+        flight = device.inflight
+        if flight is None:
+            return
+        device.busy_cycles -= flight.finish - now
+        device.busy_until = now
+        device.record_flight([s.job for s in flight.states], self.pool,
+                             flight.start, now, ok=False,
+                             error="device crashed mid-attempt",
+                             cat="voided")
+        device.inflight = None
+        self._inflight -= 1
+        for s in flight.states:
+            s.flights.remove(flight)
+            s.attempts -= 1
+            s.tried.discard(device.device_id)
+            if not s.flights and s.job.job_id not in results:
+                self._requeue(s, now, waiting)
+
+    def _apply_hang(self, device: Device, now: float) -> None:
+        """The device stalls until the incident clears.
+
+        In-flight work is slowed, not lost: the flight's completion
+        (and the device's busy horizon) slides out by the stall, its
+        superseded completion event left to die stale.  The stall is
+        real occupancy — the job sat on the device — so it is charged
+        to ``busy_cycles`` and spanned accordingly.
+        """
+        inc = self._incidents[device.device_id]
+        device.hangs += 1
+        self.hangs += 1
+        device.hang_until = inc.until
+        device.downtime_cycles += inc.until - now
+        self.events.push(inc.until, EventKind.DEVICE_RECOVER,
+                         device.device_id)
+        if self.pool.tracer is not None:
+            self.pool.tracer.add(
+                f"hang#{device.device_id}.{device.hangs}", "hang",
+                now, inc.until, "chaos",
+                args={"device": float(device.device_id)})
+        flight = device.inflight
+        if flight is None:
+            return
+        delta = inc.until - now
+        flight.finish += delta
+        device.busy_until += delta
+        device.busy_cycles += delta
+        flight.complete_event = self.events.push(
+            flight.finish, EventKind.DISPATCH_COMPLETE,
+            device.device_id)
+
+    def _apply_recover(self, device: Device, now: float) -> None:
+        """End the device's current incident and draw its next one.
+
+        A crashed device comes back with its breaker released from
+        quarantine into an immediately-probeable open state: the next
+        dispatch runs as the half-open probe, whose outcome decides
+        whether the device rejoins — recovery is *verified*, never
+        assumed.  A hang clears implicitly (``hang_until`` is now in
+        the past).
+        """
+        device.recoveries += 1
+        self.recoveries += 1
+        if not device.up:
+            device.up = True
+            device.breaker.end_quarantine(now)
+        self._schedule_incident(device, now)
 
     def _finalize_timeout(self, state: _JobState, now: float,
                           results: Dict[int, JobResult]) -> None:

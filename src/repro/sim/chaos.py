@@ -1,0 +1,238 @@
+"""Seeded device-lifecycle chaos: whole-device crashes and hangs.
+
+:mod:`repro.sim.faults` perturbs individual payload transfers — a
+flipped bit, a dropped burst — but every device is immortal: the
+breaker/retry machinery above it has never been exercised against the
+most expensive failure a long-running sparse solve can see, a device
+stalling or dying mid-job.  This module supplies that layer: a
+:class:`ChaosModel` draws a deterministic sequence of *incidents* per
+device, and the scheduler turns each one into typed
+``DEVICE_CRASH``/``DEVICE_HANG``/``DEVICE_RECOVER`` events on its heap
+(:mod:`repro.runtime.events`), so a chaos storm is as bit-reproducible
+and replayable as a clean run.
+
+Incident kinds
+--------------
+``crash``
+    The device dies at ``at`` and stays down until ``until``.  Work in
+    flight is lost (the scheduler salvages it onto another device) and
+    the device's breaker is quarantined — force-open for the whole
+    down interval, then probed half-open after recovery.
+``hang``
+    The device stalls for ``until - at`` cycles.  Work in flight is
+    not lost, merely *slowed*: its completion is postponed by the
+    stall, and no new work lands until the hang clears.
+
+Determinism mirrors :class:`~repro.sim.faults.FaultModel`: one
+``random.Random(seed)`` stream advanced once per drawn incident, with
+:meth:`ChaosModel.spawn` deriving an independent per-device stream
+from the base seed.  Every drawn incident is appended to
+:attr:`ChaosModel.log`, so tests can reconcile a
+:class:`~repro.runtime.metrics.PoolReport`'s ``crashes``/``hangs``/
+``recoveries`` counters against the injection record.
+
+The intensity knob is ``rate`` in ``[0, 1]``: the mean gap between a
+device's incidents is ``mean_gap_cycles / rate``, so ``rate=0.2`` on
+the default gap means roughly one incident per 125k simulated cycles
+per device — a storm on serving timescales.  ``rate=0`` draws nothing
+(a deterministic no-op, like a zero-rate fault model).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.errors import ConfigError
+
+#: Incident kinds the model can draw, in draw order.
+CHAOS_KINDS = ("crash", "hang")
+
+#: Mean cycles between incidents on one device at ``rate=1.0``; the
+#: effective mean gap is this divided by the configured rate.
+DEFAULT_MEAN_GAP_CYCLES = 25_000.0
+
+#: Mean down interval of a crash (exponential draw).
+DEFAULT_MEAN_CRASH_CYCLES = 20_000.0
+
+#: Mean stall of a hang (exponential draw).
+DEFAULT_MEAN_HANG_CYCLES = 4_000.0
+
+
+@dataclass(frozen=True)
+class Incident:
+    """One drawn lifecycle incident, as recorded in the chaos log."""
+
+    #: Device the incident strikes (the spawn index).
+    device_id: int
+    #: One of :data:`CHAOS_KINDS`.
+    kind: str
+    #: Cycle the incident begins.
+    at: float
+    #: Cycle the device recovers (crash) or the stall clears (hang).
+    until: float
+
+    @property
+    def duration(self) -> float:
+        return self.until - self.at
+
+
+def _parse_token(flag: str, spec: str, token: str, kind: str, caster):
+    try:
+        return caster(token)
+    except (TypeError, ValueError):
+        raise ConfigError(
+            f"{flag} expects RATE[:SEED[:KINDS]]; {kind} token "
+            f"{token!r} in {spec!r} is not a valid {kind}") from None
+
+
+def parse_rate_spec(flag: str, spec: str,
+                    known_kinds: Tuple[str, ...]):
+    """Parse a CLI ``RATE[:SEED[:KINDS]]`` spec into its parts.
+
+    Shared by :meth:`FaultModel.parse <repro.sim.faults.FaultModel.parse>`
+    and :meth:`ChaosModel.parse`.  Every malformed token raises
+    :class:`~repro.errors.ConfigError` *naming the offending token*:
+    a junk rate, a non-integer seed, an unknown kind, or a spec with
+    too many ``:`` fields — none of them may be half-accepted or die
+    with a bare traceback.  Returns ``(rate, seed, kinds)`` with
+    ``kinds=None`` when the spec names none.
+    """
+    if not isinstance(spec, str) or not spec.strip():
+        raise ConfigError(
+            f"{flag} expects RATE[:SEED[:KINDS]], got empty spec")
+    parts = spec.split(":")
+    if len(parts) > 3:
+        raise ConfigError(
+            f"{flag} expects RATE[:SEED[:KINDS]]; {spec!r} has "
+            f"{len(parts)} ':'-separated fields")
+    rate = _parse_token(flag, spec, parts[0], "rate", float)
+    if not 0.0 <= rate <= 1.0:  # also rejects nan/inf
+        raise ConfigError(
+            f"{flag}: rate {parts[0]!r} in {spec!r} must be in [0, 1]")
+    seed = 0
+    if len(parts) > 1 and parts[1]:
+        seed = _parse_token(flag, spec, parts[1], "seed", int)
+    kinds: Optional[Tuple[str, ...]] = None
+    if len(parts) > 2 and parts[2]:
+        kinds = tuple(k.strip() for k in parts[2].split(","))
+        for k in kinds:
+            if k not in known_kinds:
+                raise ConfigError(
+                    f"{flag}: unknown kind {k!r} in {spec!r}; "
+                    f"known: {known_kinds}")
+    return rate, seed, kinds
+
+
+@dataclass
+class ChaosModel:
+    """Seeded per-device lifecycle incident generator.
+
+    Attach one to a :class:`~repro.runtime.pool.DevicePool`
+    (``chaos=``); the pool spawns an independent sibling per device and
+    the scheduler drives each stream through typed events.  ``rate``
+    scales incident frequency; ``rate=0`` never draws.
+    """
+
+    rate: float
+    seed: int = 0
+    kinds: Tuple[str, ...] = CHAOS_KINDS
+    #: Incident frequency scale: mean up-gap is this / ``rate``.
+    mean_gap_cycles: float = DEFAULT_MEAN_GAP_CYCLES
+    mean_crash_cycles: float = DEFAULT_MEAN_CRASH_CYCLES
+    mean_hang_cycles: float = DEFAULT_MEAN_HANG_CYCLES
+    #: The spawn index identifying which device this stream drives
+    #: (-1 for a base model that only spawns).
+    device_id: int = -1
+    log: List[Incident] = field(default_factory=list, repr=False)
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.rate <= 1.0:  # also rejects nan
+            raise ConfigError(
+                f"chaos rate must be in [0, 1], got {self.rate}")
+        unknown = set(self.kinds) - set(CHAOS_KINDS)
+        if not self.kinds or unknown:
+            raise ConfigError(
+                f"chaos kinds must be a non-empty subset of "
+                f"{CHAOS_KINDS}, got {self.kinds!r}")
+        for name in ("mean_gap_cycles", "mean_crash_cycles",
+                     "mean_hang_cycles"):
+            if getattr(self, name) <= 0.0:
+                raise ConfigError(
+                    f"chaos {name} must be positive, got "
+                    f"{getattr(self, name)}")
+        self._rng = random.Random(self.seed)
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def parse(cls, spec: str) -> "ChaosModel":
+        """Build a model from the CLI's ``RATE[:SEED[:KINDS]]`` syntax.
+
+        Malformed specs raise :class:`~repro.errors.ConfigError`
+        naming the offending token (see :func:`parse_rate_spec`).
+        """
+        rate, seed, kinds = parse_rate_spec("--chaos", spec, CHAOS_KINDS)
+        if kinds is None:
+            return cls(rate=rate, seed=seed)
+        return cls(rate=rate, seed=seed, kinds=kinds)
+
+    def spawn(self, index: int) -> "ChaosModel":
+        """An independently-seeded per-device sibling.
+
+        Same affine-seed discipline as
+        :meth:`~repro.sim.faults.FaultModel.spawn`: device ``i`` of a
+        pool gets ``spawn(i)``, so one device's incident history never
+        perturbs another's draw sequence and the whole pool replays
+        from a single seed.
+        """
+        return ChaosModel(
+            rate=self.rate,
+            seed=self.seed + 104_729 * (index + 1),
+            kinds=self.kinds,
+            mean_gap_cycles=self.mean_gap_cycles,
+            mean_crash_cycles=self.mean_crash_cycles,
+            mean_hang_cycles=self.mean_hang_cycles,
+            device_id=index,
+        )
+
+    def reset(self) -> None:
+        """Rewind to the initial seeded state and clear the log."""
+        self._rng = random.Random(self.seed)
+        self.log.clear()
+
+    # ------------------------------------------------------------------
+    # Log summaries (for counter reconciliation in tests)
+    # ------------------------------------------------------------------
+    @property
+    def drawn(self) -> int:
+        return len(self.log)
+
+    def drawn_of(self, kind: str) -> int:
+        return sum(1 for i in self.log if i.kind == kind)
+
+    # ------------------------------------------------------------------
+    # The per-incident hook
+    # ------------------------------------------------------------------
+    def next_incident(self, now: float) -> Optional[Incident]:
+        """Draw the device's next incident strictly after ``now``.
+
+        The scheduler calls this once at run start and once per
+        consumed ``DEVICE_RECOVER``, so incidents on one device are
+        strictly sequential: the next one is not even *drawn* until
+        the previous one has fully resolved.  Returns ``None`` when
+        ``rate=0`` (no incidents, ever).
+        """
+        if self.rate <= 0.0:
+            return None
+        gap = self._rng.expovariate(self.rate / self.mean_gap_cycles)
+        kind = self.kinds[self._rng.randrange(len(self.kinds))]
+        mean = (self.mean_crash_cycles if kind == "crash"
+                else self.mean_hang_cycles)
+        duration = self._rng.expovariate(1.0 / mean)
+        incident = Incident(device_id=self.device_id, kind=kind,
+                            at=now + gap, until=now + gap + duration)
+        self.log.append(incident)
+        return incident

@@ -153,16 +153,20 @@ class FaultModel:
     # ------------------------------------------------------------------
     @classmethod
     def parse(cls, spec: str) -> "FaultModel":
-        """Build a model from the CLI's ``RATE[:SEED]`` flag syntax."""
-        rate_s, _, seed_s = spec.partition(":")
-        try:
-            rate = float(rate_s)
-            seed = int(seed_s) if seed_s else 0
-        except ValueError:
-            raise ConfigError(
-                f"--inject-faults expects RATE[:SEED], got {spec!r}"
-            ) from None
-        return cls(rate=rate, seed=seed)
+        """Build a model from the CLI's ``RATE[:SEED[:KINDS]]`` syntax.
+
+        Malformed specs — junk or out-of-range rates, non-integer
+        seeds, unknown kind names, too many ``:`` fields — raise
+        :class:`~repro.errors.ConfigError` naming the offending token
+        (shared grammar with
+        :meth:`repro.sim.chaos.ChaosModel.parse`).
+        """
+        from repro.sim.chaos import parse_rate_spec
+        rate, seed, kinds = parse_rate_spec(
+            "--inject-faults", spec, FAULT_KINDS)
+        if kinds is None:
+            return cls(rate=rate, seed=seed)
+        return cls(rate=rate, seed=seed, kinds=kinds)
 
     def spawn(self, index: int) -> "FaultModel":
         """An independently-seeded sibling with the same parameters.

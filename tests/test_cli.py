@@ -281,3 +281,83 @@ class TestCompileAndValidate:
         assert main(["validate", "--scale", "0.03"]) == 0
         out = capsys.readouterr().out
         assert "validations passed" in out
+
+
+class TestServeChaos:
+    CHAOS_ARGS = ["serve", "--requests", "30", "--devices", "3",
+                  "--fault-rate", "0.1", "--seed", "5",
+                  "--scale", "0.04", "--chaos", "0.2:9",
+                  "--hedge", "1.5"]
+
+    def test_chaos_and_hedge_flags_accepted(self, capsys):
+        assert main(self.CHAOS_ARGS) == 0
+        out = capsys.readouterr().out
+        assert "chaos 0.2:9" in out
+        assert "hedge x1.5" in out
+
+    def test_bad_chaos_spec_exit_2(self, capsys):
+        assert main(["serve", "--requests", "5",
+                     "--chaos", "bogus"]) == 2
+        err = capsys.readouterr().err
+        assert "'bogus'" in err
+        assert "RATE[:SEED[:KINDS]]" in err
+
+    def test_out_of_range_chaos_rate_exit_2(self, capsys):
+        assert main(["serve", "--requests", "5",
+                     "--chaos", "1.5"]) == 2
+
+    def test_check_passes_on_chaotic_run(self, capsys):
+        assert main(self.CHAOS_ARGS + ["--check"]) == 0
+        out = capsys.readouterr().out
+        assert "trace invariants: ok" in out
+
+    def test_report_json_is_canonical_and_deterministic(
+            self, tmp_path, capsys):
+        a = tmp_path / "a.json"
+        b = tmp_path / "b.json"
+        assert main(self.CHAOS_ARGS + ["--report-json", str(a)]) == 0
+        assert main(self.CHAOS_ARGS + ["--report-json", str(b)]) == 0
+        out = capsys.readouterr().out
+        assert f"report written: {a}" in out
+        assert a.read_bytes() == b.read_bytes()
+        decoded = json.loads(a.read_text())
+        assert decoded["admitted"] + decoded["rejected"] == 30
+        for key in ("crashes", "hangs", "recoveries",
+                    "hedges_launched", "hedges_won"):
+            assert key in decoded
+
+    def test_report_json_without_chaos_has_zero_counters(
+            self, tmp_path, capsys):
+        path = tmp_path / "clean.json"
+        assert main(["serve", "--requests", "10", "--devices", "2",
+                     "--scale", "0.04",
+                     "--report-json", str(path)]) == 0
+        capsys.readouterr()
+        decoded = json.loads(path.read_text())
+        assert decoded["crashes"] == 0
+        assert decoded["hedges_launched"] == 0
+
+
+class TestChaosStormFixture:
+    def test_storm_fixture_replays_clean(self, tmp_path, capsys):
+        # The CI smoke's contract, pinned as a test: the checked-in
+        # storm workload under seeded chaos + hedging must see real
+        # incidents, lose no job to them, pass the trace invariants
+        # and reproduce its report byte-for-byte.
+        fixture = (pathlib.Path(__file__).resolve().parent.parent
+                   / "examples" / "traces" / "chaos_storm.json")
+        base = ["serve", "--trace-file", str(fixture),
+                "--devices", "3", "--fault-rate", "0.1",
+                "--seed", "0", "--chaos", "0.25:7",
+                "--hedge", "2.0"]
+        a = tmp_path / "a.json"
+        b = tmp_path / "b.json"
+        assert main(base + ["--check", "--report-json", str(a)]) == 0
+        out = capsys.readouterr().out
+        assert "trace invariants: ok" in out
+        assert main(base + ["--report-json", str(b)]) == 0
+        capsys.readouterr()
+        assert a.read_bytes() == b.read_bytes()
+        decoded = json.loads(a.read_text())
+        assert decoded["crashes"] + decoded["hangs"] > 0
+        assert decoded["failed"] == 0

@@ -495,7 +495,9 @@ class TestFaultCLI:
         from repro.cli import main
         assert main(["run", "spmv", "--dataset", "stencil27",
                      "--scale", "0.05", "--inject-faults", "nope"]) == 2
-        assert "RATE[:SEED]" in capsys.readouterr().err
+        err = capsys.readouterr().err
+        assert "RATE[:SEED[:KINDS]]" in err
+        assert "'nope'" in err  # the offending token is named
 
 
 class TestValidationHarness:

@@ -1,6 +1,10 @@
 """Event heap: total ordering, counters, lazy-deletion bookkeeping."""
 
+import random
+
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.runtime import Event, EventKind, EventQueue
 
@@ -86,3 +90,108 @@ class TestQueueMechanics:
         assert [(e.cycle, e.kind, e.key) for e in drained_a] == [
             (1.0, 0, 9), (2.0, 3, 0), (3.0, 0, 1), (3.0, 0, 4),
             (3.0, 4, 2)]
+
+
+class TestLifecycleKinds:
+    def test_new_kinds_sort_after_the_original_five(self):
+        # DEVICE_*/HEDGE_TIMER were appended to the enum, so at a
+        # coincident cycle every pre-chaos kind still drains in its
+        # historical position — the ordering half of the "chaos off is
+        # inert" guarantee.
+        originals = [EventKind.ARRIVAL, EventKind.DISPATCH_COMPLETE,
+                     EventKind.RETRY_READY, EventKind.BREAKER_REOPEN,
+                     EventKind.DEADLINE_EXPIRY]
+        newcomers = [EventKind.DEVICE_CRASH, EventKind.DEVICE_HANG,
+                     EventKind.DEVICE_RECOVER, EventKind.HEDGE_TIMER]
+        assert max(int(k) for k in originals) \
+            < min(int(k) for k in newcomers)
+        q = EventQueue()
+        for k in newcomers + originals:
+            q.push(5.0, k, 0)
+        drained = []
+        while q:
+            drained.append(q.pop().kind)
+        assert drained[:len(originals)] == sorted(
+            int(k) for k in originals)
+
+    def test_push_returns_the_live_event_object(self):
+        q = EventQueue()
+        first = q.push(1.0, EventKind.HEDGE_TIMER, 9)
+        second = q.push(1.0, EventKind.HEDGE_TIMER, 9)
+        # Identity, not equality, is how the scheduler supersedes a
+        # timer: the stored reference pins exactly one pushed event.
+        assert first is not second
+        assert q.pop() is first
+        assert q.pop() is second
+
+
+class TestLazyDeletionProperty:
+    """Satellite of the chaos PR: the scheduler cancels in-flight work
+    (hedge losers, crash-voided completions) by *superseding* the live
+    event reference and letting the heap entry die stale.  The
+    property: however cancellations interleave with pushes, a stale
+    entry is counted in ``stale``, never applied, and the survivors'
+    drain order is untouched."""
+
+    @given(
+        ops=st.lists(
+            st.tuples(
+                st.floats(min_value=0.0, max_value=100.0,
+                          allow_nan=False),
+                st.integers(min_value=0, max_value=5),   # key (job id)
+            ),
+            min_size=1, max_size=40,
+        ),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_cancelled_events_go_stale_not_applied(self, ops):
+        q = EventQueue()
+        live = {}          # key -> the one event allowed to act
+        superseded = 0
+        for cycle, key in ops:
+            event = q.push(cycle, EventKind.DISPATCH_COMPLETE, key)
+            if key in live:
+                superseded += 1   # old entry still in heap, now dead
+            live[key] = event
+        state = {}         # key -> cycle the applied event carried
+        applied = 0
+        while q:
+            event = q.pop()
+            if live.get(event.key) is event:
+                state[event.key] = event.cycle
+                applied += 1
+            else:
+                q.mark_stale()
+        # Every push is accounted exactly once: applied or stale.
+        assert applied + q.stale == len(ops)
+        assert q.stale == superseded
+        # Job state was only ever touched by the live survivor.
+        assert state == {k: e.cycle for k, e in live.items()}
+
+    @given(seed=st.integers(min_value=0, max_value=2**16))
+    @settings(max_examples=10, deadline=None)
+    def test_cancel_order_does_not_perturb_survivors(self, seed):
+        rng = random.Random(seed)
+        pushes = [(rng.uniform(0, 50), rng.randrange(4))
+                  for _ in range(20)]
+        def drain(cancel_indices):
+            q = EventQueue()
+            events = [q.push(c, EventKind.HEDGE_TIMER, k)
+                      for c, k in pushes]
+            dead = {id(events[i]) for i in cancel_indices}
+            out = []
+            while q:
+                e = q.pop()
+                if id(e) in dead:
+                    q.mark_stale()
+                else:
+                    out.append((e.cycle, e.kind, e.key, e.seq))
+            return out
+        cancels = rng.sample(range(20), 8)
+        # Survivor order is independent of *when* the cancellations
+        # were decided — cancelling is pure metadata, the heap order
+        # is fixed at push time.
+        assert drain(cancels) == drain(list(reversed(cancels)))
+        full = drain([])
+        survivors = drain(cancels)
+        assert [x for x in full if x in survivors] == survivors

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import ConfigError
-from repro.runtime import CircuitBreaker, DevicePool, HealthWindow
+from repro.runtime import CircuitBreaker, Device, DevicePool, HealthWindow
 from repro.sim.faults import FaultModel
 
 
@@ -277,3 +277,125 @@ class TestModelExecution:
         assert report.failed == 0
         assert report.degraded + report.timeout == len(jobs)
         assert pool.devices[0].health.failures > 0
+
+
+class TestBreakerEdges:
+    """Edge-of-the-state-machine audit that rode along with the chaos
+    PR: zero-sample windows, verdicts landing while open, min_samples
+    validation, and the quarantine hold a crashed device puts on its
+    breaker."""
+
+    def test_failure_rate_zero_at_zero_samples(self):
+        h = HealthWindow(4)
+        assert h.samples == 0
+        assert h.failure_rate == 0.0
+        h.record(False)
+        h.reset()
+        assert h.failure_rate == 0.0  # reset window, not 1.0 or NaN
+
+    def test_tally_skips_the_window(self):
+        h = HealthWindow(4)
+        h.tally(True)
+        h.tally(False)
+        assert h.samples == 0
+        assert h.failure_rate == 0.0
+        assert (h.successes, h.failures) == (1, 1)
+
+    def test_min_samples_zero_rejected(self):
+        with pytest.raises(ConfigError):
+            make_breaker(min_samples=0)
+        with pytest.raises(ConfigError):
+            make_breaker(min_samples=-3)
+        make_breaker(min_samples=1)  # the boundary is fine
+
+    def test_straggler_verdicts_while_open_do_not_poison(self):
+        b = make_breaker(min_samples=2, cooldown_cycles=1000.0)
+        for _ in range(2):
+            b.on_failure(50.0)
+        assert b.state == "open"
+        opened = b.opened_at
+        window_before = b.health.samples
+        # Verdicts landing while open (e.g. voided work resolving
+        # late): lifetime totals move, window and cooldown do not.
+        b.on_failure(900.0)
+        b.on_success()
+        assert b.health.samples == window_before
+        assert b.opened_at == opened       # cooldown not extended
+        assert b.state == "open"
+        assert b.health.failures == 3      # totals still counted
+        assert b.health.successes == 1
+
+    def test_open_failure_does_not_push_probe_out(self):
+        b = make_breaker(min_samples=2, cooldown_cycles=1000.0)
+        b.on_failure(0.0)
+        b.on_failure(0.0)
+        assert not b.allows(999.0)
+        b.on_failure(999.0)      # straggler just before cooldown ends
+        assert b.allows(1000.0)  # probe window still opens on time
+
+    def test_force_open_is_not_a_trip(self):
+        b = make_breaker()
+        assert b.trips == 0
+        b.force_open(42.0)
+        assert b.trips == 0
+        assert b.state == "open"
+        assert b.quarantined
+
+    def test_quarantine_outlasts_cooldown(self):
+        b = make_breaker(cooldown_cycles=100.0)
+        b.force_open(0.0)
+        assert not b.allows(99.0)
+        assert not b.allows(101.0)   # cooldown elapsed: still held
+        assert not b.allows(1e12)
+        assert b.reopen_at is None   # recovery cycle is unknowable
+
+    def test_end_quarantine_is_immediately_probeable(self):
+        b = make_breaker(cooldown_cycles=1000.0)
+        b.force_open(0.0)
+        b.end_quarantine(500.0)
+        assert not b.quarantined
+        assert b.state == "open"
+        assert b.allows(500.0)       # no fresh cooldown to wait out
+        b.on_dispatch(500.0)
+        assert b.state == "half_open"
+        # Single probe slot: a second dispatch is refused until the
+        # probe's verdict (or release) frees it.
+        assert not b.allows(500.0)
+        b.on_success()
+        assert b.state == "closed"
+
+    def test_end_quarantine_without_hold_is_a_noop(self):
+        b = make_breaker()
+        b.on_failure(0.0)
+        state_before = (b.state, b.opened_at)
+        b.end_quarantine(123.0)
+        assert (b.state, b.opened_at) == state_before
+
+
+class TestDeviceAvailability:
+    def make_device(self):
+        return Device(0, None)
+
+    def test_up_and_idle_is_available(self):
+        d = self.make_device()
+        assert d.available(0.0)
+
+    def test_crashed_device_is_unavailable(self):
+        d = self.make_device()
+        d.up = False
+        assert not d.available(0.0)
+        d.up = True
+        assert d.available(0.0)
+
+    def test_hanging_device_is_unavailable_until_the_stall_clears(self):
+        d = self.make_device()
+        d.hang_until = 500.0
+        assert not d.available(499.0)
+        assert d.available(500.0)
+
+    def test_quarantined_breaker_makes_device_unavailable(self):
+        d = self.make_device()
+        d.breaker.force_open(0.0)
+        assert not d.available(1e9)
+        d.breaker.end_quarantine(10.0)
+        assert d.available(10.0)

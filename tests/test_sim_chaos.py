@@ -1,0 +1,211 @@
+"""ChaosModel: seeded incident draws, spawning, and parse hardening.
+
+The chaos layer's contract is the same as the fault layer's: every
+draw is a pure function of the seed, per-device streams are
+independent siblings of one base seed, and malformed CLI specs die
+with a :class:`~repro.errors.ConfigError` that *names the offending
+token* — for ``--chaos`` and ``--inject-faults`` alike, since both
+now share :func:`~repro.sim.chaos.parse_rate_spec`.
+"""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.sim.chaos import (
+    CHAOS_KINDS,
+    ChaosModel,
+    Incident,
+    parse_rate_spec,
+)
+from repro.sim.faults import FaultModel
+
+
+class TestIncidentDraws:
+    def test_same_seed_same_sequence(self):
+        def draw(n):
+            m = ChaosModel(rate=0.3, seed=42, device_id=0)
+            out = []
+            now = 0.0
+            for _ in range(n):
+                inc = m.next_incident(now)
+                out.append(inc)
+                now = inc.until
+            return out
+
+        assert draw(6) == draw(6)
+
+    def test_incidents_are_strictly_sequential(self):
+        m = ChaosModel(rate=0.5, seed=7, device_id=2)
+        now = 0.0
+        for _ in range(20):
+            inc = m.next_incident(now)
+            assert inc.at > now  # exponential gap is strictly positive
+            assert inc.until > inc.at
+            assert inc.duration == inc.until - inc.at
+            assert inc.kind in CHAOS_KINDS
+            assert inc.device_id == 2
+            now = inc.until
+
+    def test_zero_rate_never_draws(self):
+        m = ChaosModel(rate=0.0, seed=1)
+        assert m.next_incident(0.0) is None
+        assert m.drawn == 0
+
+    def test_log_records_every_draw(self):
+        m = ChaosModel(rate=0.4, seed=3, device_id=0)
+        now = 0.0
+        for _ in range(30):
+            now = m.next_incident(now).until
+        assert m.drawn == 30
+        assert m.drawn_of("crash") + m.drawn_of("hang") == 30
+        assert all(isinstance(i, Incident) for i in m.log)
+
+    def test_kinds_restriction_is_respected(self):
+        m = ChaosModel(rate=0.4, seed=3, kinds=("hang",), device_id=0)
+        now = 0.0
+        for _ in range(25):
+            now = m.next_incident(now).until
+        assert m.drawn_of("crash") == 0
+        assert m.drawn_of("hang") == 25
+
+    def test_reset_rewinds_stream_and_clears_log(self):
+        m = ChaosModel(rate=0.3, seed=11, device_id=0)
+        first = m.next_incident(0.0)
+        m.reset()
+        assert m.drawn == 0
+        assert m.next_incident(0.0) == first
+
+    def test_rate_scales_mean_gap(self):
+        # Higher rate => shorter gaps, same seeded duration stream
+        # shape.  Compare empirical mean gaps across many draws.
+        def mean_gap(rate):
+            m = ChaosModel(rate=rate, seed=5, device_id=0)
+            gaps, now = [], 0.0
+            for _ in range(300):
+                inc = m.next_incident(now)
+                gaps.append(inc.at - now)
+                now = inc.until
+            return sum(gaps) / len(gaps)
+
+        assert mean_gap(0.4) < mean_gap(0.1)
+
+
+class TestSpawn:
+    def test_spawn_is_deterministic_and_independent(self):
+        base = ChaosModel(rate=0.3, seed=9)
+        a1 = base.spawn(0)
+        a2 = base.spawn(0)
+        b = base.spawn(1)
+        assert a1.seed == a2.seed
+        assert a1.seed != b.seed
+        assert a1.device_id == 0 and b.device_id == 1
+        assert a1.next_incident(0.0) == a2.next_incident(0.0)
+        assert a1.next_incident(0.0) != b.next_incident(0.0)
+
+    def test_spawn_inherits_configuration(self):
+        base = ChaosModel(rate=0.2, seed=1, kinds=("crash",),
+                          mean_gap_cycles=500.0,
+                          mean_crash_cycles=100.0)
+        child = base.spawn(3)
+        assert child.rate == 0.2
+        assert child.kinds == ("crash",)
+        assert child.mean_gap_cycles == 500.0
+        assert child.mean_crash_cycles == 100.0
+
+
+class TestConstructionValidation:
+    @pytest.mark.parametrize("rate", [-0.1, 1.5, math.nan])
+    def test_bad_rate(self, rate):
+        with pytest.raises(ConfigError):
+            ChaosModel(rate=rate)
+
+    def test_bad_kinds(self):
+        with pytest.raises(ConfigError):
+            ChaosModel(rate=0.1, kinds=("crash", "meteor"))
+        with pytest.raises(ConfigError):
+            ChaosModel(rate=0.1, kinds=())
+
+    @pytest.mark.parametrize("field", ["mean_gap_cycles",
+                                       "mean_crash_cycles",
+                                       "mean_hang_cycles"])
+    def test_bad_means(self, field):
+        with pytest.raises(ConfigError):
+            ChaosModel(rate=0.1, **{field: 0.0})
+
+
+class TestParseRateSpec:
+    """Shared ``RATE[:SEED[:KINDS]]`` parser: every malformed token is
+    a ConfigError naming the token, never a half-accepted spec or a
+    bare traceback (ValueError)."""
+
+    def test_full_spec(self):
+        assert parse_rate_spec("--chaos", "0.2:7:crash,hang",
+                               CHAOS_KINDS) == (0.2, 7,
+                                                ("crash", "hang"))
+
+    def test_rate_only_and_rate_seed(self):
+        assert parse_rate_spec("--chaos", "0.5", CHAOS_KINDS) \
+            == (0.5, 0, None)
+        assert parse_rate_spec("--chaos", "0.5:31", CHAOS_KINDS) \
+            == (0.5, 31, None)
+
+    @pytest.mark.parametrize("spec,needle", [
+        ("", "empty"),
+        ("   ", "empty"),
+        ("nope", "'nope'"),
+        ("0.5:x", "'x'"),
+        ("0.5:1.5", "'1.5'"),
+        ("-0.1", "'-0.1'"),
+        ("1.01", "'1.01'"),
+        ("nan", "'nan'"),
+        ("inf", "'inf'"),
+        ("0.2:1:meteor", "'meteor'"),
+        ("0.2:1:crash:extra", "4"),
+    ])
+    def test_malformed_specs_name_the_token(self, spec, needle):
+        with pytest.raises(ConfigError) as exc:
+            parse_rate_spec("--chaos", spec, CHAOS_KINDS)
+        assert needle in str(exc.value)
+
+    def test_non_string_spec_rejected(self):
+        with pytest.raises(ConfigError):
+            parse_rate_spec("--chaos", None, CHAOS_KINDS)
+
+
+class TestModelParse:
+    def test_chaos_parse_round_trip(self):
+        m = ChaosModel.parse("0.25:13:hang")
+        assert m.rate == 0.25
+        assert m.seed == 13
+        assert m.kinds == ("hang",)
+
+    def test_chaos_parse_defaults(self):
+        m = ChaosModel.parse("0.1")
+        assert (m.rate, m.seed, m.kinds) == (0.1, 0, CHAOS_KINDS)
+
+    def test_fault_parse_still_works_and_gains_kinds(self):
+        fm = FaultModel.parse("0.05:7")
+        assert (fm.rate, fm.seed) == (0.05, 7)
+        fm2 = FaultModel.parse("0.05:7:bitflip")
+        assert fm2.kinds == ("bitflip",)
+
+    @pytest.mark.parametrize("spec", ["junk", "0.5:", "2.0", "-1",
+                                      "0.1:1:unknown"])
+    def test_fault_parse_hardened(self, spec):
+        # "0.5:" has an empty seed field — allowed (defaults to 0);
+        # everything else raises.
+        if spec == "0.5:":
+            assert FaultModel.parse(spec).seed == 0
+            return
+        with pytest.raises(ConfigError):
+            FaultModel.parse(spec)
+
+    def test_chaos_parse_errors_name_the_flag(self):
+        with pytest.raises(ConfigError) as exc:
+            ChaosModel.parse("oops")
+        assert "--chaos" in str(exc.value)
+        with pytest.raises(ConfigError) as exc:
+            FaultModel.parse("oops")
+        assert "--inject-faults" in str(exc.value)

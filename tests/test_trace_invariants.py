@@ -22,7 +22,9 @@ from repro.observe import (
     attribution_rows,
     attribution_table,
     check_device_exclusive,
+    check_hedge_cancellation,
     check_no_service_after_timeout,
+    check_no_service_in_downtime,
     check_proper_nesting,
     check_reconfig_hidden,
     check_row_ordering,
@@ -510,3 +512,113 @@ class TestTracerMechanics:
         assert "datapath:gemv" in totals
         assert "datapath:d-symgs" in totals
         assert totals["pass"] > 0
+
+
+# ---------------------------------------------------------------------------
+# Runtime: no service inside a device's chaos downtime
+# ---------------------------------------------------------------------------
+class TestNoServiceInDowntime:
+    def test_checker_flags_job_overlapping_a_crash(self):
+        tracer = Tracer()
+        tracer.add("crash#0.1", "crash", 100.0, 300.0, "chaos",
+                   args={"device": 0.0})
+        tracer.add("spmv#1", "job", 150.0, 250.0, "device0")
+        violations = check_no_service_in_downtime(tracer)
+        assert len(violations) == 1
+        assert "spmv#1" in violations[0]
+        assert "crash" in violations[0]
+
+    def test_checker_flags_job_placed_mid_hang(self):
+        tracer = Tracer()
+        tracer.add("hang#0.1", "hang", 100.0, 300.0, "chaos",
+                   args={"device": 0.0})
+        tracer.add("spmv#1", "job", 200.0, 400.0, "device0")
+        violations = check_no_service_in_downtime(tracer)
+        assert len(violations) == 1
+        assert "begins at" in violations[0]
+
+    def test_job_stretching_across_a_hang_is_legal(self):
+        # The slowed-not-lost case: dispatched before the stall,
+        # completion postponed past it.
+        tracer = Tracer()
+        tracer.add("hang#0.1", "hang", 100.0, 300.0, "chaos",
+                   args={"device": 0.0})
+        tracer.add("spmv#1", "job", 50.0, 400.0, "device0")
+        assert check_no_service_in_downtime(tracer) == []
+
+    def test_voided_span_ending_at_the_crash_is_legal(self):
+        # Work lost to a crash is spanned as ``voided``, ending at the
+        # crash cycle — not a service violation.
+        tracer = Tracer()
+        tracer.add("crash#0.1", "crash", 100.0, 300.0, "chaos",
+                   args={"device": 0.0})
+        tracer.add("spmv#1", "voided", 50.0, 100.0, "device0")
+        assert check_no_service_in_downtime(tracer) == []
+
+    def test_other_devices_unaffected(self):
+        tracer = Tracer()
+        tracer.add("crash#0.1", "crash", 100.0, 300.0, "chaos",
+                   args={"device": 0.0})
+        tracer.add("spmv#1", "job", 150.0, 250.0, "device1")
+        assert check_no_service_in_downtime(tracer) == []
+
+    def test_traced_chaos_serve_is_clean(self):
+        from repro.runtime import ChaosModel
+        tracer = Tracer()
+        chaos = ChaosModel(rate=0.2, seed=4, mean_gap_cycles=1500.0,
+                           mean_crash_cycles=3000.0,
+                           mean_hang_cycles=1500.0)
+        _, report = serve(n_requests=60, n_devices=3, fault_rate=0.1,
+                          seed=4, scale=0.04, execution="model",
+                          chaos=chaos, tracer=tracer)
+        assert report.crashes + report.hangs > 0
+        assert tracer.by_cat("crash") or tracer.by_cat("hang")
+        assert check_no_service_in_downtime(tracer) == []
+        assert check_trace(tracer) == []
+
+
+# ---------------------------------------------------------------------------
+# Runtime: a cancelled hedge attempt lost to a real winner
+# ---------------------------------------------------------------------------
+class TestHedgeCancellation:
+    def test_checker_flags_cancellation_without_winner(self):
+        tracer = Tracer()
+        tracer.add("spmv#3", "hedge_cancelled", 0.0, 100.0, "device0")
+        violations = check_hedge_cancellation(tracer)
+        assert len(violations) == 1
+        assert "spmv#3" in violations[0]
+
+    def test_checker_flags_winner_on_same_track(self):
+        # "Winning" on the device whose attempt was cancelled means
+        # the scheduler cancelled the attempt that answered.
+        tracer = Tracer()
+        tracer.add("spmv#3", "hedge_cancelled", 0.0, 100.0, "device0")
+        tracer.add("spmv#3", "job", 20.0, 100.0, "device0",
+                   args={"ok": True})
+        assert len(check_hedge_cancellation(tracer)) == 1
+
+    def test_checker_flags_winner_ending_elsewhere_in_time(self):
+        tracer = Tracer()
+        tracer.add("spmv#3", "hedge_cancelled", 0.0, 100.0, "device0")
+        tracer.add("spmv#3", "job", 20.0, 180.0, "device1",
+                   args={"ok": True})
+        assert len(check_hedge_cancellation(tracer)) == 1
+
+    def test_coincident_winner_on_other_track_is_legal(self):
+        tracer = Tracer()
+        tracer.add("spmv#3", "hedge_cancelled", 0.0, 100.0, "device0")
+        tracer.add("spmv#3", "job", 20.0, 100.0, "device1",
+                   args={"ok": True})
+        assert check_hedge_cancellation(tracer) == []
+
+    def test_traced_hedged_serve_is_clean(self):
+        from repro.runtime import ChaosModel
+        tracer = Tracer()
+        chaos = ChaosModel(rate=0.3, seed=2, mean_gap_cycles=1500.0,
+                           mean_crash_cycles=3000.0,
+                           mean_hang_cycles=1500.0)
+        _, report = serve(n_requests=60, n_devices=3, fault_rate=0.1,
+                          seed=2, scale=0.04, execution="model",
+                          chaos=chaos, hedge_after=1.2, tracer=tracer)
+        assert check_hedge_cancellation(tracer) == []
+        assert check_trace(tracer) == []
