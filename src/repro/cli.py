@@ -16,6 +16,10 @@ Commands
   adds seeded device crashes/hangs, ``--hedge MULT`` enables hedged
   dispatch, ``--report-json FILE`` writes the canonical report, and
   ``--check`` replays the run's trace through the serving invariants.
+  ``--pools N --replicas R`` serves the trace over a replicated
+  multi-pool fleet (content-keyed routing, pool-outage failover) and
+  prints a :class:`~repro.runtime.fleet.FleetReport` instead;
+  ``--pool-chaos RATE[:SEED]`` adds seeded whole-pool outages.
 * ``trace KERNEL [--out FILE] [--check]`` — record a cycle-attributed
   span trace of one kernel run, print the per-phase attribution table,
   optionally export Chrome/Perfetto JSON and run the invariant checks.
@@ -260,23 +264,46 @@ def cmd_serve(args) -> int:
     sched = SchedulerConfig(queue_depth=args.queue_depth,
                             max_batch=args.batch,
                             hedge_after=args.hedge)
-    results, report = serve(
-        n_requests=n_requests, n_devices=args.devices,
-        fault_rate=args.fault_rate, seed=args.seed, scale=args.scale,
-        trace=workload, scheduler_config=sched, tracer=tracer,
-        chaos=chaos)
+    fleet_mode = (args.pools > 1 or args.replicas > 1
+                  or args.pool_chaos is not None)
+    if fleet_mode:
+        from repro.runtime.fleet import (
+            FleetConfig, fleet_report_json, serve_fleet)
+        from repro.sim.chaos import PoolChaosModel
+        pool_chaos = (PoolChaosModel.parse(args.pool_chaos)
+                      if args.pool_chaos else None)
+        results, report = serve_fleet(
+            n_requests=n_requests, n_devices=args.devices,
+            fault_rate=args.fault_rate, seed=args.seed,
+            scale=args.scale, trace=workload, scheduler_config=sched,
+            tracer=tracer, chaos=chaos, pool_chaos=pool_chaos,
+            fleet_config=FleetConfig(n_pools=args.pools,
+                                     replicas=args.replicas))
+    else:
+        # pools=1, replicas=1, no pool chaos: the exact solo path the
+        # fingerprint corpus pins — no fleet layer in the loop at all.
+        results, report = serve(
+            n_requests=n_requests, n_devices=args.devices,
+            fault_rate=args.fault_rate, seed=args.seed,
+            scale=args.scale, trace=workload, scheduler_config=sched,
+            tracer=tracer, chaos=chaos)
     batched = f", batch {args.batch}" if args.batch > 1 else ""
     stormy = f", chaos {args.chaos}" if args.chaos else ""
     hedged = f", hedge x{args.hedge:g}" if args.hedge else ""
+    fleety = (f", {args.pools} pool(s) x{args.replicas} replicas"
+              if fleet_mode else "")
+    pooly = (f", pool-chaos {args.pool_chaos}"
+             if args.pool_chaos else "")
     source = (f"{n_requests} replayed requests from {args.trace_file}"
               if args.trace_file else f"{n_requests} requests")
     print(f"served {source} over {args.devices} "
           f"device(s), fault rate {args.fault_rate:g}, "
-          f"seed {args.seed}{batched}{stormy}{hedged}:")
+          f"seed {args.seed}{batched}{stormy}{hedged}{fleety}{pooly}:")
     print(report.render())
     _write_trace(tracer, args.trace)
     if args.report_json:
-        payload = report_json(report)
+        payload = (fleet_report_json(report) if fleet_mode
+                   else report_json(report))
         with open(args.report_json, "w") as fh:
             fh.write(payload)
         print(f"report written: {args.report_json} "
@@ -468,6 +495,19 @@ def build_parser() -> argparse.ArgumentParser:
              "repro.runtime.dump_trace) instead of generating one; "
              "overrides --requests",
     )
+    p.add_argument(
+        "--pools", type=int, default=1, metavar="N",
+        help="serve over N replicated device pools (default 1: the "
+             "plain single-pool scheduler, no fleet layer)")
+    p.add_argument(
+        "--replicas", type=int, default=1, metavar="R",
+        help="replica-set width for hot content keys (capped at "
+             "--pools; default 1)")
+    p.add_argument(
+        "--pool-chaos", metavar="RATE[:SEED]", default=None,
+        help="inject seeded whole-pool outages; an outage voids the "
+             "pool's in-flight work and re-routes its jobs to "
+             "surviving replicas, readmission is probe-verified")
     p.add_argument(
         "--chaos", metavar="RATE[:SEED[:KINDS]]", default=None,
         help="inject seeded device-lifecycle chaos (crashes and hangs) "

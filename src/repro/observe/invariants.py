@@ -33,11 +33,28 @@ counters cannot express:
   at the cancellation cycle on a *different* device: a cancelled
   attempt never finalises a job, and cancellation happens only because
   the twin won.
+* :func:`check_no_service_in_pool_outage` — no ``job`` span on any of
+  a pool's device tracks overlaps that pool's ``outage`` window on the
+  ``fleet`` track: a dark pool serves nothing (readmission probes are
+  spanned under the ``probe`` category and are the one legitimate
+  occupancy during an outage).
+* :func:`check_reroute_attribution` — every ``reroute`` instant on the
+  ``fleet`` track is corroborated by both named pools: an ``evict``
+  instant for the job on the source pool's scheduler track at the
+  re-route cycle, and *some* trace evidence for the job under the
+  target pool's prefix — the job's attempt history must name both
+  pools.
+
+Fleet traces prefix every per-pool track with ``p<i>.`` (see
+:class:`~repro.runtime.pool.DevicePool`'s ``track_prefix``); all
+checkers parse tracks prefix-aware, so the same invariants hold for a
+solo scheduler (empty prefix) and every pool of a fleet.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+import re
+from typing import Dict, List, Optional, Tuple
 
 from repro.observe.tracer import Span, Tracer
 
@@ -45,12 +62,34 @@ from repro.observe.tracer import Span, Tracer
 #: small float costs, so exact equality is common but not guaranteed.
 EPS = 1e-6
 
-#: Tracks that model concurrent execution lanes rather than one engine:
-#: the ``reference`` track holds host-side degraded fallbacks, and the
-#: ``chaos`` track holds device-lifecycle incidents across the whole
-#: pool — both may legitimately overlap in simulated time, so nesting
-#: is not an invariant there.
-CONCURRENT_TRACKS = ("reference", "chaos")
+#: Track base-names that model concurrent execution lanes rather than
+#: one engine: the ``reference`` track holds host-side degraded
+#: fallbacks, the ``chaos`` track holds device-lifecycle incidents
+#: across a whole pool, and the ``fleet`` track holds pool-scoped
+#: outage windows that may overlap across pools — so nesting is not an
+#: invariant on any of them (prefixed fleet variants like ``p2.chaos``
+#: included).
+CONCURRENT_TRACKS = ("reference", "chaos", "fleet")
+
+#: A per-device track: optional ``p<i>.`` pool prefix + ``device<d>``.
+_DEVICE_TRACK_RE = re.compile(r"^(?:(p\d+)\.)?device(\d+)$")
+
+
+def _device_track(track: str) -> Optional[Tuple[str, int]]:
+    """``(pool_prefix, device_id)`` for a device track, else None.
+
+    The prefix keeps its trailing dot (``"p2."``) so it concatenates
+    directly with other base names; a solo scheduler's tracks parse
+    with an empty prefix.
+    """
+    m = _DEVICE_TRACK_RE.match(track)
+    if m is None:
+        return None
+    return ((m.group(1) + ".") if m.group(1) else "", int(m.group(2)))
+
+
+def _is_concurrent(track: str) -> bool:
+    return track.rsplit(".", 1)[-1] in CONCURRENT_TRACKS
 
 
 def check_reconfig_hidden(tracer: Tracer) -> List[str]:
@@ -119,7 +158,7 @@ def check_proper_nesting(tracer: Tracer) -> List[str]:
     """
     violations = []
     for track in tracer.tracks():
-        if track in CONCURRENT_TRACKS:
+        if _is_concurrent(track):
             continue
         spans = sorted(
             (s for s in tracer.spans
@@ -151,8 +190,7 @@ def check_device_exclusive(tracer: Tracer) -> List[str]:
     """
     violations = []
     for track in tracer.tracks():
-        if not (track.startswith("device")
-                and track[len("device"):].isdigit()):
+        if _device_track(track) is None:
             continue
         jobs = sorted((s for s in tracer.spans
                        if s.track == track and s.cat == "job"),
@@ -213,23 +251,27 @@ def check_no_service_in_downtime(tracer: Tracer) -> List[str]:
     ends exactly at the crash cycle — and must not *begin* strictly
     inside any incident interval (nothing dispatches onto a dead or
     stalled device).  A job span merely *stretching across* a hang is
-    the legitimate slowed-not-lost case.
+    the legitimate slowed-not-lost case.  In fleet traces each pool
+    has its own prefixed chaos track (``p<i>.chaos``); incidents only
+    constrain devices of the *same* pool.
     """
     violations = []
-    incidents: Dict[int, List[Span]] = {}
+    incidents: Dict[Tuple[str, int], List[Span]] = {}
     for s in tracer.spans:
-        if s.track == "chaos" and s.cat in ("crash", "hang"):
-            incidents.setdefault(int(s.args["device"]), []).append(s)
+        base = s.track.rsplit(".", 1)[-1]
+        if base == "chaos" and s.cat in ("crash", "hang"):
+            prefix = s.track[:len(s.track) - len("chaos")]
+            incidents.setdefault(
+                (prefix, int(s.args["device"])), []).append(s)
     if not incidents:
         return violations
     for s in tracer.spans:
         if s.cat != "job" or s.instant:
             continue
-        if not (s.track.startswith("device")
-                and s.track[len("device"):].isdigit()):
+        parsed = _device_track(s.track)
+        if parsed is None:
             continue
-        device = int(s.track[len("device"):])
-        for inc in incidents.get(device, ()):
+        for inc in incidents.get(parsed, ()):
             if (inc.cat == "crash" and s.begin < inc.end - EPS
                     and s.end > inc.begin + EPS):
                 violations.append(
@@ -274,6 +316,90 @@ def check_hedge_cancellation(tracer: Tracer) -> List[str]:
     return violations
 
 
+def check_no_service_in_pool_outage(tracer: Tracer) -> List[str]:
+    """No job is served by a pool during that pool's outage window.
+
+    Outage windows live on the ``fleet`` track as ``outage`` spans
+    carrying a ``pool`` arg.  While one is open, no ``job`` span may
+    overlap it on any ``p<pool>.device<d>`` track: in-flight work at
+    outage onset is voided (spanned under ``voided``, ending at the
+    outage cycle) and readmission probes are spanned under ``probe`` —
+    both categories are exempt by construction, so any overlapping
+    ``job`` span means the pool answered traffic while dark.
+    """
+    violations = []
+    outages: Dict[str, List[Span]] = {}
+    for s in tracer.spans:
+        if s.track == "fleet" and s.cat == "outage" and not s.instant:
+            outages.setdefault(
+                f"p{int(s.args['pool'])}.", []).append(s)
+    if not outages:
+        return violations
+    for s in tracer.spans:
+        if s.cat != "job" or s.instant:
+            continue
+        parsed = _device_track(s.track)
+        if parsed is None:
+            continue
+        for out in outages.get(parsed[0], ()):
+            if s.begin < out.end - EPS and s.end > out.begin + EPS:
+                violations.append(
+                    f"{s.track}: job {s.name!r} [{s.begin:.2f}, "
+                    f"{s.end:.2f}] overlaps pool outage "
+                    f"[{out.begin:.2f}, {out.end:.2f}]")
+    return violations
+
+
+def check_reroute_attribution(tracer: Tracer) -> List[str]:
+    """Every re-routed job's attempt history names both pools.
+
+    The fleet emits a ``reroute`` instant (name ``reroute#<id>``,
+    args ``from``/``to``) when it moves an evicted job.  Two things
+    must corroborate it: the source pool ejected the job (an ``evict``
+    instant for the same id on ``p<from>.scheduler`` at the re-route
+    cycle), and the target pool actually saw it (any span or instant
+    named ``…#<id>`` under the ``p<to>.`` prefix — a served attempt, a
+    rejection, a timeout, a further eviction...).  A reroute with a
+    silent source or target would mean the failover chain in the
+    report cannot be reconstructed from the trace.
+    """
+    violations = []
+    by_id: Dict[Tuple[str, int], List[Span]] = {}
+    for s in tracer.spans:
+        if "#" not in s.name:
+            continue
+        tail = s.name.rsplit("#", 1)[1]
+        try:
+            job_id = int(tail)
+        except ValueError:
+            continue
+        by_id.setdefault((s.track, job_id), []).append(s)
+    for s in tracer.spans:
+        if (s.track != "fleet" or s.cat != "reroute"
+                or not s.instant):
+            continue
+        job_id = int(s.name.rsplit("#", 1)[1])
+        src = int(s.args["from"])
+        dst = int(s.args["to"])
+        ejected = any(
+            e.cat == "evict" and abs(e.begin - s.begin) <= EPS
+            for e in by_id.get((f"p{src}.scheduler", job_id), ()))
+        if not ejected:
+            violations.append(
+                f"fleet: {s.name!r} at {s.begin:.2f} claims source "
+                f"pool {src}, but p{src}.scheduler has no matching "
+                f"evict instant")
+        landed = any(
+            track.startswith(f"p{dst}.")
+            for (track, jid) in by_id if jid == job_id)
+        if not landed:
+            violations.append(
+                f"fleet: {s.name!r} at {s.begin:.2f} claims target "
+                f"pool {dst}, but no span under the p{dst}. prefix "
+                f"names job {job_id}")
+    return violations
+
+
 def phase_cycle_totals(tracer: Tracer,
                        track: str = "engine") -> Dict[str, float]:
     """Total cycles per (cat, name) phase on a track — the quantity the
@@ -297,4 +423,6 @@ def check_trace(tracer: Tracer) -> List[str]:
     violations.extend(check_no_service_after_timeout(tracer))
     violations.extend(check_no_service_in_downtime(tracer))
     violations.extend(check_hedge_cancellation(tracer))
+    violations.extend(check_no_service_in_pool_outage(tracer))
+    violations.extend(check_reroute_attribution(tracer))
     return violations

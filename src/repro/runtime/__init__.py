@@ -46,8 +46,17 @@ from repro.runtime.pool import (
     HealthWindow,
     value_crc,
 )
-from repro.runtime.scheduler import Scheduler, SchedulerConfig
-from repro.sim.chaos import ChaosModel, Incident
+from repro.runtime.fleet import (
+    Fleet,
+    FleetConfig,
+    FleetReport,
+    PoolStats,
+    fleet_report_json,
+    serve_fleet,
+)
+from repro.runtime.jobs import TRACE_SCHEMA_VERSION
+from repro.runtime.scheduler import Eviction, Scheduler, SchedulerConfig
+from repro.sim.chaos import ChaosModel, Incident, PoolChaosModel
 
 __all__ = [
     "JOB_KERNELS",
@@ -60,21 +69,30 @@ __all__ = [
     "Event",
     "EventKind",
     "EventQueue",
+    "Eviction",
+    "Fleet",
+    "FleetConfig",
+    "FleetReport",
     "HealthWindow",
     "Incident",
     "Job",
     "JobResult",
     "JobStatus",
+    "PoolChaosModel",
     "PoolReport",
+    "PoolStats",
     "Scheduler",
     "SchedulerConfig",
+    "TRACE_SCHEMA_VERSION",
     "TraceSpec",
     "build_report",
     "dump_trace",
+    "fleet_report_json",
     "load_trace",
     "make_trace",
     "percentile",
     "serve",
+    "serve_fleet",
     "value_crc",
 ]
 

@@ -37,6 +37,16 @@ Event vocabulary (:class:`EventKind`):
     a speculative duplicate on a second healthy device.  Lazily
     deleted like every other event: if the attempt finished first,
     the popped timer is stale and counted, never acted on.
+``POOL_OUTAGE`` / ``POOL_RECOVER``
+    Fleet-scoped incidents drawn by a seeded
+    :class:`~repro.sim.chaos.PoolChaosModel`: an outage takes a whole
+    :class:`~repro.runtime.pool.DevicePool` dark (every in-flight
+    attempt voided, queued and salvaged jobs re-routed to a surviving
+    replica by the :class:`~repro.runtime.fleet.Fleet`), and a recover
+    marks the end of the drawn window — readmission still waits for a
+    successful probe job.  These live on the *fleet's* event queue
+    (``key`` is the pool id), appended after every per-pool kind so
+    the chaos-free coincident order inside one pool is untouched.
 
 Total ordering
 --------------
@@ -86,6 +96,8 @@ class EventKind(enum.IntEnum):
     DEVICE_HANG = 6
     DEVICE_RECOVER = 7
     HEDGE_TIMER = 8
+    POOL_OUTAGE = 9
+    POOL_RECOVER = 10
 
 
 class Event(NamedTuple):
@@ -140,6 +152,18 @@ class EventQueue:
     def peek(self) -> Optional[Event]:
         """The earliest event without removing it (None when empty)."""
         return self._heap[0] if self._heap else None
+
+    def requeue(self, event: Event) -> None:
+        """Put a popped-but-unconsumed event back on the heap.
+
+        The fleet layer peeks each pool's earliest wake to pick the
+        globally-next one; a peeked event that loses the race must go
+        back *unchanged* (same seq, so its total-order position is
+        identical) and must not count as processed — the pop counter
+        is rolled back.
+        """
+        heapq.heappush(self._heap, event)
+        self.popped -= 1
 
     def mark_stale(self) -> None:
         """Record that the consumer discarded a popped event as stale."""

@@ -1,0 +1,733 @@
+"""Replicated multi-pool fleet serving with pool-outage failover.
+
+One :class:`~repro.runtime.scheduler.Scheduler` over one
+:class:`~repro.runtime.pool.DevicePool` survives device crashes, but
+the pool itself is still a single point of failure.  This module adds
+the layer above: a :class:`Fleet` serves one job trace over N pools
+with
+
+* **content-keyed routing** — a job's ``(dataset, scale, kernel)``
+  names the programmed accelerator image it needs, so it is the shard
+  key: ALRESCHA's locally-dense block-row format partitions one
+  logical matrix into images that can be programmed onto disjoint
+  pools.  The home pool is a CRC of the key; placement balances load
+  across the key's replica set.
+* **R-way replication for hot keys** — a key carrying at least
+  ``hot_fraction`` of the trace is programmed onto ``replicas``
+  consecutive pools, so a pool outage leaves a surviving replica that
+  can serve the shard without reprogramming.
+* **pool-level chaos** — a seeded
+  :class:`~repro.sim.chaos.PoolChaosModel` draws whole-pool outages as
+  ``POOL_OUTAGE``/``POOL_RECOVER`` events on the fleet's own heap.
+  An outage voids every in-flight attempt in the pool (busy cycles
+  refunded, attempt budgets refunded — the pool-scale mirror of the
+  device crash contract) and hands every salvaged and queued job back
+  to the fleet, which re-routes each to a surviving replica, or to any
+  healthy pool when the shard has none: infrastructure loss alone
+  never yields ``FAILED``.  Recovery is *verified*: the fleet readmits
+  a pool only after a probe job actually succeeds on it, never because
+  the drawn outage window elapsed.
+
+Determinism
+-----------
+The fleet is a distributed discrete-event simulation run on one global
+clock: every scheduler session exposes its next wake via
+``peek_cycle`` and the fleet always advances whichever source —
+session wake or fleet event — is globally earliest (sessions first at
+ties, mirroring "job events before lifecycle events").  Because every
+pool's clock is at or behind any event being processed, a re-routed
+job is never injected into a pool's past, and the whole run is a pure
+function of the trace and the seeds: same inputs, byte-identical
+:func:`fleet_report_json`.
+"""
+
+from __future__ import annotations
+
+import json
+import zlib
+from dataclasses import asdict, dataclass, replace
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import ConfigError
+from repro.runtime.events import EventKind, EventQueue
+from repro.runtime.jobs import Job, JobResult, JobStatus, TraceSpec, make_trace
+from repro.runtime.metrics import PoolReport, percentile
+from repro.runtime.pool import DevicePool, value_crc
+from repro.runtime.scheduler import Eviction, Scheduler, SchedulerConfig
+from repro.sim.chaos import ChaosModel, PoolChaosModel
+
+#: Per-pool fault-seed stride: pool ``i`` seeds its fault models from
+#: ``seed + i * _POOL_SEED_STRIDE``, so pool 0 of a fleet is seeded
+#: exactly like a solo pool (the single-pool identity guarantee) while
+#: sibling pools draw independent streams.
+_POOL_SEED_STRIDE = 1_000_003
+
+#: Per-pool device-chaos seed stride (pool 0 keeps the base seed).
+_POOL_CHAOS_STRIDE = 15_485_863
+
+#: Content key of a job: the programmed accelerator image it needs.
+ContentKey = Tuple[str, float, str]
+
+
+def content_key(job: Job) -> ContentKey:
+    """The shard key: which programmed image serves this job."""
+    return (job.dataset, job.scale, job.kernel)
+
+
+def home_pool(key: ContentKey, n_pools: int) -> int:
+    """Deterministic home shard of a content key (CRC placement)."""
+    token = f"{key[0]}:{key[1]!r}:{key[2]}"
+    return zlib.crc32(token.encode()) % n_pools
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """Fleet-policy knobs (cycle units are simulated cycles)."""
+
+    #: Number of independent device pools.
+    n_pools: int = 1
+    #: Replica-set width for hot content keys (capped at ``n_pools``).
+    replicas: int = 1
+    #: Cycles charged to move an evicted job to another pool — the
+    #: failover is honest occupancy, never free.
+    reroute_cycles: float = 500.0
+    #: A content key is *hot* (gets replicated) when it carries at
+    #: least this fraction of the trace's jobs.
+    hot_fraction: float = 0.1
+    #: Gap before retrying a failed readmission probe.
+    probe_retry_cycles: float = 2_000.0
+    #: Probe budget per outage; an exhausted budget leaves the pool
+    #: down for the rest of the run (jobs keep routing around it).
+    max_probes_per_outage: int = 16
+
+    def __post_init__(self) -> None:
+        if self.n_pools < 1:
+            raise ConfigError(
+                f"n_pools must be >= 1, got {self.n_pools}")
+        if self.replicas < 1:
+            raise ConfigError(
+                f"replicas must be >= 1, got {self.replicas}")
+        if self.reroute_cycles <= 0.0:
+            # Strictly positive: a zero-cost re-route would land a job
+            # in a pool *at* the fleet's current cycle, which the
+            # target session may already have processed.
+            raise ConfigError(
+                f"reroute_cycles must be positive, got "
+                f"{self.reroute_cycles}")
+        if not 0.0 <= self.hot_fraction <= 1.0:
+            raise ConfigError(
+                f"hot_fraction must be in [0, 1], got "
+                f"{self.hot_fraction}")
+        if self.probe_retry_cycles <= 0.0:
+            raise ConfigError(
+                f"probe_retry_cycles must be positive, got "
+                f"{self.probe_retry_cycles}")
+        if self.max_probes_per_outage < 1:
+            raise ConfigError(
+                f"max_probes_per_outage must be >= 1, got "
+                f"{self.max_probes_per_outage}")
+
+
+@dataclass(frozen=True)
+class PoolStats:
+    """Per-pool slice of a :class:`FleetReport`."""
+
+    pool_id: int
+    outages: int
+    downtime_cycles: float
+    #: Jobs the pool handed back to the fleet during its outages.
+    evictions: int
+    reroutes_in: int
+    reroutes_out: int
+    probes: int
+    probes_failed: int
+    report: PoolReport
+
+
+@dataclass(frozen=True)
+class FleetReport:
+    """Outcome of serving one trace over a replicated pool fleet."""
+
+    pools: int
+    replicas: int
+    requests: int
+    ok: int
+    timeout: int
+    degraded: int
+    rejected: int
+    failed: int
+    #: Accelerator attempts consumed fleet-wide (prior-pool attempts
+    #: of re-routed jobs included).
+    attempts: int
+    #: Re-route hops the fleet performed, and the transfer cycles they
+    #: were charged (``reroutes * reroute_cycles``).
+    reroutes: int
+    reroute_cycles_charged: float
+    outages: int
+    downtime_cycles: float
+    probes: int
+    probes_failed: int
+    makespan_cycles: float
+    throughput_per_mcycle: float
+    #: Fleet-wide latency percentiles over *origin-to-answer* latency
+    #: (re-routed jobs measure from their original arrival).
+    latency_p50_cycles: float
+    latency_p99_cycles: float
+    pool_stats: Tuple[PoolStats, ...] = ()
+
+    @property
+    def answered(self) -> int:
+        return self.ok + self.timeout + self.degraded
+
+    def render(self) -> str:
+        """Human-readable report block for the ``serve`` CLI."""
+        lines = [
+            f"pools           : {self.pools} "
+            f"(replicas {self.replicas})",
+            f"requests        : {self.requests}",
+            f"ok              : {self.ok}",
+            f"degraded        : {self.degraded}",
+            f"timeout         : {self.timeout}",
+            f"rejected        : {self.rejected}",
+            f"failed          : {self.failed}",
+            f"attempts        : {self.attempts}",
+            f"reroutes        : {self.reroutes} "
+            f"({self.reroute_cycles_charged:,.0f} cycles charged)",
+            f"outages         : {self.outages} "
+            f"({self.downtime_cycles:,.0f} cycles down)",
+            f"probes          : {self.probes} "
+            f"({self.probes_failed} failed)",
+            f"makespan        : {self.makespan_cycles:,.0f} cycles",
+            f"throughput      : {self.throughput_per_mcycle:.2f} "
+            f"jobs/Mcycle",
+            f"latency p50     : {self.latency_p50_cycles:,.0f} cycles",
+            f"latency p99     : {self.latency_p99_cycles:,.0f} cycles",
+        ]
+        for p in self.pool_stats:
+            r = p.report
+            lines.append(
+                f"  pool {p.pool_id}: {r.requests} jobs "
+                f"({r.ok} ok, {r.degraded} degraded, "
+                f"{r.timeout} timeout), "
+                f"{p.outages} outages "
+                f"({p.downtime_cycles:,.0f} cy down), "
+                f"{p.evictions} evicted, "
+                f"{p.reroutes_in} in / {p.reroutes_out} out, "
+                f"{p.probes} probes")
+        return "\n".join(lines)
+
+
+def fleet_report_json(report: FleetReport) -> str:
+    """Canonical JSON encoding of a fleet report (sorted keys, fixed
+    separators): byte-equality of two encodings is field-equality of
+    the reports, nested per-pool reports included — the contract the
+    CI fleet chaos-smoke diffs on."""
+    return json.dumps(asdict(report), sort_keys=True,
+                      separators=(",", ":")) + "\n"
+
+
+class _JobRecord:
+    """Fleet-side routing state for one job."""
+
+    __slots__ = ("origin", "replicas", "tried", "reroutes",
+                 "prior_attempts")
+
+    def __init__(self, origin: Job, replicas: FrozenSet[int]) -> None:
+        self.origin = origin
+        self.replicas = replicas
+        #: Pools the job has left (outage-evicted or transited during
+        #: an outage).  Monotone — a job never returns to a tried pool
+        #: — which is what bounds the failover chain.
+        self.tried: Set[int] = set()
+        self.reroutes = 0
+        #: Accelerator attempts consumed in pools the job has left.
+        self.prior_attempts = 0
+
+    @property
+    def deadline_at(self) -> float:
+        return self.origin.arrival_cycle + self.origin.deadline_cycles
+
+
+class Fleet:
+    """Serves one trace over N independently-seeded scheduler sessions.
+
+    Construction mirrors :func:`repro.runtime.serve`'s pool/scheduler
+    wiring, replicated per pool: pool ``i`` gets fault seed
+    ``seed + i * 1_000_003`` (pool 0 identical to a solo pool), its own
+    device-chaos sibling, and the trace-track prefix ``p<i>.`` so all
+    pools share one tracer without collisions.
+    """
+
+    def __init__(self, n_devices: int, config: FleetConfig,
+                 fault_rate: float = 0.0, seed: int = 0,
+                 scheduler_config: Optional[SchedulerConfig] = None,
+                 tracer=None, execution: str = "simulate",
+                 chaos: Optional[ChaosModel] = None,
+                 pool_chaos: Optional[PoolChaosModel] = None) -> None:
+        self.config = config
+        self.seed = seed
+        self.tracer = tracer
+        self.scheduler_config = scheduler_config or SchedulerConfig()
+        self.pool_chaos = (pool_chaos if pool_chaos is not None
+                           and pool_chaos.rate > 0.0 else None)
+        lifecycle = self.pool_chaos is not None
+        self.pools: List[DevicePool] = []
+        self.scheds: List[Scheduler] = []
+        for i in range(config.n_pools):
+            if chaos is None or i == 0:
+                pool_chaos_model = chaos
+            else:
+                pool_chaos_model = ChaosModel(
+                    rate=chaos.rate,
+                    seed=chaos.seed + _POOL_CHAOS_STRIDE * i,
+                    kinds=chaos.kinds,
+                    mean_gap_cycles=chaos.mean_gap_cycles,
+                    mean_crash_cycles=chaos.mean_crash_cycles,
+                    mean_hang_cycles=chaos.mean_hang_cycles)
+            pool = DevicePool(
+                n_devices, fault_rate=fault_rate,
+                seed=seed + _POOL_SEED_STRIDE * i,
+                tracer=tracer, execution=execution,
+                chaos=pool_chaos_model, track_prefix=f"p{i}.")
+            self.pools.append(pool)
+            self.scheds.append(Scheduler(pool, self.scheduler_config,
+                                         lifecycle=lifecycle))
+        # ---- run state
+        self._events = EventQueue()
+        self._records: Dict[int, _JobRecord] = {}
+        self._fleet_results: Dict[int, JobResult] = {}
+        self._routed_jobs = [0] * config.n_pools
+        self._pool_up = [True] * config.n_pools
+        self._outage_start = [0.0] * config.n_pools
+        self._outage_seq = [0] * config.n_pools
+        self._pool_incidents: Dict[int, object] = {}
+        self._pool_chaos_models: Dict[int, PoolChaosModel] = {}
+        self._probe_pending: Dict[int, Tuple[bool, float]] = {}
+        self._probe_count = [0] * config.n_pools
+        self._probes = [0] * config.n_pools
+        self._probes_failed = [0] * config.n_pools
+        self._probe_key: Dict[int, ContentKey] = {}
+        self._probe_seq = 0
+        self._evictions = [0] * config.n_pools
+        self._reroutes_in = [0] * config.n_pools
+        self._reroutes_out = [0] * config.n_pools
+        self.reroutes = 0
+        self.reroute_cycles_charged = 0.0
+        self.probes = 0
+        self.probes_failed = 0
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def _route(self, jobs: Sequence[Job]) -> List[List[Job]]:
+        """Assign every job a primary pool; build replica sets.
+
+        Jobs are scanned in ``(arrival_cycle, job_id)`` order; a key's
+        replica set is its home pool plus the next ``replicas - 1``
+        pools (mod N) when the key is hot, and the primary is the
+        least-loaded member so far (replica-list order on ties).
+        """
+        seen: Set[int] = set()
+        for j in jobs:
+            if j.job_id in seen:
+                raise ConfigError(
+                    f"duplicate job_id {j.job_id} in trace: results "
+                    f"are keyed by job id, so one of the duplicates "
+                    f"would silently overwrite the other")
+            seen.add(j.job_id)
+        n = self.config.n_pools
+        ordered = sorted(jobs, key=lambda j: (j.arrival_cycle, j.job_id))
+        counts: Dict[ContentKey, int] = {}
+        for j in ordered:
+            key = content_key(j)
+            counts[key] = counts.get(key, 0) + 1
+        hot_floor = self.config.hot_fraction * len(ordered)
+        replica_sets: Dict[ContentKey, Tuple[int, ...]] = {}
+        for key, count in counts.items():
+            width = (min(self.config.replicas, n)
+                     if count >= hot_floor else 1)
+            home = home_pool(key, n)
+            replica_sets[key] = tuple((home + k) % n
+                                      for k in range(width))
+        assignments: List[List[Job]] = [[] for _ in range(n)]
+        for j in ordered:
+            reps = replica_sets[content_key(j)]
+            primary = min(
+                reps,
+                key=lambda p: (self._routed_jobs[p], reps.index(p)))
+            self._routed_jobs[primary] += 1
+            assignments[primary].append(j)
+            self._records[j.job_id] = _JobRecord(
+                j, replicas=frozenset(reps))
+        for key in sorted(replica_sets):
+            for p in replica_sets[key]:
+                if p not in self._probe_key:
+                    self._probe_key[p] = key
+        return assignments
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+    def run(self, jobs: Sequence[Job]) -> Tuple[List[JobResult],
+                                                FleetReport]:
+        """Serve every job; returns results (job-id order) + report."""
+        assignments = self._route(jobs)
+        for i, sched in enumerate(self.scheds):
+            sched.start(assignments[i])
+        if self.pool_chaos is not None:
+            # One pending outage per pool, strictly sequential: the
+            # next is drawn only at readmission.
+            for i in range(self.config.n_pools):
+                model = self.pool_chaos.spawn(i)
+                self._pool_chaos_models[i] = model
+                inc = model.next_incident(0.0)
+                if inc is not None:
+                    self._pool_incidents[i] = inc
+                    self._events.push(inc.at, EventKind.POOL_OUTAGE, i)
+
+        while True:
+            best: Optional[Tuple[float, int]] = None
+            for i, sched in enumerate(self.scheds):
+                cycle = sched.peek_cycle()
+                if cycle is not None and (best is None
+                                          or (cycle, i) < best):
+                    best = (cycle, i)
+            if best is None:
+                # All sessions drained: remaining fleet events stay
+                # unconsumed, like open device incidents.
+                break
+            head = self._events.peek()
+            if head is None or best[0] <= head.cycle:
+                # Sessions win ties: a job completing exactly at an
+                # outage onset completed.
+                i = best[1]
+                self.scheds[i].advance()
+                self._drain_evictions(i)
+                continue
+            event = self._events.pop()
+            if event.kind == EventKind.POOL_OUTAGE:
+                self._apply_outage(event.key, event.cycle)
+            else:
+                self._apply_recover(event.key, event.cycle)
+
+        return self._finish(jobs)
+
+    # ------------------------------------------------------------------
+    # Fleet events
+    # ------------------------------------------------------------------
+    def _apply_outage(self, i: int, now: float) -> None:
+        self._pool_up[i] = False
+        self._outage_start[i] = now
+        self._outage_seq[i] += 1
+        self._probe_count[i] = 0
+        self.scheds[i].begin_outage(now)
+        self._drain_evictions(i)
+        inc = self._pool_incidents[i]
+        # The drawn ``until`` is the *earliest* readmission attempt;
+        # actual readmission waits for a successful probe.
+        self._events.push(inc.until, EventKind.POOL_RECOVER, i)
+
+    def _apply_recover(self, i: int, now: float) -> None:
+        """Probe-gated readmission state machine for pool ``i``.
+
+        A POOL_RECOVER event either *starts* a probe (charging real
+        cycles on the pool's device 0 and scheduling a second
+        POOL_RECOVER at the probe's completion) or *lands* one: a
+        successful probe readmits the pool at its completion cycle and
+        draws the pool's next outage; a failed one schedules a retry
+        until the per-outage budget runs out, after which the pool
+        stays down and traffic keeps routing around it.
+        """
+        sched = self.scheds[i]
+        pending = self._probe_pending.pop(i, None)
+        if pending is not None:
+            ok, _finish = pending
+            if ok:
+                self._readmit(i, now)
+            else:
+                self._events.push(
+                    now + self.config.probe_retry_cycles,
+                    EventKind.POOL_RECOVER, i)
+            return
+        key = self._probe_key.get(i)
+        if key is None:
+            # No content key was ever routed here: nothing to probe
+            # with, and nothing the pool could serve wrongly — readmit
+            # directly.
+            self._readmit(i, now)
+            return
+        if self._probe_count[i] >= self.config.max_probes_per_outage:
+            return  # permanently down for this run
+        self._probe_count[i] += 1
+        self._probe_seq += 1
+        self.probes += 1
+        self._probes[i] += 1
+        probe_job = Job(
+            job_id=-self._probe_seq, kernel=key[2], dataset=key[0],
+            scale=key[1], arrival_cycle=now, deadline_cycles=1.0,
+            seed=self.seed + 104_729 * self._probe_seq)
+        ok, finish = sched.run_probe(probe_job, now)
+        if not ok:
+            self.probes_failed += 1
+            self._probes_failed[i] += 1
+        self._probe_pending[i] = (ok, finish)
+        self._events.push(finish, EventKind.POOL_RECOVER, i)
+
+    def _readmit(self, i: int, now: float) -> None:
+        self.scheds[i].readmit(now)
+        self._pool_up[i] = True
+        if self.tracer is not None and now > self._outage_start[i]:
+            self.tracer.add(
+                f"outage#{i}.{self._outage_seq[i]}", "outage",
+                self._outage_start[i], now, "fleet",
+                args={"pool": float(i)})
+        if self.pool_chaos is not None:
+            inc = self._pool_chaos_models[i].next_incident(now)
+            if inc is not None:
+                self._pool_incidents[i] = inc
+                self._events.push(inc.at, EventKind.POOL_OUTAGE, i)
+
+    # ------------------------------------------------------------------
+    # Failover
+    # ------------------------------------------------------------------
+    def _drain_evictions(self, i: int) -> None:
+        for ev in self.scheds[i].take_evicted():
+            self._evictions[i] += 1
+            self._reroute(ev, i)
+
+    def _pick_target(self, rec: _JobRecord) -> Optional[int]:
+        """Best untried pool: up replicas, then any up pool, then down
+        replicas, then any down pool — least routed load, id ties."""
+        untried = [p for p in range(self.config.n_pools)
+                   if p not in rec.tried]
+        if not untried:
+            return None
+
+        def rank(p: int) -> Tuple[int, int, int]:
+            up = self._pool_up[p]
+            rep = p in rec.replicas
+            cls = 0 if (up and rep) else 1 if up else 2 if rep else 3
+            return (cls, self._routed_jobs[p], p)
+
+        return min(untried, key=rank)
+
+    def _reroute(self, ev: Eviction, from_pool: int) -> None:
+        """Hand an evicted job to its next pool (or finalise it).
+
+        The transfer is charged ``reroute_cycles``; the job's absolute
+        deadline never moves.  A job whose deadline cannot survive the
+        transfer is finalised TIMEOUT in transit; a job that has tried
+        every pool falls back to the fleet-level reference path —
+        DEGRADED or TIMEOUT, never FAILED, mirroring the scheduler's
+        own degradation contract.
+        """
+        rec = self._records[ev.job.job_id]
+        rec.prior_attempts += ev.attempts
+        rec.tried.add(from_pool)
+        origin = rec.origin
+        new_arrival = ev.cycle + self.config.reroute_cycles
+        if rec.deadline_at <= new_arrival:
+            finish = max(ev.cycle, rec.deadline_at)
+            self._fleet_results[origin.job_id] = JobResult(
+                job_id=origin.job_id, status=JobStatus.TIMEOUT,
+                attempts=rec.prior_attempts,
+                latency_cycles=finish - origin.arrival_cycle,
+                finish_cycle=finish,
+                error=(f"deadline expired in transit after pool "
+                       f"{from_pool} outage"),
+                pool_id=from_pool, reroutes=rec.reroutes)
+            if self.tracer is not None:
+                self.tracer.instant_event(
+                    f"timeout#{origin.job_id}", "timeout", finish,
+                    "fleet")
+            return
+        target = self._pick_target(rec)
+        if target is None:
+            self._degrade_fleet(rec, from_pool, new_arrival)
+            return
+        rec.reroutes += 1
+        self.reroutes += 1
+        self.reroute_cycles_charged += self.config.reroute_cycles
+        self._reroutes_out[from_pool] += 1
+        self._reroutes_in[target] += 1
+        self._routed_jobs[target] += 1
+        # The target now holds traffic even if no key was originally
+        # routed to it: future readmissions must be probe-verified.
+        self._probe_key.setdefault(target, content_key(origin))
+        self.scheds[target].add_job(replace(
+            origin, arrival_cycle=new_arrival,
+            deadline_cycles=rec.deadline_at - new_arrival))
+        if self.tracer is not None:
+            self.tracer.instant_event(
+                f"reroute#{origin.job_id}", "reroute", ev.cycle,
+                "fleet", args={"from": float(from_pool),
+                               "to": float(target)})
+
+    def _degrade_fleet(self, rec: _JobRecord, from_pool: int,
+                       start: float) -> None:
+        """Every pool tried and lost: answer on the reference path."""
+        origin = rec.origin
+        pool = self.pools[from_pool]
+        try:
+            values = pool.reference_values(origin)
+        except Exception as exc:  # genuinely unserviceable work
+            self._fleet_results[origin.job_id] = JobResult(
+                job_id=origin.job_id, status=JobStatus.FAILED,
+                attempts=rec.prior_attempts, finish_cycle=start,
+                error=f"{type(exc).__name__}: {exc}",
+                pool_id=from_pool, reroutes=rec.reroutes)
+            return
+        cycles = (pool.nominal_cycles(origin)
+                  * self.scheduler_config.reference_slowdown)
+        finish = start + cycles
+        latency = finish - origin.arrival_cycle
+        if latency > origin.deadline_cycles:
+            status = JobStatus.TIMEOUT
+            error = (f"degraded answer completed "
+                     f"{latency - origin.deadline_cycles:.0f} cycles "
+                     f"past deadline")
+        else:
+            status, error = JobStatus.DEGRADED, ""
+        self._fleet_results[origin.job_id] = JobResult(
+            job_id=origin.job_id, status=status,
+            attempts=rec.prior_attempts, latency_cycles=latency,
+            finish_cycle=finish, value_crc=value_crc(values),
+            error=error, pool_id=from_pool, reroutes=rec.reroutes)
+        if self.tracer is not None:
+            self.tracer.add(
+                f"{origin.kernel}#{origin.job_id}", "degraded", start,
+                finish, "reference",
+                args={"slowdown":
+                      self.scheduler_config.reference_slowdown})
+
+    # ------------------------------------------------------------------
+    # Report assembly
+    # ------------------------------------------------------------------
+    def _finish(self, jobs: Sequence[Job]) -> Tuple[List[JobResult],
+                                                    FleetReport]:
+        merged: Dict[int, JobResult] = dict(self._fleet_results)
+        pool_reports: List[PoolReport] = []
+        for i, sched in enumerate(self.scheds):
+            pool_results, report = sched.finish()
+            pool_reports.append(report)
+            for r in pool_results:
+                rec = self._records[r.job_id]
+                r.pool_id = i
+                r.reroutes = rec.reroutes
+                if rec.reroutes or rec.prior_attempts:
+                    r.attempts += rec.prior_attempts
+                    if r.status not in (JobStatus.REJECTED,
+                                        JobStatus.FAILED):
+                        # Latency measures from the *original* arrival,
+                        # so the re-route transfers the job paid stay
+                        # visible in the percentiles.
+                        r.latency_cycles = (r.finish_cycle
+                                            - rec.origin.arrival_cycle)
+                merged[r.job_id] = r
+
+        ordered = [merged[j.job_id]
+                   for j in sorted(jobs, key=lambda j: j.job_id)]
+        by_status = {s: 0 for s in JobStatus}
+        latencies: List[float] = []
+        attempts = 0
+        makespan = 0.0
+        for r in ordered:
+            by_status[r.status] += 1
+            attempts += r.attempts
+            makespan = max(makespan, r.finish_cycle)
+            if r.answered:
+                latencies.append(r.latency_cycles)
+
+        # Close still-open outages against the makespan: downtime and
+        # the trace span both end where the run does.
+        downtime = 0.0
+        for i, sched in enumerate(self.scheds):
+            pool_down = sched.pool_downtime_cycles
+            if not self._pool_up[i]:
+                open_down = max(0.0, makespan - self._outage_start[i])
+                pool_down += open_down
+                sched.pool_downtime_cycles = pool_down
+                if self.tracer is not None and open_down > 0.0:
+                    self.tracer.add(
+                        f"outage#{i}.{self._outage_seq[i]}", "outage",
+                        self._outage_start[i], makespan, "fleet",
+                        args={"pool": float(i)})
+            downtime += pool_down
+
+        pool_stats = tuple(
+            PoolStats(
+                pool_id=i,
+                outages=self.scheds[i].outages,
+                downtime_cycles=self.scheds[i].pool_downtime_cycles,
+                evictions=self._evictions[i],
+                reroutes_in=self._reroutes_in[i],
+                reroutes_out=self._reroutes_out[i],
+                probes=self._probes[i],
+                probes_failed=self._probes_failed[i],
+                report=pool_reports[i],
+            )
+            for i in range(self.config.n_pools))
+        answered = len(latencies)
+        throughput = (answered / (makespan / 1e6)) if makespan > 0 \
+            else 0.0
+        report = FleetReport(
+            pools=self.config.n_pools,
+            replicas=self.config.replicas,
+            requests=len(ordered),
+            ok=by_status[JobStatus.OK],
+            timeout=by_status[JobStatus.TIMEOUT],
+            degraded=by_status[JobStatus.DEGRADED],
+            rejected=by_status[JobStatus.REJECTED],
+            failed=by_status[JobStatus.FAILED],
+            attempts=attempts,
+            reroutes=self.reroutes,
+            reroute_cycles_charged=self.reroute_cycles_charged,
+            outages=sum(s.outages for s in pool_stats),
+            downtime_cycles=downtime,
+            probes=self.probes,
+            probes_failed=self.probes_failed,
+            makespan_cycles=makespan,
+            throughput_per_mcycle=throughput,
+            latency_p50_cycles=percentile(latencies, 50.0),
+            latency_p99_cycles=percentile(latencies, 99.0),
+            pool_stats=pool_stats,
+        )
+        return ordered, report
+
+
+def serve_fleet(n_requests: int, n_devices: int = 4,
+                fault_rate: float = 0.0, seed: int = 0,
+                scale: float = 0.05,
+                workloads: Optional[Tuple[Tuple[str, str], ...]] = None,
+                trace: Optional[List[Job]] = None,
+                scheduler_config: Optional[SchedulerConfig] = None,
+                tracer=None, max_batch: int = 1,
+                execution: str = "simulate",
+                chaos: Optional[ChaosModel] = None,
+                hedge_after: Optional[float] = None,
+                pool_chaos: Optional[PoolChaosModel] = None,
+                fleet_config: Optional[FleetConfig] = None,
+                **trace_kwargs) -> Tuple[List[JobResult], FleetReport]:
+    """Serve a seeded workload trace over a replicated pool fleet.
+
+    The fleet analogue of :func:`repro.runtime.serve`, sharing its
+    trace/pool/scheduler parameters; ``fleet_config`` adds the pool
+    count, replication and failover knobs, and ``pool_chaos`` attaches
+    seeded whole-pool outages.  Two calls with identical arguments
+    produce a byte-identical :func:`fleet_report_json`.
+    """
+    if trace is None:
+        spec_kwargs = dict(n_requests=n_requests, seed=seed,
+                           scale=scale, **trace_kwargs)
+        if workloads is not None:
+            spec_kwargs["workloads"] = workloads
+        trace = make_trace(TraceSpec(**spec_kwargs))
+    if scheduler_config is None:
+        scheduler_config = SchedulerConfig(max_batch=max_batch,
+                                           hedge_after=hedge_after)
+    fleet = Fleet(n_devices, fleet_config or FleetConfig(),
+                  fault_rate=fault_rate, seed=seed,
+                  scheduler_config=scheduler_config, tracer=tracer,
+                  execution=execution, chaos=chaos,
+                  pool_chaos=pool_chaos)
+    return fleet.run(trace)

@@ -26,8 +26,10 @@ from __future__ import annotations
 import enum
 import json
 import random
-from dataclasses import asdict, dataclass
+from dataclasses import MISSING, asdict, dataclass, fields
 from typing import List, Tuple
+
+from repro.errors import ConfigError
 
 #: Kernels a job may request.  ``spmv``/``symgs`` are single accelerator
 #: passes; ``pcg`` is a short full solve (SpMV + SymGS inner loop).
@@ -96,6 +98,11 @@ class JobResult:
     #: True when a speculative hedge duplicate produced the answer
     #: (the original attempt lost the race or its device died).
     hedged: bool = False
+    #: Pool that produced the final outcome (0 in single-pool serving).
+    pool_id: int = 0
+    #: Times the fleet re-routed the job to another pool after an
+    #: outage evicted it (0 in single-pool serving).
+    reroutes: int = 0
 
     @property
     def answered(self) -> bool:
@@ -163,15 +170,31 @@ def make_trace(spec: TraceSpec) -> List[Job]:
     return jobs
 
 
+#: Trace-file schema version written by :func:`dump_trace`.  Bumped
+#: whenever the :class:`Job` field vocabulary changes incompatibly;
+#: :func:`load_trace` refuses files from the future instead of
+#: half-parsing them.
+TRACE_SCHEMA_VERSION = 1
+
+_JOB_FIELDS = frozenset(f.name for f in fields(Job))
+#: Fields a trace entry must carry; the rest have dataclass defaults.
+_REQUIRED_JOB_FIELDS = frozenset(
+    f.name for f in fields(Job) if f.default is MISSING)
+
+
 def dump_trace(jobs: List[Job], path: str) -> int:
-    """Write a workload trace as canonical JSON; returns bytes written.
+    """Write a workload trace as canonical, versioned JSON.
 
     Canonical means sorted keys and a fixed separator style, so the
     same trace always serialises to the identical bytes — trace files
     are content-addressable fixtures, not just human-readable dumps.
+    The envelope carries :data:`TRACE_SCHEMA_VERSION` so future readers
+    can tell a stale file from a malformed one.  Returns bytes written.
     """
-    payload = json.dumps([asdict(j) for j in jobs],
-                         sort_keys=True, separators=(",", ":"))
+    payload = json.dumps(
+        {"version": TRACE_SCHEMA_VERSION,
+         "jobs": [asdict(j) for j in jobs]},
+        sort_keys=True, separators=(",", ":"))
     with open(path, "w") as fh:
         fh.write(payload + "\n")
     return len(payload) + 1
@@ -180,11 +203,66 @@ def dump_trace(jobs: List[Job], path: str) -> int:
 def load_trace(path: str) -> List[Job]:
     """Read a workload trace written by :func:`dump_trace`.
 
-    Each entry must carry exactly the :class:`Job` fields; unknown or
-    missing keys raise ``TypeError`` from the dataclass constructor —
-    a malformed trace file should fail loudly, not serve a half-parsed
-    workload.
+    Accepts the versioned ``{"version": N, "jobs": [...]}`` envelope
+    and, for fixtures written before the envelope existed, a bare JSON
+    list of job entries (treated as version 1).  Malformed files —
+    wrong top-level shape, a future schema version, an entry missing a
+    required :class:`Job` field or carrying an unknown key — raise
+    :class:`~repro.errors.ConfigError` naming the file and the
+    offending key, never a raw ``KeyError``/``TypeError``.
     """
     with open(path) as fh:
         payload = json.load(fh)
-    return [Job(**entry) for entry in payload]
+    if isinstance(payload, list):
+        entries = payload  # pre-envelope fixture: implicit version 1
+    elif isinstance(payload, dict):
+        unknown_top = set(payload) - {"version", "jobs"}
+        if unknown_top:
+            raise ConfigError(
+                f"trace file {path!r}: unknown top-level key "
+                f"{sorted(unknown_top)[0]!r}")
+        if "version" not in payload or "jobs" not in payload:
+            missing = "version" if "version" not in payload else "jobs"
+            raise ConfigError(
+                f"trace file {path!r}: missing top-level key "
+                f"{missing!r}")
+        version = payload["version"]
+        if not isinstance(version, int) or isinstance(version, bool):
+            raise ConfigError(
+                f"trace file {path!r}: version must be an integer, "
+                f"got {version!r}")
+        if version > TRACE_SCHEMA_VERSION:
+            raise ConfigError(
+                f"trace file {path!r}: schema version {version} is "
+                f"newer than supported version {TRACE_SCHEMA_VERSION}")
+        if version < 1:
+            raise ConfigError(
+                f"trace file {path!r}: invalid schema version "
+                f"{version}")
+        entries = payload["jobs"]
+        if not isinstance(entries, list):
+            raise ConfigError(
+                f"trace file {path!r}: 'jobs' must be a list, got "
+                f"{type(entries).__name__}")
+    else:
+        raise ConfigError(
+            f"trace file {path!r}: expected a versioned trace object "
+            f"or a job list, got {type(payload).__name__}")
+    jobs: List[Job] = []
+    for i, entry in enumerate(entries):
+        if not isinstance(entry, dict):
+            raise ConfigError(
+                f"trace file {path!r}: job entry {i} is not an "
+                f"object")
+        unknown = set(entry) - _JOB_FIELDS
+        if unknown:
+            raise ConfigError(
+                f"trace file {path!r}: job entry {i} has unknown key "
+                f"{sorted(unknown)[0]!r}")
+        missing = _REQUIRED_JOB_FIELDS - set(entry)
+        if missing:
+            raise ConfigError(
+                f"trace file {path!r}: job entry {i} is missing key "
+                f"{sorted(missing)[0]!r}")
+        jobs.append(Job(**entry))
+    return jobs

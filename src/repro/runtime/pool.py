@@ -564,7 +564,7 @@ class Device:
         tracer = pool.tracer
         if tracer is None or self.device_id < 0 or end <= begin:
             return
-        track = f"device{self.device_id}"
+        track = pool.track(f"device{self.device_id}")
         bid = None
         if len(jobs) > 1 and cat == "job":
             bid = self._batch_seq
@@ -597,7 +597,8 @@ class Device:
         if att.error:
             args["error"] = att.error
         tracer.add(f"{job.kernel}#{job.job_id}", "job", now,
-                   now + att.cycles, f"device{self.device_id}", args=args)
+                   now + att.cycles,
+                   pool.track(f"device{self.device_id}"), args=args)
 
     def _record_batch(self, jobs: "List[Job]", pool: "DevicePool",
                       now: float, att: Attempt) -> None:
@@ -614,7 +615,7 @@ class Device:
         bid = self._batch_seq
         self._batch_seq += 1
         end = now + att.cycles
-        track = f"device{self.device_id}"
+        track = pool.track(f"device{self.device_id}")
         tracer.add(f"batch#{self.device_id}.{bid}", "batch", now, end,
                    track, args={"jobs": float(len(jobs)),
                                 "kernel": jobs[0].kernel, "ok": att.ok})
@@ -639,7 +640,8 @@ class DevicePool:
                  cooldown_cycles: float = DEFAULT_COOLDOWN_CYCLES,
                  tracer=None, execution: str = "simulate",
                  operand_cache: int = DEFAULT_OPERAND_CACHE,
-                 chaos: Optional["ChaosModel"] = None) -> None:
+                 chaos: Optional["ChaosModel"] = None,
+                 track_prefix: str = "") -> None:
         if n_devices <= 0:
             raise ConfigError(
                 f"device pool needs at least one device, got {n_devices}")
@@ -659,6 +661,12 @@ class DevicePool:
         #: scheduler: job spans land on ``device<N>`` tracks, degraded
         #: fallbacks on ``reference``, shed jobs on ``scheduler``.
         self.tracer = tracer
+        #: Prefix applied to every trace track this pool (and its
+        #: scheduler) emits — ``"p2."`` turns ``device0`` into
+        #: ``p2.device0``.  Empty for single-pool serving, so solo
+        #: traces stay byte-identical; the fleet sets one per pool so
+        #: N pools can share one tracer without track collisions.
+        self.track_prefix = track_prefix
         base = (FaultModel(rate=fault_rate, seed=seed)
                 if fault_rate > 0.0 else None)
         self.devices = [
@@ -689,6 +697,10 @@ class DevicePool:
 
     def __len__(self) -> int:
         return len(self.devices)
+
+    def track(self, name: str) -> str:
+        """A trace track name under this pool's prefix."""
+        return self.track_prefix + name
 
     # ------------------------------------------------------------------
     # Shared golden side

@@ -75,6 +75,7 @@ event to die stale in the heap.
 
 from __future__ import annotations
 
+import bisect
 from collections import deque
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set, Tuple
@@ -121,6 +122,26 @@ class SchedulerConfig:
     #: the scheduler on its eager dispatch-time path).  Batched
     #: dispatches never hedge.
     hedge_after: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        # Construction-time validation of the numeric knobs: zero or
+        # negative values used to fail later or silently disable the
+        # feature (max_batch=0 meant "no batching", queue_depth=0
+        # rejected everything) — each is a misconfiguration, named at
+        # the moment the config is written, not when a scheduler first
+        # consumes it.
+        for name in ("queue_depth", "max_attempts", "max_batch"):
+            value = getattr(self, name)
+            if value < 1:
+                raise ConfigError(f"{name} must be >= 1, got {value}")
+        if self.high_priority_reserve < 0:
+            raise ConfigError(
+                f"high_priority_reserve must be >= 0, got "
+                f"{self.high_priority_reserve}")
+        if self.hedge_after is not None and self.hedge_after <= 0:
+            raise ConfigError(
+                f"hedge_after must be positive (a multiple of the "
+                f"nominal estimate), got {self.hedge_after}")
 
 
 class _JobState:
@@ -176,18 +197,32 @@ class _Flight:
         self.complete_event = complete_event
 
 
+@dataclass(frozen=True)
+class Eviction:
+    """A job a pool outage handed back to the fleet.
+
+    Eviction is the pool-level analogue of the crash contract's
+    requeue: the job is not failed, merely homeless.  ``attempts``
+    carries the accelerator attempts the job consumed in this pool
+    (voided in-flight attempts already refunded), so the fleet can
+    keep the final result's attempt count honest across pools.
+    """
+
+    job: Job
+    #: Cycle the job left the pool (outage onset, or its arrival cycle
+    #: for a job arriving mid-outage).
+    cycle: float
+    attempts: int
+
+
 class Scheduler:
     """Runs a trace of jobs over a :class:`DevicePool` to completion."""
 
     def __init__(self, pool: DevicePool,
-                 config: Optional[SchedulerConfig] = None) -> None:
+                 config: Optional[SchedulerConfig] = None,
+                 lifecycle: bool = False) -> None:
         self.pool = pool
         self.config = config or SchedulerConfig()
-        if (self.config.hedge_after is not None
-                and self.config.hedge_after <= 0):
-            raise ConfigError(
-                f"hedge_after must be positive (a multiple of the "
-                f"nominal estimate), got {self.config.hedge_after}")
         self.queue_peak = 0
         #: Fused dispatches that produced answers, jobs served inside
         #: them, and DRAM bytes they avoided vs solo service.
@@ -207,9 +242,12 @@ class Scheduler:
         #: Whether attempts defer finalisation to DISPATCH_COMPLETE.
         #: False runs the exact historical eager path — the chaos-free
         #: identity guarantee depends on this staying False when
-        #: neither chaos nor hedging is configured.
+        #: neither chaos nor hedging is configured.  The fleet passes
+        #: ``lifecycle=True`` when pool-level chaos may strike: an
+        #: outage can only void an attempt that is still *deferred*.
         self._lifecycle = (self.pool.chaos is not None
-                           or self.config.hedge_after is not None)
+                           or self.config.hedge_after is not None
+                           or lifecycle)
         #: Admitted-job states by id (HEDGE_TIMER lookups).
         self._states: Dict[int, _JobState] = {}
         #: Each device's pending (not yet fully applied) incident.
@@ -217,6 +255,25 @@ class Scheduler:
         #: Live deferred flights — the run loop must not exit while
         #: any remain, even with the queues drained.
         self._inflight = 0
+        # ---- resumable-session state (populated by :meth:`start`)
+        self._arrivals: deque = deque()
+        self._waiting: List[_JobState] = []
+        self._results: Dict[int, JobResult] = {}
+        self._now = 0.0
+        #: The wake :meth:`peek_cycle` popped but has not yet consumed.
+        self._held: Optional[Event] = None
+        self._seen: Set[int] = set()
+        # ---- fleet hooks: pool-outage state and eviction hand-off
+        self._pool_down = False
+        self._outage_began = 0.0
+        #: Devices the current outage forced down (readmission restores
+        #: exactly these; a device that crashed on its own during the
+        #: outage is removed and left to its own DEVICE_RECOVER).
+        self._outage_held: Set[int] = set()
+        self._evicted: List[Eviction] = []
+        self._evicted_ids: Set[int] = set()
+        self.outages = 0
+        self.pool_downtime_cycles = 0.0
 
     # ------------------------------------------------------------------
     # Admission control
@@ -239,7 +296,29 @@ class Scheduler:
     # Main loop
     # ------------------------------------------------------------------
     def run(self, jobs: Sequence[Job]) -> Tuple[List[JobResult], PoolReport]:
-        """Serve every job; returns results (job order) and the report."""
+        """Serve every job; returns results (job order) and the report.
+
+        The solo composition of :meth:`start` / :meth:`advance` /
+        :meth:`finish` — bit-identical to the historical single-call
+        loop (the fingerprint corpus pins this).
+        """
+        self.start(jobs)
+        while self.advance():
+            pass
+        return self.finish()
+
+    def start(self, jobs: Sequence[Job]) -> None:
+        """Open a serving session: arrival events, chaos bootstrap, and
+        the cycle-0 admit/dispatch pass.
+
+        ``start``/``advance``/``finish`` decompose the run loop so a
+        fleet layer can interleave N schedulers on one global clock:
+        :meth:`peek_cycle` exposes the next wake without consuming it,
+        :meth:`advance` consumes exactly one, and the fleet always
+        advances whichever source (session wake or fleet event) is
+        globally earliest — so an injected job is never in this
+        session's past.
+        """
         seen: Set[int] = set()
         for j in jobs:
             if j.job_id in seen:
@@ -249,17 +328,27 @@ class Scheduler:
                     f"silently overwrite the other")
             seen.add(j.job_id)
 
-        arrivals = deque(sorted(jobs,
-                                key=lambda j: (j.arrival_cycle, j.job_id)))
-        waiting: List[_JobState] = []
-        results: Dict[int, JobResult] = {}
+        self._seen = seen
+        self._arrivals = deque(sorted(
+            jobs, key=lambda j: (j.arrival_cycle, j.job_id)))
+        self._waiting = []
+        self._results = {}
         self.events = events = EventQueue()
         self._states = {}
         self._incidents = {}
         self._inflight = 0
+        self._now = 0.0
+        self._held = None
+        self._pool_down = False
+        self._outage_began = 0.0
+        self._outage_held = set()
+        self._evicted = []
+        self._evicted_ids = set()
+        self.outages = 0
+        self.pool_downtime_cycles = 0.0
         self.hedges_launched = self.hedges_won = 0
         self.crashes = self.hangs = self.recoveries = 0
-        for j in arrivals:
+        for j in self._arrivals:
             events.push(j.arrival_cycle, EventKind.ARRIVAL, j.job_id)
         if self.pool.chaos is not None:
             # Bootstrap one pending incident per device; the next one
@@ -267,39 +356,212 @@ class Scheduler:
             # each device's incident history is strictly sequential.
             for device in self.pool.devices:
                 self._schedule_incident(device, 0.0)
-        now = 0.0
 
         # Mirror of the scan-based loop's first iteration: admit and
         # dispatch anything actionable at cycle 0 before the first
         # clock advance.
-        self._step(now, arrivals, waiting, results)
-        while arrivals or waiting or self._inflight:
-            wake = self._next_wake(now, waiting, results)
-            if wake is None:
-                # No future event can unblock the queue (should be
-                # unreachable — degradation guarantees progress); shed
-                # whatever is left rather than spin.
-                for state in list(waiting):
-                    waiting.remove(state)
-                    self._degrade(state, now, results)
-                break
-            now = wake.cycle
-            self._consume_at(wake, now, waiting, results)
-            self._step(now, arrivals, waiting, results)
+        self._step(self._now, self._arrivals, self._waiting,
+                   self._results)
 
+    def pending(self) -> bool:
+        """Whether the session still has work (queued or in flight)."""
+        return bool(self._arrivals or self._waiting or self._inflight)
+
+    def peek_cycle(self) -> Optional[float]:
+        """Cycle of the session's next wake, without consuming it.
+
+        ``None`` when the session is drained.  A pending session with
+        no future event (nothing can unblock its queue) reports the
+        *current* cycle: the fleet must still call :meth:`advance` so
+        the stranded jobs shed to the reference path.
+        """
+        if not self.pending():
+            return None
+        if self._held is None:
+            self._held = self._next_wake(self._now, self._waiting,
+                                         self._results)
+        if self._held is None:
+            return self._now
+        return self._held.cycle
+
+    def advance(self) -> bool:
+        """Consume the session's next wake; False when drained."""
+        if not self.pending():
+            return False
+        if self._held is None:
+            self._held = self._next_wake(self._now, self._waiting,
+                                         self._results)
+        wake, self._held = self._held, None
+        if wake is None:
+            # No future event can unblock the queue (should be
+            # unreachable — degradation guarantees progress); shed
+            # whatever is left rather than spin.
+            for state in list(self._waiting):
+                self._waiting.remove(state)
+                self._degrade(state, self._now, self._results)
+            return False
+        self._now = wake.cycle
+        self._consume_at(wake, self._now, self._waiting, self._results)
+        self._step(self._now, self._arrivals, self._waiting,
+                   self._results)
+        return True
+
+    def finish(self) -> Tuple[List[JobResult], PoolReport]:
+        """Close the session: device summary spans plus the report.
+
+        Results are ordered by job id and cover exactly the jobs this
+        scheduler finalised — a job the fleet evicted mid-outage
+        belongs to whichever pool (or fleet-level fallback) answered
+        it.
+        """
         self._trace_devices()
-        ordered = [results[j.job_id] for j in
-                   sorted(jobs, key=lambda j: j.job_id)]
+        ordered = [self._results[jid] for jid in sorted(self._results)]
         return ordered, build_report(
             ordered, self.pool, self.queue_peak, batches=self.batches,
             batched_jobs=self.batched_jobs,
             stream_bytes_saved=self.stream_bytes_saved,
-            events_processed=events.popped - events.stale,
-            events_stale=events.stale,
+            events_processed=self.events.popped - self.events.stale,
+            events_stale=self.events.stale,
             hedges_launched=self.hedges_launched,
             hedges_won=self.hedges_won,
             crashes=self.crashes, hangs=self.hangs,
             recoveries=self.recoveries)
+
+    # ------------------------------------------------------------------
+    # Fleet hooks: job injection, pool outage, probe-gated readmission
+    # ------------------------------------------------------------------
+    def _drop_hold(self) -> None:
+        """Requeue a peeked-but-unconsumed wake before fleet mutations.
+
+        An outage, readmission or injected job can invalidate (or
+        pre-empt) the event :meth:`peek_cycle` is holding; putting it
+        back unchanged lets the next peek re-validate it against the
+        mutated state.
+        """
+        if self._held is not None:
+            self.events.requeue(self._held)
+            self._held = None
+
+    def add_job(self, job: Job) -> None:
+        """Inject a job into the running session (fleet re-route).
+
+        ``job.arrival_cycle`` must not lie in the session's past — the
+        fleet's global-min stepping guarantees every pool's clock is at
+        or behind any event being processed.
+        """
+        self._drop_hold()
+        if job.job_id in self._seen:
+            raise ConfigError(
+                f"job {job.job_id} was already routed to this pool; "
+                f"the fleet must never re-route a job back")
+        self._seen.add(job.job_id)
+        items = list(self._arrivals)
+        bisect.insort(items, job,
+                      key=lambda j: (j.arrival_cycle, j.job_id))
+        self._arrivals = deque(items)
+        self.events.push(job.arrival_cycle, EventKind.ARRIVAL,
+                         job.job_id)
+
+    def take_evicted(self) -> List[Eviction]:
+        """Drain the jobs the pool has handed back since the last call."""
+        out, self._evicted = self._evicted, []
+        return out
+
+    def _eject(self, state: _JobState, now: float) -> None:
+        """Hand one job back to the fleet (never a terminal result)."""
+        jid = state.job.job_id
+        self._evicted.append(Eviction(job=state.job, cycle=now,
+                                      attempts=state.attempts))
+        self._evicted_ids.add(jid)
+        self._states.pop(jid, None)
+        if self.pool.tracer is not None:
+            self.pool.tracer.instant_event(
+                f"evict#{jid}", "evict", now,
+                self.pool.track("scheduler"))
+
+    def begin_outage(self, now: float) -> None:
+        """The whole pool goes dark at ``now`` (fleet POOL_OUTAGE).
+
+        Mirrors the per-device crash contract at pool scale: every
+        in-flight attempt is voided — busy cycles refunded, the
+        attempt-budget slot refunded, the device dropped from
+        ``tried`` — and every orphaned or queued job is *ejected* to
+        the fleet rather than requeued locally.  Devices are forced
+        down with quarantined breakers; :meth:`readmit` restores
+        exactly the devices this outage took (one that crashes on its
+        own mid-outage is left to its own recovery chain).
+        """
+        self._drop_hold()
+        if self._pool_down:
+            raise ConfigError(
+                "pool outage drawn while the pool is already down: "
+                "pool incidents must be strictly sequential")
+        self._pool_down = True
+        self._outage_began = now
+        self.outages += 1
+        for device in self.pool.devices:
+            flight = device.inflight
+            if flight is not None:
+                device.busy_cycles -= flight.finish - now
+                device.busy_until = now
+                device.record_flight(
+                    [s.job for s in flight.states], self.pool,
+                    flight.start, now, ok=False,
+                    error="pool outage voided attempt", cat="voided")
+                device.inflight = None
+                self._inflight -= 1
+                for s in flight.states:
+                    s.flights.remove(flight)
+                    s.attempts -= 1
+                    s.tried.discard(device.device_id)
+                    if (not s.flights
+                            and s.job.job_id not in self._results):
+                        self._eject(s, now)
+            if device.up:
+                device.up = False
+                device.down_since = now
+                device.breaker.force_open(now)
+                self._outage_held.add(device.device_id)
+        for state in list(self._waiting):
+            self._waiting.remove(state)
+            self._eject(state, now)
+
+    def run_probe(self, job: Job, now: float) -> Tuple[bool, float]:
+        """Run one recovery probe on the pool's designated device.
+
+        Called by the fleet while the pool is still down: the probe is
+        a real attempt on device 0 (charged as genuine occupancy, so
+        recovery is never free), bypassing admission and the breaker —
+        the pool-level gate is this probe's outcome, the device-level
+        half-open probes follow after readmission.  Returns
+        ``(ok, finish_cycle)``.
+        """
+        self._drop_hold()
+        device = self.pool.devices[0]
+        att = device.attempt(job, self.pool, now=now, record=False)
+        finish = now + att.cycles
+        device.busy_cycles += att.cycles
+        device.busy_until = max(device.busy_until, finish)
+        device.record_flight([job], self.pool, now, finish,
+                             ok=att.ok, error=att.error, cat="probe")
+        return att.ok, finish
+
+    def readmit(self, now: float) -> None:
+        """End the outage: restore the devices it took (fleet-verified).
+
+        Only called after a successful probe.  Restored breakers leave
+        quarantine into an immediately-probeable open state, so each
+        device's first real dispatch is its own half-open probe —
+        recovery stays verified at both levels.
+        """
+        self._drop_hold()
+        self._pool_down = False
+        self.pool_downtime_cycles += now - self._outage_began
+        for device_id in sorted(self._outage_held):
+            device = self.pool.devices[device_id]
+            device.up = True
+            device.breaker.end_quarantine(now)
+        self._outage_held.clear()
 
     # ------------------------------------------------------------------
     # Event loop
@@ -356,8 +618,10 @@ class Scheduler:
                     and len(state.flights) == 1
                     and not state.flights[0].hedge)
         # RETRY_READY / DEADLINE_EXPIRY concern a job that must still
-        # be in flight (admitted, no terminal result yet).
-        return event.key not in results
+        # be in flight (admitted, no terminal result yet, not handed
+        # back to the fleet by a pool outage).
+        return (event.key not in results
+                and event.key not in self._evicted_ids)
 
     def _next_wake(self, now: float, waiting: List[_JobState],
                    results: Dict[int, JobResult]) -> Optional[Event]:
@@ -448,7 +712,7 @@ class Scheduler:
                 continue
             tracer.add(f"device{d.device_id}", "device", d.first_dispatch,
                        max(d.busy_until, d.first_dispatch),
-                       f"device{d.device_id}",
+                       self.pool.track(f"device{d.device_id}"),
                        args={"jobs": float(d.jobs_run),
                              "busy_cycles": d.busy_cycles,
                              "breaker_trips": float(d.breaker.trips)})
@@ -456,6 +720,13 @@ class Scheduler:
     # ------------------------------------------------------------------
     def _admit_at(self, job: Job, waiting: List[_JobState],
                   results: Dict[int, JobResult]) -> None:
+        if self._pool_down and job.deadline_cycles > 0:
+            # Arrived mid-outage: infrastructure loss alone is never a
+            # terminal verdict — hand the job to the fleet to re-route.
+            # (Zero-deadline jobs fall through to the normal rejection:
+            # no pool anywhere could serve them.)
+            self._eject(_JobState(job), job.arrival_cycle)
+            return
         try:
             self.admit(job, queue_length=len(waiting))
         except RejectedError as exc:
@@ -465,7 +736,7 @@ class Scheduler:
             if self.pool.tracer is not None:
                 self.pool.tracer.instant_event(
                     f"reject#{job.job_id}", "reject", job.arrival_cycle,
-                    "scheduler")
+                    self.pool.track("scheduler"))
             return
         state = _JobState(job)
         self._states[job.job_id] = state
@@ -882,7 +1153,7 @@ class Scheduler:
             for job in jobs:
                 self.pool.tracer.instant_event(
                     f"hedge_cancel#{job.job_id}", "hedge_cancel", now,
-                    "scheduler")
+                    self.pool.track("scheduler"))
 
     def _launch_hedge(self, state: _JobState, now: float) -> None:
         """Launch the speculative duplicate a HEDGE_TIMER asked for.
@@ -922,7 +1193,8 @@ class Scheduler:
         self.hedges_launched += 1
         if self.pool.tracer is not None:
             self.pool.tracer.instant_event(
-                f"hedge#{job.job_id}", "hedge", now, "scheduler")
+                f"hedge#{job.job_id}", "hedge", now,
+                self.pool.track("scheduler"))
 
     def _schedule_incident(self, device: Device, now: float) -> None:
         """Draw the device's next incident and push its onset event."""
@@ -950,6 +1222,12 @@ class Scheduler:
         lifecycle fact, not an inferred health verdict.
         """
         inc = self._incidents[device.device_id]
+        if self._pool_down:
+            # The pool is already dark, so there is nothing to void —
+            # but the device now has its own crash to recover from:
+            # readmission must no longer restore it (its DEVICE_RECOVER
+            # will, through the normal quarantine-release path).
+            self._outage_held.discard(device.device_id)
         device.up = False
         device.down_since = now
         device.crashes += 1
@@ -961,7 +1239,7 @@ class Scheduler:
         if self.pool.tracer is not None:
             self.pool.tracer.add(
                 f"crash#{device.device_id}.{device.crashes}", "crash",
-                now, inc.until, "chaos",
+                now, inc.until, self.pool.track("chaos"),
                 args={"device": float(device.device_id)})
         flight = device.inflight
         if flight is None:
@@ -1000,7 +1278,7 @@ class Scheduler:
         if self.pool.tracer is not None:
             self.pool.tracer.add(
                 f"hang#{device.device_id}.{device.hangs}", "hang",
-                now, inc.until, "chaos",
+                now, inc.until, self.pool.track("chaos"),
                 args={"device": float(device.device_id)})
         flight = device.inflight
         if flight is None:
@@ -1025,6 +1303,13 @@ class Scheduler:
         """
         device.recoveries += 1
         self.recoveries += 1
+        if self._pool_down:
+            # The pool is dark: whatever this incident was, the device
+            # stays held by the outage — recorded so readmission
+            # restores it along with the rest of the pool.
+            self._outage_held.add(device.device_id)
+            self._schedule_incident(device, now)
+            return
         if not device.up:
             device.up = True
             device.breaker.end_quarantine(now)
@@ -1043,7 +1328,8 @@ class Scheduler:
             finish_cycle=now, error=str(err))
         if self.pool.tracer is not None:
             self.pool.tracer.instant_event(
-                f"timeout#{job.job_id}", "timeout", now, "scheduler")
+                f"timeout#{job.job_id}", "timeout", now,
+                self.pool.track("scheduler"))
 
     def _degrade(self, state: _JobState, start: float,
                  results: Dict[int, JobResult], last_error: str = "",
@@ -1090,5 +1376,5 @@ class Scheduler:
         if self.pool.tracer is not None:
             self.pool.tracer.add(
                 f"{job.kernel}#{job.job_id}", "degraded", start, finish,
-                "reference",
+                self.pool.track("reference"),
                 args={"slowdown": self.config.reference_slowdown})

@@ -36,6 +36,11 @@ device's incidents is ``mean_gap_cycles / rate``, so ``rate=0.2`` on
 the default gap means roughly one incident per 125k simulated cycles
 per device — a storm on serving timescales.  ``rate=0`` draws nothing
 (a deterministic no-op, like a zero-rate fault model).
+
+:class:`PoolChaosModel` lifts the same machinery one level up: it
+draws whole-pool *outages* for the fleet layer
+(:mod:`repro.runtime.fleet`), which routes around the dark pool and
+readmits it only after a successful probe job.
 """
 
 from __future__ import annotations
@@ -48,6 +53,10 @@ from repro.errors import ConfigError
 
 #: Incident kinds the model can draw, in draw order.
 CHAOS_KINDS = ("crash", "hang")
+
+#: Incident kinds a :class:`PoolChaosModel` can draw.  A pool either
+#: is serving or is dark; there is no pool-scale analogue of a hang.
+POOL_CHAOS_KINDS = ("outage",)
 
 #: Mean cycles between incidents on one device at ``rate=1.0``; the
 #: effective mean gap is this divided by the configured rate.
@@ -233,6 +242,102 @@ class ChaosModel:
                 else self.mean_hang_cycles)
         duration = self._rng.expovariate(1.0 / mean)
         incident = Incident(device_id=self.device_id, kind=kind,
+                            at=now + gap, until=now + gap + duration)
+        self.log.append(incident)
+        return incident
+
+
+#: Mean cycles between outages on one pool at ``rate=1.0``.  Pools are
+#: sturdier than devices: an outage is a rack event, not a card event.
+DEFAULT_MEAN_POOL_GAP_CYCLES = 60_000.0
+
+#: Mean dark interval of a pool outage (exponential draw).  The drawn
+#: ``until`` is only the *earliest* readmission cycle — the fleet keeps
+#: the pool out until a probe job actually succeeds.
+DEFAULT_MEAN_OUTAGE_CYCLES = 15_000.0
+
+
+@dataclass
+class PoolChaosModel:
+    """Seeded fleet-scoped incident generator: whole-pool outages.
+
+    The fleet attaches one per :class:`~repro.runtime.pool.DevicePool`
+    (via :meth:`spawn`, same affine-seed discipline as
+    :meth:`ChaosModel.spawn`) and turns each drawn incident into
+    ``POOL_OUTAGE``/``POOL_RECOVER`` events on its own heap.  The
+    exponential gap/duration machinery is identical to the device
+    model's; only the kind vocabulary (:data:`POOL_CHAOS_KINDS`) and
+    the timescale defaults differ.  ``Incident.device_id`` holds the
+    *pool* index for fleet incidents.
+    """
+
+    rate: float
+    seed: int = 0
+    #: Incident frequency scale: mean up-gap is this / ``rate``.
+    mean_gap_cycles: float = DEFAULT_MEAN_POOL_GAP_CYCLES
+    mean_outage_cycles: float = DEFAULT_MEAN_OUTAGE_CYCLES
+    #: The spawn index identifying which pool this stream drives
+    #: (-1 for a base model that only spawns).
+    pool_id: int = -1
+    log: List[Incident] = field(default_factory=list, repr=False)
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.rate <= 1.0:  # also rejects nan
+            raise ConfigError(
+                f"pool-chaos rate must be in [0, 1], got {self.rate}")
+        for name in ("mean_gap_cycles", "mean_outage_cycles"):
+            if getattr(self, name) <= 0.0:
+                raise ConfigError(
+                    f"pool-chaos {name} must be positive, got "
+                    f"{getattr(self, name)}")
+        self._rng = random.Random(self.seed)
+
+    @classmethod
+    def parse(cls, spec: str) -> "PoolChaosModel":
+        """Build a model from the CLI's ``RATE[:SEED]`` syntax.
+
+        Shares :func:`parse_rate_spec` with ``--chaos`` and
+        ``--inject-faults``, so every malformed token fails with the
+        same message shape.  The optional KINDS field may only name
+        ``outage`` (the sole pool-scale kind).
+        """
+        rate, seed, kinds = parse_rate_spec(
+            "--pool-chaos", spec, POOL_CHAOS_KINDS)
+        del kinds  # only one kind exists; naming it is a no-op
+        return cls(rate=rate, seed=seed)
+
+    def spawn(self, index: int) -> "PoolChaosModel":
+        """An independently-seeded per-pool sibling for pool ``index``."""
+        return PoolChaosModel(
+            rate=self.rate,
+            seed=self.seed + 104_729 * (index + 1),
+            mean_gap_cycles=self.mean_gap_cycles,
+            mean_outage_cycles=self.mean_outage_cycles,
+            pool_id=index,
+        )
+
+    def reset(self) -> None:
+        """Rewind to the initial seeded state and clear the log."""
+        self._rng = random.Random(self.seed)
+        self.log.clear()
+
+    @property
+    def drawn(self) -> int:
+        return len(self.log)
+
+    def next_incident(self, now: float) -> Optional[Incident]:
+        """Draw the pool's next outage strictly after ``now``.
+
+        Called once at fleet start and once per *readmission* (not per
+        drawn ``until``): outages on one pool are strictly sequential,
+        and a pool that is still probing cannot draw its next outage.
+        Returns ``None`` when ``rate=0``.
+        """
+        if self.rate <= 0.0:
+            return None
+        gap = self._rng.expovariate(self.rate / self.mean_gap_cycles)
+        duration = self._rng.expovariate(1.0 / self.mean_outage_cycles)
+        incident = Incident(device_id=self.pool_id, kind="outage",
                             at=now + gap, until=now + gap + duration)
         self.log.append(incident)
         return incident

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.datasets import load_dataset
-from repro.errors import RejectedError
+from repro.errors import ConfigError, RejectedError
 from repro.kernels.spmv import to_csr
 from repro.runtime import (
     DevicePool,
@@ -460,3 +460,31 @@ class TestEventEngine:
         assert results[1].status is JobStatus.TIMEOUT
         assert results[1].finish_cycle > 1.0  # next wake after expiry
         assert report.events_processed > 0
+
+
+class TestSchedulerConfigValidation:
+    """Numeric knobs are validated when the config is *constructed*.
+
+    A zero ``max_batch`` used to silently disable batching and a zero
+    ``queue_depth`` rejected every job; both are misconfigurations and
+    die immediately with a ConfigError naming the field.
+    """
+
+    @pytest.mark.parametrize("kwargs,field", [
+        (dict(queue_depth=0), "queue_depth"),
+        (dict(queue_depth=-3), "queue_depth"),
+        (dict(max_attempts=0), "max_attempts"),
+        (dict(max_batch=0), "max_batch"),
+        (dict(max_batch=-1), "max_batch"),
+        (dict(high_priority_reserve=-1), "high_priority_reserve"),
+        (dict(hedge_after=0.0), "hedge_after"),
+        (dict(hedge_after=-1.5), "hedge_after"),
+    ])
+    def test_bad_knob_names_the_field(self, kwargs, field):
+        with pytest.raises(ConfigError, match=field):
+            SchedulerConfig(**kwargs)
+
+    def test_boundary_values_accepted(self):
+        cfg = SchedulerConfig(queue_depth=1, max_attempts=1,
+                              max_batch=1, high_priority_reserve=0)
+        assert cfg.queue_depth == 1

@@ -209,3 +209,93 @@ class TestModelParse:
         with pytest.raises(ConfigError) as exc:
             FaultModel.parse("oops")
         assert "--inject-faults" in str(exc.value)
+
+
+class TestPoolChaosModel:
+    """Fleet-scoped outages share the exponential machinery."""
+
+    def _model(self, **kw):
+        from repro.sim.chaos import PoolChaosModel
+        return PoolChaosModel(**kw)
+
+    def test_same_seed_same_sequence(self):
+        a = self._model(rate=0.5, seed=3)
+        b = self._model(rate=0.5, seed=3)
+        for _ in range(5):
+            ia, ib = a.next_incident(0.0), b.next_incident(0.0)
+            assert (ia.at, ia.until) == (ib.at, ib.until)
+            assert ia.kind == "outage"
+
+    def test_outages_are_strictly_sequential(self):
+        m = self._model(rate=1.0, seed=1)
+        now = 0.0
+        for _ in range(10):
+            inc = m.next_incident(now)
+            assert inc.at > now
+            assert inc.until > inc.at
+            now = inc.until
+
+    def test_zero_rate_never_draws(self):
+        assert self._model(rate=0.0).next_incident(0.0) is None
+
+    def test_spawn_is_deterministic_and_independent(self):
+        base = self._model(rate=0.8, seed=7)
+        p0a = base.spawn(0).next_incident(0.0)
+        p0b = base.spawn(0).next_incident(0.0)
+        p1 = base.spawn(1).next_incident(0.0)
+        assert (p0a.at, p0a.until) == (p0b.at, p0b.until)
+        assert (p0a.at, p0a.until) != (p1.at, p1.until)
+        assert base.spawn(2).pool_id == 2
+
+    @pytest.mark.parametrize("rate", [-0.1, 1.5, float("nan")])
+    def test_bad_rate(self, rate):
+        with pytest.raises(ConfigError, match="pool-chaos rate"):
+            self._model(rate=rate)
+
+    def test_parse_round_trip(self):
+        from repro.sim.chaos import PoolChaosModel
+        m = PoolChaosModel.parse("0.3:17")
+        assert (m.rate, m.seed) == (0.3, 17)
+        assert PoolChaosModel.parse("0.3").seed == 0
+
+
+class TestRateSpecConsumersAgree:
+    """Every RATE[:SEED[:KINDS]] flag fails the same way.
+
+    ``--chaos``, ``--inject-faults`` and ``--pool-chaos`` all parse
+    through :func:`~repro.sim.chaos.parse_rate_spec`; a malformed
+    token must produce the same message shape from each — naming the
+    flag, the bad token, and the spec — so an operator's muscle memory
+    transfers between them.
+    """
+
+    def _consumers(self):
+        from repro.sim.chaos import PoolChaosModel
+        return [
+            ("--chaos", ChaosModel.parse),
+            ("--inject-faults", FaultModel.parse),
+            ("--pool-chaos", PoolChaosModel.parse),
+        ]
+
+    @pytest.mark.parametrize("spec,token", [
+        ("junk", "'junk'"),
+        ("2.0", "'2.0'"),
+        ("0.5:x", "'x'"),
+        ("0.5:1:2:3", None),
+    ])
+    def test_malformed_tokens_fail_uniformly(self, spec, token):
+        for flag, parse in self._consumers():
+            with pytest.raises(ConfigError) as exc:
+                parse(spec)
+            msg = str(exc.value)
+            assert flag in msg, f"{flag} missing from: {msg}"
+            assert f"{spec!r}" in msg or "expects RATE" in msg
+            if token is not None:
+                assert token in msg, f"token not named in: {msg}"
+
+    def test_pool_chaos_rejects_foreign_kinds(self):
+        from repro.sim.chaos import PoolChaosModel
+        with pytest.raises(ConfigError, match="crash"):
+            PoolChaosModel.parse("0.5:1:crash")
+        # The one legal kind is accepted (and is the default anyway).
+        assert PoolChaosModel.parse("0.5:1:outage").rate == 0.5

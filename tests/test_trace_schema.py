@@ -1,0 +1,120 @@
+"""Trace-file schema versioning and load-time validation.
+
+``dump_trace`` writes a versioned ``{"version": N, "jobs": [...]}``
+envelope in canonical JSON; ``load_trace`` accepts that envelope plus
+the pre-envelope bare-list form (implicit version 1), and rejects
+everything else with a :class:`~repro.errors.ConfigError` that names
+the file and the offending key — a trace fixture that half-parses is
+worse than one that refuses loudly.
+"""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.runtime import TRACE_SCHEMA_VERSION, dump_trace, load_trace
+from repro.runtime.jobs import TraceSpec, make_trace
+
+
+@pytest.fixture
+def trace():
+    return make_trace(TraceSpec(n_requests=6, seed=3))
+
+
+def _write(tmp_path, payload):
+    path = tmp_path / "trace.json"
+    path.write_text(json.dumps(payload))
+    return str(path)
+
+
+class TestRoundTrip:
+    def test_dump_writes_versioned_envelope(self, trace, tmp_path):
+        path = str(tmp_path / "t.json")
+        n = dump_trace(trace, path)
+        raw = open(path).read()
+        assert len(raw) == n
+        payload = json.loads(raw)
+        assert payload["version"] == TRACE_SCHEMA_VERSION
+        assert len(payload["jobs"]) == len(trace)
+        # Canonical: re-encoding with the same conventions is a no-op.
+        assert raw == json.dumps(payload, sort_keys=True,
+                                 separators=(",", ":")) + "\n"
+
+    def test_round_trip_is_identity(self, trace, tmp_path):
+        path = str(tmp_path / "t.json")
+        dump_trace(trace, path)
+        assert load_trace(path) == trace
+
+    def test_legacy_bare_list_still_loads(self, trace, tmp_path):
+        from dataclasses import asdict
+        path = _write(tmp_path, [asdict(j) for j in trace])
+        assert load_trace(path) == trace
+
+
+class TestLoadValidation:
+    def test_future_version_refused(self, trace, tmp_path):
+        path = _write(tmp_path, {
+            "version": TRACE_SCHEMA_VERSION + 1, "jobs": []})
+        with pytest.raises(ConfigError) as exc:
+            load_trace(path)
+        assert path in str(exc.value)
+        assert str(TRACE_SCHEMA_VERSION + 1) in str(exc.value)
+
+    @pytest.mark.parametrize("version", [0, -1, "1", 1.0, True])
+    def test_non_positive_or_non_int_version(self, version, tmp_path):
+        path = _write(tmp_path, {"version": version, "jobs": []})
+        with pytest.raises(ConfigError, match="version"):
+            load_trace(path)
+
+    def test_unknown_top_level_key_named(self, tmp_path):
+        path = _write(tmp_path, {"version": 1, "jobs": [],
+                                 "extra": 1})
+        with pytest.raises(ConfigError, match="'extra'"):
+            load_trace(path)
+
+    @pytest.mark.parametrize("payload,needle", [
+        ({"jobs": []}, "'version'"),
+        ({"version": 1}, "'jobs'"),
+        ({"version": 1, "jobs": {}}, "list"),
+        ("a string", "got str"),
+    ])
+    def test_bad_envelope_shapes(self, payload, needle, tmp_path):
+        path = _write(tmp_path, payload)
+        with pytest.raises(ConfigError) as exc:
+            load_trace(path)
+        assert needle in str(exc.value)
+        assert path in str(exc.value)
+
+    def test_entry_with_unknown_key_named(self, trace, tmp_path):
+        from dataclasses import asdict
+        entry = asdict(trace[0])
+        entry["bogus_field"] = 1
+        path = _write(tmp_path, {"version": 1, "jobs": [entry]})
+        with pytest.raises(ConfigError) as exc:
+            load_trace(path)
+        assert "'bogus_field'" in str(exc.value)
+        assert "entry 0" in str(exc.value)
+
+    def test_entry_missing_required_key_named(self, trace, tmp_path):
+        from dataclasses import asdict
+        entry = asdict(trace[2])
+        del entry["deadline_cycles"]
+        path = _write(tmp_path, {"version": 1, "jobs": [entry]})
+        with pytest.raises(ConfigError) as exc:
+            load_trace(path)
+        assert "'deadline_cycles'" in str(exc.value)
+        assert "entry 0" in str(exc.value)
+
+    def test_entry_missing_optional_key_defaults(self, trace,
+                                                 tmp_path):
+        from dataclasses import asdict
+        entry = asdict(trace[0])
+        del entry["priority"]  # has a dataclass default
+        path = _write(tmp_path, {"version": 1, "jobs": [entry]})
+        assert load_trace(path)[0].priority == 0
+
+    def test_non_object_entry_rejected(self, tmp_path):
+        path = _write(tmp_path, {"version": 1, "jobs": [[1, 2]]})
+        with pytest.raises(ConfigError, match="entry 0"):
+            load_trace(path)
