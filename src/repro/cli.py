@@ -25,11 +25,23 @@ Commands
   optionally export Chrome/Perfetto JSON and run the invariant checks.
   ``run`` and ``serve`` also accept ``--trace FILE`` to export a trace
   of their normal execution.
+* ``serve --store DIR`` attaches a content-addressed artifact store:
+  compiled plans, device images and captured templates persist under
+  DIR, so a second run against the same store performs zero
+  programming-phase compilations (the printed ``store:`` line proves
+  it) while producing byte-identical reports.
+* ``cache {ls,gc,verify} --store DIR`` — manage an artifact store:
+  list stored artifacts, delete them (``--all`` or down to
+  ``--max-bytes``), or deep-verify every artifact (envelope checksums,
+  full decode, and — where source metadata is recorded —
+  recompile-and-byte-diff).  ``verify`` exits 1 naming each offending
+  key.
 
-Exit codes: 0 success; 1 validation failure (``validate``) or trace
-invariant violation (``trace --check``, ``serve --check``); 2 invalid
-input (dataset/format/config errors); 3 unrecovered injected fault;
-4 ``serve`` finished with at least one ``FAILED`` job.
+Exit codes: 0 success; 1 validation failure (``validate``), trace
+invariant violation (``trace --check``, ``serve --check``), or
+``cache verify`` finding a damaged/divergent artifact; 2 invalid
+input (dataset/format/config/store errors); 3 unrecovered injected
+fault; 4 ``serve`` finished with at least one ``FAILED`` job.
 """
 
 from __future__ import annotations
@@ -261,6 +273,10 @@ def cmd_serve(args) -> int:
         workload = load_trace(args.trace_file)
         n_requests = len(workload)
     chaos = ChaosModel.parse(args.chaos) if args.chaos else None
+    store = None
+    if args.store:
+        from repro.store import ArtifactStore
+        store = ArtifactStore(args.store, capacity=args.store_capacity)
     sched = SchedulerConfig(queue_depth=args.queue_depth,
                             max_batch=args.batch,
                             hedge_after=args.hedge)
@@ -278,7 +294,8 @@ def cmd_serve(args) -> int:
             scale=args.scale, trace=workload, scheduler_config=sched,
             tracer=tracer, chaos=chaos, pool_chaos=pool_chaos,
             fleet_config=FleetConfig(n_pools=args.pools,
-                                     replicas=args.replicas))
+                                     replicas=args.replicas),
+            artifact_store=store)
     else:
         # pools=1, replicas=1, no pool chaos: the exact solo path the
         # fingerprint corpus pins — no fleet layer in the loop at all.
@@ -286,7 +303,7 @@ def cmd_serve(args) -> int:
             n_requests=n_requests, n_devices=args.devices,
             fault_rate=args.fault_rate, seed=args.seed,
             scale=args.scale, trace=workload, scheduler_config=sched,
-            tracer=tracer, chaos=chaos)
+            tracer=tracer, chaos=chaos, artifact_store=store)
     batched = f", batch {args.batch}" if args.batch > 1 else ""
     stormy = f", chaos {args.chaos}" if args.chaos else ""
     hedged = f", hedge x{args.hedge:g}" if args.hedge else ""
@@ -300,6 +317,8 @@ def cmd_serve(args) -> int:
           f"device(s), fault rate {args.fault_rate:g}, "
           f"seed {args.seed}{batched}{stormy}{hedged}{fleety}{pooly}:")
     print(report.render())
+    if store is not None:
+        print(store.report().summary())
     _write_trace(tracer, args.trace)
     if args.report_json:
         payload = (fleet_report_json(report) if fleet_mode
@@ -323,6 +342,58 @@ def cmd_serve(args) -> int:
                   file=sys.stderr)
             return 1
         print("trace invariants: ok")
+    return 0
+
+
+def cmd_cache(args) -> int:
+    from repro.errors import StoreError
+    from repro.store import ArtifactStore
+
+    store = ArtifactStore(args.store)
+    if args.cache_cmd == "ls":
+        keys = store.keys()
+        total = 0
+        for key in keys:
+            try:
+                info = store.entry_info(key)
+            except StoreError as exc:
+                print(f"{key}  <unreadable: {exc}>")
+                continue
+            total += info["bytes"]
+            src = info["source"] or {}
+            origin = "-"
+            if src:
+                origin = f"{src.get('dataset')}@{src.get('scale')}"
+                if src.get("transform"):
+                    origin += f":{src['transform']}"
+            tpl = ",".join(info["templates"]) or "-"
+            print(f"{key}  {info['bytes']:>9} B  "
+                  f"n={info['n']} nnz={info['nnz']}  "
+                  f"src={origin}  templates={tpl}")
+        print(f"{len(keys)} artifact(s), {total} bytes in {store.root}")
+        return 0
+    if args.cache_cmd == "gc":
+        if not args.all and args.max_bytes is None:
+            from repro.errors import ConfigError
+            raise ConfigError("cache gc needs --all or --max-bytes N")
+        removed, freed = store.gc(max_bytes=args.max_bytes,
+                                  remove_all=args.all)
+        for key in removed:
+            print(f"removed {key}")
+        print(f"gc: removed {len(removed)} artifact(s), "
+              f"freed {freed} bytes")
+        return 0
+    # verify
+    keys = list(args.keys) or None
+    checked = keys if keys is not None else store.keys()
+    problems = store.verify(keys)
+    if problems:
+        for key, problem in problems:
+            print(f"FAIL {key}: {problem}", file=sys.stderr)
+        print(f"cache verify: {len(problems)} problem(s) in "
+              f"{len(checked)} artifact(s)", file=sys.stderr)
+        return 1
+    print(f"cache verify: {len(checked)} artifact(s) ok")
     return 0
 
 
@@ -530,7 +601,49 @@ def build_parser() -> argparse.ArgumentParser:
         help="record a trace and run the serving invariant checks "
              "(exit 1 on violation)",
     )
+    p.add_argument(
+        "--store", metavar="DIR", default=None,
+        help="content-addressed artifact store directory: compiled "
+             "plans, device images and templates persist here, so a "
+             "re-run against a primed store does zero programming-phase "
+             "compilations (see the printed 'store:' summary line)",
+    )
+    p.add_argument(
+        "--store-capacity", type=int, default=16, metavar="N",
+        help="in-process LRU capacity of the artifact store (entries)",
+    )
     p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "cache",
+        help="inspect and maintain a content-addressed artifact store",
+    )
+    cache_sub = p.add_subparsers(dest="cache_cmd", required=True,
+                                 metavar="ACTION")
+    c = cache_sub.add_parser("ls", help="list stored artifacts")
+    c.add_argument("--store", metavar="DIR", required=True,
+                   help="artifact store directory")
+    c.set_defaults(func=cmd_cache)
+    c = cache_sub.add_parser("gc", help="delete stored artifacts")
+    c.add_argument("--store", metavar="DIR", required=True,
+                   help="artifact store directory")
+    c.add_argument("--max-bytes", type=int, default=None, metavar="N",
+                   help="evict oldest artifacts until the store holds "
+                        "at most N bytes")
+    c.add_argument("--all", action="store_true",
+                   help="remove every artifact")
+    c.set_defaults(func=cmd_cache)
+    c = cache_sub.add_parser(
+        "verify",
+        help="deep-verify stored artifacts (checksums, full decode, and "
+             "recompile-and-byte-diff where source metadata allows); "
+             "exit 1 naming each damaged or divergent key",
+    )
+    c.add_argument("--store", metavar="DIR", required=True,
+                   help="artifact store directory")
+    c.add_argument("keys", nargs="*", metavar="KEY",
+                   help="specific content keys (default: every artifact)")
+    c.set_defaults(func=cmd_cache)
 
     p = sub.add_parser(
         "trace",
@@ -562,7 +675,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     from repro.errors import (ConfigError, CorruptionError, DatasetError,
-                              FaultError, FormatError)
+                              FaultError, FormatError, StoreError)
 
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -580,7 +693,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         except OSError:
             pass
         return 0
-    except (DatasetError, FormatError, ConfigError) as exc:
+    except (DatasetError, FormatError, ConfigError, StoreError) as exc:
         # User-facing input problems: one line on stderr, no traceback.
         msg = f"error: {exc}"
         if isinstance(exc, DatasetError) and "unknown dataset" in msg \

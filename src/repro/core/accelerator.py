@@ -122,6 +122,13 @@ class AlreschaConfig:
     #: untraced path: outputs and reports stay bit-identical and each
     #: instrumentation site costs one ``is None`` branch.
     tracer: Optional[Tracer] = None
+    #: Optional :class:`~repro.store.ArtifactStore` resolving the
+    #: programming phase — conversion, device image, and report/span
+    #: templates — through a content-addressed cache.  None (the
+    #: default) keeps every output bit-identical to the storeless path:
+    #: a *hit* returns artifacts verified byte-identical to a fresh
+    #: compile, and a miss compiles exactly as before.
+    artifact_store: Optional[object] = None
     energy_model: EnergyModel = field(default_factory=EnergyModel)
 
     @property
@@ -226,6 +233,10 @@ class Alrescha:
         #: tracer shadows ``config.tracer`` so template spans never leak
         #: into the user's trace (mirrors ``_suppress_faults``).
         self._capture_tracer: Optional[Tracer] = None
+        #: Content key of the programmed conversion when it was resolved
+        #: through ``config.artifact_store`` (None otherwise); the plan
+        #: layer uses it to load/persist captured templates.
+        self._store_key: Optional[str] = None
 
     @property
     def tracer(self) -> Optional[Tracer]:
@@ -241,12 +252,29 @@ class Alrescha:
     @classmethod
     def from_matrix(cls, kernel: KernelType, matrix,
                     config: Optional[AlreschaConfig] = None,
-                    reorder: bool = True) -> "Alrescha":
-        """Convert, program and return a ready accelerator."""
+                    reorder: bool = True,
+                    source: Optional[Dict[str, object]] = None
+                    ) -> "Alrescha":
+        """Convert, program and return a ready accelerator.
+
+        With ``config.artifact_store`` attached, the conversion is
+        resolved through the store (memory LRU, then the verified disk
+        artifact, then a cold compile that is persisted); ``source``
+        metadata (e.g. ``{"dataset": ..., "scale": ...}``) is recorded
+        so ``repro cache verify`` can recompile-and-diff later.
+        """
         acc = cls(config)
-        conv = convert(kernel, matrix, omega=acc.config.omega,
-                       reorder=reorder)
+        store = acc.config.artifact_store
+        key: Optional[str] = None
+        if store is not None:
+            conv, key = store.conversion(
+                kernel, matrix, acc.config, reorder=reorder,
+                source=source)
+        else:
+            conv = convert(kernel, matrix, omega=acc.config.omega,
+                           reorder=reorder)
         acc.program(conv)
+        acc._store_key = key
         return acc
 
     def program(self, conversion: ConversionResult) -> None:
@@ -300,6 +328,9 @@ class Alrescha:
         self._crosscheck_failures = 0
         self._plan_degraded = False
         self._force_verify = False
+        # A manual reprogram severs the link to any stored artifact; the
+        # store path (from_matrix) re-establishes it after programming.
+        self._store_key = None
         self._validate_symgs_diagonal()
 
     def _validate_symgs_diagonal(self) -> None:

@@ -28,6 +28,8 @@ import math
 import struct
 from typing import List, Tuple
 
+import numpy as np
+
 from repro.errors import ConfigError
 from repro.core.config import (
     NO_CACHE_WRITE,
@@ -141,14 +143,29 @@ def decode_program(data: bytes) -> Tuple[KernelType, ConfigTable]:
     kernel = _KERNEL_FROM_CODE[kcode]
     table = ConfigTable(n, omega)
     width = _index_width(table)
-    reader = BitReader(data[header_size:])
+    # Rows are fixed-width (2*width + 3 bits) and tightly packed, so
+    # the whole table unpacks in one vectorized pass instead of five
+    # Python-level bit reads per row — this is what keeps loading a
+    # stored artifact cheaper than recompiling it.
+    row_bits = 2 * width + 3
+    payload = np.frombuffer(data, dtype=np.uint8, offset=header_size)
+    if payload.size * 8 < count * row_bits:
+        raise ConfigError("binary truncated")
+    bits = np.unpackbits(payload, count=count * row_bits).reshape(
+        count, row_bits).astype(np.int64)
+    place = 1 << np.arange(width - 1, -1, -1, dtype=np.int64)
+    dependent_col = bits[:, 0] == 1
+    block_cols = bits[:, 1:1 + width] @ place
+    block_rows = bits[:, 1 + width:1 + 2 * width] @ place
+    r2l_col = bits[:, 1 + 2 * width] == 1
+    port2_col = bits[:, 2 + 2 * width] == 1
     base_dp = kernel.datapath
-    for _ in range(count):
-        dependent = reader.read(1) == 1
-        block_col = reader.read(width)
-        block_row = reader.read(width)
-        r2l = reader.read(1) == 1
-        port2 = reader.read(1) == 1
+    for i in range(count):
+        dependent = bool(dependent_col[i])
+        block_col = int(block_cols[i])
+        block_row = int(block_rows[i])
+        r2l = bool(r2l_col[i])
+        port2 = bool(port2_col[i])
         if kernel is KernelType.SYMGS:
             dp = DataPathType.D_SYMGS if dependent else DataPathType.GEMV
             inx_out = block_row * omega if dependent else NO_CACHE_WRITE

@@ -94,24 +94,31 @@ def decode_image(data: bytes) -> AlreschaMatrix:
     pos = header_size
     (n_blocks,) = struct.unpack(">I", data[pos:pos + 4])
     pos += 4
-    directory = []
+    # The directory and checksum table are fixed-width records — parse
+    # them in two vectorized reads rather than one struct.unpack per
+    # block (this path is hot when loading stored artifacts).
     entry_size = struct.calcsize(">IIBB")
-    for _ in range(n_blocks):
-        if pos + entry_size > len(data):
-            raise FormatError("device image truncated in block directory")
-        row, col, is_diag, reversed_cols = struct.unpack(
-            ">IIBB", data[pos:pos + entry_size])
-        directory.append((row, col, bool(is_diag), bool(reversed_cols)))
-        pos += entry_size
+    need = entry_size * n_blocks
+    if pos + need > len(data):
+        raise FormatError("device image truncated in block directory")
+    dir_arr = np.frombuffer(
+        data, count=n_blocks, offset=pos,
+        dtype=np.dtype([("row", ">u4"), ("col", ">u4"),
+                        ("diag", "u1"), ("rev", "u1")]))
+    directory = list(zip(dir_arr["row"].tolist(),
+                         dir_arr["col"].tolist(),
+                         (dir_arr["diag"] != 0).tolist(),
+                         (dir_arr["rev"] != 0).tolist()))
+    pos += need
     block_crcs: List[int] = []
     diag_crc: Optional[int] = None
     if checksummed:
         need = 4 * n_blocks + (4 if symgs else 0)
         if pos + need > len(data):
             raise FormatError("device image truncated in checksum table")
-        for _ in range(n_blocks):
-            block_crcs.append(struct.unpack(">I", data[pos:pos + 4])[0])
-            pos += 4
+        block_crcs = np.frombuffer(data, dtype=">u4", count=n_blocks,
+                                   offset=pos).tolist()
+        pos += 4 * n_blocks
         if symgs:
             diag_crc = struct.unpack(">I", data[pos:pos + 4])[0]
             pos += 4
@@ -133,19 +140,20 @@ def decode_image(data: bytes) -> AlreschaMatrix:
     payload_raw = data[pos:pos + need]
     payload = np.frombuffer(payload_raw, dtype=">f8").astype(np.float64)
     block_slots = omega * omega
+    values3d = payload.reshape(n_blocks, omega, omega) if n_blocks \
+        else payload.reshape(0, omega, omega)
+    raw_view = memoryview(payload_raw)
     blocks = []
     for i, (row, col, is_diag, reversed_cols) in enumerate(directory):
         if checksummed:
-            raw = payload_raw[i * block_slots * 8:(i + 1) * block_slots * 8]
+            raw = raw_view[i * block_slots * 8:(i + 1) * block_slots * 8]
             if zlib.crc32(raw) != block_crcs[i]:
                 raise CorruptionError(
                     f"device image payload block {i} (block row {row}, "
                     f"col {col}) fails its checksum"
                 )
-        values = payload[i * block_slots:(i + 1) * block_slots] \
-            .reshape(omega, omega).copy()
         blocks.append(StreamBlock(row, col, is_diag, reversed_cols,
-                                  values))
+                                  values3d[i].copy()))
     return AlreschaMatrix((n_rows, n_cols), omega, blocks, diagonal,
                           symgs)
 

@@ -747,6 +747,36 @@ def compile_pass(acc, kind: str):
     raise SimulationError(f"unknown pass kind {kind!r}")
 
 
+def _load_stored_template(acc, kind: str, k,
+                          traced: bool
+                          ) -> Optional[Tuple[SimReport, List[Span]]]:
+    """A stored template for this program, or None to capture afresh.
+
+    Only consulted when the accelerator's conversion was resolved
+    through an artifact store (``acc._store_key`` set).  A traced
+    accelerator requires the stored spans; templates persisted untraced
+    are then a miss, and the richer re-capture overwrites them.  Loaded
+    templates still flow through ``_verify_against_template`` when the
+    lowering is compiled, so a stale store entry fails loudly rather
+    than skewing reports.
+    """
+    store = acc.config.artifact_store
+    key = acc._store_key
+    if store is None or key is None:
+        return None
+    return store.load_template(key, kind, k=k, want_spans=traced)
+
+
+def _save_stored_template(acc, kind: str, k, report: SimReport,
+                          spans: Optional[List[Span]]) -> None:
+    """Persist a freshly captured template (``spans`` None = untraced)."""
+    store = acc.config.artifact_store
+    key = acc._store_key
+    if store is None or key is None:
+        return
+    store.save_template(key, kind, report, spans, k=k)
+
+
 def _capture_template(acc, kind: str) -> Tuple[SimReport, List[Span]]:
     """Replay the legacy interpreter once with neutral operands and keep
     its report — and, when the accelerator is traced, its spans (see the
@@ -760,8 +790,12 @@ def _capture_template(acc, kind: str) -> Tuple[SimReport, List[Span]]:
     replaces the user's for the replay, so template spans (anchored at
     cycle 0) never leak into the user's trace.
     """
+    traced = acc.config.tracer is not None
+    cached = _load_stored_template(acc, kind, None, traced)
+    if cached is not None:
+        return cached
     zeros = np.zeros(acc.n)
-    capture = Tracer() if acc.config.tracer is not None else None
+    capture = Tracer() if traced else None
     acc._suppress_faults = True
     acc._capture_tracer = capture
     try:
@@ -781,7 +815,10 @@ def _capture_template(acc, kind: str) -> Tuple[SimReport, List[Span]]:
     finally:
         acc._suppress_faults = False
         acc._capture_tracer = None
-    return report, (capture.spans if capture is not None else [])
+    spans = capture.spans if capture is not None else []
+    _save_stored_template(acc, kind, None, report,
+                          spans if traced else None)
+    return report, spans
 
 
 def _capture_batch_template(acc, kind: str,
@@ -796,22 +833,28 @@ def _capture_batch_template(acc, kind: str,
     captured lazily per width, so a program that never batches pays
     nothing.
     """
+    if kind not in ("spmv", "symgs"):
+        raise SimulationError(f"pass kind {kind!r} does not batch")
+    traced = acc.config.tracer is not None
+    cached = _load_stored_template(acc, kind, k, traced)
+    if cached is not None:
+        return cached
     zeros = np.zeros((acc.n, k))
-    capture = Tracer() if acc.config.tracer is not None else None
+    capture = Tracer() if traced else None
     acc._suppress_faults = True
     acc._capture_tracer = capture
     try:
         if kind == "spmv":
             report = acc.run_spmm(zeros)[1]
-        elif kind == "symgs":
-            report = acc._legacy_run_symgs_batch(zeros, zeros)[1]
         else:
-            raise SimulationError(
-                f"pass kind {kind!r} does not batch")
+            report = acc._legacy_run_symgs_batch(zeros, zeros)[1]
     finally:
         acc._suppress_faults = False
         acc._capture_tracer = None
-    return report, (capture.spans if capture is not None else [])
+    spans = capture.spans if capture is not None else []
+    _save_stored_template(acc, kind, k, report,
+                          spans if traced else None)
+    return report, spans
 
 
 def _compile_streaming(acc, kind: str) -> CompiledStreamingPass:

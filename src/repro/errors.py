@@ -67,6 +67,35 @@ class DeadlineError(ReproError):
     """
 
 
+class StoreError(ReproError):
+    """A content-addressed artifact store operation failed.
+
+    Base class for everything the :mod:`repro.store` layer raises;
+    loading code distinguishes :class:`StoreCorruptionError` (damaged
+    bytes) from :class:`StoreVersionError` (schema mismatch) so the
+    fallback policy can count them separately.
+    """
+
+
+class StoreCorruptionError(StoreError):
+    """A stored artifact is structurally damaged or fails a checksum.
+
+    Truncation, bad magic, a CRC mismatch anywhere in the envelope or a
+    section, or payload bytes the decoders reject.  Never served: the
+    store either raises this or falls back to recompilation, per its
+    configured policy.
+    """
+
+
+class StoreVersionError(StoreError):
+    """A stored artifact carries an unsupported schema version.
+
+    Artifacts written by a future (or ancient) store schema are refused
+    rather than half-parsed — the version check runs before any payload
+    is trusted.
+    """
+
+
 class ConvergenceError(ReproError):
     """An iterative solver failed to converge within its budget."""
 

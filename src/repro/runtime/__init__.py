@@ -106,6 +106,7 @@ def serve(n_requests: int, n_devices: int = 4, fault_rate: float = 0.0,
           execution: str = "simulate",
           chaos: Optional[ChaosModel] = None,
           hedge_after: Optional[float] = None,
+          artifact_store=None,
           **trace_kwargs) -> Tuple[List[JobResult], PoolReport]:
     """Serve a seeded workload trace over a fresh device pool.
 
@@ -142,6 +143,13 @@ def serve(n_requests: int, n_devices: int = 4, fault_rate: float = 0.0,
     Ignored when an explicit ``scheduler_config`` is supplied (set
     :attr:`SchedulerConfig.hedge_after` there instead; ``chaos`` still
     applies — it is pool state, not scheduler policy).
+
+    ``artifact_store`` (a :class:`~repro.store.ArtifactStore`) resolves
+    every device's programming phase through a content-addressed cache:
+    a primed store serves the whole run with zero compilations (its
+    :class:`~repro.store.StoreReport` counters prove it) while answers
+    and reports stay byte-identical.  ``None`` — the default — is the
+    storeless path, bit-identical to pre-store behaviour.
     """
     if trace is None:
         spec_kwargs = dict(n_requests=n_requests, seed=seed, scale=scale,
@@ -150,7 +158,8 @@ def serve(n_requests: int, n_devices: int = 4, fault_rate: float = 0.0,
             spec_kwargs["workloads"] = workloads
         trace = make_trace(TraceSpec(**spec_kwargs))
     pool = DevicePool(n_devices, fault_rate=fault_rate, seed=seed,
-                      tracer=tracer, execution=execution, chaos=chaos)
+                      tracer=tracer, execution=execution, chaos=chaos,
+                      artifact_store=artifact_store)
     if scheduler_config is None:
         scheduler_config = SchedulerConfig(max_batch=max_batch,
                                            hedge_after=hedge_after)

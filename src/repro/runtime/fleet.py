@@ -263,7 +263,8 @@ class Fleet:
                  scheduler_config: Optional[SchedulerConfig] = None,
                  tracer=None, execution: str = "simulate",
                  chaos: Optional[ChaosModel] = None,
-                 pool_chaos: Optional[PoolChaosModel] = None) -> None:
+                 pool_chaos: Optional[PoolChaosModel] = None,
+                 artifact_store=None) -> None:
         self.config = config
         self.seed = seed
         self.tracer = tracer
@@ -288,7 +289,8 @@ class Fleet:
                 n_devices, fault_rate=fault_rate,
                 seed=seed + _POOL_SEED_STRIDE * i,
                 tracer=tracer, execution=execution,
-                chaos=pool_chaos_model, track_prefix=f"p{i}.")
+                chaos=pool_chaos_model, track_prefix=f"p{i}.",
+                artifact_store=artifact_store)
             self.pools.append(pool)
             self.scheds.append(Scheduler(pool, self.scheduler_config,
                                          lifecycle=lifecycle))
@@ -707,6 +709,7 @@ def serve_fleet(n_requests: int, n_devices: int = 4,
                 hedge_after: Optional[float] = None,
                 pool_chaos: Optional[PoolChaosModel] = None,
                 fleet_config: Optional[FleetConfig] = None,
+                artifact_store=None,
                 **trace_kwargs) -> Tuple[List[JobResult], FleetReport]:
     """Serve a seeded workload trace over a replicated pool fleet.
 
@@ -729,5 +732,5 @@ def serve_fleet(n_requests: int, n_devices: int = 4,
                   fault_rate=fault_rate, seed=seed,
                   scheduler_config=scheduler_config, tracer=tracer,
                   execution=execution, chaos=chaos,
-                  pool_chaos=pool_chaos)
+                  pool_chaos=pool_chaos, artifact_store=artifact_store)
     return fleet.run(trace)

@@ -372,16 +372,19 @@ class Device:
         key = (job.dataset, job.scale, job.kernel)
         if key not in self._executors:
             matrix = pool.matrix(job.dataset, job.scale)
-            config = AlreschaConfig(fault_model=self.fault_model)
+            config = AlreschaConfig(fault_model=self.fault_model,
+                                    artifact_store=pool.artifact_store)
+            source = {"dataset": job.dataset, "scale": job.scale}
             if job.kernel == "spmv":
                 exe = Alrescha.from_matrix(KernelType.SPMV, matrix,
-                                           config=config)
+                                           config=config, source=source)
             elif job.kernel == "symgs":
                 exe = Alrescha.from_matrix(KernelType.SYMGS, matrix,
-                                           config=config)
+                                           config=config, source=source)
             elif job.kernel == "pcg":
                 from repro.solvers import AcceleratorBackend
-                exe = AcceleratorBackend(matrix, config=config)
+                exe = AcceleratorBackend(matrix, config=config,
+                                         source=source)
             else:
                 raise ConfigError(
                     f"unknown job kernel {job.kernel!r}; "
@@ -641,7 +644,8 @@ class DevicePool:
                  tracer=None, execution: str = "simulate",
                  operand_cache: int = DEFAULT_OPERAND_CACHE,
                  chaos: Optional["ChaosModel"] = None,
-                 track_prefix: str = "") -> None:
+                 track_prefix: str = "",
+                 artifact_store=None) -> None:
         if n_devices <= 0:
             raise ConfigError(
                 f"device pool needs at least one device, got {n_devices}")
@@ -693,6 +697,12 @@ class DevicePool:
         self._operands: "OrderedDict[Tuple[str, float, int], np.ndarray]" \
             = OrderedDict()
         self._operand_cache = operand_cache
+        #: Optional :class:`~repro.store.ArtifactStore` shared by every
+        #: device executor (and the golden device): programming-phase
+        #: state resolves through it, so a primed store serves warm
+        #: starts with zero compilations.  None is the storeless path,
+        #: bit-identical to pre-store behaviour.
+        self.artifact_store = artifact_store
         self._golden = Device(-1, None)
 
     def __len__(self) -> int:

@@ -60,6 +60,19 @@ class CounterSet:
     def __len__(self) -> int:
         return len(self._counts)
 
+    def __eq__(self, other: object) -> bool:
+        """Value equality with the zero-default convention: a counter
+        that was never touched equals one explicitly at ``0.0``, since
+        :meth:`get` cannot tell them apart.  Makes
+        :class:`~repro.core.report.SimReport` dataclass equality mean
+        *field-identical* — the store round-trip contract."""
+        if not isinstance(other, CounterSet):
+            return NotImplemented
+        for name in set(self._counts) | set(other._counts):
+            if self._counts.get(name, 0.0) != other._counts.get(name, 0.0):
+                return False
+        return True
+
     def items(self) -> Iterable[Tuple[str, float]]:
         return self._counts.items()
 

@@ -57,22 +57,26 @@ class AcceleratorBackend:
     name = "alrescha"
 
     def __init__(self, matrix, config: Optional[AlreschaConfig] = None,
-                 symmetric_smoother: bool = True) -> None:
+                 symmetric_smoother: bool = True,
+                 source: Optional[dict] = None) -> None:
         csr = matrix.tocsr() if sp.issparse(matrix) else sp.csr_matrix(
             np.asarray(matrix, dtype=np.float64))
         self.n = csr.shape[0]
         self.config = config or AlreschaConfig()
         self.symmetric_smoother = symmetric_smoother
         self._spmv_acc = Alrescha.from_matrix(
-            KernelType.SPMV, csr, config=self.config)
+            KernelType.SPMV, csr, config=self.config, source=source)
         self._symgs_acc = Alrescha.from_matrix(
-            KernelType.SYMGS, csr, config=self.config)
+            KernelType.SYMGS, csr, config=self.config, source=source)
         self._symgs_rev_acc: Optional[Alrescha] = None
         if symmetric_smoother:
             perm = np.arange(self.n)[::-1]
             reversed_csr = csr[perm][:, perm].tocsr()
+            rev_source = (None if source is None
+                          else {**source, "transform": "reverse"})
             self._symgs_rev_acc = Alrescha.from_matrix(
-                KernelType.SYMGS, reversed_csr, config=self.config)
+                KernelType.SYMGS, reversed_csr, config=self.config,
+                source=rev_source)
         if self.config.use_plan:
             # Compile the pass plans eagerly so the one-off lowering cost
             # is paid at backend construction, not inside the solver loop.

@@ -361,3 +361,77 @@ class TestChaosStormFixture:
         decoded = json.loads(a.read_text())
         assert decoded["crashes"] + decoded["hangs"] > 0
         assert decoded["failed"] == 0
+
+
+class TestStoreAndCache:
+    SERVE = ["serve", "--requests", "8", "--devices", "2",
+             "--seed", "3", "--scale", "0.02"]
+
+    def _serve_with_store(self, store_dir, extra=()):
+        return main(self.SERVE + ["--store", str(store_dir)]
+                    + list(extra))
+
+    def test_serve_store_warm_start_zero_compilations(
+            self, tmp_path, capsys):
+        store = tmp_path / "cache"
+        a = tmp_path / "a.json"
+        b = tmp_path / "b.json"
+        assert self._serve_with_store(
+            store, ["--report-json", str(a)]) == 0
+        cold = capsys.readouterr().out
+        assert "store: compiled=" in cold
+        assert "compiled=0" not in cold
+        assert self._serve_with_store(
+            store, ["--report-json", str(b)]) == 0
+        warm = capsys.readouterr().out
+        # The CI warm-start smoke's contract: zero programming work,
+        # byte-identical report.
+        assert "store: compiled=0" in warm
+        assert "captured=0" in warm
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_serve_without_store_prints_no_store_line(self, capsys):
+        assert main(self.SERVE) == 0
+        assert "store:" not in capsys.readouterr().out
+
+    def test_cache_ls_lists_artifacts(self, tmp_path, capsys):
+        store = tmp_path / "cache"
+        assert self._serve_with_store(store) == 0
+        capsys.readouterr()
+        assert main(["cache", "ls", "--store", str(store)]) == 0
+        out = capsys.readouterr().out
+        assert ".alra" not in out  # keys, not file names
+        assert "spmv-w8-" in out
+        assert "artifact(s)" in out
+
+    def test_cache_ls_empty_store(self, tmp_path, capsys):
+        assert main(["cache", "ls", "--store",
+                     str(tmp_path / "empty")]) == 0
+        assert "0 artifact(s), 0 bytes" in capsys.readouterr().out
+
+    def test_cache_gc_all(self, tmp_path, capsys):
+        store = tmp_path / "cache"
+        assert self._serve_with_store(store) == 0
+        capsys.readouterr()
+        assert main(["cache", "gc", "--store", str(store),
+                     "--all"]) == 0
+        out = capsys.readouterr().out
+        assert "removed" in out
+        assert list(store.glob("*.alra")) == []
+
+    def test_cache_gc_requires_a_bound(self, tmp_path, capsys):
+        assert main(["cache", "gc", "--store",
+                     str(tmp_path)]) == 2
+        assert "--max-bytes" in capsys.readouterr().err
+
+    def test_cache_verify_clean_and_damaged(self, tmp_path, capsys):
+        store = tmp_path / "cache"
+        assert self._serve_with_store(store) == 0
+        capsys.readouterr()
+        assert main(["cache", "verify", "--store", str(store)]) == 0
+        assert "ok" in capsys.readouterr().out
+        victim = sorted(store.glob("*.alra"))[0]
+        victim.write_bytes(victim.read_bytes()[:32])
+        assert main(["cache", "verify", "--store", str(store)]) == 1
+        err = capsys.readouterr().err
+        assert victim.name[:-len(".alra")] in err

@@ -1,0 +1,174 @@
+"""Artifact-store concurrency: two processes, one directory.
+
+Writes go to a process-unique temp file followed by ``os.replace``, so
+a reader never observes a half-written artifact: it sees either the
+old bytes, the new bytes, or no file — all of which the load path
+handles.  The subprocess tests drive two independent interpreters
+against one store directory; the gc tests cover stray-temp sweeping
+and deterministic size-bounded eviction.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.core.accelerator import AlreschaConfig
+from repro.core.config import KernelType
+from repro.store import ARTIFACT_SUFFIX, ArtifactStore
+
+from .conftest import make_spd_dense
+
+_REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+_WORKER = """
+import sys
+import numpy as np
+from repro.core.accelerator import Alrescha, AlreschaConfig
+from repro.core.config import KernelType
+from repro.store import ArtifactStore
+
+root, seed = sys.argv[1], int(sys.argv[2])
+store = ArtifactStore(root)
+gen = np.random.default_rng(3)  # same matrix in every process
+a = np.zeros((24, 24))
+i = gen.integers(0, 24, size=80)
+j = gen.integers(0, 24, size=80)
+a[i, j] = gen.normal(size=80)
+a = (a + a.T) / 2.0
+np.fill_diagonal(a, np.abs(a).sum(axis=1) + 1.0)
+
+for _ in range(4):
+    acc = Alrescha.from_matrix(
+        KernelType.SPMV, a,
+        config=AlreschaConfig(artifact_store=store))
+    x = np.random.default_rng(seed).normal(size=24)
+    y, _ = acc.run_spmv(x)
+rep = store.report()
+print(f"compiled={rep.conversions_compiled} "
+      f"loaded={rep.conversions_loaded} "
+      f"corrupt={rep.corrupt_fallbacks} "
+      f"crc={float(np.abs(y).sum()):.17g}")
+"""
+
+
+def _spawn(root, seed):
+    env = dict(os.environ)
+    src = os.path.join(_REPO, "src")
+    env["PYTHONPATH"] = src + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+    return subprocess.Popen(
+        [sys.executable, "-c", _WORKER, str(root), str(seed)],
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, env=env,
+        text=True)
+
+
+class TestTwoProcesses:
+    def test_concurrent_writers_never_corrupt(self, tmp_path):
+        """Both processes race to create the same artifact; whatever
+        interleaving os.replace produces, neither sees corruption and
+        the surviving file verifies."""
+        procs = [_spawn(tmp_path, seed) for seed in (1, 2)]
+        outs = [p.communicate(timeout=120) for p in procs]
+        for p, (out, err) in zip(procs, outs):
+            assert p.returncode == 0, err
+            assert "corrupt=0" in out
+        store = ArtifactStore(tmp_path)
+        assert len(store.keys()) == 1
+        assert store.verify() == []
+        # No temp droppings left behind.
+        assert [f for f in os.listdir(tmp_path)
+                if ".tmp." in f] == []
+
+    def test_second_process_loads_what_first_stored(self, tmp_path):
+        first = _spawn(tmp_path, 1)
+        out1, err1 = first.communicate(timeout=120)
+        assert first.returncode == 0, err1
+        assert "compiled=1" in out1
+
+        second = _spawn(tmp_path, 2)
+        out2, err2 = second.communicate(timeout=120)
+        assert second.returncode == 0, err2
+        assert "compiled=0" in out2
+        assert "loaded=1" in out2
+
+
+class TestAtomicity:
+    def test_temp_then_rename(self, tmp_path, monkeypatch):
+        """The artifact path never exists in a partial state: the bytes
+        land in a pid-tagged temp file first and appear at the final
+        name only via os.replace."""
+        observed = []
+        real_replace = os.replace
+
+        def spy(src, dst):
+            observed.append((os.path.basename(str(src)),
+                             os.path.basename(str(dst))))
+            return real_replace(src, dst)
+
+        monkeypatch.setattr(os, "replace", spy)
+        store = ArtifactStore(tmp_path)
+        store.conversion(KernelType.SPMV, make_spd_dense(12, seed=1),
+                         AlreschaConfig())
+        assert observed, "write bypassed the atomic-rename path"
+        for src, dst in observed:
+            assert f".tmp.{os.getpid()}" in src
+            assert dst.endswith(ARTIFACT_SUFFIX)
+
+
+class TestGc:
+    def _fill(self, store, count=3):
+        keys = []
+        for i in range(count):
+            _, key = store.conversion(
+                KernelType.SPMV, make_spd_dense(12 + 3 * i, seed=i),
+                AlreschaConfig())
+            keys.append(key)
+        return keys
+
+    def test_gc_sweeps_stray_temp_files(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        self._fill(store, count=1)
+        stray = tmp_path / f"dead{ARTIFACT_SUFFIX}.tmp.99999"
+        stray.write_bytes(b"half-written")
+        removed, freed = store.gc(max_bytes=None)
+        assert not stray.exists()
+        assert removed == []  # no size bound: artifacts stay
+        assert freed >= len(b"half-written")
+
+    def test_gc_oldest_first_until_under_budget(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        keys = self._fill(store)
+        sizes = {k: os.path.getsize(store.path_for(k)) for k in keys}
+        # Age order == insertion order; make it unambiguous.
+        for i, k in enumerate(keys):
+            os.utime(store.path_for(k), (1000 + i, 1000 + i))
+        budget = sizes[keys[1]] + sizes[keys[2]]
+        removed, freed = store.gc(max_bytes=budget)
+        assert removed == [keys[0]]
+        assert freed == sizes[keys[0]]
+        assert sorted(store.keys()) == sorted(keys[1:])
+
+    def test_gc_all_empties_store_and_memory(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        keys = self._fill(store)
+        removed, _ = store.gc(remove_all=True)
+        assert sorted(removed) == sorted(keys)
+        assert store.keys() == []
+        assert store.report().entries_in_memory == 0
+        # A fresh request recompiles rather than resurrecting memory.
+        store.conversion(KernelType.SPMV, make_spd_dense(12, seed=0),
+                         AlreschaConfig())
+        assert store.report().memory_hits == 0
+
+    def test_gc_determinism_on_mtime_ties(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        keys = self._fill(store)
+        for k in keys:
+            os.utime(store.path_for(k), (1000, 1000))
+        removed, _ = store.gc(max_bytes=0)
+        # Ties broken by key: removal order is sorted, reproducible.
+        assert removed == sorted(keys)
