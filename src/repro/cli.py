@@ -20,6 +20,10 @@ Commands
   multi-pool fleet (content-keyed routing, pool-outage failover) and
   prints a :class:`~repro.runtime.fleet.FleetReport` instead;
   ``--pool-chaos RATE[:SEED]`` adds seeded whole-pool outages.
+  ``--autoscale MIN:MAX[:COOLDOWN]`` makes pool capacity elastic,
+  ``--shape bursty+zipf`` shapes the generated arrivals/popularity,
+  and ``--record FILE`` captures the served trace for later
+  ``--trace-file`` replay.
 * ``trace KERNEL [--out FILE] [--check]`` — record a cycle-attributed
   span trace of one kernel run, print the per-phase attribution table,
   optionally export Chrome/Perfetto JSON and run the invariant checks.
@@ -259,7 +263,9 @@ def cmd_serve(args) -> int:
     Exit 4 when any job FAILED; exit 1 when ``--check`` found trace
     invariant violations.
     """
-    from repro.runtime import SchedulerConfig, load_trace, serve
+    from repro.runtime import (AutoscaleConfig, SchedulerConfig,
+                               TraceSpec, dump_trace, load_trace,
+                               make_trace, serve)
     from repro.runtime.metrics import report_json
     from repro.sim.chaos import ChaosModel
 
@@ -272,6 +278,21 @@ def cmd_serve(args) -> int:
     if args.trace_file:
         workload = load_trace(args.trace_file)
         n_requests = len(workload)
+    elif args.shape != "exponential" or args.record:
+        # Build the trace explicitly (same spec serve() would build)
+        # so shaped arrivals apply and --record can capture exactly
+        # what is served.  The plain default path stays inside serve()
+        # untouched — the fingerprint corpus pins it.
+        workload = make_trace(TraceSpec(n_requests=n_requests,
+                                        seed=args.seed,
+                                        scale=args.scale,
+                                        shape=args.shape))
+    if args.record and workload is not None:
+        nbytes = dump_trace(workload, args.record)
+        print(f"trace recorded: {args.record} ({len(workload)} jobs, "
+              f"{nbytes} bytes)")
+    autoscale = (AutoscaleConfig.parse(args.autoscale)
+                 if args.autoscale else None)
     chaos = ChaosModel.parse(args.chaos) if args.chaos else None
     store = None
     if args.store:
@@ -295,7 +316,7 @@ def cmd_serve(args) -> int:
             tracer=tracer, chaos=chaos, pool_chaos=pool_chaos,
             fleet_config=FleetConfig(n_pools=args.pools,
                                      replicas=args.replicas),
-            artifact_store=store)
+            artifact_store=store, autoscale=autoscale)
     else:
         # pools=1, replicas=1, no pool chaos: the exact solo path the
         # fingerprint corpus pins — no fleet layer in the loop at all.
@@ -303,10 +324,14 @@ def cmd_serve(args) -> int:
             n_requests=n_requests, n_devices=args.devices,
             fault_rate=args.fault_rate, seed=args.seed,
             scale=args.scale, trace=workload, scheduler_config=sched,
-            tracer=tracer, chaos=chaos, artifact_store=store)
+            tracer=tracer, chaos=chaos, artifact_store=store,
+            autoscale=autoscale)
     batched = f", batch {args.batch}" if args.batch > 1 else ""
     stormy = f", chaos {args.chaos}" if args.chaos else ""
     hedged = f", hedge x{args.hedge:g}" if args.hedge else ""
+    shaped = (f", shape {args.shape}"
+              if args.shape != "exponential" else "")
+    elastic = f", autoscale {args.autoscale}" if args.autoscale else ""
     fleety = (f", {args.pools} pool(s) x{args.replicas} replicas"
               if fleet_mode else "")
     pooly = (f", pool-chaos {args.pool_chaos}"
@@ -315,7 +340,8 @@ def cmd_serve(args) -> int:
               if args.trace_file else f"{n_requests} requests")
     print(f"served {source} over {args.devices} "
           f"device(s), fault rate {args.fault_rate:g}, "
-          f"seed {args.seed}{batched}{stormy}{hedged}{fleety}{pooly}:")
+          f"seed {args.seed}{batched}{shaped}{elastic}{stormy}{hedged}"
+          f"{fleety}{pooly}:")
     print(report.render())
     if store is not None:
         print(store.report().summary())
@@ -565,6 +591,27 @@ def build_parser() -> argparse.ArgumentParser:
         help="replay a canonical-JSON workload trace (written by "
              "repro.runtime.dump_trace) instead of generating one; "
              "overrides --requests",
+    )
+    p.add_argument(
+        "--record", metavar="FILE", default=None,
+        help="capture the served workload trace to FILE in the "
+             "versioned canonical-JSON format, so a later "
+             "--trace-file FILE replays exactly the same jobs",
+    )
+    p.add_argument(
+        "--shape", default="exponential", metavar="SHAPE",
+        help="arrival/popularity shape of the generated trace: "
+             "'exponential' (the plain default), or '+'-composable "
+             "'bursty', 'diurnal', 'zipf' (e.g. bursty+zipf); ignored "
+             "when replaying --trace-file",
+    )
+    p.add_argument(
+        "--autoscale", metavar="MIN:MAX[:COOLDOWN]", default=None,
+        help="elastic per-pool capacity: --devices is the starting "
+             "size, scaled within [MIN, MAX] by queue-depth and "
+             "device-health signals with drain-before-remove "
+             "semantics (COOLDOWN cycles of hysteresis between "
+             "actions)",
     )
     p.add_argument(
         "--pools", type=int, default=1, metavar="N",

@@ -13,6 +13,7 @@ from repro.observe.invariants import (
     check_hedge_cancellation,
     check_no_service_after_timeout,
     check_no_service_in_downtime,
+    check_no_service_on_draining_device,
     check_proper_nesting,
     check_reconfig_hidden,
     check_row_ordering,
@@ -33,6 +34,7 @@ __all__ = [
     "check_hedge_cancellation",
     "check_no_service_after_timeout",
     "check_no_service_in_downtime",
+    "check_no_service_on_draining_device",
     "check_proper_nesting",
     "check_reconfig_hidden",
     "check_row_ordering",

@@ -44,6 +44,12 @@ counters cannot express:
   re-route cycle, and *some* trace evidence for the job under the
   target pool's prefix — the job's attempt history must name both
   pools.
+* :func:`check_no_service_on_draining_device` — once an autoscale
+  drain begins for a device (the ``drain`` span on the ``autoscale``
+  track), no ``job`` span may *begin* on that device's track at or
+  after the drain's start: a draining device finishes its in-flight
+  work but takes no new placements, and a retired device never serves
+  again.
 
 Fleet traces prefix every per-pool track with ``p<i>.`` (see
 :class:`~repro.runtime.pool.DevicePool`'s ``track_prefix``); all
@@ -68,8 +74,9 @@ EPS = 1e-6
 #: across a whole pool, and the ``fleet`` track holds pool-scoped
 #: outage windows that may overlap across pools — so nesting is not an
 #: invariant on any of them (prefixed fleet variants like ``p2.chaos``
-#: included).
-CONCURRENT_TRACKS = ("reference", "chaos", "fleet")
+#: included).  The ``autoscale`` track likewise holds per-device drain
+#: windows that may overlap each other.
+CONCURRENT_TRACKS = ("reference", "chaos", "fleet", "autoscale")
 
 #: A per-device track: optional ``p<i>.`` pool prefix + ``device<d>``.
 _DEVICE_TRACK_RE = re.compile(r"^(?:(p\d+)\.)?device(\d+)$")
@@ -400,6 +407,44 @@ def check_reroute_attribution(tracer: Tracer) -> List[str]:
     return violations
 
 
+def check_no_service_on_draining_device(tracer: Tracer) -> List[str]:
+    """No new job starts on a device once its autoscale drain begins.
+
+    The autoscaler spans every drain under the ``drain`` category on
+    the ``autoscale`` track (``p<i>.autoscale`` in fleets), carrying a
+    ``device`` arg and running from drain start to retirement.  A
+    draining device finishes its in-flight work — a ``job`` span that
+    began *before* the drain may legitimately stretch into it — but
+    accepts no new placements, and the retired device never serves
+    again.  So any ``job`` span on the matching device track that
+    *begins* at or after the drain's start is a violation, whether it
+    lands inside the drain window or after retirement.
+    """
+    violations = []
+    drains: Dict[Tuple[str, int], List[Span]] = {}
+    for s in tracer.spans:
+        base = s.track.rsplit(".", 1)[-1]
+        if base == "autoscale" and s.cat == "drain" and not s.instant:
+            prefix = s.track[:len(s.track) - len("autoscale")]
+            drains.setdefault(
+                (prefix, int(s.args["device"])), []).append(s)
+    if not drains:
+        return violations
+    for s in tracer.spans:
+        if s.cat != "job" or s.instant:
+            continue
+        parsed = _device_track(s.track)
+        if parsed is None:
+            continue
+        for d in drains.get(parsed, ()):
+            if s.begin >= d.begin - EPS:
+                violations.append(
+                    f"{s.track}: job {s.name!r} begins at "
+                    f"{s.begin:.2f} on or after the device's drain "
+                    f"started at {d.begin:.2f}")
+    return violations
+
+
 def phase_cycle_totals(tracer: Tracer,
                        track: str = "engine") -> Dict[str, float]:
     """Total cycles per (cat, name) phase on a track — the quantity the
@@ -425,4 +470,5 @@ def check_trace(tracer: Tracer) -> List[str]:
     violations.extend(check_hedge_cancellation(tracer))
     violations.extend(check_no_service_in_pool_outage(tracer))
     violations.extend(check_reroute_attribution(tracer))
+    violations.extend(check_no_service_on_draining_device(tracer))
     return violations

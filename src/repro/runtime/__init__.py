@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Tuple
 
+from repro.runtime.autoscale import AutoscaleConfig, Autoscaler
 from repro.runtime.events import Event, EventKind, EventQueue
 from repro.runtime.jobs import (
     JOB_KERNELS,
@@ -33,6 +34,7 @@ from repro.runtime.jobs import (
     make_trace,
 )
 from repro.runtime.metrics import (
+    AutoscaleReport,
     DeviceStats,
     PoolReport,
     build_report,
@@ -61,6 +63,9 @@ from repro.sim.chaos import ChaosModel, Incident, PoolChaosModel
 __all__ = [
     "JOB_KERNELS",
     "Attempt",
+    "AutoscaleConfig",
+    "AutoscaleReport",
+    "Autoscaler",
     "ChaosModel",
     "CircuitBreaker",
     "Device",
@@ -107,6 +112,7 @@ def serve(n_requests: int, n_devices: int = 4, fault_rate: float = 0.0,
           chaos: Optional[ChaosModel] = None,
           hedge_after: Optional[float] = None,
           artifact_store=None,
+          autoscale: Optional[AutoscaleConfig] = None,
           **trace_kwargs) -> Tuple[List[JobResult], PoolReport]:
     """Serve a seeded workload trace over a fresh device pool.
 
@@ -150,6 +156,14 @@ def serve(n_requests: int, n_devices: int = 4, fault_rate: float = 0.0,
     :class:`~repro.store.StoreReport` counters prove it) while answers
     and reports stay byte-identical.  ``None`` — the default — is the
     storeless path, bit-identical to pre-store behaviour.
+
+    ``autoscale`` (an :class:`~repro.runtime.autoscale.AutoscaleConfig`)
+    makes the pool's device count elastic: ``n_devices`` is the
+    starting size, grown to ``min_devices`` at cycle 0 if below the
+    floor, then scaled within ``[min_devices, max_devices]`` by
+    queue-depth and health signals with drain-before-remove semantics.
+    ``None`` — the default — keeps capacity frozen and the report
+    field-identical to the pre-autoscale runtime.
     """
     if trace is None:
         spec_kwargs = dict(n_requests=n_requests, seed=seed, scale=scale,
@@ -163,5 +177,5 @@ def serve(n_requests: int, n_devices: int = 4, fault_rate: float = 0.0,
     if scheduler_config is None:
         scheduler_config = SchedulerConfig(max_batch=max_batch,
                                            hedge_after=hedge_after)
-    scheduler = Scheduler(pool, scheduler_config)
+    scheduler = Scheduler(pool, scheduler_config, autoscale=autoscale)
     return scheduler.run(trace)

@@ -47,6 +47,18 @@ Event vocabulary (:class:`EventKind`):
     successful probe job.  These live on the *fleet's* event queue
     (``key`` is the pool id), appended after every per-pool kind so
     the chaos-free coincident order inside one pool is untouched.
+``SCALE_EVAL`` / ``DEVICE_ADD`` / ``DEVICE_DRAIN``
+    Elastic-capacity events driven by the
+    :class:`~repro.runtime.autoscale.Autoscaler`: a periodic
+    ``SCALE_EVAL`` samples queue depth and per-device health on the
+    simulated clock and may decide to grow or shrink the pool; a
+    scale-up lands as a ``DEVICE_ADD`` after the provisioning delay
+    (``key`` is the new device's id); a scale-down marks a device
+    *draining* immediately and retires it when its ``DEVICE_DRAIN``
+    finds it idle (re-armed while in-flight work remains).  All three
+    are appended after every pre-existing kind, so the autoscale-free
+    coincident order — and therefore every report the fingerprint
+    corpus pins — is untouched.
 
 Total ordering
 --------------
@@ -98,6 +110,9 @@ class EventKind(enum.IntEnum):
     HEDGE_TIMER = 8
     POOL_OUTAGE = 9
     POOL_RECOVER = 10
+    SCALE_EVAL = 11
+    DEVICE_ADD = 12
+    DEVICE_DRAIN = 13
 
 
 class Event(NamedTuple):

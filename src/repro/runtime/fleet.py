@@ -49,9 +49,10 @@ from dataclasses import asdict, dataclass, replace
 from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 from repro.errors import ConfigError
+from repro.runtime.autoscale import AutoscaleConfig
 from repro.runtime.events import EventKind, EventQueue
 from repro.runtime.jobs import Job, JobResult, JobStatus, TraceSpec, make_trace
-from repro.runtime.metrics import PoolReport, percentile
+from repro.runtime.metrics import AutoscaleReport, PoolReport, percentile
 from repro.runtime.pool import DevicePool, value_crc
 from repro.runtime.scheduler import Eviction, Scheduler, SchedulerConfig
 from repro.sim.chaos import ChaosModel, PoolChaosModel
@@ -92,7 +93,9 @@ class FleetConfig:
     #: failover is honest occupancy, never free.
     reroute_cycles: float = 500.0
     #: A content key is *hot* (gets replicated) when it carries at
-    #: least this fraction of the trace's jobs.
+    #: least this fraction of the trace's jobs.  ``0.0`` disables
+    #: replication entirely; ``1.0`` replicates only a key that
+    #: carries the whole trace.
     hot_fraction: float = 0.1
     #: Gap before retrying a failed readmission probe.
     probe_retry_cycles: float = 2_000.0
@@ -173,6 +176,11 @@ class FleetReport:
     #: (re-routed jobs measure from their original arrival).
     latency_p50_cycles: float
     latency_p99_cycles: float
+    #: Fleet-wide elastic-capacity aggregate (per-pool counters
+    #: summed; bounds are the shared config's).  ``None`` whenever
+    #: autoscaling was off, keeping the report field-identical to the
+    #: pre-autoscale fleet.
+    autoscale: Optional[AutoscaleReport] = None
     pool_stats: Tuple[PoolStats, ...] = ()
 
     @property
@@ -203,6 +211,14 @@ class FleetReport:
             f"latency p50     : {self.latency_p50_cycles:,.0f} cycles",
             f"latency p99     : {self.latency_p99_cycles:,.0f} cycles",
         ]
+        if self.autoscale is not None:
+            a = self.autoscale
+            lines.append(
+                f"autoscale       : [{a.min_devices}, "
+                f"{a.max_devices}] per pool, {a.scale_ups} ups, "
+                f"{a.scale_downs} downs "
+                f"({a.device_cycles_provisioned:,.0f} device-cycles, "
+                f"{a.prime_hits} prime hits)")
         for p in self.pool_stats:
             r = p.report
             lines.append(
@@ -264,8 +280,10 @@ class Fleet:
                  tracer=None, execution: str = "simulate",
                  chaos: Optional[ChaosModel] = None,
                  pool_chaos: Optional[PoolChaosModel] = None,
-                 artifact_store=None) -> None:
+                 artifact_store=None,
+                 autoscale: Optional[AutoscaleConfig] = None) -> None:
         self.config = config
+        self.autoscale = autoscale
         self.seed = seed
         self.tracer = tracer
         self.scheduler_config = scheduler_config or SchedulerConfig()
@@ -293,7 +311,8 @@ class Fleet:
                 artifact_store=artifact_store)
             self.pools.append(pool)
             self.scheds.append(Scheduler(pool, self.scheduler_config,
-                                         lifecycle=lifecycle))
+                                         lifecycle=lifecycle,
+                                         autoscale=autoscale))
         # ---- run state
         self._events = EventQueue()
         self._records: Dict[int, _JobRecord] = {}
@@ -343,11 +362,15 @@ class Fleet:
         for j in ordered:
             key = content_key(j)
             counts[key] = counts.get(key, 0) + 1
+        # Boundary semantics pinned at both ends: ``hot_fraction=0.0``
+        # replicates nothing (a zero floor used to make *every* key
+        # "hot", since all counts are >= 0), and ``1.0`` replicates
+        # only a key carrying the entire trace.
         hot_floor = self.config.hot_fraction * len(ordered)
         replica_sets: Dict[ContentKey, Tuple[int, ...]] = {}
         for key, count in counts.items():
-            width = (min(self.config.replicas, n)
-                     if count >= hot_floor else 1)
+            hot = hot_floor > 0.0 and count >= hot_floor
+            width = min(self.config.replicas, n) if hot else 1
             home = home_pool(key, n)
             replica_sets[key] = tuple((home + k) % n
                                       for k in range(width))
@@ -669,6 +692,28 @@ class Fleet:
                 report=pool_reports[i],
             )
             for i in range(self.config.n_pools))
+        autoscale_agg = None
+        scaled = [r.autoscale for r in pool_reports
+                  if r.autoscale is not None]
+        if scaled:
+            # Per-pool counters sum; the bounds are the shared
+            # config's (identical across pools) and the peak/final
+            # counts sum to fleet-wide device totals.
+            autoscale_agg = AutoscaleReport(
+                min_devices=scaled[0].min_devices,
+                max_devices=scaled[0].max_devices,
+                evals=sum(a.evals for a in scaled),
+                scale_ups=sum(a.scale_ups for a in scaled),
+                scale_downs=sum(a.scale_downs for a in scaled),
+                devices_added=sum(a.devices_added for a in scaled),
+                devices_retired=sum(a.devices_retired
+                                    for a in scaled),
+                devices_peak=sum(a.devices_peak for a in scaled),
+                devices_final=sum(a.devices_final for a in scaled),
+                device_cycles_provisioned=sum(
+                    a.device_cycles_provisioned for a in scaled),
+                prime_hits=sum(a.prime_hits for a in scaled),
+            )
         answered = len(latencies)
         throughput = (answered / (makespan / 1e6)) if makespan > 0 \
             else 0.0
@@ -692,6 +737,7 @@ class Fleet:
             throughput_per_mcycle=throughput,
             latency_p50_cycles=percentile(latencies, 50.0),
             latency_p99_cycles=percentile(latencies, 99.0),
+            autoscale=autoscale_agg,
             pool_stats=pool_stats,
         )
         return ordered, report
@@ -710,14 +756,18 @@ def serve_fleet(n_requests: int, n_devices: int = 4,
                 pool_chaos: Optional[PoolChaosModel] = None,
                 fleet_config: Optional[FleetConfig] = None,
                 artifact_store=None,
+                autoscale: Optional[AutoscaleConfig] = None,
                 **trace_kwargs) -> Tuple[List[JobResult], FleetReport]:
     """Serve a seeded workload trace over a replicated pool fleet.
 
     The fleet analogue of :func:`repro.runtime.serve`, sharing its
     trace/pool/scheduler parameters; ``fleet_config`` adds the pool
-    count, replication and failover knobs, and ``pool_chaos`` attaches
-    seeded whole-pool outages.  Two calls with identical arguments
-    produce a byte-identical :func:`fleet_report_json`.
+    count, replication and failover knobs, ``pool_chaos`` attaches
+    seeded whole-pool outages, and ``autoscale`` (an
+    :class:`~repro.runtime.autoscale.AutoscaleConfig`) makes every
+    pool's device count elastic within the shared bounds.  Two calls
+    with identical arguments produce a byte-identical
+    :func:`fleet_report_json`.
     """
     if trace is None:
         spec_kwargs = dict(n_requests=n_requests, seed=seed,
@@ -732,5 +782,6 @@ def serve_fleet(n_requests: int, n_devices: int = 4,
                   fault_rate=fault_rate, seed=seed,
                   scheduler_config=scheduler_config, tracer=tracer,
                   execution=execution, chaos=chaos,
-                  pool_chaos=pool_chaos, artifact_store=artifact_store)
+                  pool_chaos=pool_chaos, artifact_store=artifact_store,
+                  autoscale=autoscale)
     return fleet.run(trace)

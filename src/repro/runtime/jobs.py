@@ -25,11 +25,20 @@ from __future__ import annotations
 
 import enum
 import json
+import math
 import random
 from dataclasses import MISSING, asdict, dataclass, fields
 from typing import List, Tuple
 
 from repro.errors import ConfigError
+
+#: Composable arrival/popularity shapes :func:`make_trace` understands.
+#: ``exponential`` is the historical plain-Poisson trace; the others
+#: combine with ``+`` (e.g. ``"bursty+zipf"``): ``bursty`` switches the
+#: arrival rate through a doubly-stochastic on/off burst process,
+#: ``diurnal`` modulates it sinusoidally, and ``zipf`` skews workload
+#: popularity by rank instead of sampling uniformly.
+TRACE_SHAPES = ("exponential", "bursty", "diurnal", "zipf")
 
 #: Kernels a job may request.  ``spmv``/``symgs`` are single accelerator
 #: passes; ``pcg`` is a short full solve (SpMV + SymGS inner loop).
@@ -136,21 +145,133 @@ class TraceSpec:
     #: Priority classes and their sampling weights.
     priorities: Tuple[int, ...] = (0, 1, 2)
     priority_weights: Tuple[float, ...] = (0.7, 0.2, 0.1)
+    #: Arrival/popularity shape: ``"exponential"`` (the historical
+    #: plain-Poisson draw sequence, byte-identical to pre-shape
+    #: traces) or a ``+``-combination of ``bursty``/``diurnal``/
+    #: ``zipf`` — see :data:`TRACE_SHAPES`.
+    shape: str = "exponential"
+    #: ``bursty``: arrival rate multiplier while a burst is on, and the
+    #: mean dwell cycles of the on/off states (exponentially drawn).
+    burst_factor: float = 6.0
+    burst_mean_cycles: float = 8_000.0
+    quiet_mean_cycles: float = 24_000.0
+    #: ``diurnal``: sinusoidal rate-cycle period and relative
+    #: amplitude (0 flat, must stay < 1 so the rate never vanishes).
+    diurnal_period_cycles: float = 200_000.0
+    diurnal_amplitude: float = 0.8
+    #: ``zipf``: workload ``r`` (0-based rank in ``workloads``) is
+    #: drawn with weight ``1 / (r + 1) ** zipf_exponent``.
+    zipf_exponent: float = 1.1
+
+    def __post_init__(self) -> None:
+        parts = self.shape.split("+") if self.shape else [""]
+        if len(set(parts)) != len(parts):
+            raise ConfigError(
+                f"trace shape {self.shape!r} repeats a component")
+        for part in parts:
+            if part not in TRACE_SHAPES:
+                raise ConfigError(
+                    f"unknown trace shape {part!r} in {self.shape!r}; "
+                    f"known: {TRACE_SHAPES}")
+        if "exponential" in parts and len(parts) > 1:
+            raise ConfigError(
+                f"trace shape {self.shape!r}: 'exponential' is the "
+                f"plain baseline and cannot combine with other shapes")
+        if self.burst_factor < 1.0:
+            raise ConfigError(
+                f"burst_factor must be >= 1, got {self.burst_factor}")
+        if self.burst_mean_cycles <= 0 or self.quiet_mean_cycles <= 0:
+            raise ConfigError(
+                f"burst/quiet dwell means must be positive, got "
+                f"{self.burst_mean_cycles}/{self.quiet_mean_cycles}")
+        if self.diurnal_period_cycles <= 0:
+            raise ConfigError(
+                f"diurnal_period_cycles must be positive, got "
+                f"{self.diurnal_period_cycles}")
+        if not 0.0 <= self.diurnal_amplitude < 1.0:
+            raise ConfigError(
+                f"diurnal_amplitude must be in [0, 1), got "
+                f"{self.diurnal_amplitude}")
+        if self.zipf_exponent <= 0:
+            raise ConfigError(
+                f"zipf_exponent must be positive, got "
+                f"{self.zipf_exponent}")
 
 
 def make_trace(spec: TraceSpec) -> List[Job]:
     """Generate a seeded workload trace.
 
     Deterministic: one ``random.Random(spec.seed)`` stream drives every
-    draw, so a fixed spec reproduces the identical trace.
+    draw, so a fixed spec reproduces the identical trace.  The default
+    ``shape="exponential"`` runs the exact historical draw sequence —
+    pre-shape specs reproduce byte-identical traces; the shaped
+    generator (``bursty``/``diurnal``/``zipf``, composable with ``+``)
+    layers rate modulation and popularity skew on the same single-RNG
+    discipline.
     """
     rng = random.Random(spec.seed)
     jobs: List[Job] = []
     cycle = 0.0
+    if spec.shape == "exponential":
+        for i in range(spec.n_requests):
+            cycle += rng.expovariate(
+                1.0 / spec.mean_interarrival_cycles)
+            dataset, kernel = spec.workloads[
+                rng.randrange(len(spec.workloads))]
+            if rng.random() < spec.zero_deadline_prob:
+                deadline = 0.0
+            else:
+                deadline = rng.uniform(*spec.deadline_range)
+            priority = rng.choices(spec.priorities,
+                                   weights=spec.priority_weights)[0]
+            jobs.append(Job(
+                job_id=i,
+                kernel=kernel,
+                dataset=dataset,
+                scale=spec.scale,
+                arrival_cycle=cycle,
+                deadline_cycles=deadline,
+                priority=priority,
+                seed=spec.seed * 100_003 + i,
+            ))
+        return jobs
+
+    parts = set(spec.shape.split("+"))
+    bursty = "bursty" in parts
+    diurnal = "diurnal" in parts
+    zipf = "zipf" in parts
+    # Zipf-by-rank popularity: workloads keep their declared order, so
+    # rank 0 (the first pair) is the hot one under every seed.
+    weights = ([1.0 / (rank + 1) ** spec.zipf_exponent
+                for rank in range(len(spec.workloads))]
+               if zipf else None)
+    # Doubly-stochastic burst process: the on/off state itself is
+    # random (exponential dwells), and arrivals within a state are a
+    # Poisson process at that state's rate.
+    in_burst = False
+    burst_until = (rng.expovariate(1.0 / spec.quiet_mean_cycles)
+                   if bursty else 0.0)
     for i in range(spec.n_requests):
-        cycle += rng.expovariate(1.0 / spec.mean_interarrival_cycles)
-        dataset, kernel = spec.workloads[
-            rng.randrange(len(spec.workloads))]
+        mean = spec.mean_interarrival_cycles
+        if bursty:
+            while cycle >= burst_until:
+                in_burst = not in_burst
+                dwell_mean = (spec.burst_mean_cycles if in_burst
+                              else spec.quiet_mean_cycles)
+                burst_until += rng.expovariate(1.0 / dwell_mean)
+            if in_burst:
+                mean /= spec.burst_factor
+        if diurnal:
+            phase = 2.0 * math.pi * cycle / spec.diurnal_period_cycles
+            rate_mod = 1.0 + spec.diurnal_amplitude * math.sin(phase)
+            mean /= max(rate_mod, 0.05)
+        cycle += rng.expovariate(1.0 / mean)
+        if zipf:
+            dataset, kernel = rng.choices(spec.workloads,
+                                          weights=weights)[0]
+        else:
+            dataset, kernel = spec.workloads[
+                rng.randrange(len(spec.workloads))]
         if rng.random() < spec.zero_deadline_prob:
             deadline = 0.0
         else:

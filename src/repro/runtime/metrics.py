@@ -66,6 +66,43 @@ class DeviceStats:
 
 
 @dataclass(frozen=True)
+class AutoscaleReport:
+    """Elastic-capacity summary for one autoscaled serve run.
+
+    Attached to :class:`PoolReport` (and aggregated into
+    :class:`~repro.runtime.fleet.FleetReport`) only when an
+    :class:`~repro.runtime.autoscale.AutoscaleConfig` was supplied;
+    ``None`` — the default — keeps every report field-identical to a
+    run from before the autoscaler existed.
+    """
+
+    #: Configured capacity bounds the run scaled within.
+    min_devices: int
+    max_devices: int
+    #: ``SCALE_EVAL`` samples consumed on the simulated clock.
+    evals: int
+    #: Scale decisions taken (each scale-up provisions one device;
+    #: each scale-down drains one).
+    scale_ups: int
+    scale_downs: int
+    #: Devices actually added / retired, including the bootstrap grow
+    #: to ``min_devices`` at cycle 0 (counted as added, not as a
+    #: scale-up decision).
+    devices_added: int
+    devices_retired: int
+    #: Largest and final live (non-retired) device counts.
+    devices_peak: int
+    devices_final: int
+    #: Integral of live capacity over the run: device-cycles the fleet
+    #: paid for, the denominator for utilisation-per-provisioned-cycle.
+    device_cycles_provisioned: float
+    #: Programming phases a scale-up resolved from the shared
+    #: :class:`~repro.store.ArtifactStore` instead of compiling (0
+    #: without a store).
+    prime_hits: int
+
+
+@dataclass(frozen=True)
 class PoolReport:
     """Outcome of serving one workload trace over a device pool."""
 
@@ -117,6 +154,9 @@ class PoolReport:
     crashes: int = 0
     hangs: int = 0
     recoveries: int = 0
+    #: Elastic-capacity summary; ``None`` whenever autoscaling was off,
+    #: so default-path reports stay field-identical to PR 9.
+    autoscale: "AutoscaleReport | None" = None
     devices: tuple = ()
 
     @property
@@ -163,6 +203,16 @@ class PoolReport:
             lines.append(
                 f"chaos           : {self.crashes} crashes, "
                 f"{self.hangs} hangs, {self.recoveries} recoveries")
+        if self.autoscale is not None:
+            a = self.autoscale
+            lines.append(
+                f"autoscale       : [{a.min_devices}, {a.max_devices}] "
+                f"{a.scale_ups} ups, {a.scale_downs} downs "
+                f"(peak {a.devices_peak}, final {a.devices_final})")
+            lines.append(
+                f"provisioned     : "
+                f"{a.device_cycles_provisioned:,.0f} device-cycles, "
+                f"{a.prime_hits} prime hits")
         for d in self.devices:
             line = (
                 f"  device {d.device_id}: {d.jobs_run} jobs, "
@@ -197,7 +247,9 @@ def build_report(results: Sequence[JobResult], pool,
                  hedges_won: int = 0,
                  crashes: int = 0,
                  hangs: int = 0,
-                 recoveries: int = 0) -> PoolReport:
+                 recoveries: int = 0,
+                 autoscale: "AutoscaleReport | None" = None
+                 ) -> PoolReport:
     """Fold job results + pool state into one :class:`PoolReport`."""
     by_status: Dict[JobStatus, int] = {s: 0 for s in JobStatus}
     latencies: List[float] = []
@@ -256,5 +308,6 @@ def build_report(results: Sequence[JobResult], pool,
         crashes=crashes,
         hangs=hangs,
         recoveries=recoveries,
+        autoscale=autoscale,
         devices=device_stats,
     )

@@ -340,6 +340,22 @@ class Device:
         #: Per-device :class:`~repro.sim.chaos.ChaosModel` sibling
         #: (None when the pool has no chaos configured).
         self.chaos = None
+        # ---- elastic-capacity state (driven by the autoscaler)
+        #: True once a scale-down picked this device: it finishes its
+        #: in-flight work but takes no new placements.
+        self.draining = False
+        #: True once the drain completed; the device slot stays in
+        #: ``pool.devices`` (event keys index it) but never serves.
+        self.retired = False
+        #: Cycle the drain decision landed (the begin of the trace's
+        #: ``drain`` span; meaningful while draining/retired).
+        self.drain_began = 0.0
+        #: Cycle the autoscaler provisioned this device (0.0 for
+        #: devices present since construction).
+        self.added_at = 0.0
+        #: The live DEVICE_DRAIN event for this device, so a re-armed
+        #: drain invalidates the superseded one (lazy deletion).
+        self.drain_event = None
         #: The scheduler's in-flight record while an attempt is being
         #: deferred to its DISPATCH_COMPLETE (lifecycle mode only).
         self.inflight = None
@@ -360,17 +376,22 @@ class Device:
         """Whether the device may accept a dispatch at ``now``.
 
         Combines the lifecycle state the chaos events drive (crashed or
-        mid-hang devices refuse) with the breaker's verdict.  Busyness
-        is deliberately *not* part of this: the scheduler separates
+        mid-hang devices refuse) with the elastic-capacity state the
+        autoscaler drives (draining and retired devices take no new
+        placements) and the breaker's verdict.  Busyness is
+        deliberately *not* part of this: the scheduler separates
         "who is free" from "who is healthy".
         """
-        return (self.up and now >= self.hang_until
+        return (self.up and not self.retired and not self.draining
+                and now >= self.hang_until
                 and self.breaker.allows(now))
 
     # ------------------------------------------------------------------
     def _executor(self, job: Job, pool: "DevicePool"):
         key = (job.dataset, job.scale, job.kernel)
         if key not in self._executors:
+            if self.device_id >= 0:
+                pool.note_workload(key)
             matrix = pool.matrix(job.dataset, job.scale)
             config = AlreschaConfig(fault_model=self.fault_model,
                                     artifact_store=pool.artifact_store)
@@ -673,13 +694,18 @@ class DevicePool:
         self.track_prefix = track_prefix
         base = (FaultModel(rate=fault_rate, seed=seed)
                 if fault_rate > 0.0 else None)
+        # Retained so an autoscaled :meth:`add_device` constructs device
+        # N exactly as a pool built with N+1 devices would have.
+        self._fault_base = base
+        self._device_kwargs = dict(
+            health_window=health_window,
+            failure_threshold=failure_threshold,
+            min_samples=min_samples,
+            cooldown_cycles=cooldown_cycles)
         self.devices = [
             Device(i,
                    base.spawn(i) if base is not None else None,
-                   health_window=health_window,
-                   failure_threshold=failure_threshold,
-                   min_samples=min_samples,
-                   cooldown_cycles=cooldown_cycles)
+                   **self._device_kwargs)
             for i in range(n_devices)
         ]
         #: The base lifecycle chaos model (None when not configured);
@@ -703,10 +729,43 @@ class DevicePool:
         #: starts with zero compilations.  None is the storeless path,
         #: bit-identical to pre-store behaviour.
         self.artifact_store = artifact_store
+        #: ``(dataset, scale, kernel)`` workloads a real device has
+        #: programmed, in first-seen order — the priming list a
+        #: store-backed scale-up warms a fresh device from.
+        self.workloads_seen: "OrderedDict[Tuple[str, float, str], None]" \
+            = OrderedDict()
         self._golden = Device(-1, None)
 
     def __len__(self) -> int:
         return len(self.devices)
+
+    def note_workload(self, key: Tuple[str, float, str]) -> None:
+        """Record that a real device programmed ``key`` (idempotent)."""
+        self.workloads_seen.setdefault(key)
+
+    def add_device(self, now: float) -> Device:
+        """Provision one more device, constructed as at pool build time.
+
+        The new device gets the next sequential id, a fault model
+        spawned from the same base as its siblings and, when chaos is
+        configured, its own independently-seeded chaos sibling — so a
+        device autoscaled in at cycle ``now`` draws the same fault and
+        incident streams a construction-time device with that id would
+        have.  Devices are never physically removed (heap event keys
+        index ``pool.devices``); a drained device is ``retired`` in
+        place instead.
+        """
+        device_id = len(self.devices)
+        device = Device(
+            device_id,
+            (self._fault_base.spawn(device_id)
+             if self._fault_base is not None else None),
+            **self._device_kwargs)
+        device.added_at = now
+        if self.chaos is not None:
+            device.chaos = self.chaos.spawn(device_id)
+        self.devices.append(device)
+        return device
 
     def track(self, name: str) -> str:
         """A trace track name under this pool's prefix."""
@@ -735,6 +794,10 @@ class DevicePool:
             return cached
         n = self.matrix(job.dataset, job.scale).shape[0]
         values = np.random.default_rng(job.seed).normal(size=n)
+        # The cached array is shared by every retry/batch/hedge attempt
+        # of the job; a single in-place write would corrupt all of
+        # them, so writes raise instead of silently aliasing.
+        values.flags.writeable = False
         self._operands[key] = values
         if len(self._operands) > self._operand_cache:
             self._operands.popitem(last=False)
@@ -816,12 +879,30 @@ class DevicePool:
         return sum(1 for d in self.devices if not d.breaker.allows(now))
 
     def refusing(self, now: float) -> int:
-        """Devices out of service at ``now``: crashed or breaker-closed.
+        """Devices out of service at ``now``: crashed, breaker-closed,
+        or withdrawn by the autoscaler (draining devices accept no new
+        placements; retired ones never serve again).
 
         The total-outage degradation check in the scheduler.  A hanging
         device is *busy*, not out of service — its queued work will
-        still run — so hangs do not count here; chaos-free this is
-        exactly :meth:`open_breakers`.
+        still run — so hangs do not count here; chaos- and
+        autoscale-free this is exactly :meth:`open_breakers`.
         """
         return sum(1 for d in self.devices
-                   if not d.up or not d.breaker.allows(now))
+                   if not d.up or d.retired or d.draining
+                   or not d.breaker.allows(now))
+
+    def untried_targets(self, tried) -> int:
+        """Devices a retry could still be placed on: not yet tried and
+        not withdrawn by the autoscaler.
+
+        The scheduler's pool-exhaustion checks used to compare
+        ``len(tried) >= len(pool)``; with elastic capacity the pool
+        list also holds draining/retired slots a retry can never
+        target, so exhaustion counts live candidates instead.  Without
+        autoscaling every device is live and this reduces exactly to
+        the old size comparison.
+        """
+        return sum(1 for d in self.devices
+                   if d.device_id not in tried
+                   and not d.retired and not d.draining)

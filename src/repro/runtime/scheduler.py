@@ -86,6 +86,7 @@ from repro.errors import (
     RejectedError,
     ReproError,
 )
+from repro.runtime.autoscale import AutoscaleConfig, Autoscaler
 from repro.runtime.events import Event, EventKind, EventQueue
 from repro.runtime.jobs import Job, JobResult, JobStatus
 from repro.runtime.metrics import PoolReport, build_report
@@ -220,9 +221,16 @@ class Scheduler:
 
     def __init__(self, pool: DevicePool,
                  config: Optional[SchedulerConfig] = None,
-                 lifecycle: bool = False) -> None:
+                 lifecycle: bool = False,
+                 autoscale: Optional[AutoscaleConfig] = None) -> None:
         self.pool = pool
         self.config = config or SchedulerConfig()
+        #: Elastic-capacity policy; ``None`` — the default — keeps the
+        #: pool at its construction-time size and the whole run
+        #: field-identical to the pre-autoscale scheduler.
+        self.autoscale_config = autoscale
+        #: The live :class:`Autoscaler` (built per :meth:`start`).
+        self.autoscaler: Optional[Autoscaler] = None
         self.queue_peak = 0
         #: Fused dispatches that produced answers, jobs served inside
         #: them, and DRAM bytes they avoided vs solo service.
@@ -356,6 +364,22 @@ class Scheduler:
             # each device's incident history is strictly sequential.
             for device in self.pool.devices:
                 self._schedule_incident(device, 0.0)
+        self.autoscaler = None
+        if self.autoscale_config is not None:
+            cfg = self.autoscale_config
+            if len(self.pool) > cfg.max_devices:
+                raise ConfigError(
+                    f"pool has {len(self.pool)} devices but autoscale "
+                    f"max_devices is {cfg.max_devices}; the initial "
+                    f"pool must fit inside the scaling bounds")
+            self.autoscaler = Autoscaler(cfg)
+            self.autoscaler.note_capacity(0.0, len(self.pool))
+            # Grow to the floor before serving starts; the adds count
+            # as provisioned devices but not as scale-up decisions.
+            while len(self.pool) < cfg.min_devices:
+                self._provision_device(0.0)
+            events.push(cfg.eval_interval_cycles, EventKind.SCALE_EVAL,
+                        0)
 
         # Mirror of the scan-based loop's first iteration: admit and
         # dispatch anything actionable at cycle 0 before the first
@@ -416,6 +440,12 @@ class Scheduler:
         """
         self._trace_devices()
         ordered = [self._results[jid] for jid in sorted(self._results)]
+        autoscale_report = None
+        if self.autoscaler is not None:
+            makespan = max((r.finish_cycle for r in ordered),
+                           default=0.0)
+            autoscale_report = self.autoscaler.finalize(
+                max(makespan, self._now))
         return ordered, build_report(
             ordered, self.pool, self.queue_peak, batches=self.batches,
             batched_jobs=self.batched_jobs,
@@ -425,7 +455,8 @@ class Scheduler:
             hedges_launched=self.hedges_launched,
             hedges_won=self.hedges_won,
             crashes=self.crashes, hangs=self.hangs,
-            recoveries=self.recoveries)
+            recoveries=self.recoveries,
+            autoscale=autoscale_report)
 
     # ------------------------------------------------------------------
     # Fleet hooks: job injection, pool outage, probe-gated readmission
@@ -537,7 +568,10 @@ class Scheduler:
         ``(ok, finish_cycle)``.
         """
         self._drop_hold()
-        device = self.pool.devices[0]
+        # First live device: slot 0 unless the autoscaler withdrew it.
+        device = next((d for d in self.pool.devices
+                       if not d.retired and not d.draining),
+                      self.pool.devices[0])
         att = device.attempt(job, self.pool, now=now, record=False)
         finish = now + att.cycles
         device.busy_cycles += att.cycles
@@ -617,6 +651,16 @@ class Scheduler:
                     and state.hedge_event is event
                     and len(state.flights) == 1
                     and not state.flights[0].hedge)
+        if kind in (EventKind.SCALE_EVAL, EventKind.DEVICE_ADD):
+            # One SCALE_EVAL is live at a time (re-armed on consume)
+            # and every DEVICE_ADD lands exactly once — never stale.
+            return True
+        if kind == EventKind.DEVICE_DRAIN:
+            # Identity-validated like deferred completions: a drain
+            # re-armed past in-flight work strands its old event.
+            device = self.pool.devices[event.key]
+            return (device.draining and not device.retired
+                    and device.drain_event is event)
         # RETRY_READY / DEADLINE_EXPIRY concern a job that must still
         # be in flight (admitted, no terminal result yet, not handed
         # back to the fleet by a pool outage).
@@ -678,6 +722,29 @@ class Scheduler:
                     continue
                 waiting.remove(state)
                 self._finalize_timeout(state, now, results)
+                continue
+            # Autoscale events carry their own effect in *both* loop
+            # modes — elasticity is orthogonal to chaos/hedging.
+            if kind == EventKind.SCALE_EVAL:
+                self._scale_eval(now)
+                continue
+            if kind == EventKind.DEVICE_ADD:
+                self._apply_device_add(now)
+                continue
+            if kind == EventKind.DEVICE_DRAIN:
+                device = self.pool.devices[event.key]
+                if (device.draining and not device.retired
+                        and device.drain_event is event):
+                    if device.busy_until > now:
+                        # Still finishing work (a probe or hang pushed
+                        # its horizon out): re-arm at the new horizon.
+                        device.drain_event = events.push(
+                            device.busy_until, EventKind.DEVICE_DRAIN,
+                            device.device_id)
+                    else:
+                        self._retire(device, now)
+                elif event is not wake:
+                    events.mark_stale()
                 continue
             if not self._lifecycle:
                 continue  # every other kind is a pure wake
@@ -931,7 +998,7 @@ class Scheduler:
         # cooldown is measured purely in simulated time.
         self._on_attempt_failure(device, now)
         exhausted = (state.attempts >= self.config.max_attempts
-                     or len(state.tried) >= len(self.pool))
+                     or self.pool.untried_targets(state.tried) == 0)
         if exhausted:
             self._degrade(state, finish, results, last_error=att.error,
                           device_id=device.device_id)
@@ -1030,7 +1097,7 @@ class Scheduler:
         self._on_attempt_failure(device, now)
         for s in states:
             exhausted = (s.attempts >= self.config.max_attempts
-                         or len(s.tried) >= len(self.pool))
+                         or self.pool.untried_targets(s.tried) == 0)
             if exhausted:
                 self._degrade(s, finish, results, last_error=att.error,
                               device_id=device.device_id)
@@ -1122,7 +1189,7 @@ class Scheduler:
             if s.flights:
                 continue
             exhausted = (s.attempts >= self.config.max_attempts
-                         or len(s.tried) >= len(self.pool))
+                         or self.pool.untried_targets(s.tried) == 0)
             if exhausted:
                 self._degrade(s, now, results, last_error=att.error,
                               device_id=device.device_id)
@@ -1314,6 +1381,137 @@ class Scheduler:
             device.up = True
             device.breaker.end_quarantine(now)
         self._schedule_incident(device, now)
+
+    # ------------------------------------------------------------------
+    # Elastic capacity: SCALE_EVAL / DEVICE_ADD / DEVICE_DRAIN
+    # ------------------------------------------------------------------
+    def _scale_eval(self, now: float) -> None:
+        """One autoscaler sample: decide, apply, re-arm the cadence."""
+        scaler = self.autoscaler
+        cfg = scaler.config
+        if not self._pool_down:
+            action = scaler.decide(now, len(self._waiting), self.pool)
+            if action == "up":
+                scaler.scale_ups += 1
+                scaler.last_action_cycle = now
+                key = len(self.pool.devices) + scaler.pending_adds
+                scaler.pending_adds += 1
+                if cfg.provision_cycles > 0:
+                    self.events.push(now + cfg.provision_cycles,
+                                     EventKind.DEVICE_ADD, key)
+                else:
+                    # A zero provisioning delay lands the device at the
+                    # decision cycle; applied inline because an event
+                    # pushed at the current cycle would strand (the
+                    # coincident batch is already drained).
+                    self._apply_device_add(now)
+            elif action == "down":
+                live = [d for d in self.pool.devices
+                        if not d.retired and not d.draining]
+                target = min(live,
+                             key=lambda d: (d.busy_cycles, d.device_id))
+                scaler.scale_downs += 1
+                scaler.last_action_cycle = now
+                self._start_drain(target, now)
+        if self.pending():
+            self.events.push(now + cfg.eval_interval_cycles,
+                             EventKind.SCALE_EVAL, 0)
+
+    def _apply_device_add(self, now: float) -> None:
+        """Land a decided scale-up: the DEVICE_ADD's provisioning delay
+        elapsed, so the device joins (store-primed) and takes traffic
+        from this cycle on."""
+        scaler = self.autoscaler
+        scaler.pending_adds -= 1
+        device = self._provision_device(now)
+        if self._pool_down:
+            # Provisioned into a pool-wide outage: the newcomer is held
+            # dark with its siblings and readmission restores it.
+            device.up = False
+            device.down_since = now
+            device.breaker.force_open(now)
+            self._outage_held.add(device.device_id)
+        if self.pool.tracer is not None:
+            self.pool.tracer.instant_event(
+                f"scale_up#{device.device_id}", "scale_up", now,
+                self.pool.track("autoscale"))
+
+    def _provision_device(self, now: float) -> Device:
+        """Add one device to the pool (bootstrap grow or scale-up)."""
+        device = self.pool.add_device(now)
+        self.autoscaler.devices_added += 1
+        self.autoscaler.note_capacity(now, +1)
+        self._prime_device(device, now)
+        if self.pool.chaos is not None:
+            self._schedule_incident(device, now)
+        return device
+
+    def _prime_device(self, device: Device, now: float) -> None:
+        """Warm a fresh device from the shared artifact store.
+
+        Every workload a sibling has programmed is resolved through the
+        store before the newcomer takes traffic, so a warm store means
+        the scale-up compiles nothing — the elastic analogue of the
+        store's warm-start serving guarantee.  ``prime_hits`` counts
+        the store loads/memory hits the priming pass consumed.  A
+        storeless pool (or ``model`` execution, which never programs)
+        skips priming entirely.
+        """
+        pool = self.pool
+        if pool.artifact_store is None or pool.execution != "simulate":
+            return
+        before = pool.artifact_store.report()
+        warm = before.conversions_loaded + before.memory_hits
+        for dataset, scale, kernel in list(pool.workloads_seen):
+            job = Job(job_id=-1, kernel=kernel, dataset=dataset,
+                      scale=scale, arrival_cycle=now,
+                      deadline_cycles=1.0)
+            device._executor(job, pool)
+        after = pool.artifact_store.report()
+        self.autoscaler.prime_hits += max(
+            0, after.conversions_loaded + after.memory_hits - warm)
+
+    def _start_drain(self, device: Device, now: float) -> None:
+        """Begin drain-before-remove on a scale-down target.
+
+        The device takes no new placements from this cycle on
+        (``available`` is False while draining); in-flight work — the
+        eager mode's busy horizon or a deferred flight — finishes
+        first, then the DEVICE_DRAIN retires it.  An idle target
+        retires immediately.
+        """
+        device.draining = True
+        device.drain_began = now
+        if self.pool.tracer is not None:
+            self.pool.tracer.instant_event(
+                f"scale_down#{device.device_id}", "scale_down", now,
+                self.pool.track("autoscale"))
+        if device.busy_until <= now and device.inflight is None:
+            self._retire(device, now)
+        else:
+            device.drain_event = self.events.push(
+                max(device.busy_until, now), EventKind.DEVICE_DRAIN,
+                device.device_id)
+
+    def _retire(self, device: Device, now: float) -> None:
+        """Finish a drain: the device leaves service permanently.
+
+        The slot stays in ``pool.devices`` (event keys index the list)
+        but ``retired`` makes it permanently unavailable.  The trace
+        records the drain window on the ``autoscale`` track — the span
+        the ``check_no_service_on_draining_device`` invariant audits
+        job placements against.
+        """
+        device.retired = True
+        device.drain_event = None
+        self.autoscaler.devices_retired += 1
+        self.autoscaler.note_capacity(now, -1)
+        if self.pool.tracer is not None:
+            self.pool.tracer.add(
+                f"drain#{device.device_id}", "drain",
+                device.drain_began, max(now, device.drain_began),
+                self.pool.track("autoscale"),
+                args={"device": float(device.device_id)})
 
     def _finalize_timeout(self, state: _JobState, now: float,
                           results: Dict[int, JobResult]) -> None:

@@ -435,3 +435,86 @@ class TestStoreAndCache:
         assert main(["cache", "verify", "--store", str(store)]) == 1
         err = capsys.readouterr().err
         assert victim.name[:-len(".alra")] in err
+
+
+class TestServeAutoscaleAndRecord:
+    BURSTY = ["serve", "--requests", "60", "--devices", "2",
+              "--seed", "3", "--scale", "0.04",
+              "--shape", "bursty+zipf"]
+
+    def test_shape_flag_shapes_the_trace(self, capsys):
+        assert main(self.BURSTY) == 0
+        out = capsys.readouterr().out
+        assert "shape bursty+zipf" in out
+
+    def test_bad_shape_exit_2(self, capsys):
+        assert main(["serve", "--requests", "5",
+                     "--shape", "bogus"]) == 2
+        err = capsys.readouterr().err
+        assert "error:" in err
+        assert "'bogus'" in err
+
+    def test_autoscale_flag_reports_elasticity(self, capsys):
+        assert main(self.BURSTY + ["--autoscale", "1:6:8000"]) == 0
+        out = capsys.readouterr().out
+        assert "autoscale 1:6:8000" in out
+        assert "autoscale       : [1, 6]" in out
+        assert "provisioned     :" in out
+
+    def test_bad_autoscale_spec_exit_2(self, capsys):
+        assert main(["serve", "--requests", "5",
+                     "--autoscale", "two:8"]) == 2
+        err = capsys.readouterr().err
+        assert "'two'" in err
+        assert "--autoscale" in err
+        assert main(["serve", "--requests", "5",
+                     "--autoscale", "4"]) == 2
+        assert "MIN:MAX[:COOLDOWN]" in capsys.readouterr().err
+
+    def test_autoscale_off_output_is_unchanged(self, capsys):
+        # No --autoscale: byte-identical output to the historical
+        # serve path, no elasticity lines anywhere.
+        assert main(["serve", "--requests", "20", "--devices", "2",
+                     "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "autoscale" not in out
+
+    def test_record_then_replay_is_field_identical(self, tmp_path,
+                                                   capsys):
+        rec = tmp_path / "bursty.json"
+        a = tmp_path / "a.json"
+        b = tmp_path / "b.json"
+        assert main(self.BURSTY + ["--record", str(rec),
+                                   "--report-json", str(a)]) == 0
+        out = capsys.readouterr().out
+        assert f"trace recorded: {rec}" in out
+        assert main(["serve", "--trace-file", str(rec),
+                     "--devices", "2", "--seed", "3",
+                     "--scale", "0.04",
+                     "--report-json", str(b)]) == 0
+        capsys.readouterr()
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_record_is_reproducible(self, tmp_path, capsys):
+        a = tmp_path / "a.json"
+        b = tmp_path / "b.json"
+        assert main(self.BURSTY + ["--record", str(a)]) == 0
+        assert main(self.BURSTY + ["--record", str(b)]) == 0
+        capsys.readouterr()
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_record_captures_a_replayed_trace_verbatim(self, tmp_path,
+                                                       capsys):
+        first = tmp_path / "first.json"
+        second = tmp_path / "second.json"
+        assert main(self.BURSTY + ["--record", str(first)]) == 0
+        assert main(["serve", "--trace-file", str(first),
+                     "--devices", "2", "--seed", "3",
+                     "--record", str(second)]) == 0
+        capsys.readouterr()
+        assert first.read_bytes() == second.read_bytes()
+
+    def test_autoscaled_bursty_check_passes(self, capsys):
+        assert main(self.BURSTY + ["--autoscale", "2:8",
+                                   "--check"]) == 0
+        assert "trace invariants: ok" in capsys.readouterr().out

@@ -113,6 +113,41 @@ class TestRouting:
         assert len(fleet._records[0].replicas) == 3
         assert len(fleet._records[99].replicas) == 1
 
+    def test_hot_fraction_zero_replicates_nothing(self):
+        # Regression: a zero hot floor used to make *every* key "hot"
+        # (all counts are >= 0), silently replicating the whole trace.
+        # 0.0 must disable replication outright.
+        from repro.runtime import Job
+        jobs = [Job(job_id=i, kernel="spmv", dataset="stencil27",
+                    scale=0.05, arrival_cycle=float(i * 100),
+                    deadline_cycles=50_000.0) for i in range(20)]
+        fleet = Fleet(2, FleetConfig(n_pools=3, replicas=3,
+                                     hot_fraction=0.0), seed=0)
+        fleet.run(jobs)
+        assert all(len(rec.replicas) == 1
+                   for rec in fleet._records.values())
+
+    def test_hot_fraction_one_needs_the_whole_trace(self):
+        # At the other end, 1.0 replicates only a key carrying every
+        # job of the trace — a 95% key must stay unreplicated.
+        from repro.runtime import Job
+        jobs = [Job(job_id=i, kernel="spmv", dataset="stencil27",
+                    scale=0.05, arrival_cycle=float(i * 100),
+                    deadline_cycles=50_000.0) for i in range(19)]
+        jobs.append(Job(job_id=99, kernel="symgs", dataset="af_shell",
+                        scale=0.05, arrival_cycle=50.0,
+                        deadline_cycles=50_000.0))
+        mixed = Fleet(2, FleetConfig(n_pools=3, replicas=3,
+                                     hot_fraction=1.0), seed=0)
+        mixed.run(jobs)
+        assert all(len(rec.replicas) == 1
+                   for rec in mixed._records.values())
+        pure = Fleet(2, FleetConfig(n_pools=3, replicas=3,
+                                    hot_fraction=1.0), seed=0)
+        pure.run(jobs[:19])  # one key carries 100% of the trace
+        assert all(len(rec.replicas) == 3
+                   for rec in pure._records.values())
+
     def test_duplicate_job_ids_rejected(self):
         from repro.runtime import Job
         j = Job(job_id=1, kernel="spmv", dataset="stencil27",

@@ -208,6 +208,16 @@ class TestOperandCache:
         with pytest.raises(ConfigError):
             DevicePool(1, operand_cache=0)
 
+    def test_cached_operand_is_read_only(self):
+        # Regression: the cached array is shared by every retry/batch/
+        # hedge attempt of the job, so an in-place write would silently
+        # corrupt all of them.  Writes must raise instead of aliasing.
+        pool = DevicePool(1)
+        values = pool.operand(self.job())
+        assert not values.flags.writeable
+        with pytest.raises(ValueError):
+            values[0] = 1.0
+
     def test_retried_job_reuses_operand_and_crc_is_unchanged(self):
         # A job that faults on device 0 and retries on device 1 must
         # stream the *identical* operand array on both attempts, and

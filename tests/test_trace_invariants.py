@@ -25,6 +25,7 @@ from repro.observe import (
     check_hedge_cancellation,
     check_no_service_after_timeout,
     check_no_service_in_downtime,
+    check_no_service_on_draining_device,
     check_proper_nesting,
     check_reconfig_hidden,
     check_row_ordering,
@@ -621,4 +622,68 @@ class TestHedgeCancellation:
                           seed=2, scale=0.04, execution="model",
                           chaos=chaos, hedge_after=1.2, tracer=tracer)
         assert check_hedge_cancellation(tracer) == []
+        assert check_trace(tracer) == []
+
+
+# ---------------------------------------------------------------------------
+# Runtime: no new placement on a device once its autoscale drain begins
+# ---------------------------------------------------------------------------
+class TestNoServiceOnDrainingDevice:
+    def test_checker_flags_job_starting_inside_the_drain(self):
+        tracer = Tracer()
+        tracer.add("drain#1", "drain", 100.0, 300.0, "autoscale",
+                   args={"device": 1.0})
+        tracer.add("spmv#7", "job", 150.0, 250.0, "device1")
+        violations = check_no_service_on_draining_device(tracer)
+        assert len(violations) == 1
+        assert "spmv#7" in violations[0]
+        assert "drain" in violations[0]
+
+    def test_checker_flags_job_starting_after_retirement(self):
+        # Retired devices never serve again — a job *after* the drain
+        # window is just as illegal as one inside it.
+        tracer = Tracer()
+        tracer.add("drain#1", "drain", 100.0, 300.0, "autoscale",
+                   args={"device": 1.0})
+        tracer.add("spmv#7", "job", 400.0, 500.0, "device1")
+        assert len(check_no_service_on_draining_device(tracer)) == 1
+
+    def test_in_flight_work_finishing_during_drain_is_legal(self):
+        # Drain-before-remove: the job dispatched *before* the drain
+        # began may run to completion inside the window.
+        tracer = Tracer()
+        tracer.add("drain#1", "drain", 100.0, 300.0, "autoscale",
+                   args={"device": 1.0})
+        tracer.add("spmv#7", "job", 50.0, 280.0, "device1")
+        assert check_no_service_on_draining_device(tracer) == []
+
+    def test_other_devices_unaffected(self):
+        tracer = Tracer()
+        tracer.add("drain#1", "drain", 100.0, 300.0, "autoscale",
+                   args={"device": 1.0})
+        tracer.add("spmv#7", "job", 150.0, 250.0, "device0")
+        assert check_no_service_on_draining_device(tracer) == []
+
+    def test_fleet_prefixes_scope_the_drain_to_its_pool(self):
+        # p0's drain must not constrain p1's device of the same id.
+        tracer = Tracer()
+        tracer.add("drain#0", "drain", 100.0, 300.0, "p0.autoscale",
+                   args={"device": 0.0})
+        tracer.add("spmv#7", "job", 150.0, 250.0, "p1.device0")
+        assert check_no_service_on_draining_device(tracer) == []
+        tracer.add("spmv#8", "job", 150.0, 250.0, "p0.device0")
+        assert len(check_no_service_on_draining_device(tracer)) == 1
+
+    def test_traced_autoscaled_serve_is_clean(self):
+        from repro.runtime import AutoscaleConfig
+        tracer = Tracer()
+        cfg = AutoscaleConfig(min_devices=1, max_devices=6,
+                              cooldown_cycles=8_000.0)
+        _, report = serve(n_requests=80, n_devices=2, seed=3,
+                          scale=0.04, execution="model", tracer=tracer,
+                          autoscale=cfg, shape="bursty+zipf")
+        assert report.autoscale is not None
+        assert report.autoscale.scale_ups > 0
+        assert tracer.by_cat("drain"), "no drain recorded"
+        assert check_no_service_on_draining_device(tracer) == []
         assert check_trace(tracer) == []
